@@ -1,0 +1,543 @@
+// Package chaseci's root benchmark suite regenerates every table and figure
+// of the paper's evaluation (go test -bench=.). Each benchmark runs the
+// relevant experiment in virtual time and reports the paper-comparable
+// quantities via b.ReportMetric:
+//
+//	BenchmarkTable1Workflow     Table I  (per-step times at full scale)
+//	BenchmarkFig1StoragePlacement  Fig 1 (distributed storage + healing)
+//	BenchmarkFig3Download       Fig 3    (10-worker download orchestration)
+//	BenchmarkFig4Network        Fig 4    (network usage during download)
+//	BenchmarkFig5Training       Fig 5    (prep + training phases)
+//	BenchmarkFig6Inference      Fig 6    (50-GPU inference)
+//	BenchmarkAblation*          extensions from Section III-E
+//	BenchmarkBaselineConnect    CONNECT-vs-FFN real-compute comparison
+//
+// EXPERIMENTS.md records paper-vs-measured for each.
+package chaseci
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"chaseci/internal/cluster"
+	"chaseci/internal/connect"
+	"chaseci/internal/core"
+	"chaseci/internal/ffn"
+	"chaseci/internal/gpusim"
+	"chaseci/internal/merra"
+	"chaseci/internal/sim"
+	"chaseci/internal/tensor"
+)
+
+// runPaperWorkflow executes the case study and returns the run.
+func runPaperWorkflow(b *testing.B, granules int, subset bool) *core.ConnectRun {
+	b.Helper()
+	cfg := core.PaperConnectConfig()
+	cfg.Subset = subset
+	if granules > 0 {
+		cfg.Archive = merra.MERRA2().Slice(granules)
+	}
+	eco := core.BuildNautilus(core.DefaultNautilus())
+	run, err := eco.NewConnectWorkflow(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := run.Execute(); err != nil {
+		b.Fatal(err)
+	}
+	return run
+}
+
+// BenchmarkTable1Workflow regenerates Table I: the full 4-step workflow at
+// the paper's archive scale. Paper: 37m / 306m / 1133m / NA.
+func BenchmarkTable1Workflow(b *testing.B) {
+	var run *core.ConnectRun
+	for i := 0; i < b.N; i++ {
+		run = runPaperWorkflow(b, 0, true)
+	}
+	b.ReportMetric(run.StepDuration("1-download").Minutes(), "step1-vmin")
+	b.ReportMetric(run.StepDuration("2-train").Minutes(), "step2-vmin")
+	b.ReportMetric(run.StepDuration("3-inference").Minutes(), "step3-vmin")
+	b.ReportMetric(run.BytesDownloaded.Value()/1e9, "downloaded-GB")
+}
+
+// BenchmarkFig1StoragePlacement regenerates Figure 1's claim: replicated
+// distributed storage that heals. Reports re-replication virtual time after
+// an OSD loss holding 1/13th of a 2 TB dataset.
+func BenchmarkFig1StoragePlacement(b *testing.B) {
+	var healVSec float64
+	for i := 0; i < b.N; i++ {
+		eco := core.BuildNautilus(core.DefaultNautilus())
+		for j := 0; j < 500; j++ {
+			eco.Storage.Put("bench", fmt.Sprintf("obj-%04d", j), 4e9, nil)
+		}
+		start := eco.Clock.Now()
+		if _, err := eco.Storage.FailOSD("ucsd-osd-00"); err != nil {
+			b.Fatal(err)
+		}
+		eco.Clock.RunWhile(func() bool { return eco.Storage.Recovering() })
+		healVSec = (eco.Clock.Now() - start).Seconds()
+		if !eco.Storage.HealthReport().OK() {
+			b.Fatal("storage did not heal")
+		}
+	}
+	b.ReportMetric(healVSec, "heal-vsec")
+}
+
+// BenchmarkFig3Download regenerates Figure 3: the 10-worker Redis-fed
+// download job. Paper: 37 minutes for 246 GB / 112,249 files.
+func BenchmarkFig3Download(b *testing.B) {
+	var run *core.ConnectRun
+	for i := 0; i < b.N; i++ {
+		run = runPaperWorkflow(b, 0, true)
+	}
+	b.ReportMetric(run.StepDuration("1-download").Minutes(), "download-vmin")
+	b.ReportMetric(run.BytesDownloaded.Value()/1e9, "GB")
+	b.ReportMetric(float64(run.Config.Archive.NumFiles()), "files")
+}
+
+// BenchmarkFig4Network regenerates Figure 4: peak and mean network rates
+// during the download. Paper: max 593 MB/s bursts, 246 GB/37 min sustained
+// (~111 MB/s); the fluid model reports the sustained plateau.
+func BenchmarkFig4Network(b *testing.B) {
+	var peak, mean float64
+	for i := 0; i < b.N; i++ {
+		run := runPaperWorkflow(b, 0, true)
+		ss := run.Eco.Metrics.Select("connect_download_rate_bytes", nil)
+		if len(ss) == 0 {
+			b.Fatal("no rate series")
+		}
+		for _, s := range ss[0].Samples {
+			if s.Value > peak {
+				peak = s.Value
+			}
+		}
+		sum, n := 0.0, 0
+		for _, s := range ss[0].Samples {
+			if s.Value > 0 {
+				sum += s.Value
+				n++
+			}
+		}
+		if n > 0 {
+			mean = sum / float64(n)
+		}
+	}
+	b.ReportMetric(peak/1e6, "peak-MBps")
+	b.ReportMetric(mean/1e6, "mean-MBps")
+}
+
+// BenchmarkFig5Training regenerates Figure 5: data prep followed by FFN
+// training on the 576x361x240 volume. Paper: 306 minutes total.
+func BenchmarkFig5Training(b *testing.B) {
+	var d time.Duration
+	for i := 0; i < b.N; i++ {
+		run := runPaperWorkflow(b, 200, true) // small archive; train is fixed-size
+		d = run.StepDuration("2-train")
+	}
+	b.ReportMetric(d.Minutes(), "train-vmin")
+}
+
+// BenchmarkFig6Inference regenerates Figure 6: 50 single-GPU pods splitting
+// 2.3e10 voxels. Paper: 1133 minutes.
+func BenchmarkFig6Inference(b *testing.B) {
+	var d time.Duration
+	var maxGPU float64
+	for i := 0; i < b.N; i++ {
+		run := runPaperWorkflow(b, 0, true)
+		d = run.StepDuration("3-inference")
+		for _, s := range run.Eco.Metrics.Select("k8s_gpus_in_use", nil)[0].Samples {
+			if s.Value > maxGPU {
+				maxGPU = s.Value
+			}
+		}
+	}
+	b.ReportMetric(d.Minutes(), "infer-vmin")
+	b.ReportMetric(maxGPU, "peak-gpus")
+}
+
+// BenchmarkAblationSubsetting is extension X4: whole-granule vs THREDDS
+// variable subsetting. The paper reduces 455 GB to 246 GB (1.85x).
+func BenchmarkAblationSubsetting(b *testing.B) {
+	var sub, full time.Duration
+	for i := 0; i < b.N; i++ {
+		sub = runPaperWorkflow(b, 4000, true).StepDuration("1-download")
+		full = runPaperWorkflow(b, 4000, false).StepDuration("1-download")
+	}
+	b.ReportMetric(sub.Seconds(), "subset-vsec")
+	b.ReportMetric(full.Seconds(), "full-vsec")
+	b.ReportMetric(float64(full)/float64(sub), "speedup")
+}
+
+// BenchmarkAblationInferenceGPUs is extension X3: inference-time scaling
+// with GPU count, including the single-CPU MATLAB-era baseline.
+func BenchmarkAblationInferenceGPUs(b *testing.B) {
+	gpu := gpusim.GTX1080Ti()
+	cpu := gpusim.SingleCPU()
+	w := gpusim.Paper()
+	var t50 time.Duration
+	for i := 0; i < b.N; i++ {
+		for _, g := range []int{1, 2, 5, 10, 25, 50, 100, 200} {
+			d := gpu.ShardedInferTime(w.InferVoxels, g)
+			if g == 50 {
+				t50 = d
+			}
+		}
+	}
+	b.ReportMetric(t50.Minutes(), "gpus50-vmin")
+	b.ReportMetric(gpu.ShardedInferTime(w.InferVoxels, 1).Hours(), "gpus1-vhours")
+	b.ReportMetric(cpu.InferTime(w.InferVoxels).Hours(), "cpu-vhours")
+}
+
+// BenchmarkAblationDistTraining is extension X2 (Section III-E2):
+// data-parallel distributed training speedups over a ReplicaSet.
+func BenchmarkAblationDistTraining(b *testing.B) {
+	m := gpusim.GTX1080Ti()
+	cfg := gpusim.DefaultDistTrain()
+	w := gpusim.Paper()
+	var s8, s64 float64
+	for i := 0; i < b.N; i++ {
+		t1 := m.DistTrainTime(w.TrainVoxels, 1, cfg)
+		s8 = gpusim.Speedup(t1, m.DistTrainTime(w.TrainVoxels, 8, cfg))
+		s64 = gpusim.Speedup(t1, m.DistTrainTime(w.TrainVoxels, 64, cfg))
+	}
+	b.ReportMetric(s8, "speedup-8gpu")
+	b.ReportMetric(s64, "speedup-64gpu")
+}
+
+// BenchmarkAblationPrepWorkers is extension X1 (Section III-E1):
+// distributing the protobuf data-preparation step over k8s worker pods.
+func BenchmarkAblationPrepWorkers(b *testing.B) {
+	w := gpusim.Paper()
+	m := gpusim.GTX1080Ti()
+	var t1, t8 time.Duration
+	for i := 0; i < b.N; i++ {
+		for _, workers := range []int{1, 2, 4, 8, 16} {
+			clk := sim.NewClock()
+			cl := cluster.New(clk, nil)
+			cl.CreateNamespace("prep", nil)
+			for n := 0; n < 4; n++ {
+				cl.AddNode(fmt.Sprintf("n%d", n), "site", cluster.FIONA8Capacity(), nil)
+			}
+			shard := w.TrainVoxels / float64(workers)
+			job, err := cl.CreateJob(cluster.JobSpec{
+				Name: "prep", Namespace: "prep", Parallelism: workers,
+				Template: cluster.PodTemplate{
+					Requests: cluster.Resources{CPU: 2, Memory: 4e9},
+					Run: func(pc *cluster.PodCtx) {
+						pc.After(m.PrepTime(shard), pc.Succeed)
+					},
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			clk.Run()
+			if !job.Done() {
+				b.Fatal("prep job incomplete")
+			}
+			switch workers {
+			case 1:
+				t1 = clk.Now()
+			case 8:
+				t8 = clk.Now()
+			}
+		}
+	}
+	b.ReportMetric(t1.Minutes(), "workers1-vmin")
+	b.ReportMetric(t8.Minutes(), "workers8-vmin")
+	b.ReportMetric(gpusim.Speedup(t1, t8), "speedup-8")
+}
+
+// BenchmarkAblationNodeFailure is extension X5 (Section V): download
+// completion despite losing two busy nodes mid-run.
+func BenchmarkAblationNodeFailure(b *testing.B) {
+	var d time.Duration
+	for i := 0; i < b.N; i++ {
+		cfg := core.PaperConnectConfig()
+		cfg.Archive = merra.MERRA2().Slice(8000)
+		eco := core.BuildNautilus(core.DefaultNautilus())
+		run, err := eco.NewConnectWorkflow(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := run.Workflow.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+		eco.Clock.RunFor(20 * time.Second)
+		killed := 0
+		for _, n := range eco.Cluster.Nodes() {
+			if killed >= 2 {
+				break
+			}
+			if n.Allocated().CPU > 0 {
+				eco.Cluster.KillNode(n.Name)
+				killed++
+			}
+		}
+		eco.Clock.RunWhile(func() bool { return !run.Workflow.Done() })
+		if run.Workflow.Failed() {
+			b.Fatal("workflow failed under node loss")
+		}
+		d = run.StepDuration("1-download")
+	}
+	b.ReportMetric(d.Seconds(), "download-vsec")
+}
+
+// BenchmarkBaselineConnect is extension X6: the real CONNECT baseline vs the
+// real FFN on identical synthetic volumes — actual wall-clock Go compute,
+// not virtual time. Reports agreement (IoU of FFN mask vs threshold labels)
+// and the two algorithms' object counts.
+func BenchmarkBaselineConnect(b *testing.B) {
+	g := merra.Grid{NLon: 36, NLat: 24, NLev: 6}
+	gen := merra.NewGenerator(g, 11)
+	levels := merra.PressureLevels(g.NLev)
+	const steps = 6
+	vol := merra.IVTVolume(gen, levels, 20, steps)
+	flat := merra.Field2D{NLon: len(vol.Data), NLat: 1, Data: vol.Data}
+	th := flat.Quantile(0.90)
+	img := &ffn.Volume{D: steps, H: g.NLat, W: g.NLon, Data: append([]float32(nil), vol.Data...)}
+	img.Normalize()
+	lbl := ffn.NewVolume(steps, g.NLat, g.NLon)
+	for i, v := range vol.Data {
+		if v >= th {
+			lbl.Data[i] = 1
+		}
+	}
+	cfg := ffn.DefaultConfig()
+	cfg.FOV = [3]int{3, 7, 7}
+	cfg.Features = 6
+	cfg.MoveStep = [3]int{1, 2, 2}
+	net, err := ffn.NewNetwork(cfg, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := ffn.NewTrainer(net, 0.03, 0.9, 99)
+	if _, err := tr.TrainOnVolume(img, lbl, 300); err != nil {
+		b.Fatal(err)
+	}
+	seeds := ffn.GridSeeds(img, cfg.FOV, [3]int{1, 4, 4}, 1.0)
+
+	var iou float64
+	var connObjects, ffnObjects int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mask, _ := net.Segment(img, seeds, 0)
+		res := connect.Label(connect.FromMask(steps, g.NLat, g.NLon, lbl.Data), connect.Conn26, 4)
+		ffnRes := connect.Label(connect.FromMask(steps, g.NLat, g.NLon, mask.Data), connect.Conn26, 4)
+		iou = ffn.IoU(mask, lbl)
+		connObjects, ffnObjects = len(res.Objects), len(ffnRes.Objects)
+	}
+	b.ReportMetric(iou, "iou")
+	b.ReportMetric(float64(connObjects), "connect-objects")
+	b.ReportMetric(float64(ffnObjects), "ffn-objects")
+}
+
+// --- Substrate micro-benchmarks (real wall-clock, -benchmem) ----------------
+
+// BenchmarkConv3DForward measures the pure-Go convolution kernel on an
+// FFN-sized FOV, the unit of all real training/inference compute.
+func BenchmarkConv3DForward(b *testing.B) {
+	rng := sim.NewRNG(1)
+	in := tensor.New(6, 3, 7, 7)
+	w := tensor.New(6, 6, 3, 3, 3)
+	w.Randomize(rng, 6*27)
+	bias := make([]float32, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv3D(in, w, bias)
+	}
+}
+
+// BenchmarkFFNTrainStep measures one real SGD step (forward + backward +
+// update) on the experiment-scale network.
+func BenchmarkFFNTrainStep(b *testing.B) {
+	cfg := ffn.DefaultConfig()
+	cfg.FOV = [3]int{3, 7, 7}
+	cfg.Features = 6
+	net, err := ffn.NewNetwork(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := tensor.NewSGD(0.01, 0.9)
+	img := tensor.New(1, 3, 7, 7)
+	lab := tensor.New(1, 3, 7, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.TrainStep(opt, img, lab)
+	}
+}
+
+// BenchmarkConnectLabel measures the real CONNECT union-find labelling on a
+// 16x64x64 volume with ~20% foreground.
+func BenchmarkConnectLabel(b *testing.B) {
+	rng := sim.NewRNG(2)
+	v := connect.NewVolume(16, 64, 64)
+	for i := range v.Data {
+		if rng.Float64() < 0.2 {
+			v.Data[i] = 1
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		connect.Label(v, connect.Conn26, 0)
+	}
+}
+
+// BenchmarkIVTComputation measures the real vertical-integration kernel on a
+// 96x64x16 grid.
+func BenchmarkIVTComputation(b *testing.B) {
+	g := merra.Grid{NLon: 96, NLat: 64, NLev: 16}
+	gen := merra.NewGenerator(g, 3)
+	st := gen.State(0)
+	levels := merra.PressureLevels(g.NLev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merra.IVT(st, levels)
+	}
+}
+
+// BenchmarkObjstorePut measures metadata-path object writes with 3x
+// replication over 13 OSDs.
+func BenchmarkObjstorePut(b *testing.B) {
+	eco := core.BuildNautilus(core.DefaultNautilus())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eco.Storage.Put("bench", fmt.Sprintf("k-%d", i), 1e6, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetsimFairShare measures the fluid-flow reallocation cost with
+// 200 concurrent flows, the step-1 contention level.
+func BenchmarkNetsimFairShare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		clk := sim.NewClock()
+		eco := core.BuildNautilus(core.DefaultNautilus())
+		_ = clk
+		for f := 0; f < 200; f++ {
+			eco.Net.Transfer("thredds-dtn", "ucsd", 1e9, nil)
+		}
+		eco.Clock.Run()
+	}
+}
+
+// BenchmarkQueueThroughput measures in-process queue push/pop pairs.
+func BenchmarkQueueThroughput(b *testing.B) {
+	s := core.BuildNautilus(core.DefaultNautilus()).Queue
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.LPush("q", "msg")
+		s.RPop("q")
+	}
+}
+
+// BenchmarkExtensionHPSweep is extension §III-E3: the Redis-fed
+// hyperparameter sweep with held-out validation (real training per
+// candidate).
+func BenchmarkExtensionHPSweep(b *testing.B) {
+	var best float64
+	var vmin float64
+	for i := 0; i < b.N; i++ {
+		eco := core.BuildNautilus(core.DefaultNautilus())
+		res, err := eco.RunHyperparameterSweep(core.DefaultSweep())
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = res.Best.F1
+		vmin = res.VirtualTime.Minutes()
+	}
+	b.ReportMetric(best, "best-F1")
+	b.ReportMetric(vmin, "sweep-vmin")
+}
+
+// BenchmarkExtensionDistTrainingCluster is extension §III-E2 executed on the
+// cluster (ReplicaSet + Service + real data-parallel SGD + WAN all-reduce),
+// complementing the analytic model in BenchmarkAblationDistTraining.
+func BenchmarkExtensionDistTrainingCluster(b *testing.B) {
+	var finalLoss, commGB float64
+	for i := 0; i < b.N; i++ {
+		eco := core.BuildNautilus(core.DefaultNautilus())
+		cfg := core.DefaultDistTrainConfig()
+		cfg.Rounds = 30
+		res, err := eco.RunDistributedTraining(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		finalLoss = res.FinalLoss()
+		commGB = res.CommBytes / 1e9
+	}
+	b.ReportMetric(finalLoss, "final-loss")
+	b.ReportMetric(commGB, "allreduce-GB")
+}
+
+// BenchmarkExtensionCAVERender is extension §III-E4: the tiled SunCAVE wall
+// render fanned across labeled GPU nodes.
+func BenchmarkExtensionCAVERender(b *testing.B) {
+	var tiles, nodes float64
+	var vsec float64
+	for i := 0; i < b.N; i++ {
+		eco := core.BuildNautilus(core.DefaultNautilus())
+		res, err := eco.RunCAVERender(core.DefaultCAVE())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tiles = float64(res.Tiles)
+		nodes = float64(res.NodesUsed)
+		vsec = res.VirtualTime.Seconds()
+	}
+	b.ReportMetric(tiles, "tiles")
+	b.ReportMetric(nodes, "nodes")
+	b.ReportMetric(vsec, "render-vsec")
+}
+
+// BenchmarkAblationScienceDMZ measures download slowdown under heavy
+// background tenant traffic: the Science DMZ overprovisioning claim.
+func BenchmarkAblationScienceDMZ(b *testing.B) {
+	run := func(load bool) time.Duration {
+		eco := core.BuildNautilus(core.DefaultNautilus())
+		if load {
+			eco.Net.StartLoad("ucsd", "calit2", 20, 1e12)
+			eco.Net.StartLoad("sdsc", "ucmerced", 20, 1e12)
+		}
+		cfg := core.PaperConnectConfig()
+		cfg.Archive = merra.MERRA2().Slice(4000)
+		r, err := eco.NewConnectWorkflow(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Workflow.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+		eco.Clock.RunWhile(func() bool {
+			return r.Workflow.Status("1-download").String() != "Succeeded"
+		})
+		return r.StepDuration("1-download")
+	}
+	var quiet, busy time.Duration
+	for i := 0; i < b.N; i++ {
+		quiet = run(false)
+		busy = run(true)
+	}
+	b.ReportMetric(quiet.Seconds(), "quiet-vsec")
+	b.ReportMetric(busy.Seconds(), "busy-vsec")
+	b.ReportMetric(float64(busy)/float64(quiet), "slowdown")
+}
+
+// BenchmarkAblationEnergy quantifies the paper's opening energy-efficiency
+// motivation: total board energy to run the step-3 inference workload on
+// the 1080ti fleet, the single-CPU baseline, and an NvN accelerator fleet.
+func BenchmarkAblationEnergy(b *testing.B) {
+	w := gpusim.Paper()
+	var gpuKWh, cpuKWh, nvnKWh float64
+	for i := 0; i < b.N; i++ {
+		gpuKWh = gpusim.KWh(gpusim.Powered1080Ti().InferEnergyJoules(w.InferVoxels, 50))
+		cpuKWh = gpusim.KWh(gpusim.PoweredCPU().InferEnergyJoules(w.InferVoxels, 1))
+		nvnKWh = gpusim.KWh(gpusim.NvN().InferEnergyJoules(w.InferVoxels, 50))
+	}
+	b.ReportMetric(gpuKWh, "gpu50-kWh")
+	b.ReportMetric(cpuKWh, "cpu1-kWh")
+	b.ReportMetric(nvnKWh, "nvn50-kWh")
+}

@@ -1,0 +1,51 @@
+// Scaling: the Section III-C / III-E experiments — how inference time
+// scales with GPU count ("the number of GPUs in this section can scale to
+// any number"), how distributed data-parallel training would scale over a
+// ReplicaSet (Section III-E2), and how distributed pre-processing would
+// scale (Section III-E1). All timings are virtual cluster time from the
+// calibrated 1080ti model.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"chaseci/internal/gpusim"
+)
+
+func main() {
+	gpu := gpusim.GTX1080Ti()
+	cpu := gpusim.SingleCPU()
+	w := gpusim.Paper()
+
+	fmt.Println("inference scaling: 2.3e10 voxels of MERRA-2 IVT (paper: 50 GPUs, 1133 min)")
+	fmt.Printf("  %-10s %16s %10s %12s\n", "platform", "time", "speedup", "efficiency")
+	t1 := gpu.ShardedInferTime(w.InferVoxels, 1)
+	for _, g := range []int{1, 2, 5, 10, 25, 50, 100, 200} {
+		tg := gpu.ShardedInferTime(w.InferVoxels, g)
+		s := gpusim.Speedup(t1, tg)
+		fmt.Printf("  %3d GPUs   %16v %9.1fx %11.0f%%\n",
+			g, tg.Round(time.Minute), s, s/float64(g)*100)
+	}
+	fmt.Printf("  %-10s %16v %10s (the MATLAB-era single-CPU workflow)\n",
+		"1 CPU", cpu.InferTime(w.InferVoxels).Round(time.Hour), "-")
+
+	fmt.Println("\ndistributed training (Section III-E2): data-parallel SGD over a ReplicaSet")
+	cfg := gpusim.DefaultDistTrain()
+	fmt.Printf("  model %0.f MB, %0.f syncs/volume, %.0f Gbps interconnect\n",
+		cfg.ParamBytes/1e6, cfg.SyncsPerVolume, cfg.InterconnectBytesPerSec*8/1e9)
+	fmt.Printf("  %-10s %16s %10s\n", "workers", "time", "speedup")
+	tt1 := gpu.DistTrainTime(w.TrainVoxels, 1, cfg)
+	for _, g := range []int{1, 2, 4, 8, 16, 32, 64} {
+		tg := gpu.DistTrainTime(w.TrainVoxels, g, cfg)
+		fmt.Printf("  %-10d %16v %9.1fx\n", g, tg.Round(time.Minute), gpusim.Speedup(tt1, tg))
+	}
+
+	fmt.Println("\ndistributed pre-processing (Section III-E1): protobuf build over worker pods")
+	fmt.Printf("  %-10s %16s %10s\n", "workers", "time", "speedup")
+	p1 := gpu.PrepTime(w.TrainVoxels)
+	for _, g := range []int{1, 2, 4, 8, 16} {
+		tg := gpu.PrepTime(w.TrainVoxels / float64(g))
+		fmt.Printf("  %-10d %16v %9.1fx\n", g, tg.Round(time.Second), gpusim.Speedup(p1, tg))
+	}
+}

@@ -1,0 +1,107 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"chaseci/internal/sim"
+)
+
+func newFed() (*sim.Clock, *Federation) {
+	clk := sim.NewClock()
+	f := NewFederation(clk, time.Hour, 1)
+	f.RegisterProvider("UCSD SSO", "ucsd.edu")
+	f.RegisterProvider("UC Merced SSO", "ucmerced.edu")
+	return clk, f
+}
+
+func TestLoginAndValidate(t *testing.T) {
+	_, f := newFed()
+	tok, err := f.Login("ialtintas@ucsd.edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := f.Validate(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.User != "ialtintas@ucsd.edu" || id.Provider != "UCSD SSO" {
+		t.Fatalf("identity = %+v", id)
+	}
+}
+
+func TestLoginUnknownProvider(t *testing.T) {
+	_, f := newFed()
+	if _, err := f.Login("x@nowhere.org"); !errors.Is(err, ErrUnknownProvider) {
+		t.Fatalf("err = %v, want ErrUnknownProvider", err)
+	}
+}
+
+func TestLoginMalformedIdentity(t *testing.T) {
+	_, f := newFed()
+	for _, bad := range []string{"", "nodomain", "@ucsd.edu", "user@"} {
+		if _, err := f.Login(bad); !errors.Is(err, ErrBadIdentity) && !errors.Is(err, ErrUnknownProvider) {
+			t.Fatalf("Login(%q) err = %v", bad, err)
+		}
+	}
+}
+
+func TestTokenExpiry(t *testing.T) {
+	clk, f := newFed()
+	tok, _ := f.Login("user@ucsd.edu")
+	clk.RunUntil(59 * time.Minute)
+	if _, err := f.Validate(tok); err != nil {
+		t.Fatalf("valid token rejected: %v", err)
+	}
+	clk.RunUntil(61 * time.Minute)
+	if _, err := f.Validate(tok); !errors.Is(err, ErrExpiredToken) {
+		t.Fatalf("err = %v, want ErrExpiredToken", err)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	_, f := newFed()
+	tok, _ := f.Login("user@ucsd.edu")
+	f.Revoke(tok)
+	if _, err := f.Validate(tok); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("err = %v, want ErrBadToken", err)
+	}
+}
+
+func TestBadToken(t *testing.T) {
+	_, f := newFed()
+	if _, err := f.Validate("tok-forged"); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("err = %v, want ErrBadToken", err)
+	}
+}
+
+func TestTokensUnique(t *testing.T) {
+	_, f := newFed()
+	seen := map[Token]bool{}
+	for i := 0; i < 100; i++ {
+		tok, err := f.Login("user@ucsd.edu")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[tok] {
+			t.Fatal("token reuse")
+		}
+		seen[tok] = true
+	}
+}
+
+func TestProvidersSorted(t *testing.T) {
+	_, f := newFed()
+	ps := f.Providers()
+	if len(ps) != 2 || ps[0].Domain != "ucmerced.edu" || ps[1].Domain != "ucsd.edu" {
+		t.Fatalf("providers = %v", ps)
+	}
+}
+
+func TestDomainCaseInsensitive(t *testing.T) {
+	_, f := newFed()
+	if _, err := f.Login("user@UCSD.EDU"); err != nil {
+		t.Fatalf("uppercase domain rejected: %v", err)
+	}
+}

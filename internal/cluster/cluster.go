@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"chaseci/internal/metrics"
+	"chaseci/internal/sim"
+)
+
+// Errors returned by cluster operations.
+var (
+	ErrNamespaceUnknown = errors.New("cluster: unknown namespace")
+	ErrNodeUnknown      = errors.New("cluster: unknown node")
+	ErrDuplicate        = errors.New("cluster: object already exists")
+)
+
+// Node is a cluster member: a FIONA appliance at some PRP site.
+type Node struct {
+	Name     string
+	Site     string
+	Capacity Resources
+	Labels   map[string]string
+	Ready    bool
+
+	allocated Resources
+	pods      map[uint64]*Pod
+	taints    []Taint
+}
+
+// Allocated returns resources currently bound to pods on the node.
+func (n *Node) Allocated() Resources { return n.allocated }
+
+// Available returns unallocated capacity.
+func (n *Node) Available() Resources { return n.Capacity.Sub(n.allocated) }
+
+// Namespace is a virtual cluster with optional resource quota (Section IV).
+type Namespace struct {
+	Name string
+	// Quota caps the summed requests of non-terminal pods. Nil means
+	// unlimited.
+	Quota *Resources
+
+	used   Resources
+	admins map[string]bool
+}
+
+// Used returns requests consumed by non-terminal pods in the namespace.
+func (ns *Namespace) Used() Resources { return ns.used }
+
+// Event is an entry in the cluster's event log.
+type Event struct {
+	At      time.Duration
+	Kind    string // e.g. "PodScheduled", "NodeLost"
+	Object  string
+	Message string
+}
+
+// Cluster is the simulated control plane: state store, scheduler, and node
+// lifecycle. Controllers (Job, ReplicaSet) are layered on top in
+// controllers.go.
+type Cluster struct {
+	clock *sim.Clock
+	reg   *metrics.Registry
+
+	nodes      map[string]*Node
+	nodeNames  []string
+	namespaces map[string]*Namespace
+	pods       map[uint64]*Pod
+	pending    []*Pod
+	events     []Event
+	nextUID    uint64
+
+	schedDelay    time.Duration
+	schedPending  bool
+	phaseWatchers []func(*Pod)
+	daemonSets    []*DaemonSet
+
+	podsRunning *metrics.Gauge
+	cpuInUse    *metrics.Gauge
+	memInUse    *metrics.Gauge
+	gpusInUse   *metrics.Gauge
+}
+
+// New creates an empty cluster on the clock. reg may be nil.
+func New(clock *sim.Clock, reg *metrics.Registry) *Cluster {
+	c := &Cluster{
+		clock:      clock,
+		reg:        reg,
+		nodes:      make(map[string]*Node),
+		namespaces: make(map[string]*Namespace),
+		pods:       make(map[uint64]*Pod),
+		schedDelay: 200 * time.Millisecond,
+	}
+	if reg != nil {
+		c.podsRunning = reg.Gauge("k8s_pods_running", nil)
+		c.cpuInUse = reg.Gauge("k8s_cpu_in_use", nil)
+		c.memInUse = reg.Gauge("k8s_mem_in_use_bytes", nil)
+		c.gpusInUse = reg.Gauge("k8s_gpus_in_use", nil)
+	}
+	return c
+}
+
+// Clock returns the cluster's virtual clock.
+func (c *Cluster) Clock() *sim.Clock { return c.clock }
+
+// Registry returns the metric registry (may be nil).
+func (c *Cluster) Registry() *metrics.Registry { return c.reg }
+
+// SetSchedulerDelay adjusts the virtual latency between a pod becoming
+// schedulable and its binding (default 200ms).
+func (c *Cluster) SetSchedulerDelay(d time.Duration) { c.schedDelay = d }
+
+// logEvent appends to the cluster event log.
+func (c *Cluster) logEvent(kind, object, format string, args ...any) {
+	c.events = append(c.events, Event{
+		At: c.clock.Now(), Kind: kind, Object: object,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Events returns the event log.
+func (c *Cluster) Events() []Event { return c.events }
+
+// OnPodPhase registers a watcher invoked on every pod phase transition.
+func (c *Cluster) OnPodPhase(fn func(*Pod)) { c.phaseWatchers = append(c.phaseWatchers, fn) }
+
+// --- Namespaces -----------------------------------------------------------
+
+// CreateNamespace registers a virtual cluster. quota may be nil (unlimited).
+func (c *Cluster) CreateNamespace(name string, quota *Resources) (*Namespace, error) {
+	if _, dup := c.namespaces[name]; dup {
+		return nil, ErrDuplicate
+	}
+	ns := &Namespace{Name: name, Quota: quota, admins: make(map[string]bool)}
+	c.namespaces[name] = ns
+	c.logEvent("NamespaceCreated", name, "quota=%v", quota)
+	return ns, nil
+}
+
+// Namespace returns the namespace, or nil.
+func (c *Cluster) Namespace(name string) *Namespace { return c.namespaces[name] }
+
+// GrantAdmin makes user an administrator of the namespace (the paper's "PI
+// of a given research group is granted the role namespace administrator").
+func (ns *Namespace) GrantAdmin(user string) { ns.admins[user] = true }
+
+// IsAdmin reports whether user administers the namespace.
+func (ns *Namespace) IsAdmin(user string) bool { return ns.admins[user] }
+
+// --- Nodes ----------------------------------------------------------------
+
+// AddNode joins a node to the cluster and kicks the scheduler: CHASE-CI is
+// "very dynamic in the fact that nodes can join and leave the cluster at any
+// time".
+func (c *Cluster) AddNode(name, site string, capacity Resources, labels map[string]string) (*Node, error) {
+	if _, dup := c.nodes[name]; dup {
+		return nil, ErrDuplicate
+	}
+	n := &Node{
+		Name: name, Site: site, Capacity: capacity,
+		Labels: labels, Ready: true,
+		pods: make(map[uint64]*Pod),
+	}
+	c.nodes[name] = n
+	c.nodeNames = append(c.nodeNames, name)
+	sort.Strings(c.nodeNames)
+	c.logEvent("NodeReady", name, "site=%s capacity=%v", site, capacity)
+	c.kickScheduler()
+	c.reconcileDaemonSets()
+	return n, nil
+}
+
+// Node returns the named node, or nil.
+func (c *Cluster) Node(name string) *Node { return c.nodes[name] }
+
+// Nodes returns all nodes in name order.
+func (c *Cluster) Nodes() []*Node {
+	out := make([]*Node, 0, len(c.nodeNames))
+	for _, n := range c.nodeNames {
+		out = append(out, c.nodes[n])
+	}
+	return out
+}
+
+// KillNode marks a node lost. Every pod on it fails with reason NodeLost and
+// owning controllers reschedule replacements elsewhere.
+func (c *Cluster) KillNode(name string) error {
+	n, ok := c.nodes[name]
+	if !ok {
+		return ErrNodeUnknown
+	}
+	if !n.Ready {
+		return nil
+	}
+	n.Ready = false
+	c.logEvent("NodeLost", name, "node taken offline")
+	// Fail pods on the node. Copy first: finishPod mutates n.pods.
+	var victims []*Pod
+	for _, p := range n.pods {
+		victims = append(victims, p)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].UID < victims[j].UID })
+	for _, p := range victims {
+		c.finishPod(p, PodFailed, "NodeLost")
+	}
+	return nil
+}
+
+// RestoreNode brings a lost node back as schedulable.
+func (c *Cluster) RestoreNode(name string) error {
+	n, ok := c.nodes[name]
+	if !ok {
+		return ErrNodeUnknown
+	}
+	n.Ready = true
+	c.logEvent("NodeReady", name, "node restored")
+	c.kickScheduler()
+	c.reconcileDaemonSets()
+	return nil
+}
+
+// TotalCapacity sums capacity over ready nodes.
+func (c *Cluster) TotalCapacity() Resources {
+	var sum Resources
+	for _, n := range c.nodes {
+		if n.Ready {
+			sum = sum.Add(n.Capacity)
+		}
+	}
+	return sum
+}
+
+// --- Pods and scheduling ---------------------------------------------------
+
+// CreatePod submits a pod for scheduling. The returned pod is Pending until
+// the scheduler binds it.
+func (c *Cluster) CreatePod(spec PodSpec) (*Pod, error) {
+	if _, ok := c.namespaces[spec.Namespace]; !ok {
+		return nil, ErrNamespaceUnknown
+	}
+	if spec.Run == nil {
+		return nil, errors.New("cluster: PodSpec.Run is nil")
+	}
+	c.nextUID++
+	p := &Pod{
+		Spec: spec, UID: c.nextUID, Phase: PodPending,
+		CreatedAt: c.clock.Now(), cluster: c,
+	}
+	c.pods[p.UID] = p
+	c.pending = append(c.pending, p)
+	c.logEvent("PodCreated", p.Name(), "requests=%v", spec.Requests)
+	c.kickScheduler()
+	return p, nil
+}
+
+// kickScheduler schedules a scheduling pass after the configured delay.
+// Multiple kicks coalesce into one pass.
+func (c *Cluster) kickScheduler() {
+	if c.schedPending || len(c.pending) == 0 {
+		return
+	}
+	c.schedPending = true
+	c.clock.After(c.schedDelay, func() {
+		c.schedPending = false
+		c.schedulePass()
+	})
+}
+
+// schedulePass tries to bind every pending pod, in FIFO order.
+func (c *Cluster) schedulePass() {
+	var still []*Pod
+	for _, p := range c.pending {
+		if p.Phase != PodPending {
+			continue // cancelled or failed while queued
+		}
+		if !c.quotaAdmits(p) {
+			p.Reason = "QuotaExceeded"
+			still = append(still, p)
+			continue
+		}
+		node := c.pickNode(p)
+		if node == nil {
+			p.Reason = "Unschedulable"
+			still = append(still, p)
+			continue
+		}
+		c.bind(p, node)
+	}
+	c.pending = still
+}
+
+// quotaAdmits checks the namespace quota for the pod's requests.
+func (c *Cluster) quotaAdmits(p *Pod) bool {
+	ns := c.namespaces[p.Spec.Namespace]
+	if ns == nil || ns.Quota == nil {
+		return true
+	}
+	return ns.used.Add(p.Spec.Requests).Fits(*ns.Quota)
+}
+
+// pickNode filters ready nodes by selector and fit, then scores by most
+// available CPU+GPU (spreading load), breaking ties by name for determinism.
+func (c *Cluster) pickNode(p *Pod) *Node {
+	var best *Node
+	var bestScore float64
+	for _, name := range c.nodeNames {
+		n := c.nodes[name]
+		if !n.Ready {
+			continue
+		}
+		if p.Spec.pinnedNode != "" && name != p.Spec.pinnedNode {
+			continue
+		}
+		if !matchesSelector(n.Labels, p.Spec.NodeSelector) {
+			continue
+		}
+		if !tolerates(p.Spec.Tolerations, n.taints) {
+			continue
+		}
+		if !p.Spec.Requests.Fits(n.Available()) {
+			continue
+		}
+		av := n.Available()
+		score := av.CPU + float64(av.GPUs)*10
+		if best == nil || score > bestScore {
+			best = n
+			bestScore = score
+		}
+	}
+	return best
+}
+
+func matchesSelector(labels, sel map[string]string) bool {
+	for k, v := range sel {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// bind assigns the pod to the node and starts its container.
+func (c *Cluster) bind(p *Pod, n *Node) {
+	p.Phase = PodRunning
+	p.Node = n.Name
+	p.Reason = ""
+	p.StartedAt = c.clock.Now()
+	n.allocated = n.allocated.Add(p.Spec.Requests)
+	n.pods[p.UID] = p
+	ns := c.namespaces[p.Spec.Namespace]
+	ns.used = ns.used.Add(p.Spec.Requests)
+	c.logEvent("PodScheduled", p.Name(), "bound to %s", n.Name)
+	c.publishUsage()
+	c.notifyPhase(p)
+
+	ctx := &PodCtx{pod: p, cluster: c, alive: true}
+	p.ctx = ctx
+	p.Spec.Run(ctx)
+}
+
+// finishPod transitions a pod to a terminal phase and releases resources.
+func (c *Cluster) finishPod(p *Pod, phase PodPhase, reason string) {
+	if p.Phase.Terminal() {
+		return
+	}
+	wasRunning := p.Phase == PodRunning
+	p.Phase = phase
+	p.Reason = reason
+	p.EndedAt = c.clock.Now()
+	if p.ctx != nil {
+		p.ctx.alive = false
+	}
+	if wasRunning {
+		n := c.nodes[p.Node]
+		if n != nil {
+			n.allocated = n.allocated.Sub(p.Spec.Requests)
+			delete(n.pods, p.UID)
+		}
+		ns := c.namespaces[p.Spec.Namespace]
+		ns.used = ns.used.Sub(p.Spec.Requests)
+	}
+	c.logEvent("Pod"+phase.String(), p.Name(), "%s", reason)
+	c.publishUsage()
+	c.notifyPhase(p)
+	if p.owner != nil {
+		p.owner.podTerminated(p)
+	}
+	// Freed resources may unblock queued pods.
+	c.kickScheduler()
+}
+
+// DeletePod force-terminates a pod (kubectl delete pod).
+func (c *Cluster) DeletePod(p *Pod) {
+	if p.Phase == PodPending {
+		p.Phase = PodFailed
+		p.Reason = "Deleted"
+		return
+	}
+	c.finishPod(p, PodFailed, "Deleted")
+}
+
+func (c *Cluster) notifyPhase(p *Pod) {
+	for _, w := range c.phaseWatchers {
+		w(p)
+	}
+}
+
+func (c *Cluster) publishUsage() {
+	if c.reg == nil {
+		return
+	}
+	var used Resources
+	running := 0
+	for _, n := range c.nodes {
+		if n.Ready {
+			used = used.Add(n.allocated)
+			running += len(n.pods)
+		}
+	}
+	c.podsRunning.Set(float64(running))
+	c.cpuInUse.Set(used.CPU)
+	c.memInUse.Set(used.Memory)
+	c.gpusInUse.Set(float64(used.GPUs))
+}
+
+// reconcileDaemonSets lets every DaemonSet cover newly eligible nodes.
+func (c *Cluster) reconcileDaemonSets() {
+	for _, ds := range c.daemonSets {
+		ds.reconcile()
+	}
+}
+
+// PodsInPhase counts pods of a namespace in a phase ("" = all namespaces).
+func (c *Cluster) PodsInPhase(namespace string, phase PodPhase) int {
+	n := 0
+	for _, p := range c.pods {
+		if namespace != "" && p.Spec.Namespace != namespace {
+			continue
+		}
+		if p.Phase == phase {
+			n++
+		}
+	}
+	return n
+}

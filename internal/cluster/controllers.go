@@ -1,0 +1,329 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// This file implements the scheduling controllers the paper's workflows use:
+// the Job resource ("for a workflow it is usually the Job resource that is
+// most prevalent because it can execute batch process at scale") and the
+// ReplicaSet (planned for distributed TensorFlow training), plus Services
+// for stable naming. Controllers watch pod terminations and reconcile toward
+// declared state, including respawning pods lost to node failures.
+
+// PodTemplate declares the pods a controller stamps out. Run receives the
+// pod context; the worker index is available via ctx.Index().
+type PodTemplate struct {
+	Requests     Resources
+	NodeSelector map[string]string
+	Tolerations  map[string]string
+	Labels       map[string]string
+	Run          func(ctx *PodCtx)
+}
+
+// JobSpec declares a batch job.
+type JobSpec struct {
+	Name      string
+	Namespace string
+	// Parallelism is the number of pods kept running simultaneously.
+	Parallelism int
+	// Completions is the number of successful pods required to complete the
+	// job. Zero defaults to Parallelism (the work-queue pattern used by the
+	// paper's download step: each worker drains the Redis queue and exits).
+	Completions int
+	// BackoffLimit is the number of pod failures tolerated before the job is
+	// marked failed. Node-loss restarts do not count against the limit,
+	// matching Kubernetes' treatment of evictions.
+	BackoffLimit int
+	Template     PodTemplate
+}
+
+// Job is a running batch job.
+type Job struct {
+	Spec JobSpec
+
+	cluster    *Cluster
+	succeeded  int
+	failures   int
+	active     map[uint64]*Pod
+	nextIndex  int
+	done       bool
+	failed     bool
+	onComplete []func(ok bool)
+	pods       []*Pod // every pod ever created, for inspection
+}
+
+// CreateJob submits a job; the controller immediately creates Parallelism
+// pods.
+func (c *Cluster) CreateJob(spec JobSpec) (*Job, error) {
+	if spec.Parallelism <= 0 {
+		return nil, errors.New("cluster: JobSpec.Parallelism must be positive")
+	}
+	if spec.Completions <= 0 {
+		spec.Completions = spec.Parallelism
+	}
+	if spec.Template.Run == nil {
+		return nil, errors.New("cluster: JobSpec.Template.Run is nil")
+	}
+	j := &Job{Spec: spec, cluster: c, active: make(map[uint64]*Pod)}
+	c.logEvent("JobCreated", spec.Namespace+"/"+spec.Name,
+		"parallelism=%d completions=%d", spec.Parallelism, spec.Completions)
+	j.reconcile()
+	return j, nil
+}
+
+// Succeeded returns the count of successfully completed pods.
+func (j *Job) Succeeded() int { return j.succeeded }
+
+// Active returns the number of live pods.
+func (j *Job) Active() int { return len(j.active) }
+
+// Failures returns pod failures charged against the backoff limit.
+func (j *Job) Failures() int { return j.failures }
+
+// Done reports whether the job reached Completions successes.
+func (j *Job) Done() bool { return j.done }
+
+// Failed reports whether the job exceeded its backoff limit.
+func (j *Job) Failed() bool { return j.failed }
+
+// Pods returns every pod the job has created, in creation order.
+func (j *Job) Pods() []*Pod { return j.pods }
+
+// OnComplete registers fn to run when the job finishes; ok is true for
+// success. If already finished, fn runs immediately.
+func (j *Job) OnComplete(fn func(ok bool)) {
+	if j.done || j.failed {
+		fn(j.done)
+		return
+	}
+	j.onComplete = append(j.onComplete, fn)
+}
+
+// reconcile tops up active pods until the remaining completions are covered.
+func (j *Job) reconcile() {
+	if j.done || j.failed {
+		return
+	}
+	want := j.Spec.Parallelism
+	if remaining := j.Spec.Completions - j.succeeded; want > remaining {
+		want = remaining
+	}
+	for len(j.active) < want {
+		idx := j.nextIndex
+		j.nextIndex++
+		spec := PodSpec{
+			Name:         fmt.Sprintf("%s-%d", j.Spec.Name, idx),
+			Namespace:    j.Spec.Namespace,
+			Requests:     j.Spec.Template.Requests,
+			NodeSelector: j.Spec.Template.NodeSelector,
+			Tolerations:  j.Spec.Template.Tolerations,
+			Labels:       j.Spec.Template.Labels,
+			Run:          j.Spec.Template.Run,
+		}
+		p, err := j.cluster.CreatePod(spec)
+		if err != nil {
+			// Namespace vanished: fail the job.
+			j.failed = true
+			j.finish()
+			return
+		}
+		p.Index = idx
+		p.owner = j
+		j.active[p.UID] = p
+		j.pods = append(j.pods, p)
+	}
+}
+
+// podTerminated implements podOwner.
+func (j *Job) podTerminated(p *Pod) {
+	delete(j.active, p.UID)
+	if j.done || j.failed {
+		return
+	}
+	switch {
+	case p.Phase == PodSucceeded:
+		j.succeeded++
+		if j.succeeded >= j.Spec.Completions {
+			j.done = true
+			j.cluster.logEvent("JobComplete", j.Spec.Namespace+"/"+j.Spec.Name,
+				"%d completions", j.succeeded)
+			j.finish()
+			return
+		}
+	case p.Reason == "NodeLost":
+		// Eviction: respawn without charging backoff.
+		j.cluster.logEvent("JobPodEvicted", p.Name(), "respawning after node loss")
+	default:
+		j.failures++
+		if j.failures > j.Spec.BackoffLimit {
+			j.failed = true
+			j.cluster.logEvent("JobFailed", j.Spec.Namespace+"/"+j.Spec.Name,
+				"backoff limit %d exceeded", j.Spec.BackoffLimit)
+			j.finish()
+			return
+		}
+	}
+	j.reconcile()
+}
+
+func (j *Job) finish() {
+	// Terminate any stragglers (e.g. remaining workers once completions met).
+	var rest []*Pod
+	for _, p := range j.active {
+		rest = append(rest, p)
+	}
+	sort.Slice(rest, func(a, b int) bool { return rest[a].UID < rest[b].UID })
+	for _, p := range rest {
+		j.cluster.DeletePod(p)
+	}
+	j.active = make(map[uint64]*Pod)
+	for _, fn := range j.onComplete {
+		fn(j.done)
+	}
+	j.onComplete = nil
+}
+
+// ReplicaSetSpec declares a long-running replicated workload (the paper's
+// planned distributed-training topology: "a Kubernetes ReplicaSet ... a
+// single client image that would need to be scaled").
+type ReplicaSetSpec struct {
+	Name      string
+	Namespace string
+	Replicas  int
+	Template  PodTemplate
+}
+
+// ReplicaSet keeps Replicas pods running, replacing any that terminate.
+type ReplicaSet struct {
+	Spec ReplicaSetSpec
+
+	cluster   *Cluster
+	active    map[uint64]*Pod
+	nextIndex int
+	deleted   bool
+}
+
+// CreateReplicaSet submits a replica set.
+func (c *Cluster) CreateReplicaSet(spec ReplicaSetSpec) (*ReplicaSet, error) {
+	if spec.Replicas < 0 {
+		return nil, errors.New("cluster: negative replica count")
+	}
+	if spec.Template.Run == nil {
+		return nil, errors.New("cluster: ReplicaSetSpec.Template.Run is nil")
+	}
+	rs := &ReplicaSet{Spec: spec, cluster: c, active: make(map[uint64]*Pod)}
+	c.logEvent("ReplicaSetCreated", spec.Namespace+"/"+spec.Name, "replicas=%d", spec.Replicas)
+	rs.reconcile()
+	return rs, nil
+}
+
+// Active returns the number of live replicas.
+func (rs *ReplicaSet) Active() int { return len(rs.active) }
+
+// Scale changes the desired replica count up or down.
+func (rs *ReplicaSet) Scale(replicas int) {
+	if replicas < 0 {
+		replicas = 0
+	}
+	rs.Spec.Replicas = replicas
+	rs.cluster.logEvent("ReplicaSetScaled", rs.Spec.Namespace+"/"+rs.Spec.Name,
+		"replicas=%d", replicas)
+	rs.reconcile()
+}
+
+// Delete tears the replica set down.
+func (rs *ReplicaSet) Delete() {
+	rs.deleted = true
+	var pods []*Pod
+	for _, p := range rs.active {
+		pods = append(pods, p)
+	}
+	sort.Slice(pods, func(a, b int) bool { return pods[a].UID < pods[b].UID })
+	for _, p := range pods {
+		rs.cluster.DeletePod(p)
+	}
+	rs.active = make(map[uint64]*Pod)
+}
+
+func (rs *ReplicaSet) reconcile() {
+	if rs.deleted {
+		return
+	}
+	// Scale down: delete newest first, like the Kubernetes controller.
+	if len(rs.active) > rs.Spec.Replicas {
+		var pods []*Pod
+		for _, p := range rs.active {
+			pods = append(pods, p)
+		}
+		sort.Slice(pods, func(a, b int) bool { return pods[a].UID > pods[b].UID })
+		for _, p := range pods[:len(pods)-rs.Spec.Replicas] {
+			rs.cluster.DeletePod(p)
+		}
+		return
+	}
+	for len(rs.active) < rs.Spec.Replicas {
+		idx := rs.nextIndex
+		rs.nextIndex++
+		spec := PodSpec{
+			Name:         fmt.Sprintf("%s-%d", rs.Spec.Name, idx),
+			Namespace:    rs.Spec.Namespace,
+			Requests:     rs.Spec.Template.Requests,
+			NodeSelector: rs.Spec.Template.NodeSelector,
+			Tolerations:  rs.Spec.Template.Tolerations,
+			Labels:       rs.Spec.Template.Labels,
+			Run:          rs.Spec.Template.Run,
+		}
+		p, err := rs.cluster.CreatePod(spec)
+		if err != nil {
+			return
+		}
+		p.Index = idx
+		p.owner = rs
+		rs.active[p.UID] = p
+	}
+}
+
+// podTerminated implements podOwner: any termination is replaced.
+func (rs *ReplicaSet) podTerminated(p *Pod) {
+	delete(rs.active, p.UID)
+	rs.reconcile()
+}
+
+// Service gives a stable name to a labelled set of pods ("hostnames will be
+// used instead of IP addresses by creating a service"). Resolution returns
+// the names of running pods whose labels match the selector.
+type Service struct {
+	Name      string
+	Namespace string
+	Selector  map[string]string
+
+	cluster *Cluster
+}
+
+// CreateService registers a service.
+func (c *Cluster) CreateService(name, namespace string, selector map[string]string) *Service {
+	s := &Service{Name: name, Namespace: namespace, Selector: selector, cluster: c}
+	c.logEvent("ServiceCreated", namespace+"/"+name, "selector=%v", selector)
+	return s
+}
+
+// Endpoints returns the running pods backing the service, sorted by name.
+// Endpoints re-resolve on every call, so pods that moved between nodes keep
+// their service identity — the dynamic-communication property Section III-E2
+// wants for distributed training.
+func (s *Service) Endpoints() []*Pod {
+	var out []*Pod
+	for _, p := range s.cluster.pods {
+		if p.Spec.Namespace != s.Namespace || p.Phase != PodRunning {
+			continue
+		}
+		if matchesSelector(p.Spec.Labels, s.Selector) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
+	return out
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DaemonSet runs exactly one pod on every ready node that matches its
+// selector — the shape of the monitoring exporters behind the paper's
+// Grafana dashboards ("software to monitor the health, availability, and
+// performance of resources"). Pods follow node lifecycle: a joining node
+// gets a pod, a lost node's pod is replaced when the node returns.
+type DaemonSetSpec struct {
+	Name      string
+	Namespace string
+	// NodeSelector restricts which nodes run the daemon (empty = all).
+	NodeSelector map[string]string
+	Template     PodTemplate
+}
+
+// DaemonSet is the running controller.
+type DaemonSet struct {
+	Spec DaemonSetSpec
+
+	cluster *Cluster
+	byNode  map[string]*Pod
+	deleted bool
+}
+
+// CreateDaemonSet starts the controller and schedules daemons onto current
+// nodes; later node joins are covered automatically.
+func (c *Cluster) CreateDaemonSet(spec DaemonSetSpec) (*DaemonSet, error) {
+	if spec.Template.Run == nil {
+		return nil, errors.New("cluster: DaemonSetSpec.Template.Run is nil")
+	}
+	if _, ok := c.namespaces[spec.Namespace]; !ok {
+		return nil, ErrNamespaceUnknown
+	}
+	ds := &DaemonSet{Spec: spec, cluster: c, byNode: make(map[string]*Pod)}
+	c.daemonSets = append(c.daemonSets, ds)
+	c.logEvent("DaemonSetCreated", spec.Namespace+"/"+spec.Name, "selector=%v", spec.NodeSelector)
+	ds.reconcile()
+	return ds, nil
+}
+
+// Active returns the number of live daemon pods.
+func (ds *DaemonSet) Active() int { return len(ds.byNode) }
+
+// PodOn returns the daemon pod on the named node, or nil.
+func (ds *DaemonSet) PodOn(node string) *Pod { return ds.byNode[node] }
+
+// Delete tears all daemons down and stops reconciliation.
+func (ds *DaemonSet) Delete() {
+	ds.deleted = true
+	names := make([]string, 0, len(ds.byNode))
+	for n := range ds.byNode {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ds.cluster.DeletePod(ds.byNode[n])
+	}
+	ds.byNode = make(map[string]*Pod)
+}
+
+// reconcile creates missing daemons on eligible nodes. Called on node
+// lifecycle changes and pod terminations.
+func (ds *DaemonSet) reconcile() {
+	if ds.deleted {
+		return
+	}
+	for _, name := range ds.cluster.nodeNames {
+		n := ds.cluster.nodes[name]
+		if !n.Ready || !matchesSelector(n.Labels, ds.Spec.NodeSelector) {
+			continue
+		}
+		if _, ok := ds.byNode[name]; ok {
+			continue
+		}
+		spec := PodSpec{
+			Name:         fmt.Sprintf("%s-%s", ds.Spec.Name, name),
+			Namespace:    ds.Spec.Namespace,
+			Requests:     ds.Spec.Template.Requests,
+			NodeSelector: mergeSelectors(ds.Spec.Template.NodeSelector, nil),
+			Tolerations:  ds.Spec.Template.Tolerations,
+			Labels:       ds.Spec.Template.Labels,
+			Run:          ds.Spec.Template.Run,
+			pinnedNode:   name,
+		}
+		p, err := ds.cluster.CreatePod(spec)
+		if err != nil {
+			return
+		}
+		p.owner = ds
+		ds.byNode[name] = p
+	}
+}
+
+// podTerminated implements podOwner: drop the binding; if the node is still
+// ready (daemon crashed rather than node lost) replace it.
+func (ds *DaemonSet) podTerminated(p *Pod) {
+	for node, pod := range ds.byNode {
+		if pod == p {
+			delete(ds.byNode, node)
+			break
+		}
+	}
+	ds.reconcile()
+}
+
+func mergeSelectors(a, b map[string]string) map[string]string {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}

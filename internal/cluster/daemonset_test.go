@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"chaseci/internal/sim"
+)
+
+// exporterTemplate is a node-exporter-like long-running daemon.
+func exporterTemplate() PodTemplate {
+	return PodTemplate{
+		Requests: Resources{CPU: 0.1, Memory: 1e8},
+		Labels:   map[string]string{"app": "node-exporter"},
+		Run:      func(pc *PodCtx) {},
+	}
+}
+
+func TestDaemonSetCoversAllNodes(t *testing.T) {
+	clk, c := testCluster(5)
+	ds, err := c.CreateDaemonSet(DaemonSetSpec{
+		Name: "node-exporter", Namespace: "connect",
+		Template: exporterTemplate(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.RunFor(time.Second)
+	if ds.Active() != 5 {
+		t.Fatalf("active daemons = %d, want 5", ds.Active())
+	}
+	for _, n := range c.Nodes() {
+		p := ds.PodOn(n.Name)
+		if p == nil {
+			t.Fatalf("no daemon tracked for %s", n.Name)
+		}
+		if p.Node != n.Name {
+			t.Fatalf("daemon for %s bound to %s", n.Name, p.Node)
+		}
+	}
+}
+
+func TestDaemonSetFollowsNodeJoin(t *testing.T) {
+	clk, c := testCluster(2)
+	ds, _ := c.CreateDaemonSet(DaemonSetSpec{
+		Name: "exp", Namespace: "connect", Template: exporterTemplate(),
+	})
+	clk.RunFor(time.Second)
+	if ds.Active() != 2 {
+		t.Fatalf("active = %d, want 2", ds.Active())
+	}
+	c.AddNode("late-node", "site-9", FIONA8Capacity(), nil)
+	clk.RunFor(time.Second)
+	if ds.Active() != 3 {
+		t.Fatalf("active after join = %d, want 3", ds.Active())
+	}
+	if p := ds.PodOn("late-node"); p == nil || p.Node != "late-node" {
+		t.Fatal("daemon did not land on the new node")
+	}
+}
+
+func TestDaemonSetNodeLossAndReturn(t *testing.T) {
+	clk, c := testCluster(3)
+	ds, _ := c.CreateDaemonSet(DaemonSetSpec{
+		Name: "exp", Namespace: "connect", Template: exporterTemplate(),
+	})
+	clk.RunFor(time.Second)
+	c.KillNode("fiona8-01")
+	clk.RunFor(time.Second)
+	if ds.Active() != 2 {
+		t.Fatalf("active after node loss = %d, want 2", ds.Active())
+	}
+	if ds.PodOn("fiona8-01") != nil {
+		t.Fatal("daemon still tracked on dead node")
+	}
+	c.RestoreNode("fiona8-01")
+	clk.RunFor(time.Second)
+	if ds.Active() != 3 {
+		t.Fatalf("active after restore = %d, want 3", ds.Active())
+	}
+}
+
+func TestDaemonSetSelector(t *testing.T) {
+	clk := sim.NewClock()
+	c := New(clk, nil)
+	c.CreateNamespace("mon", nil)
+	c.AddNode("gpu-1", "a", FIONA8Capacity(), map[string]string{"kind": "gpu"})
+	c.AddNode("cpu-1", "a", FIONACapacity(), map[string]string{"kind": "cpu"})
+	ds, _ := c.CreateDaemonSet(DaemonSetSpec{
+		Name: "gpu-exporter", Namespace: "mon",
+		NodeSelector: map[string]string{"kind": "gpu"},
+		Template:     exporterTemplate(),
+	})
+	clk.RunFor(time.Second)
+	if ds.Active() != 1 || ds.PodOn("gpu-1") == nil {
+		t.Fatalf("selector not honored: active=%d", ds.Active())
+	}
+}
+
+func TestDaemonSetReplacesCrashedDaemon(t *testing.T) {
+	clk, c := testCluster(1)
+	crashes := 0
+	ds, _ := c.CreateDaemonSet(DaemonSetSpec{
+		Name: "flaky", Namespace: "connect",
+		Template: PodTemplate{Run: func(pc *PodCtx) {
+			if crashes == 0 {
+				crashes++
+				pc.After(time.Second, func() { pc.Fail("panic") })
+			}
+		}},
+	})
+	clk.RunFor(time.Minute)
+	if ds.Active() != 1 {
+		t.Fatalf("active = %d, want 1 (replacement after crash)", ds.Active())
+	}
+	if crashes != 1 {
+		t.Fatalf("crashes = %d", crashes)
+	}
+}
+
+func TestDaemonSetDelete(t *testing.T) {
+	clk, c := testCluster(3)
+	ds, _ := c.CreateDaemonSet(DaemonSetSpec{
+		Name: "exp", Namespace: "connect", Template: exporterTemplate(),
+	})
+	clk.RunFor(time.Second)
+	ds.Delete()
+	clk.RunFor(time.Second)
+	if ds.Active() != 0 {
+		t.Fatalf("active after delete = %d", ds.Active())
+	}
+	if got := c.PodsInPhase("connect", PodRunning); got != 0 {
+		t.Fatalf("%d daemons still running after delete", got)
+	}
+	// New nodes must not resurrect it.
+	c.AddNode("post-delete", "s", FIONACapacity(), nil)
+	clk.RunFor(time.Second)
+	if ds.Active() != 0 {
+		t.Fatal("deleted daemonset reconciled onto new node")
+	}
+}
+
+func TestDaemonSetValidation(t *testing.T) {
+	_, c := testCluster(1)
+	if _, err := c.CreateDaemonSet(DaemonSetSpec{Name: "x", Namespace: "connect"}); err == nil {
+		t.Fatal("nil Run accepted")
+	}
+	if _, err := c.CreateDaemonSet(DaemonSetSpec{Name: "x", Namespace: "ghost",
+		Template: exporterTemplate()}); err != ErrNamespaceUnknown {
+		t.Fatalf("unknown namespace err = %v", err)
+	}
+}
+
+func TestDaemonSetManyNodes(t *testing.T) {
+	clk := sim.NewClock()
+	c := New(clk, nil)
+	c.CreateNamespace("mon", nil)
+	for i := 0; i < 40; i++ {
+		c.AddNode(fmt.Sprintf("n-%02d", i), "s", FIONA8Capacity(), nil)
+	}
+	ds, _ := c.CreateDaemonSet(DaemonSetSpec{
+		Name: "exp", Namespace: "mon", Template: exporterTemplate(),
+	})
+	clk.RunFor(time.Second)
+	if ds.Active() != 40 {
+		t.Fatalf("active = %d, want 40", ds.Active())
+	}
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// kubectl-style renderings of cluster state, used by cmd/nautilus and the
+// examples to show what an operator would see.
+
+// FormatNodes renders `kubectl get nodes -o wide`-ish output.
+func (c *Cluster) FormatNodes() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-8s %-10s %10s %12s %6s %s\n",
+		"NAME", "STATUS", "SITE", "CPU", "MEMORY", "GPUS", "LABELS")
+	for _, n := range c.Nodes() {
+		status := "Ready"
+		if !n.Ready {
+			status = "NotReady"
+		}
+		cpu := fmt.Sprintf("%.0f/%.0f", n.allocated.CPU, n.Capacity.CPU)
+		mem := fmt.Sprintf("%.0fG/%.0fG", n.allocated.Memory/1e9, n.Capacity.Memory/1e9)
+		gpus := fmt.Sprintf("%d/%d", n.allocated.GPUs, n.Capacity.GPUs)
+		fmt.Fprintf(&b, "%-24s %-8s %-10s %10s %12s %6s %s\n",
+			n.Name, status, n.Site, cpu, mem, gpus, formatLabels(n.Labels))
+	}
+	return b.String()
+}
+
+// FormatPods renders `kubectl get pods -n namespace`-ish output; empty
+// namespace lists all.
+func (c *Cluster) FormatPods(namespace string) string {
+	var pods []*Pod
+	for _, p := range c.pods {
+		if namespace == "" || p.Spec.Namespace == namespace {
+			pods = append(pods, p)
+		}
+	}
+	sort.Slice(pods, func(i, j int) bool { return pods[i].UID < pods[j].UID })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %-10s %-22s %10s %s\n", "NAME", "STATUS", "NODE", "AGE", "REASON")
+	for _, p := range pods {
+		age := c.clock.Now() - p.CreatedAt
+		fmt.Fprintf(&b, "%-32s %-10s %-22s %10s %s\n",
+			p.Name(), p.Phase, p.Node, age.Round(time.Second), p.Reason)
+	}
+	return b.String()
+}
+
+// FormatEvents renders the last n events, newest last.
+func (c *Cluster) FormatEvents(n int) string {
+	events := c.events
+	if n > 0 && len(events) > n {
+		events = events[len(events)-n:]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-18s %-28s %s\n", "AGE", "KIND", "OBJECT", "MESSAGE")
+	for _, e := range events {
+		fmt.Fprintf(&b, "%-12s %-18s %-28s %s\n",
+			(c.clock.Now() - e.At).Round(time.Second), e.Kind, e.Object, e.Message)
+	}
+	return b.String()
+}
+
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return "<none>"
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+labels[k])
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,69 @@
+package cluster
+
+// Taints and tolerations: the multi-tenancy control the FIONA8 appliances
+// need — a site can reserve nodes (e.g. for the local visualization wall, as
+// in the paper's remote-rendering demo) by tainting them, and only pods that
+// explicitly tolerate the taint schedule there. Only the NoSchedule effect
+// is modeled; running pods are not evicted by a new taint, matching
+// Kubernetes' NoSchedule semantics.
+
+// Taint marks a node as repelling non-tolerating pods.
+type Taint struct {
+	Key   string
+	Value string
+}
+
+// TaintNode adds a taint; duplicate keys overwrite. Unknown nodes return
+// ErrNodeUnknown.
+func (c *Cluster) TaintNode(name string, taint Taint) error {
+	n, ok := c.nodes[name]
+	if !ok {
+		return ErrNodeUnknown
+	}
+	for i, t := range n.taints {
+		if t.Key == taint.Key {
+			n.taints[i] = taint
+			return nil
+		}
+	}
+	n.taints = append(n.taints, taint)
+	c.logEvent("NodeTainted", name, "%s=%s", taint.Key, taint.Value)
+	return nil
+}
+
+// UntaintNode removes the taint with the given key (no-op if absent).
+func (c *Cluster) UntaintNode(name, key string) error {
+	n, ok := c.nodes[name]
+	if !ok {
+		return ErrNodeUnknown
+	}
+	out := n.taints[:0]
+	for _, t := range n.taints {
+		if t.Key != key {
+			out = append(out, t)
+		}
+	}
+	n.taints = out
+	c.logEvent("NodeUntainted", name, "%s", key)
+	c.kickScheduler()
+	return nil
+}
+
+// Taints returns the node's taints.
+func (n *Node) Taints() []Taint { return append([]Taint(nil), n.taints...) }
+
+// tolerates reports whether a pod's tolerations cover all of a node's
+// taints. A toleration matches a taint when the key matches and the value
+// matches or the toleration value is empty (tolerate-any-value).
+func tolerates(tolerations map[string]string, taints []Taint) bool {
+	for _, t := range taints {
+		v, ok := tolerations[t.Key]
+		if !ok {
+			return false
+		}
+		if v != "" && v != t.Value {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,329 @@
+// Package connect implements the CONNECT algorithm (Sellars et al., 2013,
+// 2017): the paper's baseline for earth-science object segmentation. CONNECT
+// thresholds a geophysical field (here IVT), labels the resulting binary
+// voxels into CONNected objECTs across both space and time (x, y, t), and
+// tracks each object's full life cycle — genesis, pathway, and termination.
+// The original ran as MATLAB functions on a single CPU; this is a from-
+// scratch Go implementation using union-find, serving both as the accuracy
+// reference for the FFN and as the single-CPU baseline in the scaling
+// benches.
+package connect
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Volume is a binary (T, H, W) mask: time-major, matching ffn.Volume layout.
+type Volume struct {
+	T, H, W int
+	Data    []float32
+}
+
+// NewVolume allocates a zero volume.
+func NewVolume(t, h, w int) *Volume {
+	return &Volume{T: t, H: h, W: w, Data: make([]float32, t*h*w)}
+}
+
+// At reports whether voxel (t, y, x) is set.
+func (v *Volume) At(t, y, x int) bool { return v.Data[(t*v.H+y)*v.W+x] > 0.5 }
+
+// Set marks voxel (t, y, x).
+func (v *Volume) Set(t, y, x int) { v.Data[(t*v.H+y)*v.W+x] = 1 }
+
+// Connectivity selects the neighborhood used to join voxels.
+type Connectivity int
+
+const (
+	// Conn6 joins face neighbors only (±x, ±y, ±t).
+	Conn6 Connectivity = 6
+	// Conn26 joins all voxels in the 3x3x3 neighborhood, the CONNECT
+	// default: objects stay linked across diagonal motion between frames.
+	Conn26 Connectivity = 26
+)
+
+// Object is one tracked connected object with life-cycle statistics.
+type Object struct {
+	ID     int
+	Voxels int
+	// Genesis and Termination are the first and last time steps the object
+	// exists.
+	Genesis, Termination int
+	// Pathway holds the per-step centroid (y, x) from genesis to
+	// termination; steps where the object momentarily vanishes under Conn26
+	// linking keep the previous centroid.
+	Pathway [][2]float64
+	// PeakArea is the largest single-step voxel count.
+	PeakArea int
+	// BBox is the object's bounding box: [t0, t1, y0, y1, x0, x1].
+	BBox [6]int
+}
+
+// Duration returns the object's lifetime in steps (inclusive).
+func (o *Object) Duration() int { return o.Termination - o.Genesis + 1 }
+
+func (o *Object) String() string {
+	return fmt.Sprintf("object %d: %d voxels, t=[%d,%d], peak area %d",
+		o.ID, o.Voxels, o.Genesis, o.Termination, o.PeakArea)
+}
+
+// Result is a labelled volume plus per-object statistics.
+type Result struct {
+	Labels  []int32 // same layout as the input volume; 0 = background
+	Objects []*Object
+	T, H, W int
+}
+
+// LabelAt returns the object ID at (t, y, x), 0 for background.
+func (r *Result) LabelAt(t, y, x int) int32 { return r.Labels[(t*r.H+y)*r.W+x] }
+
+// unionFind is a weighted quick-union with path compression.
+type unionFind struct {
+	parent []int32
+	size   []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int32) int32 {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int32) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}
+
+// Label performs connected-object labelling on a binary volume. minVoxels
+// discards objects smaller than the threshold (CONNECT prunes noise
+// objects); 0 keeps everything.
+func Label(v *Volume, conn Connectivity, minVoxels int) *Result {
+	n := v.T * v.H * v.W
+	uf := newUnionFind(n)
+	idx := func(t, y, x int) int32 { return int32((t*v.H+y)*v.W + x) }
+
+	// Neighbor offsets with strictly negative lexicographic order (already-
+	// visited voxels only), so each pair is united exactly once.
+	var offs [][3]int
+	switch conn {
+	case Conn6:
+		offs = [][3]int{{-1, 0, 0}, {0, -1, 0}, {0, 0, -1}}
+	case Conn26:
+		for dt := -1; dt <= 0; dt++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dt == 0 && (dy > 0 || (dy == 0 && dx >= 0)) {
+						continue
+					}
+					offs = append(offs, [3]int{dt, dy, dx})
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("connect: unsupported connectivity %d", conn))
+	}
+
+	for t := 0; t < v.T; t++ {
+		for y := 0; y < v.H; y++ {
+			for x := 0; x < v.W; x++ {
+				if !v.At(t, y, x) {
+					continue
+				}
+				me := idx(t, y, x)
+				for _, o := range offs {
+					nt, ny, nx := t+o[0], y+o[1], x+o[2]
+					if nt < 0 || ny < 0 || ny >= v.H || nx < 0 || nx >= v.W {
+						continue
+					}
+					if v.At(nt, ny, nx) {
+						uf.union(me, idx(nt, ny, nx))
+					}
+				}
+			}
+		}
+	}
+
+	// Compact roots to sequential IDs and accumulate statistics.
+	res := &Result{Labels: make([]int32, n), T: v.T, H: v.H, W: v.W}
+	rootID := make(map[int32]int32)
+	type acc struct {
+		voxels               int
+		genesis, termination int
+		bbox                 [6]int
+		perStepCount         map[int]int
+		perStepSumY          map[int]float64
+		perStepSumX          map[int]float64
+	}
+	accs := make(map[int32]*acc)
+
+	for t := 0; t < v.T; t++ {
+		for y := 0; y < v.H; y++ {
+			for x := 0; x < v.W; x++ {
+				if !v.At(t, y, x) {
+					continue
+				}
+				root := uf.find(idx(t, y, x))
+				a, ok := accs[root]
+				if !ok {
+					a = &acc{
+						genesis: t, termination: t,
+						bbox:         [6]int{t, t, y, y, x, x},
+						perStepCount: make(map[int]int),
+						perStepSumY:  make(map[int]float64),
+						perStepSumX:  make(map[int]float64),
+					}
+					accs[root] = a
+				}
+				a.voxels++
+				if t > a.termination {
+					a.termination = t
+				}
+				a.bbox[0] = min(a.bbox[0], t)
+				a.bbox[1] = max(a.bbox[1], t)
+				a.bbox[2] = min(a.bbox[2], y)
+				a.bbox[3] = max(a.bbox[3], y)
+				a.bbox[4] = min(a.bbox[4], x)
+				a.bbox[5] = max(a.bbox[5], x)
+				a.perStepCount[t]++
+				a.perStepSumY[t] += float64(y)
+				a.perStepSumX[t] += float64(x)
+			}
+		}
+	}
+
+	// Deterministic ordering: by genesis, then size desc, then bbox.
+	roots := make([]int32, 0, len(accs))
+	for r := range accs {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		a, b := accs[roots[i]], accs[roots[j]]
+		if a.genesis != b.genesis {
+			return a.genesis < b.genesis
+		}
+		if a.voxels != b.voxels {
+			return a.voxels > b.voxels
+		}
+		return a.bbox != b.bbox && lessBBox(a.bbox, b.bbox)
+	})
+
+	nextID := int32(1)
+	for _, root := range roots {
+		a := accs[root]
+		if a.voxels < minVoxels {
+			continue
+		}
+		rootID[root] = nextID
+		obj := &Object{
+			ID:      int(nextID),
+			Voxels:  a.voxels,
+			Genesis: a.genesis, Termination: a.termination,
+			BBox: a.bbox,
+		}
+		var lastY, lastX float64
+		for t := a.genesis; t <= a.termination; t++ {
+			if c := a.perStepCount[t]; c > 0 {
+				lastY = a.perStepSumY[t] / float64(c)
+				lastX = a.perStepSumX[t] / float64(c)
+				if c > obj.PeakArea {
+					obj.PeakArea = c
+				}
+			}
+			obj.Pathway = append(obj.Pathway, [2]float64{lastY, lastX})
+		}
+		res.Objects = append(res.Objects, obj)
+		nextID++
+	}
+
+	// Write labels.
+	for t := 0; t < v.T; t++ {
+		for y := 0; y < v.H; y++ {
+			for x := 0; x < v.W; x++ {
+				if !v.At(t, y, x) {
+					continue
+				}
+				if id, ok := rootID[uf.find(idx(t, y, x))]; ok {
+					res.Labels[(t*v.H+y)*v.W+x] = id
+				}
+			}
+		}
+	}
+	return res
+}
+
+func lessBBox(a, b [6]int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FromMask adapts any float32 time-major mask (e.g. an ffn.Volume or a
+// thresholded merra volume) into a connect.Volume without copying.
+func FromMask(t, h, w int, data []float32) *Volume {
+	if len(data) != t*h*w {
+		panic("connect: FromMask dimension mismatch")
+	}
+	return &Volume{T: t, H: h, W: w, Data: data}
+}
+
+// Stats summarizes a labelling for reports.
+type Stats struct {
+	Objects      int
+	TotalVoxels  int
+	MeanDuration float64
+	MaxDuration  int
+	MeanVoxels   float64
+}
+
+// Summarize computes aggregate statistics of a result.
+func Summarize(r *Result) Stats {
+	s := Stats{Objects: len(r.Objects)}
+	for _, o := range r.Objects {
+		s.TotalVoxels += o.Voxels
+		s.MeanDuration += float64(o.Duration())
+		s.MeanVoxels += float64(o.Voxels)
+		if o.Duration() > s.MaxDuration {
+			s.MaxDuration = o.Duration()
+		}
+	}
+	if len(r.Objects) > 0 {
+		s.MeanDuration /= float64(len(r.Objects))
+		s.MeanVoxels /= float64(len(r.Objects))
+	}
+	return s
+}

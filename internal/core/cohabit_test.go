@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"chaseci/internal/cluster"
+	"chaseci/internal/merra"
+)
+
+// The related-work claim: "graphics and machine learning processes can
+// cohabitate, as remote researchers have the ability to run GPU compute jobs
+// on the same hardware which is being used locally for visualization."
+
+func TestCohabitationInferencePlusCAVE(t *testing.T) {
+	eco := BuildNautilus(DefaultNautilus())
+
+	// Foreground science: the inference-heavy workflow at reduced scale.
+	cfg := PaperConnectConfig()
+	cfg.Archive = merra.MERRA2().Slice(2000)
+	run, err := eco.NewConnectWorkflow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Workflow.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive the workflow until inference is in flight (GPUs busy), then run
+	// the visualization wall on the same cluster.
+	eco.Clock.RunWhile(func() bool {
+		return run.Workflow.Status("3-inference").String() != "Running"
+	})
+	eco.Clock.RunFor(time.Minute)
+	cave, err := eco.RunCAVERender(DefaultCAVE())
+	if err != nil {
+		t.Fatalf("CAVE render failed while inference held 50 GPUs: %v", err)
+	}
+	if cave.Tiles != 12 {
+		t.Fatalf("tiles = %d", cave.Tiles)
+	}
+
+	// The workflow must still complete.
+	eco.Clock.RunWhile(func() bool { return !run.Workflow.Done() })
+	if run.Workflow.Failed() {
+		t.Fatal("workflow failed while cohabiting with visualization")
+	}
+}
+
+func TestCohabitationBackgroundWANTraffic(t *testing.T) {
+	// Science DMZ: heavy tenant traffic between other campuses must not
+	// materially slow the download (the THREDDS uplink is the bottleneck,
+	// and the backbone is overprovisioned).
+	baseline := func(load bool) time.Duration {
+		eco := BuildNautilus(DefaultNautilus())
+		if load {
+			// 40 tenant flows hammering the calit2 and sdsc uplinks.
+			eco.Net.StartLoad("ucsd", "calit2", 20, 1e12)
+			eco.Net.StartLoad("sdsc", "ucmerced", 20, 1e12)
+		}
+		cfg := PaperConnectConfig()
+		cfg.Archive = merra.MERRA2().Slice(4000)
+		run, err := eco.NewConnectWorkflow(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run.Workflow.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		eco.Clock.RunWhile(func() bool {
+			return run.Workflow.Status("1-download").String() != "Succeeded"
+		})
+		return run.StepDuration("1-download")
+	}
+	quiet := baseline(false)
+	busy := baseline(true)
+	slowdown := float64(busy) / float64(quiet)
+	if slowdown > 1.10 {
+		t.Fatalf("download slowed %.2fx under background WAN load; Science DMZ model broken", slowdown)
+	}
+}
+
+func TestNamespaceQuotaIsolatesTenants(t *testing.T) {
+	// A greedy tenant with a quota cannot starve the workflow namespace.
+	eco := BuildNautilus(DefaultNautilus())
+	greedyQuota := cluster.Resources{CPU: 40, Memory: 200e9, GPUs: 20}
+	eco.Cluster.CreateNamespace("greedy", &greedyQuota)
+	// Greedy tenant asks for far more than its quota.
+	for i := 0; i < 30; i++ {
+		eco.Cluster.CreatePod(cluster.PodSpec{
+			Name:      fmt.Sprintf("hog-%d", i),
+			Namespace: "greedy",
+			Requests:  cluster.Resources{CPU: 8, Memory: 32e9, GPUs: 4},
+			Run:       func(pc *cluster.PodCtx) { /* holds resources forever */ },
+		})
+	}
+	cfg := PaperConnectConfig()
+	cfg.Archive = merra.MERRA2().Slice(1000)
+	run, err := eco.NewConnectWorkflow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := run.Execute()
+	if err != nil {
+		t.Fatalf("workflow failed under greedy tenant: %v", err)
+	}
+	if len(report.Steps) != 4 {
+		t.Fatal("incomplete report")
+	}
+	// Greedy namespace stayed within quota the whole time.
+	used := eco.Cluster.Namespace("greedy").Used()
+	if !used.Fits(greedyQuota) {
+		t.Fatalf("greedy namespace used %v beyond quota %v", used, greedyQuota)
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"chaseci/internal/merra"
+)
+
+func TestBuildNautilusShape(t *testing.T) {
+	e := BuildNautilus(DefaultNautilus())
+	if got := e.TotalGPUs(); got != 192 {
+		t.Fatalf("GPUs = %d, want 192 (24 FIONA8s)", got)
+	}
+	if got := e.StorageBytes(); got < 1e15 {
+		t.Fatalf("storage = %v bytes, want PB+ as in Fig 1", got)
+	}
+	if e.Net.Path("ucsd", "ucmerced") == nil {
+		t.Fatal("no network path between campuses")
+	}
+	if e.Net.Path("thredds-dtn", "ucsd") == nil {
+		t.Fatal("no path from the THREDDS DTN")
+	}
+}
+
+func TestNautilusAuthProviders(t *testing.T) {
+	e := BuildNautilus(DefaultNautilus())
+	tok, err := e.Auth.Login("sellars@ucsd.edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Auth.Validate(tok); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scaledConfig returns a fast-running workflow at 1/56 archive scale.
+func scaledConfig() ConnectConfig {
+	cfg := PaperConnectConfig()
+	cfg.Archive = merra.MERRA2().Slice(2000)
+	return cfg
+}
+
+func TestWorkflowCompletesAtReducedScale(t *testing.T) {
+	e := BuildNautilus(DefaultNautilus())
+	run, err := e.NewConnectWorkflow(scaledConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := run.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Steps) != 4 {
+		t.Fatalf("report has %d steps", len(report.Steps))
+	}
+	for _, s := range report.Steps {
+		if s.Duration <= 0 {
+			t.Fatalf("step %s has zero duration", s.Name)
+		}
+	}
+	// All queue messages consumed.
+	if n := e.Queue.LLen(queueKey); n != 0 {
+		t.Fatalf("queue has %d leftover messages", n)
+	}
+	// Downloaded bytes match the subset archive slice.
+	want := run.Config.Archive.TotalBytes(true)
+	got := run.BytesDownloaded.Value()
+	if math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("downloaded %v bytes, want %v", got, want)
+	}
+	// Merged data in Ceph matches too.
+	if stored := e.Storage.BucketSize("connect-data"); math.Abs(stored-want)/want > 0.01 {
+		t.Fatalf("stored %v bytes, want %v", stored, want)
+	}
+}
+
+func TestWorkflowStepDurationsScaleSensibly(t *testing.T) {
+	e := BuildNautilus(DefaultNautilus())
+	run, _ := e.NewConnectWorkflow(scaledConfig())
+	report, err := run.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]time.Duration{}
+	for _, s := range report.Steps {
+		byName[s.Name] = s.Duration
+	}
+	// Training volume is fixed: full 306 minutes even in a sliced run.
+	if d := byName["2-train"]; d < 300*time.Minute || d > 312*time.Minute {
+		t.Fatalf("train = %v, want ~306m", d)
+	}
+	// Download and inference scale with the slice (2000/112249).
+	if d := byName["1-download"]; d < 20*time.Second || d > 5*time.Minute {
+		t.Fatalf("download = %v, want tens of seconds at 1/56 scale", d)
+	}
+	if d := byName["3-inference"]; d < 10*time.Minute || d > 40*time.Minute {
+		t.Fatalf("inference = %v, want ~20m at 1/56 scale", d)
+	}
+}
+
+func TestPaperScaleTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-archive simulation")
+	}
+	e := BuildNautilus(DefaultNautilus())
+	run, err := e.NewConnectWorkflow(PaperConnectConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := run.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]time.Duration{}
+	for _, s := range report.Steps {
+		byName[s.Name] = s.Duration
+	}
+	check := func(step string, want time.Duration, tolFrac float64) {
+		got := byName[step]
+		lo := time.Duration(float64(want) * (1 - tolFrac))
+		hi := time.Duration(float64(want) * (1 + tolFrac))
+		if got < lo || got > hi {
+			t.Errorf("%s = %v, paper %v (tolerance %.0f%%)", step, got.Round(time.Minute), want, tolFrac*100)
+		}
+	}
+	check("1-download", 37*time.Minute, 0.15)
+	check("2-train", 306*time.Minute, 0.03)
+	check("3-inference", 1133*time.Minute, 0.05)
+
+	table := report.RenderTable()
+	for _, want := range []string{"1-download", "246", "Total Time"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestWorkflowSurvivesNodeFailure(t *testing.T) {
+	e := BuildNautilus(DefaultNautilus())
+	run, _ := e.NewConnectWorkflow(scaledConfig())
+	if err := run.Workflow.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Let the download get going, then kill two nodes hosting workers.
+	e.Clock.RunFor(10 * time.Second)
+	killed := 0
+	for _, n := range e.Cluster.Nodes() {
+		if killed >= 2 {
+			break
+		}
+		if n.Allocated().CPU > 0 {
+			e.Cluster.KillNode(n.Name)
+			killed++
+		}
+	}
+	if killed == 0 {
+		t.Fatal("no busy nodes to kill — test setup broken")
+	}
+	e.Clock.RunWhile(func() bool { return !run.Workflow.Done() })
+	if run.Workflow.Failed() {
+		t.Fatal("workflow failed after node loss")
+	}
+	// Every message processed exactly once despite the failure: stored
+	// bytes equal the archive subset.
+	want := run.Config.Archive.TotalBytes(true)
+	stored := e.Storage.BucketSize("connect-data")
+	if math.Abs(stored-want)/want > 0.01 {
+		t.Fatalf("stored %v bytes after failures, want %v", stored, want)
+	}
+}
+
+func TestRealComputeWorkflow(t *testing.T) {
+	e := BuildNautilus(DefaultNautilus())
+	cfg := scaledConfig()
+	cfg.Archive = merra.MERRA2().Slice(500)
+	cfg.Real = DefaultRealCompute()
+	run, err := e.NewConnectWorkflow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	rr := run.RealResult
+	if rr == nil {
+		t.Fatal("no real-compute result")
+	}
+	if rr.TrainLossTail >= rr.TrainLossHead {
+		t.Fatalf("real training did not converge: %v -> %v", rr.TrainLossHead, rr.TrainLossTail)
+	}
+	if rr.Precision < 0.5 || rr.Recall < 0.3 {
+		t.Fatalf("real segmentation quality: precision=%.2f recall=%.2f", rr.Precision, rr.Recall)
+	}
+	if rr.ModelBytes == 0 {
+		t.Fatal("model not serialized")
+	}
+	if rr.FFNObjects == 0 || rr.CONNObjects == 0 {
+		t.Fatalf("object counts: ffn=%d connect=%d", rr.FFNObjects, rr.CONNObjects)
+	}
+	// Real artifacts present in Ceph.
+	if _, err := e.Storage.Get("connect-results", "real/report.txt"); err != nil {
+		t.Fatal("report not stored:", err)
+	}
+	if _, err := e.Storage.Get("connect-results", "real/overlay-t0.ppm"); err != nil {
+		t.Fatal("overlay not stored:", err)
+	}
+	if _, err := e.Storage.Get("connect-models", "ffn-model.bin"); err != nil {
+		t.Fatal("model not stored:", err)
+	}
+	// Real subset granules landed.
+	mount := e.Storage.MountBucket("connect-data")
+	if got := len(mount.Glob("real/")); got != realGranuleCount {
+		t.Fatalf("real granules stored = %d, want %d", got, realGranuleCount)
+	}
+}
+
+func TestSubsettingAblationDirection(t *testing.T) {
+	// Full-file download must move ~1.85x the bytes and take ~1.85x longer.
+	mk := func(subset bool) time.Duration {
+		e := BuildNautilus(DefaultNautilus())
+		cfg := scaledConfig()
+		cfg.Subset = subset
+		run, _ := e.NewConnectWorkflow(cfg)
+		report, err := run.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report.Steps[0].Duration
+	}
+	sub, full := mk(true), mk(false)
+	ratio := float64(full) / float64(sub)
+	if ratio < 1.6 || ratio > 2.1 {
+		t.Fatalf("full/subset download ratio = %.2f, want ~1.85 (455/246)", ratio)
+	}
+}
+
+func TestWorkflowPlanRendering(t *testing.T) {
+	e := BuildNautilus(DefaultNautilus())
+	run, _ := e.NewConnectWorkflow(scaledConfig())
+	plan := run.Workflow.RenderPlan()
+	for _, want := range []string{"1-download", "2-train <- 1-download", "3-inference <- 2-train", "4-visualize <- 3-inference"} {
+		if !strings.Contains(plan, want) {
+			t.Fatalf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+func TestFigureSeriesRecorded(t *testing.T) {
+	e := BuildNautilus(DefaultNautilus())
+	run, _ := e.NewConnectWorkflow(scaledConfig())
+	if _, err := run.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	// Fig 3: per-worker CPU series exist.
+	workers := e.Metrics.Select("connect_worker_cpu", nil)
+	if len(workers) != 10 {
+		t.Fatalf("worker CPU series = %d, want 10", len(workers))
+	}
+	// Fig 4: download rate series has a nonzero peak.
+	rate := e.Metrics.Select("connect_download_rate_bytes", nil)
+	if len(rate) != 1 {
+		t.Fatal("no download rate series")
+	}
+	peak := 0.0
+	for _, s := range rate[0].Samples {
+		if s.Value > peak {
+			peak = s.Value
+		}
+	}
+	if peak <= 0 {
+		t.Fatal("download rate never sampled above zero")
+	}
+	// Fig 5: training phase marker hit both phases.
+	phases := e.Metrics.Select("connect_train_phase", nil)[0]
+	saw := map[float64]bool{}
+	for _, s := range phases.Samples {
+		saw[s.Value] = true
+	}
+	if !saw[1] || !saw[2] {
+		t.Fatalf("train phases seen: %v, want prep(1) and train(2)", saw)
+	}
+	// Fig 6: cluster GPU gauge peaked at 50 during inference.
+	gpus := e.Metrics.Select("k8s_gpus_in_use", nil)[0]
+	maxGPU := 0.0
+	for _, s := range gpus.Samples {
+		if s.Value > maxGPU {
+			maxGPU = s.Value
+		}
+	}
+	if maxGPU < 50 {
+		t.Fatalf("peak GPUs in use = %v, want >= 50", maxGPU)
+	}
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"chaseci/internal/cluster"
+	"chaseci/internal/ffn"
+	"chaseci/internal/gpusim"
+	"chaseci/internal/merra"
+	"chaseci/internal/sim"
+	"chaseci/internal/tensor"
+)
+
+// DistTrainConfig drives the Section III-E2 extension as running code: a
+// Kubernetes ReplicaSet of TensorFlow-style training workers discovered
+// through a Service, doing REAL data-parallel SGD (each worker computes
+// gradients on its own FOV samples; a ring all-reduce averages them) while
+// compute and communication time advance on the virtual clock.
+type DistTrainConfig struct {
+	Namespace string
+	Workers   int
+	Rounds    int // synchronous update rounds
+	// BatchPerWorker is FOV examples per worker per round.
+	BatchPerWorker int
+	GPU            gpusim.Model
+	// VoxelsPerRound is the modeled GPU work per worker per round, used for
+	// virtual compute time.
+	VoxelsPerRound float64
+	// Scene sizes the real training data.
+	Scene *RealComputeConfig
+	// LR / Momentum are the optimizer settings.
+	LR, Momentum float32
+	Seed         uint64
+}
+
+// DefaultDistTrain returns a 4-worker setup at experiment scale.
+func DefaultDistTrainConfig() DistTrainConfig {
+	return DistTrainConfig{
+		Namespace:      "dist-train",
+		Workers:        4,
+		Rounds:         60,
+		BatchPerWorker: 4,
+		GPU:            gpusim.GTX1080Ti(),
+		VoxelsPerRound: 5e5,
+		Scene:          DefaultRealCompute(),
+		LR:             0.03,
+		Momentum:       0.9,
+		Seed:           7,
+	}
+}
+
+// DistTrainResult reports one distributed-training run.
+type DistTrainResult struct {
+	Workers     int
+	Losses      []float64 // mean loss per round across workers
+	VirtualTime time.Duration
+	// CommBytes is the total gradient traffic moved over the WAN.
+	CommBytes float64
+	// Endpoints are the worker pod names the Service resolved.
+	Endpoints []string
+}
+
+// FinalLoss returns the mean of the last fifth of the loss curve.
+func (r *DistTrainResult) FinalLoss() float64 { return ffn.MeanTail(r.Losses, 0.2) }
+
+// RunDistributedTraining executes the extension on the ecosystem: it spawns
+// the ReplicaSet and Service, shards the synthetic IVT scene across workers,
+// and runs synchronous data-parallel rounds — real gradients, virtual time.
+func (e *Ecosystem) RunDistributedTraining(cfg DistTrainConfig) (*DistTrainResult, error) {
+	if cfg.Workers <= 0 || cfg.Rounds <= 0 {
+		return nil, errors.New("core: Workers and Rounds must be positive")
+	}
+	if cfg.Scene == nil {
+		cfg.Scene = DefaultRealCompute()
+	}
+	if cfg.BatchPerWorker <= 0 {
+		cfg.BatchPerWorker = 4
+	}
+	if _, err := e.Cluster.CreateNamespace(cfg.Namespace, nil); err != nil && err != cluster.ErrDuplicate {
+		return nil, err
+	}
+
+	// The shared model replica (all workers hold identical weights; we
+	// materialize one copy, as the updates are identical by construction).
+	netCfg := ffn.DefaultConfig()
+	netCfg.FOV = [3]int{3, 7, 7}
+	netCfg.Features = 6
+	netCfg.MoveStep = [3]int{1, 2, 2}
+	model, err := ffn.NewNetwork(netCfg, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	opt := tensor.NewSGD(cfg.LR, cfg.Momentum)
+
+	// Build the scene and shard sampling streams per worker.
+	img, lbl := buildScene(cfg.Scene)
+	type sampler struct {
+		rng      *sim.RNG
+		pos, neg [][3]int
+	}
+	pos, neg := trainingCenters(lbl, netCfg.FOV)
+	if len(pos) == 0 && len(neg) == 0 {
+		return nil, ffn.ErrNoExamples
+	}
+	samplers := make([]*sampler, cfg.Workers)
+	for w := range samplers {
+		samplers[w] = &sampler{rng: sim.NewRNG(cfg.Seed ^ uint64(w+1)*0x9e3779b9), pos: pos, neg: neg}
+	}
+
+	// ReplicaSet + Service: the Kubernetes topology §III-E2 describes.
+	rs, err := e.Cluster.CreateReplicaSet(cluster.ReplicaSetSpec{
+		Name: "tf-train", Namespace: cfg.Namespace, Replicas: cfg.Workers,
+		Template: cluster.PodTemplate{
+			Requests: cluster.Resources{CPU: 2, Memory: 8e9, GPUs: 1},
+			Labels:   map[string]string{"app": "tf-train"},
+			Run:      func(pc *cluster.PodCtx) {}, // long-running worker
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	svc := e.Cluster.CreateService("tf-train", cfg.Namespace, map[string]string{"app": "tf-train"})
+	e.Clock.RunFor(time.Second) // let the scheduler bind the replicas
+	eps := svc.Endpoints()
+	if len(eps) != cfg.Workers {
+		rs.Delete()
+		return nil, fmt.Errorf("core: service resolved %d endpoints, want %d", len(eps), cfg.Workers)
+	}
+
+	res := &DistTrainResult{Workers: cfg.Workers}
+	for _, p := range eps {
+		res.Endpoints = append(res.Endpoints, p.Spec.Name)
+	}
+
+	// Synchronous rounds driven in virtual time.
+	start := e.Clock.Now()
+	gradBytes := model.GradBytes()
+	for round := 0; round < cfg.Rounds; round++ {
+		// Real compute: every worker's gradients on its own batch.
+		perWorker := make([]*ffn.ParamGrads, cfg.Workers)
+		lossSum := 0.0
+		for w := 0; w < cfg.Workers; w++ {
+			s := samplers[w]
+			var batch *ffn.ParamGrads
+			for b := 0; b < cfg.BatchPerWorker; b++ {
+				var c [3]int
+				usePos := len(s.pos) > 0 && (len(s.neg) == 0 || s.rng.Float64() < 0.5)
+				if usePos {
+					c = s.pos[s.rng.Intn(len(s.pos))]
+				} else {
+					c = s.neg[s.rng.Intn(len(s.neg))]
+				}
+				fi := extractVolumeFOV(img, netCfg.FOV, c)
+				fl := extractVolumeFOV(lbl, netCfg.FOV, c)
+				loss, g := model.ComputeGrads(fi, fl)
+				lossSum += loss
+				if batch == nil {
+					batch = g
+				} else {
+					merged, err := ffn.AverageGrads([]*ffn.ParamGrads{batch, g})
+					if err != nil {
+						rs.Delete()
+						return nil, err
+					}
+					batch = merged
+				}
+			}
+			perWorker[w] = batch
+		}
+		res.Losses = append(res.Losses, lossSum/float64(cfg.Workers*cfg.BatchPerWorker))
+
+		// All-reduce: average and apply the same update everywhere.
+		avg, err := ffn.AverageGrads(perWorker)
+		if err != nil {
+			rs.Delete()
+			return nil, err
+		}
+		model.ApplyGrads(opt, avg)
+
+		// Virtual time: parallel GPU compute plus the ring all-reduce over
+		// the WAN between the worker pods' sites.
+		computeT := cfg.GPU.TrainTime(cfg.VoxelsPerRound)
+		e.Clock.RunFor(computeT)
+		if cfg.Workers > 1 {
+			res.CommBytes += run2ringAllReduce(e, eps, gradBytes)
+		}
+	}
+	res.VirtualTime = e.Clock.Now() - start
+	rs.Delete()
+	e.Clock.RunFor(time.Second)
+	return res, nil
+}
+
+// run2ringAllReduce moves one ring all-reduce's traffic between consecutive
+// endpoints' sites in virtual time and returns the bytes moved.
+func run2ringAllReduce(e *Ecosystem, eps []*cluster.Pod, gradBytes float64) float64 {
+	// Ring all-reduce: each worker sends 2*(g-1)/g of the gradient size per
+	// phase pair; model it as simultaneous neighbor transfers.
+	g := len(eps)
+	per := 2 * float64(g-1) / float64(g) * gradBytes
+	total := 0.0
+	pending := 0
+	for i, p := range eps {
+		next := eps[(i+1)%g]
+		a := e.Cluster.Node(p.Node)
+		b := e.Cluster.Node(next.Node)
+		if a == nil || b == nil {
+			continue
+		}
+		pending++
+		total += per
+		e.Net.Transfer(a.Site, b.Site, per, func() { pending-- })
+	}
+	e.Clock.RunWhile(func() bool { return pending > 0 })
+	return total
+}
+
+// buildScene renders the shared training data for a RealComputeConfig.
+func buildScene(rc *RealComputeConfig) (*ffn.Volume, *ffn.Volume) {
+	gen := merra.NewGenerator(rc.Grid, rc.Seed)
+	levels := merra.PressureLevels(rc.Grid.NLev)
+	vol := merra.IVTVolume(gen, levels, 20, rc.TimeSteps)
+	flat := merra.Field2D{NLon: len(vol.Data), NLat: 1, Data: vol.Data}
+	th := flat.Quantile(rc.Quantile)
+	img := &ffn.Volume{D: rc.TimeSteps, H: rc.Grid.NLat, W: rc.Grid.NLon,
+		Data: append([]float32(nil), vol.Data...)}
+	img.Normalize()
+	lbl := ffn.NewVolume(rc.TimeSteps, rc.Grid.NLat, rc.Grid.NLon)
+	for i, v := range vol.Data {
+		if v >= th {
+			lbl.Data[i] = 1
+		}
+	}
+	return img, lbl
+}
+
+// trainingCenters lists in-bounds FOV centers split by label polarity.
+func trainingCenters(lbl *ffn.Volume, fov [3]int) (pos, neg [][3]int) {
+	for z := fov[0] / 2; z+fov[0]/2 < lbl.D; z++ {
+		for y := fov[1] / 2; y+fov[1]/2 < lbl.H; y++ {
+			for x := fov[2] / 2; x+fov[2]/2 < lbl.W; x++ {
+				if lbl.At(z, y, x) > 0.5 {
+					pos = append(pos, [3]int{z, y, x})
+				} else {
+					neg = append(neg, [3]int{z, y, x})
+				}
+			}
+		}
+	}
+	return pos, neg
+}
+
+// extractVolumeFOV copies a FOV around center c into a (1,D,H,W) tensor.
+func extractVolumeFOV(v *ffn.Volume, fov [3]int, c [3]int) *tensor.Tensor {
+	out := tensor.New(1, fov[0], fov[1], fov[2])
+	i := 0
+	for z := c[0] - fov[0]/2; z <= c[0]+fov[0]/2; z++ {
+		for y := c[1] - fov[1]/2; y <= c[1]+fov[1]/2; y++ {
+			for x := c[2] - fov[2]/2; x <= c[2]+fov[2]/2; x++ {
+				out.Data[i] = v.At(z, y, x)
+				i++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"time"
+
+	"chaseci/internal/cluster"
+	"chaseci/internal/metrics"
+)
+
+// Monitoring is the deployed health stack of Section II-A's closing
+// paragraph: "Nautilus needs software to monitor the health, availability,
+// and performance of resources" — a node-exporter DaemonSet feeding
+// per-node gauges into the Prometheus-like registry, ready for the Grafana
+// renderers.
+type Monitoring struct {
+	DaemonSet *cluster.DaemonSet
+
+	eco    *Ecosystem
+	ticker interface{ Stop() }
+}
+
+// DeployMonitoring installs the monitoring namespace and a node-exporter
+// DaemonSet. Every scrape interval each live exporter publishes its node's
+// allocation gauges and node_up=1; nodes without a live exporter (lost, or
+// just joined and not yet covered) read node_up=0.
+func (e *Ecosystem) DeployMonitoring(scrapeEvery time.Duration) (*Monitoring, error) {
+	if scrapeEvery <= 0 {
+		scrapeEvery = 30 * time.Second
+	}
+	if _, err := e.Cluster.CreateNamespace("monitoring", nil); err != nil && err != cluster.ErrDuplicate {
+		return nil, err
+	}
+	ds, err := e.Cluster.CreateDaemonSet(cluster.DaemonSetSpec{
+		Name: "node-exporter", Namespace: "monitoring",
+		Template: cluster.PodTemplate{
+			Requests: cluster.Resources{CPU: 0.1, Memory: 1e8},
+			Labels:   map[string]string{"app": "node-exporter"},
+			Run:      func(pc *cluster.PodCtx) { /* scraped by the ticker below */ },
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Monitoring{DaemonSet: ds, eco: e}
+	m.ticker = e.Clock.Every(scrapeEvery, m.scrape)
+	m.scrapeAt0()
+	return m, nil
+}
+
+// scrapeAt0 records an initial sample so dashboards have a t=0 point.
+func (m *Monitoring) scrapeAt0() { m.scrape() }
+
+// scrape publishes one round of per-node samples.
+func (m *Monitoring) scrape() {
+	reg := m.eco.Metrics
+	for _, n := range m.eco.Cluster.Nodes() {
+		labels := metrics.Labels{"node": n.Name, "site": n.Site}
+		up := 0.0
+		if exp := m.DaemonSet.PodOn(n.Name); exp != nil && n.Ready {
+			up = 1
+		}
+		reg.Gauge("node_up", labels).Set(up)
+		if up == 1 {
+			alloc := n.Allocated()
+			reg.Gauge("node_cpu_allocated", labels).Set(alloc.CPU)
+			reg.Gauge("node_mem_allocated_bytes", labels).Set(alloc.Memory)
+			reg.Gauge("node_gpus_allocated", labels).Set(float64(alloc.GPUs))
+		}
+	}
+}
+
+// Stop halts scraping and removes the exporters.
+func (m *Monitoring) Stop() {
+	m.ticker.Stop()
+	m.DaemonSet.Delete()
+}
+
+// HealthDashboard renders a Grafana-style page of node_up and GPU
+// allocation across the cluster.
+func (m *Monitoring) HealthDashboard(width, height int) string {
+	reg := m.eco.Metrics
+	d := metrics.NewDashboard("Nautilus cluster health")
+	now := m.eco.Clock.Now()
+	upSeries := reg.Select("node_up", nil)
+	if len(upSeries) > 0 {
+		sum := metrics.SumSeries(upSeries, 0, now, 30*time.Second)
+		d.AddPanel(sum, metrics.ChartOptions{
+			Width: width, Height: height, Title: "nodes up", Unit: "",
+		})
+	}
+	gpuSeries := reg.Select("node_gpus_allocated", nil)
+	if len(gpuSeries) > 0 {
+		sum := metrics.SumSeries(gpuSeries, 0, now, 30*time.Second)
+		d.AddPanel(sum, metrics.ChartOptions{
+			Width: width, Height: height, Title: "GPUs allocated", Unit: "",
+		})
+	}
+	return d.Render()
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"chaseci/internal/metrics"
+)
+
+func TestMonitoringExportsNodeUp(t *testing.T) {
+	eco := BuildNautilus(DefaultNautilus())
+	mon, err := eco.DeployMonitoring(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eco.Clock.RunFor(2 * time.Minute)
+	up := eco.Metrics.Select("node_up", nil)
+	if len(up) != 24 {
+		t.Fatalf("node_up series = %d, want 24", len(up))
+	}
+	for _, s := range up {
+		if s.Last().Value != 1 {
+			t.Fatalf("node %s reports down on healthy cluster", s.Labels["node"])
+		}
+	}
+	mon.Stop()
+}
+
+func TestMonitoringDetectsNodeLoss(t *testing.T) {
+	eco := BuildNautilus(DefaultNautilus())
+	if _, err := eco.DeployMonitoring(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	eco.Clock.RunFor(time.Minute)
+	eco.Cluster.KillNode("ucsd-fiona8-03")
+	eco.Clock.RunFor(time.Minute)
+	s := eco.Metrics.Select("node_up", metrics.Labels{"node": "ucsd-fiona8-03"})
+	if len(s) != 1 || s[0].Last().Value != 0 {
+		t.Fatal("lost node still reports up")
+	}
+	// Restore: exporter redeploys and the gauge recovers.
+	eco.Cluster.RestoreNode("ucsd-fiona8-03")
+	eco.Clock.RunFor(time.Minute)
+	if s[0].Last().Value != 1 {
+		t.Fatal("restored node does not report up")
+	}
+}
+
+func TestMonitoringTracksAllocation(t *testing.T) {
+	eco := BuildNautilus(DefaultNautilus())
+	if _, err := eco.DeployMonitoring(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Run the workflow; GPU allocation gauges must reflect the inference
+	// plateau on at least one node.
+	run, _ := eco.NewConnectWorkflow(scaledConfig())
+	if _, err := run.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for _, s := range eco.Metrics.Select("node_gpus_allocated", nil) {
+		for _, smp := range s.Samples {
+			if smp.Value > peak {
+				peak = smp.Value
+			}
+		}
+	}
+	if peak < 1 {
+		t.Fatalf("no node ever showed GPU allocation (peak=%v)", peak)
+	}
+}
+
+func TestHealthDashboardRenders(t *testing.T) {
+	eco := BuildNautilus(DefaultNautilus())
+	mon, err := eco.DeployMonitoring(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eco.Clock.RunFor(5 * time.Minute)
+	page := mon.HealthDashboard(40, 5)
+	for _, want := range []string{"Nautilus cluster health", "nodes up", "GPUs allocated"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, page)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"chaseci/internal/connect"
+	"chaseci/internal/ffn"
+	"chaseci/internal/merra"
+	"chaseci/internal/viz"
+)
+
+// This file is the real-compute spine of the workflow: when
+// ConnectConfig.Real is set, each virtual-time step also performs the actual
+// computation at experiment scale — real NC4-lite subset bytes land in Ceph,
+// a real FFN trains and serializes, real flood-fill inference produces
+// masks, and the CONNECT baseline cross-checks the result. The virtual-time
+// model answers "how long at cluster scale"; this path answers "does the
+// pipeline actually work".
+
+// realGranuleCount is how many real granules step 1 materializes in Ceph.
+const realGranuleCount = 4
+
+// landRealGranules renders the first few archive granules on the real-scale
+// grid, extracts the IVT subset exactly as the THREDDS NCSS endpoint does,
+// and stores the bytes in the cluster object store.
+func (run *ConnectRun) landRealGranules() {
+	rc := run.Config.Real
+	gen := merra.NewGenerator(rc.Grid, rc.Seed)
+	levels := merra.PressureLevels(rc.Grid.NLev)
+	mount := run.Eco.Storage.MountBucket("connect-data")
+	n := realGranuleCount
+	if files := run.Config.Archive.NumFiles(); n > files {
+		n = files
+	}
+	for i := 0; i < n; i++ {
+		full := merra.StateFile(gen.State(i), levels, run.Config.Archive.FileTime(i).Unix())
+		fullBytes := full.EncodeBytes()
+		v, err := merra.ExtractVariable(fullBytes, "IVT")
+		if err != nil {
+			panic(fmt.Sprintf("core: IVT extraction from generated granule: %v", err))
+		}
+		subset := &merra.File{Time: full.Time}
+		subset.AddVariable(v.Name, v.Dims, v.Data)
+		if err := mount.WriteFile(fmt.Sprintf("real/%s", run.Config.Archive.FileName(i)), subset.EncodeBytes()); err != nil {
+			panic(fmt.Sprintf("core: storing real granule: %v", err))
+		}
+	}
+}
+
+// realScene builds the (image, labels) volumes used by training, inference,
+// and validation — the same deterministic scene in each step.
+func (run *ConnectRun) realScene() (*ffn.Volume, *ffn.Volume) {
+	return buildScene(run.Config.Real)
+}
+
+// realTrain trains the FFN on the synthetic IVT scene and saves the model
+// bytes to the object store, as the paper's step 2 does.
+func (run *ConnectRun) realTrain() error {
+	rc := run.Config.Real
+	img, lbl := run.realScene()
+	cfg := ffn.DefaultConfig()
+	cfg.FOV = [3]int{3, 7, 7}
+	cfg.Features = 6
+	cfg.MoveStep = [3]int{1, 2, 2}
+	net, err := ffn.NewNetwork(cfg, rc.Seed)
+	if err != nil {
+		return err
+	}
+	tr := ffn.NewTrainer(net, 0.03, 0.9, rc.Seed^0xff)
+	losses, err := tr.TrainOnVolume(img, lbl, rc.TrainSteps)
+	if err != nil {
+		return err
+	}
+	modelBytes := net.SaveBytes()
+	if _, err := run.Eco.Storage.Put("connect-models", "ffn-model.bin", 0, modelBytes); err != nil {
+		return err
+	}
+	head := ffn.MeanTail(losses[:min(50, len(losses))], 1)
+	tail := ffn.MeanTail(losses, 0.2)
+	run.RealResult = &RealResult{
+		TrainLossHead: head,
+		TrainLossTail: tail,
+		ModelBytes:    len(modelBytes),
+	}
+	return nil
+}
+
+// realInference loads the trained model back from Ceph (exactly what the
+// paper's step 3 pods do), splits the volume into per-GPU shards along the
+// time axis, segments each shard, and stores the stitched mask.
+func (run *ConnectRun) realInference() error {
+	if run.RealResult == nil {
+		return fmt.Errorf("core: real inference before real training")
+	}
+	obj, err := run.Eco.Storage.Get("connect-models", "ffn-model.bin")
+	if err != nil {
+		return err
+	}
+	net, err := ffn.LoadBytes(obj.Data)
+	if err != nil {
+		return err
+	}
+	img, _ := run.realScene()
+	seeds := ffn.GridSeeds(img, net.Config().FOV, [3]int{1, 4, 4}, 1.0)
+	mask, _ := net.Segment(img, seeds, 0)
+	// Store the mask as an NC4-lite file.
+	out := &merra.File{}
+	if err := out.AddVariable("MASK", []int{mask.D, mask.H, mask.W}, mask.Data); err != nil {
+		return err
+	}
+	if _, err := run.Eco.Storage.Put("connect-results", "real/mask.nc", 0, out.EncodeBytes()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// realVisualize is the step-4 notebook: read the mask from Ceph, validate
+// against the labels, run the CONNECT baseline, and store a report plus an
+// overlay render.
+func (run *ConnectRun) realVisualize() error {
+	obj, err := run.Eco.Storage.Get("connect-results", "real/mask.nc")
+	if err != nil {
+		return err
+	}
+	f, err := merra.DecodeBytes(obj.Data)
+	if err != nil {
+		return err
+	}
+	mv := f.Var("MASK")
+	if mv == nil {
+		return fmt.Errorf("core: stored result has no MASK variable")
+	}
+	mask := &ffn.Volume{D: mv.Dims[0], H: mv.Dims[1], W: mv.Dims[2], Data: mv.Data}
+	img, lbl := run.realScene()
+
+	prec, rec := ffn.PrecisionRecall(mask, lbl)
+	iou := ffn.IoU(mask, lbl)
+	ffnObjs := connect.Label(connect.FromMask(mask.D, mask.H, mask.W, mask.Data), connect.Conn26, 4)
+	connObjs := connect.Label(connect.FromMask(lbl.D, lbl.H, lbl.W, lbl.Data), connect.Conn26, 4)
+
+	report := viz.SegmentationReport(mask, lbl) + "\n" +
+		"CONNECT baseline objects on reference labels:\n" + viz.ObjectReport(connObjs)
+	mount := run.Eco.Storage.MountBucket("connect-results")
+	if err := mount.WriteFile("real/report.txt", []byte(report)); err != nil {
+		return err
+	}
+	overlay := viz.RenderOverlayPPM(viz.VolumeSlice(img, 0), viz.VolumeSlice(mask, 0), img.H, img.W)
+	if err := mount.WriteFile("real/overlay-t0.ppm", overlay); err != nil {
+		return err
+	}
+
+	run.RealResult.Precision = prec
+	run.RealResult.Recall = rec
+	run.RealResult.IoU = iou
+	run.RealResult.FFNObjects = len(ffnObjs.Objects)
+	run.RealResult.CONNObjects = len(connObjs.Objects)
+	run.RealResult.ReportText = report
+	return nil
+}

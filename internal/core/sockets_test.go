@@ -1,0 +1,152 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+
+	"chaseci/internal/ffn"
+	"chaseci/internal/merra"
+	"chaseci/internal/objstore"
+	"chaseci/internal/queue"
+	"chaseci/internal/thredds"
+)
+
+// TestRealSocketsEndToEnd drives the whole data path over actual TCP/HTTP on
+// localhost, no virtual time: granule URLs flow through the Redis-protocol
+// queue, the aria2-style client subsets them from the THREDDS server, the
+// decoded IVT trains an FFN, and the serialized model round-trips through
+// the S3 gateway of the Ceph-like store.
+func TestRealSocketsEndToEnd(t *testing.T) {
+	grid := merra.Grid{NLon: 36, NLat: 24, NLev: 6}
+	const granules = 6
+
+	// THREDDS over HTTP.
+	spec := merra.MERRA2().Slice(granules)
+	catalog := thredds.NewCatalog(spec, merra.NewGenerator(grid, 11))
+	tsrv, err := thredds.Serve(catalog, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tsrv.Close()
+
+	// Redis over TCP.
+	qsrv, err := queue.Serve(queue.NewStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qsrv.Close()
+	qc, err := queue.Dial(qsrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+
+	// S3 gateway over the replicated store.
+	eco := BuildNautilus(DefaultNautilus())
+	s3, err := objstore.ServeGateway(eco.Storage, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+
+	// Queue the subset URLs, drain them, download in parallel.
+	for i := 0; i < granules; i++ {
+		if _, err := qc.LPush("urls", tsrv.SubsetURL(spec.FileName(i), "IVT")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var urls []string
+	for {
+		u, err := qc.RPop("urls")
+		if err == queue.ErrNil {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		urls = append(urls, u)
+	}
+	if len(urls) != granules {
+		t.Fatalf("queue delivered %d urls, want %d", len(urls), granules)
+	}
+	dl := &thredds.Downloader{Parallel: 3}
+	fields := make([][]float32, 0, granules)
+	results, _ := dl.Fetch(urls, func(url string, body []byte) {
+		f, err := merra.DecodeBytes(body)
+		if err != nil {
+			t.Errorf("decode %s: %v", url, err)
+			return
+		}
+		fields = append(fields, f.Vars[0].Data)
+	})
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+
+	// Assemble the downloaded IVT into a volume and train briefly.
+	img := ffn.NewVolume(granules, grid.NLat, grid.NLon)
+	for i, f := range fields {
+		copy(img.Data[i*grid.NLat*grid.NLon:], f)
+	}
+	flat := merra.Field2D{NLon: len(img.Data), NLat: 1, Data: append([]float32(nil), img.Data...)}
+	th := flat.Quantile(0.9)
+	lbl := ffn.NewVolume(granules, grid.NLat, grid.NLon)
+	for i, v := range img.Data {
+		if v >= th {
+			lbl.Data[i] = 1
+		}
+	}
+	img.Normalize()
+	cfg := ffn.DefaultConfig()
+	cfg.FOV = [3]int{3, 7, 7}
+	cfg.Features = 4
+	net, err := ffn.NewNetwork(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ffn.NewTrainer(net, 0.03, 0.9, 2)
+	losses, err := tr.TrainOnVolume(img, lbl, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ffn.MeanTail(losses, 0.2) >= ffn.MeanTail(losses[:20], 1) {
+		t.Fatal("training on socket-delivered data did not reduce loss")
+	}
+
+	// Round-trip the model through the S3 gateway.
+	model := net.SaveBytes()
+	url := s3.BaseURL() + "/connect-models/e2e/ffn.bin"
+	req, _ := http.NewRequest(http.MethodPut, url, bytes.NewReader(model))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("S3 PUT status %s", resp.Status)
+	}
+	resp, err = http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	back, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(back, model) {
+		t.Fatal("model corrupted through the S3 gateway")
+	}
+	loaded, err := ffn.LoadBytes(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ParamCount() != net.ParamCount() {
+		t.Fatal("loaded model has wrong architecture")
+	}
+	// The replicated store holds the object with full redundancy.
+	if locs := eco.Storage.Locations("connect-models", "e2e/ffn.bin"); len(locs) != 3 {
+		t.Fatalf("model replicas = %d, want 3", len(locs))
+	}
+}

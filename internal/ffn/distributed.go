@@ -1,0 +1,111 @@
+package ffn
+
+import (
+	"errors"
+
+	"chaseci/internal/tensor"
+)
+
+// Data-parallel training support for the Section III-E2 extension
+// ("Tensorflow does support distributed training and we want to take
+// advantage of this"): workers compute gradients on their own shards, the
+// gradients are averaged (the all-reduce), and every replica applies the
+// same update. ComputeGrads/AverageGrads/ApplyGrads decompose TrainStep so
+// a coordinator — core's distributed trainer, running on the simulated
+// ReplicaSet — can drive the cycle.
+
+// ParamGrads is an opaque gradient bundle for one network architecture.
+type ParamGrads struct {
+	g     *grads
+	count int
+}
+
+// ComputeGrads runs forward+backward on one FOV example and returns the BCE
+// loss and the parameter gradients, without touching the weights.
+func (n *Network) ComputeGrads(image, label *tensor.Tensor) (float64, *ParamGrads) {
+	pom := n.SeedPOM()
+	in := packInput(image, pom)
+	logits, cache := n.forward(in)
+	loss, gradLogits := tensor.LogitBCE(logits, label, nil)
+	return loss, &ParamGrads{g: n.backward(cache, gradLogits), count: 1}
+}
+
+// ErrNoGrads indicates AverageGrads was called with an empty slice.
+var ErrNoGrads = errors.New("ffn: no gradients to average")
+
+// AverageGrads combines per-worker gradients into their mean — the
+// all-reduce result every worker applies. The inputs must come from
+// networks with identical architecture.
+func AverageGrads(list []*ParamGrads) (*ParamGrads, error) {
+	if len(list) == 0 {
+		return nil, ErrNoGrads
+	}
+	sum := list[0].clone()
+	for _, pg := range list[1:] {
+		sum.add(pg)
+	}
+	scale := float32(1) / float32(sum.count)
+	sum.g.wIn.Scale(scale)
+	scaleBias(sum.g.bIn, scale)
+	for _, m := range sum.g.mods {
+		m.w1.Scale(scale)
+		scaleBias(m.b1, scale)
+		m.w2.Scale(scale)
+		scaleBias(m.b2, scale)
+	}
+	sum.g.wOut.Scale(scale)
+	scaleBias(sum.g.bOut, scale)
+	sum.count = 1
+	return sum, nil
+}
+
+func (pg *ParamGrads) clone() *ParamGrads {
+	out := &ParamGrads{count: pg.count, g: &grads{
+		wIn:  pg.g.wIn.Clone(),
+		bIn:  append([]float32(nil), pg.g.bIn...),
+		wOut: pg.g.wOut.Clone(),
+		bOut: append([]float32(nil), pg.g.bOut...),
+	}}
+	for _, m := range pg.g.mods {
+		out.g.mods = append(out.g.mods, &module{
+			w1: m.w1.Clone(), b1: append([]float32(nil), m.b1...),
+			w2: m.w2.Clone(), b2: append([]float32(nil), m.b2...),
+		})
+	}
+	return out
+}
+
+func (pg *ParamGrads) add(o *ParamGrads) {
+	pg.count += o.count
+	pg.g.wIn.AddInPlace(o.g.wIn)
+	addBias(pg.g.bIn, o.g.bIn)
+	for i, m := range pg.g.mods {
+		m.w1.AddInPlace(o.g.mods[i].w1)
+		addBias(m.b1, o.g.mods[i].b1)
+		m.w2.AddInPlace(o.g.mods[i].w2)
+		addBias(m.b2, o.g.mods[i].b2)
+	}
+	pg.g.wOut.AddInPlace(o.g.wOut)
+	addBias(pg.g.bOut, o.g.bOut)
+}
+
+func addBias(dst, src []float32) {
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+func scaleBias(b []float32, s float32) {
+	for i := range b {
+		b[i] *= s
+	}
+}
+
+// ApplyGrads steps every parameter with the (averaged) gradients.
+func (n *Network) ApplyGrads(opt *tensor.SGD, pg *ParamGrads) {
+	n.applySGD(opt, pg.g)
+}
+
+// GradBytes returns the wire size of one gradient exchange (float32 per
+// parameter), the quantity each all-reduce moves per worker pair.
+func (n *Network) GradBytes() float64 { return float64(n.ParamCount()) * 4 }

@@ -1,0 +1,268 @@
+package ffn
+
+import (
+	"math"
+	"testing"
+
+	"chaseci/internal/merra"
+	"chaseci/internal/tensor"
+)
+
+func smallConfig() Config {
+	return Config{
+		FOV:         [3]int{3, 7, 7},
+		Features:    6,
+		Modules:     2,
+		MoveStep:    [3]int{1, 2, 2},
+		MoveProb:    0.8,
+		SegmentProb: 0.6,
+		PadProb:     0.05,
+		SeedProb:    0.95,
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	bad := smallConfig()
+	bad.FOV = [3]int{4, 7, 7} // even
+	if _, err := NewNetwork(bad, 1); err == nil {
+		t.Fatal("even FOV accepted")
+	}
+	bad = smallConfig()
+	bad.MoveProb = 1.5
+	if _, err := NewNetwork(bad, 1); err == nil {
+		t.Fatal("MoveProb > 1 accepted")
+	}
+	if _, err := NewNetwork(smallConfig(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkDeterministicInit(t *testing.T) {
+	a, _ := NewNetwork(smallConfig(), 42)
+	b, _ := NewNetwork(smallConfig(), 42)
+	for i := range a.wIn.Data {
+		if a.wIn.Data[i] != b.wIn.Data[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	n, _ := NewNetwork(smallConfig(), 1)
+	f := 6
+	want := f*2*27 + f                    // input conv
+	want += 2 * (f*f*27 + f + f*f*27 + f) // two modules
+	want += f + 1                         // output conv 1x1x1 + bias
+	if got := n.ParamCount(); got != want {
+		t.Fatalf("ParamCount = %d, want %d", got, want)
+	}
+}
+
+func TestApplyShapes(t *testing.T) {
+	n, _ := NewNetwork(smallConfig(), 1)
+	img := tensor.New(1, 3, 7, 7)
+	pom := n.SeedPOM()
+	out := n.Apply(img, pom)
+	if !tensor.SameShape(out, pom) {
+		t.Fatalf("Apply output shape %v, want %v", out.Shape, pom.Shape)
+	}
+}
+
+func TestTrainStepReducesLossOnFixedExample(t *testing.T) {
+	n, _ := NewNetwork(smallConfig(), 7)
+	opt := tensor.NewSGD(0.05, 0.9)
+	img := tensor.New(1, 3, 7, 7)
+	lab := tensor.New(1, 3, 7, 7)
+	// Object occupies the left half of the FOV; image correlates with label.
+	for z := 0; z < 3; z++ {
+		for y := 0; y < 7; y++ {
+			for x := 0; x < 4; x++ {
+				idx := (z*7+y)*7 + x
+				img.Data[idx] = 2
+				lab.Data[idx] = 1
+			}
+		}
+	}
+	first := n.TrainStep(opt, img, lab)
+	var last float64
+	for i := 0; i < 120; i++ {
+		last = n.TrainStep(opt, img, lab)
+	}
+	if last >= first/2 {
+		t.Fatalf("loss did not halve: first=%v last=%v", first, last)
+	}
+}
+
+// buildARScene produces a small synthetic IVT scene with labels: image and
+// binary labels from the merra generator at test scale.
+func buildARScene(t *testing.T, steps int) (*Volume, *Volume) {
+	t.Helper()
+	g := merra.Grid{NLon: 36, NLat: 24, NLev: 6}
+	gen := merra.NewGenerator(g, 11)
+	levels := merra.PressureLevels(g.NLev)
+	vol := merra.IVTVolume(gen, levels, 20, steps)
+	// Threshold at a high quantile to label intense transport.
+	flat := merra.Field2D{NLon: vol.Grid.NLon * vol.Grid.NLat, NLat: vol.Grid.NLev, Data: vol.Data}
+	th := flat.Quantile(0.90)
+	img := &Volume{D: steps, H: g.NLat, W: g.NLon, Data: vol.Data}
+	lbl := NewVolume(steps, g.NLat, g.NLon)
+	for i, v := range vol.Data {
+		if v >= th {
+			lbl.Data[i] = 1
+		}
+	}
+	imgCopy := &Volume{D: img.D, H: img.H, W: img.W, Data: append([]float32(nil), img.Data...)}
+	imgCopy.Normalize()
+	return imgCopy, lbl
+}
+
+func TestTrainerConvergesOnSyntheticIVT(t *testing.T) {
+	img, lbl := buildARScene(t, 6)
+	n, _ := NewNetwork(smallConfig(), 3)
+	tr := NewTrainer(n, 0.03, 0.9, 99)
+	losses, err := tr.TrainOnVolume(img, lbl, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := MeanTail(losses[:50], 1)
+	tail := MeanTail(losses, 0.2)
+	if tail >= head {
+		t.Fatalf("training did not reduce loss: head=%v tail=%v", head, tail)
+	}
+}
+
+func TestSegmentFloodFillsObject(t *testing.T) {
+	img, lbl := buildARScene(t, 6)
+	n, _ := NewNetwork(smallConfig(), 3)
+	tr := NewTrainer(n, 0.03, 0.9, 99)
+	if _, err := tr.TrainOnVolume(img, lbl, 400); err != nil {
+		t.Fatal(err)
+	}
+	seeds := GridSeeds(img, n.cfg.FOV, [3]int{1, 4, 4}, 1.0)
+	if len(seeds) == 0 {
+		t.Fatal("no seeds above threshold")
+	}
+	mask, stats := n.Segment(img, seeds, 0)
+	if stats.Steps == 0 {
+		t.Fatal("no inference steps ran")
+	}
+	if stats.MaskVoxels == 0 {
+		t.Fatal("empty segmentation")
+	}
+	prec, rec := PrecisionRecall(mask, lbl)
+	if prec < 0.6 || rec < 0.4 {
+		t.Fatalf("segmentation quality too low: precision=%.2f recall=%.2f", prec, rec)
+	}
+}
+
+func TestSegmentRespectsMaxSteps(t *testing.T) {
+	img, _ := buildARScene(t, 6)
+	n, _ := NewNetwork(smallConfig(), 3)
+	seeds := GridSeeds(img, n.cfg.FOV, [3]int{1, 3, 3}, -10) // everything seeds
+	_, stats := n.Segment(img, seeds, 5)
+	if stats.Steps > 5 {
+		t.Fatalf("Steps = %d, exceeded maxSteps 5", stats.Steps)
+	}
+}
+
+func TestSegmentIgnoresOutOfBoundsSeeds(t *testing.T) {
+	img, _ := buildARScene(t, 6)
+	n, _ := NewNetwork(smallConfig(), 3)
+	_, stats := n.Segment(img, [][3]int{{0, 0, 0}, {100, 100, 100}}, 0)
+	if stats.SeedsUsed != 0 {
+		t.Fatalf("out-of-bounds seeds used: %d", stats.SeedsUsed)
+	}
+}
+
+func TestGridSeedsInBounds(t *testing.T) {
+	img := NewVolume(8, 16, 16)
+	for i := range img.Data {
+		img.Data[i] = 1
+	}
+	fov := [3]int{3, 5, 5}
+	seeds := GridSeeds(img, fov, [3]int{2, 4, 4}, 0.5)
+	if len(seeds) == 0 {
+		t.Fatal("no seeds")
+	}
+	for _, s := range seeds {
+		if s[0]-fov[0]/2 < 0 || s[0]+fov[0]/2 >= img.D ||
+			s[1]-fov[1]/2 < 0 || s[1]+fov[1]/2 >= img.H ||
+			s[2]-fov[2]/2 < 0 || s[2]+fov[2]/2 >= img.W {
+			t.Fatalf("seed %v leaves FOV out of bounds", s)
+		}
+	}
+}
+
+func TestVolumeNormalize(t *testing.T) {
+	v := NewVolume(2, 2, 2)
+	for i := range v.Data {
+		v.Data[i] = float32(i) * 10
+	}
+	v.Normalize()
+	var sum, sumsq float64
+	for _, x := range v.Data {
+		sum += float64(x)
+		sumsq += float64(x) * float64(x)
+	}
+	mean := sum / 8
+	variance := sumsq/8 - mean*mean
+	if math.Abs(mean) > 1e-5 || math.Abs(variance-1) > 1e-4 {
+		t.Fatalf("normalize: mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestIoUMetrics(t *testing.T) {
+	a, b := NewVolume(1, 1, 4), NewVolume(1, 1, 4)
+	a.Data = []float32{1, 1, 0, 0}
+	b.Data = []float32{1, 0, 1, 0}
+	if got := IoU(a, b); math.Abs(got-1.0/3) > 1e-9 {
+		t.Fatalf("IoU = %v, want 1/3", got)
+	}
+	empty1, empty2 := NewVolume(1, 1, 4), NewVolume(1, 1, 4)
+	if IoU(empty1, empty2) != 1 {
+		t.Fatal("IoU of empty masks should be 1")
+	}
+	p, r := PrecisionRecall(a, b)
+	if p != 0.5 || r != 0.5 {
+		t.Fatalf("precision/recall = %v/%v, want 0.5/0.5", p, r)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	n, _ := NewNetwork(smallConfig(), 13)
+	data := n.SaveBytes()
+	back, err := LoadBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.cfg != n.cfg {
+		t.Fatalf("config mismatch: %+v vs %+v", back.cfg, n.cfg)
+	}
+	// Identical weights => identical inference.
+	img := tensor.New(1, 3, 7, 7)
+	for i := range img.Data {
+		img.Data[i] = float32(i%5) - 2
+	}
+	a := n.Apply(img, n.SeedPOM())
+	b := back.Apply(img, back.SeedPOM())
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("loaded model predicts differently")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadBytes([]byte("definitely not a model")); err != ErrBadModel {
+		t.Fatalf("err = %v, want ErrBadModel", err)
+	}
+}
+
+func TestTrainOnVolumeNoExamples(t *testing.T) {
+	n, _ := NewNetwork(smallConfig(), 1)
+	tr := NewTrainer(n, 0.01, 0.9, 1)
+	tiny := NewVolume(1, 1, 1) // smaller than FOV: no centers
+	if _, err := tr.TrainOnVolume(tiny, tiny, 10); err != ErrNoExamples {
+		t.Fatalf("err = %v, want ErrNoExamples", err)
+	}
+}

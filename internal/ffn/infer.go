@@ -1,0 +1,227 @@
+package ffn
+
+import (
+	"chaseci/internal/tensor"
+)
+
+// Volume is a simple (D, H, W) float32 volume used for whole-dataset images,
+// label masks, and inference canvases. D is the time axis for the IVT
+// workload.
+type Volume struct {
+	D, H, W int
+	Data    []float32
+}
+
+// NewVolume allocates a zero volume.
+func NewVolume(d, h, w int) *Volume {
+	return &Volume{D: d, H: h, W: w, Data: make([]float32, d*h*w)}
+}
+
+// At returns the voxel at (z, y, x).
+func (v *Volume) At(z, y, x int) float32 { return v.Data[(z*v.H+y)*v.W+x] }
+
+// Set writes the voxel at (z, y, x).
+func (v *Volume) Set(z, y, x int, val float32) { v.Data[(z*v.H+y)*v.W+x] = val }
+
+// Size returns the voxel count.
+func (v *Volume) Size() int { return v.D * v.H * v.W }
+
+// Normalize scales the volume to zero mean, unit variance in place and
+// returns it (standard FFN input conditioning).
+func (v *Volume) Normalize() *Volume {
+	n := float64(len(v.Data))
+	if n == 0 {
+		return v
+	}
+	var sum, sumsq float64
+	for _, x := range v.Data {
+		sum += float64(x)
+		sumsq += float64(x) * float64(x)
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	std := 1.0
+	if variance > 1e-12 {
+		std = sqrt(variance)
+	}
+	for i := range v.Data {
+		v.Data[i] = float32((float64(v.Data[i]) - mean) / std)
+	}
+	return v
+}
+
+func sqrt(x float64) float64 {
+	// Newton iterations; avoids importing math twice for one call site and
+	// keeps Volume free of float64 surprises.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 30; i++ {
+		z = 0.5 * (z + x/z)
+	}
+	return z
+}
+
+// extractFOV copies the FOV centered at (cz, cy, cx) from a volume into a
+// (1,D,H,W) tensor. The center must be in-bounds for the full FOV.
+func extractFOV(v *Volume, fov [3]int, cz, cy, cx int) *tensor.Tensor {
+	d, h, w := fov[0], fov[1], fov[2]
+	out := tensor.New(1, d, h, w)
+	z0, y0, x0 := cz-d/2, cy-h/2, cx-w/2
+	i := 0
+	for z := 0; z < d; z++ {
+		for y := 0; y < h; y++ {
+			base := ((z0+z)*v.H + y0 + y) * v.W
+			copy(out.Data[i:i+w], v.Data[base+x0:base+x0+w])
+			i += w
+		}
+	}
+	return out
+}
+
+// writeFOV stores a (1,D,H,W) tensor back into the canvas at the FOV
+// position.
+func writeFOV(v *Volume, t *tensor.Tensor, cz, cy, cx int) {
+	d, h, w := t.Shape[1], t.Shape[2], t.Shape[3]
+	z0, y0, x0 := cz-d/2, cy-h/2, cx-w/2
+	i := 0
+	for z := 0; z < d; z++ {
+		for y := 0; y < h; y++ {
+			base := ((z0+z)*v.H + y0 + y) * v.W
+			copy(v.Data[base+x0:base+x0+w], t.Data[i:i+w])
+			i += w
+		}
+	}
+}
+
+// InferenceStats summarizes one flood-fill run.
+type InferenceStats struct {
+	Steps       int // network applications
+	Moves       int // FOV relocations enqueued
+	MaskVoxels  int // voxels above SegmentProb in the final mask
+	SeedsUsed   int
+	VoxelsTotal int
+}
+
+// Segment runs flood-filling inference over an image volume. Seeds are
+// (z, y, x) starting points (typically local IVT maxima); each flood fills
+// outward until no face of the FOV exceeds MoveProb. maxSteps bounds total
+// network applications (0 means no bound). The result is a binary mask
+// volume and run statistics.
+func (n *Network) Segment(image *Volume, seeds [][3]int, maxSteps int) (*Volume, InferenceStats) {
+	cfg := n.cfg
+	canvas := NewVolume(image.D, image.H, image.W)
+	padLogit := logit(cfg.PadProb)
+	for i := range canvas.Data {
+		canvas.Data[i] = padLogit
+	}
+	moveLogit := logit(cfg.MoveProb)
+	segLogit := logit(cfg.SegmentProb)
+
+	stats := InferenceStats{VoxelsTotal: image.Size()}
+	visited := make(map[int]bool)
+	keyOf := func(z, y, x int) int { return (z*image.H+y)*image.W + x }
+	inBounds := func(z, y, x int) bool {
+		return z-cfg.FOV[0]/2 >= 0 && z+cfg.FOV[0]/2 < image.D &&
+			y-cfg.FOV[1]/2 >= 0 && y+cfg.FOV[1]/2 < image.H &&
+			x-cfg.FOV[2]/2 >= 0 && x+cfg.FOV[2]/2 < image.W
+	}
+
+	type pos struct{ z, y, x int }
+	var queue []pos
+	for _, s := range seeds {
+		if inBounds(s[0], s[1], s[2]) && !visited[keyOf(s[0], s[1], s[2])] {
+			queue = append(queue, pos{s[0], s[1], s[2]})
+			visited[keyOf(s[0], s[1], s[2])] = true
+			canvas.Set(s[0], s[1], s[2], logit(cfg.SeedProb))
+			stats.SeedsUsed++
+		}
+	}
+
+	for len(queue) > 0 {
+		if maxSteps > 0 && stats.Steps >= maxSteps {
+			break
+		}
+		p := queue[0]
+		queue = queue[1:]
+		img := extractFOV(image, cfg.FOV, p.z, p.y, p.x)
+		// Each application is conditioned on a fresh seed POM (pad
+		// probability everywhere, seed probability at the center) so the
+		// network sees exactly the input distribution it was trained on;
+		// the canvas serves as the aggregation buffer across FOVs. This is
+		// the single-step simplification of FFN's recurrent POM, documented
+		// in DESIGN.md.
+		out := n.Apply(img, n.SeedPOM())
+		// Merge by element-wise max, and only within the central core of the
+		// FOV: zero-padded convolution borders make edge predictions
+		// unreliable, and strong object evidence should accumulate rather
+		// than saturate across overlapping applications.
+		merged := extractFOV(canvas, cfg.FOV, p.z, p.y, p.x)
+		mz, my, mx := cfg.FOV[0]/4, cfg.FOV[1]/4, cfg.FOV[2]/4
+		for z := mz; z < cfg.FOV[0]-mz; z++ {
+			for y := my; y < cfg.FOV[1]-my; y++ {
+				for x := mx; x < cfg.FOV[2]-mx; x++ {
+					i := (z*cfg.FOV[1]+y)*cfg.FOV[2] + x
+					if out.Data[i] > merged.Data[i] {
+						merged.Data[i] = out.Data[i]
+					}
+				}
+			}
+		}
+		writeFOV(canvas, merged, p.z, p.y, p.x)
+		stats.Steps++
+
+		// Probe the raw network output at the six move-target offsets
+		// (center +/- MoveStep along each axis); these sit inside the
+		// reliable core of the FOV prediction.
+		steps := [][3]int{
+			{-cfg.MoveStep[0], 0, 0}, {cfg.MoveStep[0], 0, 0},
+			{0, -cfg.MoveStep[1], 0}, {0, cfg.MoveStep[1], 0},
+			{0, 0, -cfg.MoveStep[2]}, {0, 0, cfg.MoveStep[2]},
+		}
+		for _, off := range steps {
+			fz := cfg.FOV[0]/2 + off[0]
+			fy := cfg.FOV[1]/2 + off[1]
+			fx := cfg.FOV[2]/2 + off[2]
+			v := out.Data[(fz*cfg.FOV[1]+fy)*cfg.FOV[2]+fx]
+			if v < moveLogit {
+				continue
+			}
+			nz, ny, nx := p.z+off[0], p.y+off[1], p.x+off[2]
+			if !inBounds(nz, ny, nx) || visited[keyOf(nz, ny, nx)] {
+				continue
+			}
+			visited[keyOf(nz, ny, nx)] = true
+			queue = append(queue, pos{nz, ny, nx})
+			stats.Moves++
+		}
+	}
+
+	// Threshold the canvas into a binary mask.
+	mask := NewVolume(image.D, image.H, image.W)
+	for i, v := range canvas.Data {
+		if v >= segLogit {
+			mask.Data[i] = 1
+			stats.MaskVoxels++
+		}
+	}
+	return mask, stats
+}
+
+// GridSeeds produces seed positions on a regular lattice wherever the image
+// exceeds threshold — the seed policy used when no object detector is
+// available.
+func GridSeeds(image *Volume, fov [3]int, stride [3]int, threshold float32) [][3]int {
+	var out [][3]int
+	for z := fov[0] / 2; z+fov[0]/2 < image.D; z += stride[0] {
+		for y := fov[1] / 2; y+fov[1]/2 < image.H; y += stride[1] {
+			for x := fov[2] / 2; x+fov[2]/2 < image.W; x += stride[2] {
+				if image.At(z, y, x) >= threshold {
+					out = append(out, [3]int{z, y, x})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package ffn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Model serialization: after step 2 the paper saves "the trained FFN model
+// ... in the Ceph Object Store, including all parameters and configurations
+// needed to do inference on new NASA data". This file provides that byte
+// format.
+
+var modelMagic = [8]byte{'F', 'F', 'N', 'M', 'O', 'D', 'L', 1}
+
+// ErrBadModel indicates the bytes are not a serialized FFN model.
+var ErrBadModel = errors.New("ffn: not a serialized model")
+
+// Save serializes the network (config + every weight) to w.
+func (n *Network) Save(w io.Writer) error {
+	if _, err := w.Write(modelMagic[:]); err != nil {
+		return err
+	}
+	cfg := []int32{
+		int32(n.cfg.FOV[0]), int32(n.cfg.FOV[1]), int32(n.cfg.FOV[2]),
+		int32(n.cfg.Features), int32(n.cfg.Modules),
+		int32(n.cfg.MoveStep[0]), int32(n.cfg.MoveStep[1]), int32(n.cfg.MoveStep[2]),
+	}
+	if err := binary.Write(w, binary.LittleEndian, cfg); err != nil {
+		return err
+	}
+	probs := []float32{n.cfg.MoveProb, n.cfg.SegmentProb, n.cfg.PadProb, n.cfg.SeedProb}
+	if err := binary.Write(w, binary.LittleEndian, probs); err != nil {
+		return err
+	}
+	write := func(data []float32) error {
+		return binary.Write(w, binary.LittleEndian, data)
+	}
+	if err := write(n.wIn.Data); err != nil {
+		return err
+	}
+	if err := write(n.bIn); err != nil {
+		return err
+	}
+	for _, m := range n.mods {
+		for _, d := range [][]float32{m.w1.Data, m.b1, m.w2.Data, m.b2} {
+			if err := write(d); err != nil {
+				return err
+			}
+		}
+	}
+	if err := write(n.wOut.Data); err != nil {
+		return err
+	}
+	return write(n.bOut)
+}
+
+// SaveBytes returns the serialized model.
+func (n *Network) SaveBytes() []byte {
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	return buf.Bytes()
+}
+
+// Load reconstructs a network from r.
+func Load(r io.Reader) (*Network, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != modelMagic {
+		return nil, ErrBadModel
+	}
+	cfgInts := make([]int32, 8)
+	if err := binary.Read(r, binary.LittleEndian, cfgInts); err != nil {
+		return nil, err
+	}
+	probs := make([]float32, 4)
+	if err := binary.Read(r, binary.LittleEndian, probs); err != nil {
+		return nil, err
+	}
+	cfg := Config{
+		FOV:      [3]int{int(cfgInts[0]), int(cfgInts[1]), int(cfgInts[2])},
+		Features: int(cfgInts[3]), Modules: int(cfgInts[4]),
+		MoveStep: [3]int{int(cfgInts[5]), int(cfgInts[6]), int(cfgInts[7])},
+		MoveProb: probs[0], SegmentProb: probs[1], PadProb: probs[2], SeedProb: probs[3],
+	}
+	n, err := NewNetwork(cfg, 0)
+	if err != nil {
+		return nil, fmt.Errorf("ffn: bad config in model: %w", err)
+	}
+	read := func(data []float32) error {
+		return binary.Read(r, binary.LittleEndian, data)
+	}
+	if err := read(n.wIn.Data); err != nil {
+		return nil, err
+	}
+	if err := read(n.bIn); err != nil {
+		return nil, err
+	}
+	for _, m := range n.mods {
+		for _, d := range [][]float32{m.w1.Data, m.b1, m.w2.Data, m.b2} {
+			if err := read(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := read(n.wOut.Data); err != nil {
+		return nil, err
+	}
+	if err := read(n.bOut); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// LoadBytes reconstructs a network from serialized bytes.
+func LoadBytes(data []byte) (*Network, error) { return Load(bytes.NewReader(data)) }

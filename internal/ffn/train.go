@@ -1,0 +1,133 @@
+package ffn
+
+import (
+	"errors"
+
+	"chaseci/internal/sim"
+	"chaseci/internal/tensor"
+)
+
+// Trainer drives FFN optimization on a labelled volume, sampling FOV
+// examples centered on object voxels (positive-biased sampling, as FFN
+// training does) and applying SGD steps.
+type Trainer struct {
+	Net *Network
+	Opt *tensor.SGD
+	// PositiveBias is the fraction of samples whose center voxel is inside
+	// an object (default 0.5; balanced sampling keeps flood-fill precision
+	// high when the seed assertion is wrong).
+	PositiveBias float64
+
+	rng *sim.RNG
+}
+
+// NewTrainer builds a trainer with the given learning rate and momentum.
+func NewTrainer(net *Network, lr, momentum float32, seed uint64) *Trainer {
+	return &Trainer{
+		Net:          net,
+		Opt:          tensor.NewSGD(lr, momentum),
+		PositiveBias: 0.5,
+		rng:          sim.NewRNG(seed),
+	}
+}
+
+// ErrNoExamples indicates the label volume has no usable training centers.
+var ErrNoExamples = errors.New("ffn: no valid training centers in volume")
+
+// TrainOnVolume runs `steps` optimization steps against (image, labels),
+// returning the per-step losses. Labels are a binary volume.
+func (t *Trainer) TrainOnVolume(image, labels *Volume, steps int) ([]float64, error) {
+	pos, neg := collectCenters(labels, t.Net.cfg.FOV)
+	if len(pos) == 0 && len(neg) == 0 {
+		return nil, ErrNoExamples
+	}
+	losses := make([]float64, 0, steps)
+	for s := 0; s < steps; s++ {
+		var c [3]int
+		usePos := len(pos) > 0 && (len(neg) == 0 || t.rng.Float64() < t.PositiveBias)
+		if usePos {
+			c = pos[t.rng.Intn(len(pos))]
+		} else {
+			c = neg[t.rng.Intn(len(neg))]
+		}
+		img := extractFOV(image, t.Net.cfg.FOV, c[0], c[1], c[2])
+		lab := extractFOV(labels, t.Net.cfg.FOV, c[0], c[1], c[2])
+		losses = append(losses, t.Net.TrainStep(t.Opt, img, lab))
+	}
+	return losses, nil
+}
+
+// collectCenters lists in-bounds FOV centers, split by label polarity.
+func collectCenters(labels *Volume, fov [3]int) (pos, neg [][3]int) {
+	for z := fov[0] / 2; z+fov[0]/2 < labels.D; z++ {
+		for y := fov[1] / 2; y+fov[1]/2 < labels.H; y++ {
+			for x := fov[2] / 2; x+fov[2]/2 < labels.W; x++ {
+				if labels.At(z, y, x) > 0.5 {
+					pos = append(pos, [3]int{z, y, x})
+				} else {
+					neg = append(neg, [3]int{z, y, x})
+				}
+			}
+		}
+	}
+	return pos, neg
+}
+
+// MeanTail returns the mean of the final frac (0..1] of xs — a convergence
+// summary used by tests and EXPERIMENTS.md.
+func MeanTail(xs []float64, frac float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := int(float64(len(xs)) * frac)
+	if n < 1 {
+		n = 1
+	}
+	sum := 0.0
+	for _, v := range xs[len(xs)-n:] {
+		sum += v
+	}
+	return sum / float64(n)
+}
+
+// IoU computes intersection-over-union between two binary volumes.
+func IoU(a, b *Volume) float64 {
+	inter, union := 0, 0
+	for i := range a.Data {
+		av, bv := a.Data[i] > 0.5, b.Data[i] > 0.5
+		if av && bv {
+			inter++
+		}
+		if av || bv {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// PrecisionRecall computes segmentation precision and recall of pred against
+// truth.
+func PrecisionRecall(pred, truth *Volume) (precision, recall float64) {
+	tp, fp, fn := 0, 0, 0
+	for i := range pred.Data {
+		p, g := pred.Data[i] > 0.5, truth.Data[i] > 0.5
+		switch {
+		case p && g:
+			tp++
+		case p && !g:
+			fp++
+		case !p && g:
+			fn++
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return precision, recall
+}

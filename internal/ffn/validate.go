@@ -1,0 +1,127 @@
+package ffn
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Section III-E3 support ("Hyperparameters and Validation Datasets"): the
+// paper separates training from test data ("the training volume is removed
+// from the test data volume for all validation metrics") and plans a Redis
+// queue of "model training/testing validation split methodologies and
+// parameter sets to be used in multi-model validation". This file provides
+// the split, the parameter sets, and the evaluation; core wires them to the
+// cluster and queue.
+
+// Split divides a volume along the time axis: the first trainSteps slices
+// train, the rest test. It panics if the split leaves either side empty,
+// since that is always a mis-sized experiment.
+func Split(img, lbl *Volume, trainSteps int) (trainImg, trainLbl, testImg, testLbl *Volume) {
+	if trainSteps <= 0 || trainSteps >= img.D {
+		panic(fmt.Sprintf("ffn: Split(%d) on %d-step volume leaves an empty side", trainSteps, img.D))
+	}
+	cut := trainSteps * img.H * img.W
+	mk := func(src *Volume, from, to int, d int) *Volume {
+		return &Volume{D: d, H: src.H, W: src.W, Data: src.Data[from:to]}
+	}
+	return mk(img, 0, cut, trainSteps), mk(lbl, 0, cut, trainSteps),
+		mk(img, cut, len(img.Data), img.D-trainSteps), mk(lbl, cut, len(lbl.Data), img.D-trainSteps)
+}
+
+// Hyperparams is one candidate configuration for multi-model validation.
+type Hyperparams struct {
+	LR         float32 `json:"lr"`
+	Momentum   float32 `json:"momentum"`
+	Features   int     `json:"features"`
+	Modules    int     `json:"modules"`
+	TrainSteps int     `json:"train_steps"`
+}
+
+// Encode serializes the parameter set for the Redis queue.
+func (h Hyperparams) Encode() string {
+	b, err := json.Marshal(h)
+	if err != nil {
+		panic(err) // static struct cannot fail to marshal
+	}
+	return string(b)
+}
+
+// DecodeHyperparams parses a queue message back into a parameter set.
+func DecodeHyperparams(s string) (Hyperparams, error) {
+	var h Hyperparams
+	if err := json.Unmarshal([]byte(s), &h); err != nil {
+		return Hyperparams{}, fmt.Errorf("ffn: bad hyperparameter message: %w", err)
+	}
+	return h, nil
+}
+
+// Grid expands the cartesian product of candidate values.
+func Grid(lrs []float32, moms []float32, features []int, steps []int) []Hyperparams {
+	var out []Hyperparams
+	for _, lr := range lrs {
+		for _, m := range moms {
+			for _, f := range features {
+				for _, s := range steps {
+					out = append(out, Hyperparams{
+						LR: lr, Momentum: m, Features: f, Modules: 2, TrainSteps: s,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ValidationResult records one candidate's held-out performance.
+type ValidationResult struct {
+	Params    Hyperparams `json:"params"`
+	TrainLoss float64     `json:"train_loss"`
+	Precision float64     `json:"precision"`
+	Recall    float64     `json:"recall"`
+	F1        float64     `json:"f1"`
+	IoU       float64     `json:"iou"`
+}
+
+// Better reports whether r beats o on F1 (ties broken by IoU).
+func (r ValidationResult) Better(o ValidationResult) bool {
+	if r.F1 != o.F1 {
+		return r.F1 > o.F1
+	}
+	return r.IoU > o.IoU
+}
+
+// Evaluate trains a fresh model with h on the training split and scores it
+// on the held-out split: the unit of work each sweep pod executes.
+func Evaluate(h Hyperparams, trainImg, trainLbl, testImg, testLbl *Volume, seed uint64) (ValidationResult, error) {
+	cfg := DefaultConfig()
+	cfg.FOV = [3]int{3, 7, 7}
+	cfg.Features = h.Features
+	if h.Modules > 0 {
+		cfg.Modules = h.Modules
+	}
+	cfg.MoveStep = [3]int{1, 2, 2}
+	net, err := NewNetwork(cfg, seed)
+	if err != nil {
+		return ValidationResult{}, err
+	}
+	tr := NewTrainer(net, h.LR, h.Momentum, seed^0xabcd)
+	losses, err := tr.TrainOnVolume(trainImg, trainLbl, h.TrainSteps)
+	if err != nil {
+		return ValidationResult{}, err
+	}
+	seeds := GridSeeds(testImg, cfg.FOV, [3]int{1, 4, 4}, 1.0)
+	mask, _ := net.Segment(testImg, seeds, 0)
+	prec, rec := PrecisionRecall(mask, testLbl)
+	f1 := 0.0
+	if prec+rec > 0 {
+		f1 = 2 * prec * rec / (prec + rec)
+	}
+	return ValidationResult{
+		Params:    h,
+		TrainLoss: MeanTail(losses, 0.2),
+		Precision: prec,
+		Recall:    rec,
+		F1:        f1,
+		IoU:       IoU(mask, testLbl),
+	}, nil
+}

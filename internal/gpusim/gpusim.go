@@ -1,0 +1,168 @@
+// Package gpusim is the hardware-timing substrate: it converts work sizes
+// (voxels processed by FFN training, inference, or data preparation) into
+// virtual-time durations for the NVIDIA 1080ti-class game GPUs CHASE-CI
+// deploys. The throughput constants are calibrated so the paper's three
+// measured step durations land exactly at full scale:
+//
+//	step 1 prep+train volume: 576 x 361 x 240 = 49.9M voxels
+//	step 2: 306 min total on one 1080ti (Fig 5: prep then training)
+//	step 3: 2.3e10 voxels over 50 GPUs in 1133 min (Fig 6 / Table I)
+//
+// The real FFN in internal/ffn measures pure-Go voxels/sec at laptop scale;
+// EXPERIMENTS.md records the ratio between that and these constants as the
+// modeled GPU speedup.
+package gpusim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Model holds throughput constants for one accelerator class, in voxels per
+// second of virtual time.
+type Model struct {
+	Name string
+	// TrainVoxelsPerSec covers the FFN optimization pass over a labelled
+	// volume (many FOV steps per voxel amortized in).
+	TrainVoxelsPerSec float64
+	// InferVoxelsPerSec covers flood-fill inference.
+	InferVoxelsPerSec float64
+	// PrepVoxelsPerSec covers CPU-side data preparation (NetCDF -> protobuf
+	// conversion feeding TensorFlow); attributed to the pod's CPUs, not the
+	// GPU, but expressed in the same voxel currency.
+	PrepVoxelsPerSec float64
+}
+
+// trainVolumeVoxels is the paper's training volume (576x361x240).
+const trainVolumeVoxels = 576 * 361 * 240
+
+// inferVoxelsTotal is the paper's full inference workload (2.3e10 voxels).
+const inferVoxelsTotal = 2.3e10
+
+// GTX1080Ti returns the calibrated 1080ti model. Step 2's 306 minutes are
+// split ~56 min of data preparation and ~250 min of training, matching the
+// Fig 5 shape (a shorter purple prep phase preceding the green training
+// phase).
+func GTX1080Ti() Model {
+	prepSeconds := 56.0 * 60
+	trainSeconds := 250.0 * 60
+	inferSecondsPerGPU := 1133.0 * 60 // each of the 50 GPUs works this long
+	return Model{
+		Name:              "NVIDIA GTX 1080 Ti",
+		TrainVoxelsPerSec: trainVolumeVoxels / trainSeconds,
+		InferVoxelsPerSec: inferVoxelsTotal / 50 / inferSecondsPerGPU,
+		PrepVoxelsPerSec:  trainVolumeVoxels / prepSeconds,
+	}
+}
+
+// SingleCPU returns the MATLAB-era baseline platform from the CONNECT
+// prior work ("a single CPU, limited memory"): roughly 40x slower than a
+// 1080ti at segmentation-class work, the class of gap the paper's
+// motivation cites for moving to the GPU cluster.
+func SingleCPU() Model {
+	g := GTX1080Ti()
+	return Model{
+		Name:              "single CPU (MATLAB-era baseline)",
+		TrainVoxelsPerSec: g.TrainVoxelsPerSec / 40,
+		InferVoxelsPerSec: g.InferVoxelsPerSec / 40,
+		PrepVoxelsPerSec:  g.PrepVoxelsPerSec, // prep is CPU-bound either way
+	}
+}
+
+func secsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// TrainTime returns the virtual duration to train on a volume.
+func (m Model) TrainTime(voxels float64) time.Duration {
+	return secsToDuration(voxels / m.TrainVoxelsPerSec)
+}
+
+// InferTime returns the virtual duration for one device to infer voxels.
+func (m Model) InferTime(voxels float64) time.Duration {
+	return secsToDuration(voxels / m.InferVoxelsPerSec)
+}
+
+// PrepTime returns the virtual duration of data preparation.
+func (m Model) PrepTime(voxels float64) time.Duration {
+	return secsToDuration(voxels / m.PrepVoxelsPerSec)
+}
+
+// ShardedInferTime returns the wall time for `gpus` devices to split voxels
+// evenly — the paper's step 3 pattern ("the entire 246GB ... is evenly
+// distributed across the 50 GPUs"). The slowest shard (ceiling division)
+// sets the completion time.
+func (m Model) ShardedInferTime(voxels float64, gpus int) time.Duration {
+	if gpus <= 0 {
+		panic(fmt.Sprintf("gpusim: ShardedInferTime with %d gpus", gpus))
+	}
+	shard := voxels / float64(gpus)
+	return m.InferTime(shard)
+}
+
+// DistTrainConfig parameterizes the Section III-E2 extension: TensorFlow
+// data-parallel distributed training over a Kubernetes ReplicaSet.
+type DistTrainConfig struct {
+	// ParamBytes is the model size exchanged per synchronization.
+	ParamBytes float64
+	// SyncsPerVolume is how many gradient synchronizations happen while a
+	// full training volume streams through.
+	SyncsPerVolume float64
+	// InterconnectBytesPerSec is the pod-to-pod bandwidth (PRP WAN or
+	// intra-site).
+	InterconnectBytesPerSec float64
+}
+
+// DefaultDistTrain mirrors the experiment setup: an FFN-sized model
+// (~10 MB of float32 parameters), one sync per training batch (~2000 per
+// volume), 10 Gbps pod interconnect.
+func DefaultDistTrain() DistTrainConfig {
+	return DistTrainConfig{
+		ParamBytes:              10e6,
+		SyncsPerVolume:          2000,
+		InterconnectBytesPerSec: 10e9 / 8,
+	}
+}
+
+// DistTrainTime models data-parallel training time on `gpus` workers: the
+// compute shrinks as 1/gpus while every sync pays a ring all-reduce cost of
+// 2*(g-1)/g * ParamBytes over the interconnect. With one GPU there is no
+// communication. The resulting curve has the classic diminishing-returns
+// shape the paper's future-work section anticipates measuring.
+func (m Model) DistTrainTime(voxels float64, gpus int, cfg DistTrainConfig) time.Duration {
+	if gpus <= 0 {
+		panic(fmt.Sprintf("gpusim: DistTrainTime with %d gpus", gpus))
+	}
+	compute := voxels / m.TrainVoxelsPerSec / float64(gpus)
+	comm := 0.0
+	if gpus > 1 {
+		perSync := 2 * float64(gpus-1) / float64(gpus) * cfg.ParamBytes / cfg.InterconnectBytesPerSec
+		comm = perSync * cfg.SyncsPerVolume
+	}
+	return secsToDuration(compute + comm)
+}
+
+// Speedup returns t1/tg as a convenience for scaling tables.
+func Speedup(t1, tg time.Duration) float64 {
+	if tg <= 0 {
+		return 0
+	}
+	return float64(t1) / float64(tg)
+}
+
+// PaperWorkload bundles the full-scale workload constants for reuse by the
+// bench harness.
+type PaperWorkload struct {
+	TrainVoxels float64
+	InferVoxels float64
+	InferGPUs   int
+}
+
+// Paper returns the case study's workload sizes.
+func Paper() PaperWorkload {
+	return PaperWorkload{
+		TrainVoxels: trainVolumeVoxels,
+		InferVoxels: inferVoxelsTotal,
+		InferGPUs:   50,
+	}
+}

@@ -1,0 +1,124 @@
+package gpusim
+
+import (
+	"testing"
+	"time"
+)
+
+func within(got, want, tolFrac time.Duration) bool {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= tolFrac
+}
+
+func TestCalibrationReproducesStep2(t *testing.T) {
+	m := GTX1080Ti()
+	w := Paper()
+	total := m.PrepTime(w.TrainVoxels) + m.TrainTime(w.TrainVoxels)
+	want := 306 * time.Minute
+	if !within(total, want, time.Minute) {
+		t.Fatalf("step 2 time = %v, want ~%v", total, want)
+	}
+}
+
+func TestCalibrationReproducesStep3(t *testing.T) {
+	m := GTX1080Ti()
+	w := Paper()
+	got := m.ShardedInferTime(w.InferVoxels, w.InferGPUs)
+	want := 1133 * time.Minute
+	if !within(got, want, time.Minute) {
+		t.Fatalf("step 3 time = %v, want ~%v", got, want)
+	}
+}
+
+func TestInferenceScalesInversely(t *testing.T) {
+	m := GTX1080Ti()
+	w := Paper()
+	t50 := m.ShardedInferTime(w.InferVoxels, 50)
+	t100 := m.ShardedInferTime(w.InferVoxels, 100)
+	t25 := m.ShardedInferTime(w.InferVoxels, 25)
+	if s := Speedup(t25, t50); s < 1.9 || s > 2.1 {
+		t.Fatalf("25->50 GPU speedup = %v, want ~2", s)
+	}
+	if s := Speedup(t50, t100); s < 1.9 || s > 2.1 {
+		t.Fatalf("50->100 GPU speedup = %v, want ~2", s)
+	}
+}
+
+func TestSingleCPUBaselineSlower(t *testing.T) {
+	gpu, cpu := GTX1080Ti(), SingleCPU()
+	w := Paper()
+	ratio := float64(cpu.InferTime(w.InferVoxels)) / float64(gpu.InferTime(w.InferVoxels))
+	if ratio < 30 || ratio > 50 {
+		t.Fatalf("CPU/GPU inference ratio = %v, want ~40", ratio)
+	}
+}
+
+func TestShardedInferPanicsOnZeroGPUs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero GPUs")
+		}
+	}()
+	GTX1080Ti().ShardedInferTime(1e9, 0)
+}
+
+func TestDistTrainNoCommOnSingleGPU(t *testing.T) {
+	m := GTX1080Ti()
+	cfg := DefaultDistTrain()
+	if m.DistTrainTime(1e6, 1, cfg) != m.TrainTime(1e6) {
+		t.Fatal("single-GPU distributed training should equal serial training")
+	}
+}
+
+func TestDistTrainDiminishingReturns(t *testing.T) {
+	m := GTX1080Ti()
+	cfg := DefaultDistTrain()
+	w := Paper()
+	t1 := m.DistTrainTime(w.TrainVoxels, 1, cfg)
+	t2 := m.DistTrainTime(w.TrainVoxels, 2, cfg)
+	t8 := m.DistTrainTime(w.TrainVoxels, 8, cfg)
+	t64 := m.DistTrainTime(w.TrainVoxels, 64, cfg)
+	if t2 >= t1 {
+		t.Fatalf("2 GPUs (%v) not faster than 1 (%v)", t2, t1)
+	}
+	s8 := Speedup(t1, t8)
+	s64 := Speedup(t1, t64)
+	if s8 <= 1 {
+		t.Fatalf("8-GPU speedup = %v, want > 1", s8)
+	}
+	// Efficiency must degrade: speedup-per-GPU at 64 below that at 8.
+	if s64/64 >= s8/8 {
+		t.Fatalf("no diminishing returns: eff(64)=%v >= eff(8)=%v", s64/64, s8/8)
+	}
+}
+
+func TestDistTrainCommBoundAtScale(t *testing.T) {
+	// With a slow interconnect, large worker counts must be slower than
+	// moderate ones (communication dominates).
+	m := GTX1080Ti()
+	cfg := DefaultDistTrain()
+	cfg.InterconnectBytesPerSec = 1e6 // pathological 8 Mbps
+	w := Paper()
+	t4 := m.DistTrainTime(w.TrainVoxels, 4, cfg)
+	t128 := m.DistTrainTime(w.TrainVoxels, 128, cfg)
+	if t128 <= t4 {
+		t.Fatalf("comm-bound regime missing: t128=%v <= t4=%v", t128, t4)
+	}
+}
+
+func TestSpeedupZeroDenominator(t *testing.T) {
+	if Speedup(time.Second, 0) != 0 {
+		t.Fatal("Speedup with zero denominator should be 0")
+	}
+}
+
+func TestPrepFasterThanTraining(t *testing.T) {
+	m := GTX1080Ti()
+	w := Paper()
+	if m.PrepTime(w.TrainVoxels) >= m.TrainTime(w.TrainVoxels) {
+		t.Fatal("Fig 5 shape violated: prep should be shorter than training")
+	}
+}

@@ -1,0 +1,91 @@
+package merra
+
+import (
+	"fmt"
+	"time"
+)
+
+// ArchiveSpec models the M2I3NPASM holdings the case study downloads: a
+// 3-hourly sequence of granules between Start and End inclusive, with the
+// paper's aggregate sizes. File *sizes* are modeled (the simulation moves
+// sized objects over the WAN); file *contents* at experiment scale come from
+// Generator.
+type ArchiveSpec struct {
+	Start     time.Time
+	End       time.Time
+	StepHours int
+	// FullFileBytes is the average size of a whole granule (all variables).
+	FullFileBytes float64
+	// SubsetFileBytes is the size of the IVT-only subset of a granule.
+	SubsetFileBytes float64
+}
+
+// MERRA2 returns the paper's archive: 3-hourly from 1980-01-01 through
+// 2018-05-31 (112,249 granules), 455 GB full, 246 GB subset. The paper's
+// count of 112,249 works out to the instantaneous 00:00 UTC granule of
+// June 1 being included as the archive's closing bound.
+func MERRA2() ArchiveSpec {
+	const files = 112249
+	return ArchiveSpec{
+		Start:           time.Date(1980, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:             time.Date(2018, 6, 1, 0, 0, 0, 0, time.UTC),
+		StepHours:       3,
+		FullFileBytes:   455e9 / files,
+		SubsetFileBytes: 246e9 / files,
+	}
+}
+
+// NumFiles returns the number of granules in the archive.
+func (a ArchiveSpec) NumFiles() int {
+	if a.End.Before(a.Start) || a.StepHours <= 0 {
+		return 0
+	}
+	step := time.Duration(a.StepHours) * time.Hour
+	return int(a.End.Sub(a.Start)/step) + 1
+}
+
+// FileTime returns the timestamp of granule i.
+func (a ArchiveSpec) FileTime(i int) time.Time {
+	return a.Start.Add(time.Duration(i) * time.Duration(a.StepHours) * time.Hour)
+}
+
+// FileName returns the MERRA-2-style granule name for index i, e.g.
+// "MERRA2_100.inst3_3d_asm_Np.19800101_0000.nc4".
+func (a ArchiveSpec) FileName(i int) string {
+	t := a.FileTime(i)
+	// MERRA-2 production streams: 100 (80s), 200 (90s), 300 (00s), 400 (10s+).
+	stream := 100
+	switch {
+	case t.Year() >= 2011:
+		stream = 400
+	case t.Year() >= 2001:
+		stream = 300
+	case t.Year() >= 1992:
+		stream = 200
+	}
+	return fmt.Sprintf("MERRA2_%d.inst3_3d_asm_Np.%04d%02d%02d_%02d%02d.nc4",
+		stream, t.Year(), int(t.Month()), t.Day(), t.Hour(), t.Minute())
+}
+
+// TotalBytes returns the archive size; subset selects IVT-only granules.
+func (a ArchiveSpec) TotalBytes(subset bool) float64 {
+	per := a.FullFileBytes
+	if subset {
+		per = a.SubsetFileBytes
+	}
+	return per * float64(a.NumFiles())
+}
+
+// Slice returns a copy of the spec covering only the first n granules,
+// used to run the workflow at reduced scale with identical shape.
+func (a ArchiveSpec) Slice(n int) ArchiveSpec {
+	if n <= 0 {
+		n = 1
+	}
+	if n > a.NumFiles() {
+		n = a.NumFiles()
+	}
+	out := a
+	out.End = a.FileTime(n - 1)
+	return out
+}

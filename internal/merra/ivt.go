@@ -1,0 +1,98 @@
+package merra
+
+import "math"
+
+// Integrated Water Vapor Transport: the vertically integrated horizontal
+// moisture flux,
+//
+//	IVT = (1/g) * sqrt( (integral q*u dp)^2 + (integral q*v dp)^2 )
+//
+// computed with pressure-level weights. This is the variable the case study
+// selects from M2I3NPASM via THREDDS subsetting and the quantity whose
+// intense filaments ("atmospheric rivers") the CONNECT algorithm and the FFN
+// segment.
+
+const gravity = 9.80665 // m/s^2
+
+// PressureLevels returns a plausible MERRA-2-like level set in Pa, surface
+// first, for n levels spanning 1000 hPa down to 100 hPa.
+func PressureLevels(n int) []float64 {
+	levels := make([]float64, n)
+	for k := 0; k < n; k++ {
+		frac := float64(k) / float64(n-1)
+		levels[k] = (1000 - 900*frac) * 100 // Pa
+	}
+	if n == 1 {
+		levels[0] = 100000
+	}
+	return levels
+}
+
+// IVT computes the transport magnitude field from a state, using trapezoidal
+// integration over the given pressure levels (surface first, decreasing).
+// It panics if the level count disagrees with the state's grid, since that
+// is always a wiring bug in experiment setup.
+func IVT(st *State, levels []float64) *Field2D {
+	g := st.Q.Grid
+	if len(levels) != g.NLev {
+		panic("merra: IVT level count mismatch")
+	}
+	out := NewField2D(g.NLon, g.NLat)
+	for j := 0; j < g.NLat; j++ {
+		for i := 0; i < g.NLon; i++ {
+			var fx, fy float64
+			for k := 0; k < g.NLev-1; k++ {
+				dp := levels[k] - levels[k+1] // positive, Pa
+				quA := float64(st.Q.At(i, j, k)) * float64(st.U.At(i, j, k))
+				quB := float64(st.Q.At(i, j, k+1)) * float64(st.U.At(i, j, k+1))
+				qvA := float64(st.Q.At(i, j, k)) * float64(st.V.At(i, j, k))
+				qvB := float64(st.Q.At(i, j, k+1)) * float64(st.V.At(i, j, k+1))
+				fx += 0.5 * (quA + quB) * dp
+				fy += 0.5 * (qvA + qvB) * dp
+			}
+			fx /= gravity
+			fy /= gravity
+			out.Set(i, j, float32(math.Sqrt(fx*fx+fy*fy)))
+		}
+	}
+	return out
+}
+
+// LabelMask thresholds an IVT field into the binary representation used for
+// FFN training ("a binary representation of locations on earth where intense
+// large-scale moisture transport (IVT) processes exist"). Values >= threshold
+// become 1.
+func LabelMask(ivt *Field2D, threshold float32) *Field2D {
+	out := NewField2D(ivt.NLon, ivt.NLat)
+	for idx, v := range ivt.Data {
+		if v >= threshold {
+			out.Data[idx] = 1
+		}
+	}
+	return out
+}
+
+// IVTVolume stacks per-step IVT fields into a (time, lat, lon) volume — the
+// 576x361x240 training volume of the paper's step 2 at whatever scale the
+// grid dictates. The returned Field3D uses NLev as the time axis.
+func IVTVolume(gen *Generator, levels []float64, startStep, steps int) *Field3D {
+	g := gen.Grid
+	vol := NewField3D(Grid{NLon: g.NLon, NLat: g.NLat, NLev: steps})
+	for t := 0; t < steps; t++ {
+		f := IVT(gen.State(startStep+t), levels)
+		copy(vol.Data[t*g.NLon*g.NLat:(t+1)*g.NLon*g.NLat], f.Data)
+	}
+	return vol
+}
+
+// MaskVolume thresholds an IVT volume into a binary volume, the label data
+// for FFN training and the input to the CONNECT baseline.
+func MaskVolume(vol *Field3D, threshold float32) *Field3D {
+	out := NewField3D(vol.Grid)
+	for idx, v := range vol.Data {
+		if v >= threshold {
+			out.Data[idx] = 1
+		}
+	}
+	return out
+}

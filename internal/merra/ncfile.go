@@ -1,0 +1,281 @@
+package merra
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// NC4-lite: a minimal self-describing binary container standing in for
+// NetCDF4. Layout (all integers little-endian):
+//
+//	magic   [8]byte  "NC4LITE\x00"
+//	time    int64    file timestamp, unix seconds
+//	nvars   uint32
+//	per variable:
+//	  nameLen uint16, name bytes
+//	  ndims   uint16, dims []uint32
+//	  payload float32 x prod(dims)
+//
+// The format supports ExtractVariable: reading a single variable from the
+// encoded bytes without materializing the others. That capability is exactly
+// what the paper exploits through the THREDDS subset tool to shrink the
+// transfer from 455 GB to 246 GB.
+
+var ncMagic = [8]byte{'N', 'C', '4', 'L', 'I', 'T', 'E', 0}
+
+// Errors from NC4-lite decoding.
+var (
+	ErrBadMagic = errors.New("merra: not an NC4-lite file")
+	ErrNoVar    = errors.New("merra: variable not found")
+)
+
+// Variable is one named array in a file.
+type Variable struct {
+	Name string
+	Dims []int
+	Data []float32
+}
+
+// Size returns the element count implied by Dims.
+func (v *Variable) Size() int {
+	n := 1
+	for _, d := range v.Dims {
+		n *= d
+	}
+	return n
+}
+
+// File is an NC4-lite dataset.
+type File struct {
+	Time int64
+	Vars []Variable
+}
+
+// AddVariable appends a variable; it returns an error if data length does
+// not match dims.
+func (f *File) AddVariable(name string, dims []int, data []float32) error {
+	v := Variable{Name: name, Dims: dims, Data: data}
+	if v.Size() != len(data) {
+		return fmt.Errorf("merra: variable %s dims %v imply %d elements, got %d",
+			name, dims, v.Size(), len(data))
+	}
+	f.Vars = append(f.Vars, v)
+	return nil
+}
+
+// Var returns the named variable, or nil.
+func (f *File) Var(name string) *Variable {
+	for i := range f.Vars {
+		if f.Vars[i].Name == name {
+			return &f.Vars[i]
+		}
+	}
+	return nil
+}
+
+// Encode serializes the file.
+func (f *File) Encode(w io.Writer) error {
+	if _, err := w.Write(ncMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, f.Time); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(f.Vars))); err != nil {
+		return err
+	}
+	for _, v := range f.Vars {
+		if len(v.Name) > math.MaxUint16 {
+			return fmt.Errorf("merra: variable name too long (%d bytes)", len(v.Name))
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint16(len(v.Name))); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte(v.Name)); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint16(len(v.Dims))); err != nil {
+			return err
+		}
+		for _, d := range v.Dims {
+			if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(w, binary.LittleEndian, v.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeBytes returns the serialized file.
+func (f *File) EncodeBytes() []byte {
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		// bytes.Buffer writes cannot fail; any error is a format bug.
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// Decode parses an entire NC4-lite stream.
+func Decode(r io.Reader) (*File, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != ncMagic {
+		return nil, ErrBadMagic
+	}
+	f := &File{}
+	if err := binary.Read(r, binary.LittleEndian, &f.Time); err != nil {
+		return nil, err
+	}
+	var nvars uint32
+	if err := binary.Read(r, binary.LittleEndian, &nvars); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nvars; i++ {
+		v, err := decodeVar(r, false)
+		if err != nil {
+			return nil, err
+		}
+		f.Vars = append(f.Vars, *v)
+	}
+	return f, nil
+}
+
+// DecodeBytes parses a serialized file from memory.
+func DecodeBytes(data []byte) (*File, error) { return Decode(bytes.NewReader(data)) }
+
+func decodeVar(r io.Reader, skipData bool) (*Variable, error) {
+	var nameLen uint16
+	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, err
+	}
+	var ndims uint16
+	if err := binary.Read(r, binary.LittleEndian, &ndims); err != nil {
+		return nil, err
+	}
+	v := &Variable{Name: string(name), Dims: make([]int, ndims)}
+	for d := 0; d < int(ndims); d++ {
+		var dim uint32
+		if err := binary.Read(r, binary.LittleEndian, &dim); err != nil {
+			return nil, err
+		}
+		v.Dims[d] = int(dim)
+	}
+	n := v.Size()
+	if skipData {
+		if s, ok := r.(io.Seeker); ok {
+			if _, err := s.Seek(int64(n)*4, io.SeekCurrent); err != nil {
+				return nil, err
+			}
+			return v, nil
+		}
+		if _, err := io.CopyN(io.Discard, r, int64(n)*4); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	v.Data = make([]float32, n)
+	if err := binary.Read(r, binary.LittleEndian, v.Data); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// ExtractVariable reads a single named variable from encoded bytes, skipping
+// (not allocating) every other variable's payload — the subset operation.
+func ExtractVariable(data []byte, name string) (*Variable, error) {
+	r := bytes.NewReader(data)
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != ncMagic {
+		return nil, ErrBadMagic
+	}
+	var t int64
+	if err := binary.Read(r, binary.LittleEndian, &t); err != nil {
+		return nil, err
+	}
+	var nvars uint32
+	if err := binary.Read(r, binary.LittleEndian, &nvars); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nvars; i++ {
+		// Peek the header to decide whether to read or skip the payload.
+		v, err := decodeVar(r, true)
+		if err != nil {
+			return nil, err
+		}
+		if v.Name != name {
+			continue
+		}
+		// Rewind over the payload we skipped and read it for real.
+		if _, err := r.Seek(-int64(v.Size())*4, io.SeekCurrent); err != nil {
+			return nil, err
+		}
+		v.Data = make([]float32, v.Size())
+		if err := binary.Read(r, binary.LittleEndian, v.Data); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	return nil, ErrNoVar
+}
+
+// ListVariables returns the variable headers (no payload) in file order.
+func ListVariables(data []byte) ([]Variable, error) {
+	r := bytes.NewReader(data)
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != ncMagic {
+		return nil, ErrBadMagic
+	}
+	var t int64
+	if err := binary.Read(r, binary.LittleEndian, &t); err != nil {
+		return nil, err
+	}
+	var nvars uint32
+	if err := binary.Read(r, binary.LittleEndian, &nvars); err != nil {
+		return nil, err
+	}
+	out := make([]Variable, 0, nvars)
+	for i := uint32(0); i < nvars; i++ {
+		v, err := decodeVar(r, true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *v)
+	}
+	return out, nil
+}
+
+// StateFile packages a synthetic state (plus its derived IVT) as an NC4-lite
+// file with variables QV, U, V, IVT — the shape a real M2I3NPASM granule has
+// for this workflow's purposes.
+func StateFile(st *State, levels []float64, timestamp int64) *File {
+	g := st.Q.Grid
+	f := &File{Time: timestamp}
+	dims3 := []int{g.NLev, g.NLat, g.NLon}
+	// Errors are impossible here: dims are derived from the slices.
+	f.AddVariable("QV", dims3, st.Q.Data)
+	f.AddVariable("U", dims3, st.U.Data)
+	f.AddVariable("V", dims3, st.V.Data)
+	ivt := IVT(st, levels)
+	f.AddVariable("IVT", []int{g.NLat, g.NLon}, ivt.Data)
+	return f
+}

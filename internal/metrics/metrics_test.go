@@ -1,0 +1,309 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"chaseci/internal/sim"
+)
+
+func newTestRegistry() (*sim.Clock, *Registry) {
+	c := sim.NewClock()
+	return c, NewRegistry(c)
+}
+
+func TestGaugeRecordsAtVirtualTime(t *testing.T) {
+	c, r := newTestRegistry()
+	g := r.Gauge("cpu_in_use", Labels{"pod": "w1"})
+	g.Set(4)
+	c.RunUntil(10 * time.Second)
+	g.Set(8)
+	s := r.Select("cpu_in_use", nil)[0]
+	if len(s.Samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(s.Samples))
+	}
+	if s.Samples[0] != (Sample{0, 4}) || s.Samples[1] != (Sample{10 * time.Second, 8}) {
+		t.Fatalf("samples = %v", s.Samples)
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	_, r := newTestRegistry()
+	g := r.Gauge("pods", nil)
+	g.Add(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Fatalf("gauge value = %v, want 2", g.Value())
+	}
+}
+
+func TestCounterMonotone(t *testing.T) {
+	_, r := newTestRegistry()
+	cnt := r.Counter("bytes_total", nil)
+	cnt.Add(100)
+	cnt.Inc()
+	if cnt.Value() != 101 {
+		t.Fatalf("counter = %v, want 101", cnt.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter add did not panic")
+		}
+	}()
+	cnt.Add(-1)
+}
+
+func TestSameInstantOverwrites(t *testing.T) {
+	_, r := newTestRegistry()
+	g := r.Gauge("g", nil)
+	g.Set(1)
+	g.Set(2)
+	s := r.Select("g", nil)[0]
+	if len(s.Samples) != 1 || s.Samples[0].Value != 2 {
+		t.Fatalf("samples = %v, want single sample of 2", s.Samples)
+	}
+}
+
+func TestSelectByLabels(t *testing.T) {
+	_, r := newTestRegistry()
+	r.Gauge("mem", Labels{"pod": "a", "ns": "x"}).Set(1)
+	r.Gauge("mem", Labels{"pod": "b", "ns": "x"}).Set(2)
+	r.Gauge("mem", Labels{"pod": "c", "ns": "y"}).Set(3)
+	r.Gauge("cpu", Labels{"pod": "a", "ns": "x"}).Set(4)
+
+	if got := len(r.Select("mem", Labels{"ns": "x"})); got != 2 {
+		t.Fatalf("Select(mem, ns=x) returned %d series, want 2", got)
+	}
+	if got := len(r.Select("mem", nil)); got != 3 {
+		t.Fatalf("Select(mem) returned %d series, want 3", got)
+	}
+	if got := len(r.Select("", Labels{"pod": "a"})); got != 2 {
+		t.Fatalf("Select(*, pod=a) returned %d series, want 2", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	_, r := newTestRegistry()
+	r.Gauge("b_metric", nil).Set(1)
+	r.Gauge("a_metric", nil).Set(1)
+	r.Gauge("b_metric", Labels{"x": "1"}).Set(1)
+	names := r.Names()
+	if len(names) != 2 || names[0] != "b_metric" || names[1] != "a_metric" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestLabelsStringDeterministic(t *testing.T) {
+	l := Labels{"z": "1", "a": "2"}
+	want := `{a="2",z="1"}`
+	if l.String() != want {
+		t.Fatalf("labels string = %s, want %s", l.String(), want)
+	}
+}
+
+func TestValueAt(t *testing.T) {
+	c, r := newTestRegistry()
+	g := r.Gauge("v", nil)
+	g.Set(1)
+	c.RunUntil(10 * time.Second)
+	g.Set(5)
+	s := r.Select("v", nil)[0]
+
+	if v, ok := ValueAt(s, 5*time.Second); !ok || v != 1 {
+		t.Fatalf("ValueAt(5s) = %v,%v want 1,true", v, ok)
+	}
+	if v, ok := ValueAt(s, 10*time.Second); !ok || v != 5 {
+		t.Fatalf("ValueAt(10s) = %v,%v want 5,true", v, ok)
+	}
+	if _, ok := ValueAt(s, -time.Second); ok {
+		t.Fatal("ValueAt before first sample reported ok")
+	}
+}
+
+func TestRateOfCounter(t *testing.T) {
+	c, r := newTestRegistry()
+	cnt := r.Counter("bytes", nil)
+	for i := 0; i < 10; i++ {
+		cnt.Add(1000) // 1000 bytes per second
+		c.RunUntil(time.Duration(i+1) * time.Second)
+	}
+	rate := Rate(r.Select("bytes", nil)[0], 2*time.Second, 9*time.Second, time.Second, 2*time.Second)
+	for _, s := range rate {
+		if s.Value < 900 || s.Value > 1100 {
+			t.Fatalf("rate at %v = %v, want ~1000", s.At, s.Value)
+		}
+	}
+}
+
+func TestSumSeries(t *testing.T) {
+	c, r := newTestRegistry()
+	a := r.Gauge("load", Labels{"w": "a"})
+	b := r.Gauge("load", Labels{"w": "b"})
+	a.Set(1)
+	b.Set(2)
+	c.RunUntil(time.Second)
+	sum := SumSeries(r.Select("load", nil), 0, time.Second, time.Second)
+	if len(sum) != 2 || sum[0].Value != 3 || sum[1].Value != 3 {
+		t.Fatalf("sum = %v", sum)
+	}
+}
+
+func TestIntegralOfStepFunction(t *testing.T) {
+	c, r := newTestRegistry()
+	g := r.Gauge("gpus", nil)
+	g.Set(2) // 2 GPUs for 10s, then 4 GPUs for 10s => 60 gpu-seconds
+	c.RunUntil(10 * time.Second)
+	g.Set(4)
+	c.RunUntil(20 * time.Second)
+	got := Integral(r.Select("gpus", nil)[0], 0, 20*time.Second)
+	if got != 60 {
+		t.Fatalf("Integral = %v, want 60", got)
+	}
+}
+
+func TestIntegralEmptyRange(t *testing.T) {
+	_, r := newTestRegistry()
+	g := r.Gauge("g", nil)
+	g.Set(5)
+	if got := Integral(r.Select("g", nil)[0], time.Second, time.Second); got != 0 {
+		t.Fatalf("Integral over empty range = %v, want 0", got)
+	}
+}
+
+func TestResampleCarriesForward(t *testing.T) {
+	c, r := newTestRegistry()
+	g := r.Gauge("v", nil)
+	g.Set(7)
+	c.RunUntil(100 * time.Second)
+	out := Resample(r.Select("v", nil)[0], 0, 100*time.Second, 10*time.Second)
+	if len(out) != 11 {
+		t.Fatalf("resample returned %d points, want 11", len(out))
+	}
+	for _, s := range out {
+		if s.Value != 7 {
+			t.Fatalf("resampled value at %v = %v, want 7", s.At, s.Value)
+		}
+	}
+}
+
+func TestMaxMeanOf(t *testing.T) {
+	in := []Sample{{0, 1}, {1, 5}, {2, 3}}
+	if MaxOf(in) != 5 {
+		t.Fatalf("MaxOf = %v, want 5", MaxOf(in))
+	}
+	if MeanOf(in) != 3 {
+		t.Fatalf("MeanOf = %v, want 3", MeanOf(in))
+	}
+	if MaxOf(nil) != 0 || MeanOf(nil) != 0 {
+		t.Fatal("empty aggregates should be 0")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	c, r := newTestRegistry()
+	g := r.Gauge("v", nil)
+	for i := 0; i <= 10; i++ {
+		g.Set(float64(i))
+		c.RunUntil(time.Duration(i+1) * time.Second)
+	}
+	s := r.Select("v", nil)[0]
+	got := s.Between(3*time.Second, 6*time.Second)
+	if len(got) != 4 {
+		t.Fatalf("Between returned %d samples, want 4", len(got))
+	}
+	if got[0].At != 3*time.Second || got[3].At != 6*time.Second {
+		t.Fatalf("Between bounds wrong: %v", got)
+	}
+}
+
+func TestChartRendersPeak(t *testing.T) {
+	samples := []Sample{{0, 0}, {time.Second, 100}, {2 * time.Second, 0}}
+	out := Chart(samples, ChartOptions{Width: 30, Height: 5, Title: "test", Unit: "MB/s"})
+	if !strings.Contains(out, "test") {
+		t.Fatal("chart missing title")
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("chart has no plotted area")
+	}
+	if !strings.Contains(out, "100.00MB/s") {
+		t.Fatalf("chart missing max label:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart(nil, ChartOptions{})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart = %q", out)
+	}
+}
+
+func TestSparklineWidth(t *testing.T) {
+	samples := []Sample{{0, 1}, {time.Second, 2}, {2 * time.Second, 3}}
+	sp := Sparkline(samples, 20)
+	if n := len([]rune(sp)); n != 20 {
+		t.Fatalf("sparkline width = %d, want 20", n)
+	}
+}
+
+func TestDashboardRender(t *testing.T) {
+	d := NewDashboard("Nautilus")
+	d.AddPanel([]Sample{{0, 1}, {time.Second, 2}}, ChartOptions{Title: "panel-a", Width: 20, Height: 4})
+	out := d.Render()
+	for _, want := range []string{"Nautilus", "panel-a"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPropertyValueAtMatchesLinearScan(t *testing.T) {
+	f := func(raw []uint8, q uint8) bool {
+		c := sim.NewClock()
+		r := NewRegistry(c)
+		g := r.Gauge("p", nil)
+		for i, v := range raw {
+			c.RunUntil(time.Duration(i+1) * time.Second)
+			g.Set(float64(v))
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		s := r.Select("p", nil)[0]
+		tq := time.Duration(q%uint8(len(raw)+2)) * time.Second
+		got, ok := ValueAt(s, tq)
+		// Linear scan reference.
+		var want float64
+		var wantOK bool
+		for _, sm := range s.Samples {
+			if sm.At <= tq {
+				want, wantOK = sm.Value, true
+			}
+		}
+		return got == want && ok == wantOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyIntegralNonNegativeForNonNegativeSeries(t *testing.T) {
+	f := func(raw []uint8) bool {
+		c := sim.NewClock()
+		r := NewRegistry(c)
+		g := r.Gauge("p", nil)
+		for i, v := range raw {
+			g.Set(float64(v))
+			c.RunUntil(time.Duration(i+1) * time.Second)
+		}
+		s := r.Select("p", nil)
+		if len(s) == 0 {
+			return true
+		}
+		return Integral(s[0], 0, c.Now()) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

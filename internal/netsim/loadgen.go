@@ -1,0 +1,85 @@
+package netsim
+
+import "time"
+
+// LoadGen keeps a fixed number of background flows alive between two sites,
+// modeling other tenants' traffic on the shared PRP. The Science DMZ
+// argument of Section II is that overprovisioned research links keep
+// foreground science flows fast even under such load; the ablation bench
+// measures exactly that.
+type LoadGen struct {
+	net       *Network
+	src, dst  string
+	flowBytes float64
+	parallel  int
+	stopped   bool
+	active    []*Flow
+
+	// BytesMoved totals the background traffic delivered.
+	BytesMoved float64
+}
+
+// StartLoad launches parallel continuous flows of flowBytes each from src to
+// dst; every completed flow is immediately replaced until Stop.
+func (n *Network) StartLoad(src, dst string, parallel int, flowBytes float64) *LoadGen {
+	if parallel <= 0 {
+		parallel = 1
+	}
+	if flowBytes <= 0 {
+		flowBytes = 1e9
+	}
+	lg := &LoadGen{net: n, src: src, dst: dst, flowBytes: flowBytes, parallel: parallel}
+	for i := 0; i < parallel; i++ {
+		lg.launch()
+	}
+	return lg
+}
+
+func (lg *LoadGen) launch() {
+	if lg.stopped {
+		return
+	}
+	var f *Flow
+	f = lg.net.Transfer(lg.src, lg.dst, lg.flowBytes, func() {
+		lg.BytesMoved += lg.flowBytes
+		lg.prune(f)
+		lg.launch()
+	})
+	lg.active = append(lg.active, f)
+}
+
+func (lg *LoadGen) prune(done *Flow) {
+	for i, f := range lg.active {
+		if f == done {
+			lg.active = append(lg.active[:i], lg.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stop cancels all background flows; no replacements start.
+func (lg *LoadGen) Stop() {
+	lg.stopped = true
+	for _, f := range lg.active {
+		f.Cancel()
+	}
+	lg.active = nil
+}
+
+// ActiveFlows returns the number of live background flows.
+func (lg *LoadGen) ActiveFlows() int { return len(lg.active) }
+
+// Rate returns the current aggregate background bytes/second.
+func (lg *LoadGen) Rate() float64 {
+	sum := 0.0
+	for _, f := range lg.active {
+		sum += f.Rate()
+	}
+	return sum
+}
+
+// Drain runs the clock until all load flows finish after Stop; useful in
+// tests that must end with an empty event queue.
+func (lg *LoadGen) Drain(horizon time.Duration) {
+	lg.net.clock.RunFor(horizon)
+}

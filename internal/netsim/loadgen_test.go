@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"chaseci/internal/sim"
+)
+
+func TestLoadGenMaintainsParallelism(t *testing.T) {
+	c, n := twoSiteNet(1000)
+	lg := n.StartLoad("ucsd", "sdsc", 5, 100)
+	if lg.ActiveFlows() != 5 {
+		t.Fatalf("active = %d, want 5", lg.ActiveFlows())
+	}
+	c.RunFor(10 * time.Second)
+	if lg.ActiveFlows() != 5 {
+		t.Fatalf("active after churn = %d, want 5", lg.ActiveFlows())
+	}
+	if lg.BytesMoved <= 0 {
+		t.Fatal("no background bytes moved")
+	}
+	lg.Stop()
+	c.RunFor(time.Second)
+	if lg.ActiveFlows() != 0 {
+		t.Fatalf("active after stop = %d", lg.ActiveFlows())
+	}
+}
+
+func TestLoadGenStopsReplacing(t *testing.T) {
+	c, n := twoSiteNet(1000)
+	lg := n.StartLoad("ucsd", "sdsc", 2, 100)
+	lg.Stop()
+	before := lg.BytesMoved
+	c.RunFor(time.Minute)
+	if lg.BytesMoved != before {
+		t.Fatal("stopped load generator kept moving bytes")
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("stopped loadgen left %d pending events", c.Pending())
+	}
+}
+
+func TestLoadGenCompetesFairly(t *testing.T) {
+	// A foreground flow against 4 background flows on one link gets ~1/5 of
+	// capacity.
+	c, n := twoSiteNet(1000)
+	n.StartLoad("ucsd", "sdsc", 4, 1e9)
+	fg := n.Transfer("ucsd", "sdsc", 1e6, nil)
+	if r := fg.Rate(); r < 190 || r > 210 {
+		t.Fatalf("foreground rate = %v, want ~200 (1/5 of 1000)", r)
+	}
+	_ = c
+}
+
+func TestLoadGenRate(t *testing.T) {
+	_, n := twoSiteNet(1000)
+	lg := n.StartLoad("ucsd", "sdsc", 4, 1e9)
+	if r := lg.Rate(); r < 999 || r > 1001 {
+		t.Fatalf("background aggregate rate = %v, want ~1000", r)
+	}
+}
+
+func TestScienceDMZOverprovisioning(t *testing.T) {
+	// The paper's Science DMZ claim: overprovisioned research links keep a
+	// science flow fast despite background tenants elsewhere. Background on
+	// a fat link (100 Gbps) must not slow a flow crossing a separate thin
+	// bottleneck (1 Gbps).
+	clk := sim.NewClock()
+	n := NewNetwork(clk, nil)
+	for _, s := range []string{"dtn", "core", "lab"} {
+		n.AddSite(s)
+	}
+	n.AddLink("dtn", "core", Gbps(1), 0)       // science source bottleneck
+	n.AddLink("core", "lab", Gbps(100), 0)     // fat backbone to the lab
+	lg := n.StartLoad("core", "lab", 20, 1e12) // heavy tenant load on backbone
+	var doneAt time.Duration
+	n.Transfer("dtn", "lab", 125e9, func() { doneAt = clk.Now() }) // 125 GB at 1 Gbps = 1000s
+	clk.RunWhile(func() bool { return doneAt == 0 })
+	lg.Stop()
+	// With no contention the flow takes 1000s; background on the fat link
+	// must cost < 3%.
+	if doneAt > 1030*time.Second {
+		t.Fatalf("science flow took %v under background load, want ~1000s", doneAt)
+	}
+}

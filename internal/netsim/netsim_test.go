@@ -1,0 +1,312 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"chaseci/internal/metrics"
+	"chaseci/internal/sim"
+)
+
+func twoSiteNet(capacity float64) (*sim.Clock, *Network) {
+	c := sim.NewClock()
+	n := NewNetwork(c, nil)
+	n.AddSite("ucsd")
+	n.AddSite("sdsc")
+	n.AddLink("ucsd", "sdsc", capacity, 0)
+	return c, n
+}
+
+func TestSingleFlowUsesFullLink(t *testing.T) {
+	c, n := twoSiteNet(100) // 100 B/s
+	done := false
+	n.Transfer("ucsd", "sdsc", 1000, func() { done = true })
+	c.Run()
+	if !done {
+		t.Fatal("flow never completed")
+	}
+	if got, want := c.Now(), 10*time.Second; !near(got, want) {
+		t.Fatalf("completion at %v, want ~%v", got, want)
+	}
+}
+
+func TestTwoFlowsShareLinkEqually(t *testing.T) {
+	c, n := twoSiteNet(100)
+	var done int
+	f1 := n.Transfer("ucsd", "sdsc", 1000, func() { done++ })
+	f2 := n.Transfer("ucsd", "sdsc", 1000, func() { done++ })
+	if f1.Rate() != 50 || f2.Rate() != 50 {
+		t.Fatalf("rates = %v, %v, want 50, 50", f1.Rate(), f2.Rate())
+	}
+	c.Run()
+	if done != 2 {
+		t.Fatalf("done = %d, want 2", done)
+	}
+	if got, want := c.Now(), 20*time.Second; !near(got, want) {
+		t.Fatalf("completion at %v, want ~%v", got, want)
+	}
+}
+
+func TestShortFlowFinishesThenLongSpeedsUp(t *testing.T) {
+	c, n := twoSiteNet(100)
+	var shortAt, longAt time.Duration
+	n.Transfer("ucsd", "sdsc", 500, func() { shortAt = c.Now() })
+	n.Transfer("ucsd", "sdsc", 1500, func() { longAt = c.Now() })
+	c.Run()
+	// Both at 50 B/s until short finishes at t=10; long then has 1000 bytes
+	// left at 100 B/s, finishing at t=20.
+	if !near(shortAt, 10*time.Second) {
+		t.Fatalf("short finished at %v, want ~10s", shortAt)
+	}
+	if !near(longAt, 20*time.Second) {
+		t.Fatalf("long finished at %v, want ~20s", longAt)
+	}
+}
+
+func TestLatencyDelaysStart(t *testing.T) {
+	c := sim.NewClock()
+	n := NewNetwork(c, nil)
+	n.AddSite("a")
+	n.AddSite("b")
+	n.AddLink("a", "b", 100, 2*time.Second)
+	var doneAt time.Duration
+	n.Transfer("a", "b", 100, func() { doneAt = c.Now() })
+	c.Run()
+	if !near(doneAt, 3*time.Second) { // 2s latency + 1s transfer
+		t.Fatalf("done at %v, want ~3s", doneAt)
+	}
+}
+
+func TestMultiHopBottleneck(t *testing.T) {
+	c := sim.NewClock()
+	n := NewNetwork(c, nil)
+	for _, s := range []string{"a", "b", "c"} {
+		n.AddSite(s)
+	}
+	n.AddLink("a", "b", 1000, 0)
+	n.AddLink("b", "c", 10, 0) // bottleneck
+	f := n.Transfer("a", "c", 100, nil)
+	if f.Rate() != 10 {
+		t.Fatalf("rate = %v, want bottleneck 10", f.Rate())
+	}
+	c.Run()
+	if !near(c.Now(), 10*time.Second) {
+		t.Fatalf("completed at %v, want ~10s", c.Now())
+	}
+}
+
+func TestMaxMinUnevenPaths(t *testing.T) {
+	// Classic max-min example: flows A->C and B->C share link X->C (cap 100);
+	// flow A->X alone on link A->X (cap 30). The A->C flow is limited to 30 by
+	// its first hop, so B->C should get the leftover 70, not 50.
+	c := sim.NewClock()
+	n := NewNetwork(c, nil)
+	for _, s := range []string{"a", "x", "cst"} {
+		n.AddSite(s)
+	}
+	n.AddLink("a", "x", 30, 0)
+	n.AddLink("x", "cst", 100, 0)
+	fa := n.Transfer("a", "cst", 1e6, nil)
+	fb := n.Transfer("x", "cst", 1e6, nil)
+	if fa.Rate() != 30 {
+		t.Fatalf("constrained flow rate = %v, want 30", fa.Rate())
+	}
+	if fb.Rate() != 70 {
+		t.Fatalf("unconstrained flow rate = %v, want 70 (max-min), got equal-split instead?", fb.Rate())
+	}
+}
+
+func TestCancelFreesBandwidth(t *testing.T) {
+	c, n := twoSiteNet(100)
+	f1 := n.Transfer("ucsd", "sdsc", 1e6, nil)
+	f2 := n.Transfer("ucsd", "sdsc", 1000, nil)
+	if f2.Rate() != 50 {
+		t.Fatalf("pre-cancel rate = %v, want 50", f2.Rate())
+	}
+	f1.Cancel()
+	if f2.Rate() != 100 {
+		t.Fatalf("post-cancel rate = %v, want 100", f2.Rate())
+	}
+	c.Run()
+	if f1.Done() {
+		t.Fatal("cancelled flow reported done")
+	}
+	if !f2.Done() {
+		t.Fatal("surviving flow did not complete")
+	}
+}
+
+func TestCancelledCallbackNeverFires(t *testing.T) {
+	c, n := twoSiteNet(100)
+	fired := false
+	f := n.Transfer("ucsd", "sdsc", 100, func() { fired = true })
+	f.Cancel()
+	c.Run()
+	if fired {
+		t.Fatal("cancelled flow's callback fired")
+	}
+}
+
+func TestSameSiteTransfer(t *testing.T) {
+	c, n := twoSiteNet(100)
+	done := false
+	n.Transfer("ucsd", "ucsd", 1e9, func() { done = true })
+	c.Run()
+	if !done {
+		t.Fatal("local transfer did not complete")
+	}
+	if c.Now() > time.Second {
+		t.Fatalf("local transfer took %v, want well under 1s", c.Now())
+	}
+}
+
+func TestNoPathPanics(t *testing.T) {
+	c := sim.NewClock()
+	n := NewNetwork(c, nil)
+	n.AddSite("a")
+	n.AddSite("b") // no link
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Transfer with no path did not panic")
+		}
+	}()
+	n.Transfer("a", "b", 1, nil)
+}
+
+func TestZeroByteTransferCompletes(t *testing.T) {
+	c, n := twoSiteNet(100)
+	done := false
+	n.Transfer("ucsd", "sdsc", 0, func() { done = true })
+	c.Run()
+	if !done {
+		t.Fatal("zero-byte flow never completed")
+	}
+}
+
+func TestPathShortestHops(t *testing.T) {
+	c := sim.NewClock()
+	n := NewNetwork(c, nil)
+	for _, s := range []string{"a", "b", "c", "d"} {
+		n.AddSite(s)
+	}
+	n.AddLink("a", "b", 1, 0)
+	n.AddLink("b", "c", 1, 0)
+	n.AddLink("c", "d", 1, 0)
+	n.AddLink("a", "d", 1, 0) // direct
+	p := n.Path("a", "d")
+	if len(p) != 1 {
+		t.Fatalf("path has %d hops, want 1 (direct link)", len(p))
+	}
+}
+
+func TestLinkUtilizationMetrics(t *testing.T) {
+	c := sim.NewClock()
+	reg := metrics.NewRegistry(c)
+	n := NewNetwork(c, reg)
+	n.AddSite("a")
+	n.AddSite("b")
+	n.AddLink("a", "b", 100, 0)
+	n.Transfer("a", "b", 1000, nil)
+	ss := reg.Select("net_link_bytes_per_sec", nil)
+	if len(ss) != 1 {
+		t.Fatalf("got %d link series, want 1", len(ss))
+	}
+	if ss[0].Last().Value != 100 {
+		t.Fatalf("link utilization = %v, want 100", ss[0].Last().Value)
+	}
+}
+
+func TestAggregateRate(t *testing.T) {
+	_, n := twoSiteNet(100)
+	n.Transfer("ucsd", "sdsc", 1e6, nil)
+	n.Transfer("ucsd", "sdsc", 1e6, nil)
+	if got := n.AggregateRate("sdsc"); got != 100 {
+		t.Fatalf("aggregate rate = %v, want 100", got)
+	}
+}
+
+func TestManyFlowsConservation(t *testing.T) {
+	// Total allocated rate on the shared link never exceeds capacity, and all
+	// flows eventually finish.
+	c, n := twoSiteNet(Gbps(10))
+	const flows = 200
+	done := 0
+	for i := 0; i < flows; i++ {
+		n.Transfer("ucsd", "sdsc", 1e9+float64(i)*1e7, func() { done++ })
+	}
+	sum := 0.0
+	for f := range n.flows {
+		sum += f.rate
+	}
+	if sum > Gbps(10)*1.0001 {
+		t.Fatalf("allocated %v B/s exceeds capacity %v", sum, Gbps(10))
+	}
+	c.Run()
+	if done != flows {
+		t.Fatalf("completed %d/%d flows", done, flows)
+	}
+}
+
+func TestPropertyFairnessInvariants(t *testing.T) {
+	// For random flow sets on a random 3-site chain, max-min allocation must
+	// (1) never oversubscribe a link and (2) give equal rates to flows with
+	// identical paths.
+	f := func(seed uint64, nFlowsRaw uint8) bool {
+		rng := sim.NewRNG(seed)
+		nFlows := int(nFlowsRaw%20) + 1
+		c := sim.NewClock()
+		n := NewNetwork(c, nil)
+		for _, s := range []string{"a", "b", "cst"} {
+			n.AddSite(s)
+		}
+		cap1 := 10 + rng.Float64()*1000
+		cap2 := 10 + rng.Float64()*1000
+		n.AddLink("a", "b", cap1, 0)
+		n.AddLink("b", "cst", cap2, 0)
+		var byPath [2][]*Flow
+		for i := 0; i < nFlows; i++ {
+			if rng.Intn(2) == 0 {
+				byPath[0] = append(byPath[0], n.Transfer("a", "cst", 1e12, nil))
+			} else {
+				byPath[1] = append(byPath[1], n.Transfer("b", "cst", 1e12, nil))
+			}
+		}
+		// Flows admit synchronously on zero-latency links.
+		// Equal path => equal rate.
+		for _, group := range byPath {
+			for i := 1; i < len(group); i++ {
+				if math.Abs(group[i].Rate()-group[0].Rate()) > 1e-6 {
+					return false
+				}
+			}
+		}
+		// No link oversubscribed.
+		sumAC, sumBC := 0.0, 0.0
+		for _, fl := range byPath[0] {
+			sumAC += fl.Rate()
+		}
+		for _, fl := range byPath[1] {
+			sumBC += fl.Rate()
+		}
+		if sumAC > cap1*1.0001 {
+			return false
+		}
+		if sumAC+sumBC > cap2*1.0001 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func near(got, want time.Duration) bool {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= want/100+time.Millisecond
+}

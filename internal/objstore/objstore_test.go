@@ -1,0 +1,381 @@
+package objstore
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chaseci/internal/sim"
+)
+
+func newTestStore(osds int, cfg Config) (*sim.Clock, *Store) {
+	c := sim.NewClock()
+	s := NewStore(c, nil, cfg)
+	for i := 0; i < osds; i++ {
+		s.AddOSD(fmt.Sprintf("osd-%02d", i), fmt.Sprintf("site-%d", i%4), 1e12, 1)
+	}
+	return c, s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	_, s := newTestStore(6, Config{Replicas: 3})
+	data := []byte("ivt volume bytes")
+	if _, err := s.Put("connect", "train/vol0", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := s.Get("connect", "train/vol0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(obj.Data) != string(data) {
+		t.Fatalf("data = %q, want %q", obj.Data, data)
+	}
+	if obj.Size != float64(len(data)) {
+		t.Fatalf("size = %v, want %d", obj.Size, len(data))
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	_, s := newTestStore(3, Config{})
+	if _, err := s.Get("b", "nope"); err != ErrNotFound {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestReplicasAreDistinctOSDs(t *testing.T) {
+	_, s := newTestStore(8, Config{Replicas: 3})
+	locs, err := s.Put("b", "k", 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 3 {
+		t.Fatalf("got %d replicas, want 3", len(locs))
+	}
+	seen := map[string]bool{}
+	for _, id := range locs {
+		if seen[id] {
+			t.Fatalf("replica set has duplicate OSD %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestUsageAccountsReplication(t *testing.T) {
+	_, s := newTestStore(6, Config{Replicas: 3})
+	s.Put("b", "k", 1000, nil)
+	if got := s.TotalUsed(); got != 3000 {
+		t.Fatalf("TotalUsed = %v, want 3000 (3x replication)", got)
+	}
+	h := s.HealthReport()
+	if h.BytesStored != 1000 || h.BytesRaw != 3000 {
+		t.Fatalf("health bytes = %v/%v, want 1000/3000", h.BytesStored, h.BytesRaw)
+	}
+}
+
+func TestOverwriteReplaces(t *testing.T) {
+	_, s := newTestStore(6, Config{Replicas: 2})
+	s.Put("b", "k", 1000, nil)
+	s.Put("b", "k", 500, nil)
+	if got := s.TotalUsed(); got != 1000 {
+		t.Fatalf("TotalUsed after overwrite = %v, want 1000", got)
+	}
+	if sz, ok := s.Stat("b", "k"); !ok || sz != 500 {
+		t.Fatalf("Stat = %v,%v want 500,true", sz, ok)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	_, s := newTestStore(4, Config{Replicas: 2})
+	s.Put("b", "k", 100, nil)
+	if err := s.Delete("b", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalUsed() != 0 {
+		t.Fatalf("TotalUsed after delete = %v, want 0", s.TotalUsed())
+	}
+	if err := s.Delete("b", "k"); err != ErrNotFound {
+		t.Fatalf("double delete err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	_, s := newTestStore(3, Config{})
+	for _, k := range []string{"c", "a", "b"} {
+		s.Put("bkt", k, 1, nil)
+	}
+	got := s.List("bkt")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("List = %v", got)
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	_, s1 := newTestStore(10, Config{Replicas: 3, PGs: 64})
+	_, s2 := newTestStore(10, Config{Replicas: 3, PGs: 64})
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("file-%d", i)
+		s1.Put("b", k, 1, nil)
+		s2.Put("b", k, 1, nil)
+		l1, l2 := s1.Locations("b", k), s2.Locations("b", k)
+		for j := range l1 {
+			if l1[j] != l2[j] {
+				t.Fatalf("placement of %s differs: %v vs %v", k, l1, l2)
+			}
+		}
+	}
+}
+
+func TestPlacementBalance(t *testing.T) {
+	// Ceph sizing guidance is ~100 PGs per OSD; with too few PGs the
+	// placement is lumpy, exactly as on a real cluster.
+	_, s := newTestStore(10, Config{Replicas: 3, PGs: 1024})
+	const n = 5000
+	for i := 0; i < n; i++ {
+		s.Put("b", fmt.Sprintf("f-%05d", i), 1, nil)
+	}
+	mean := s.TotalUsed() / 10
+	for _, o := range s.OSDs() {
+		if o.Used() < mean*0.5 || o.Used() > mean*1.5 {
+			t.Fatalf("OSD %s holds %v bytes, mean %v: badly unbalanced", o.ID, o.Used(), mean)
+		}
+	}
+}
+
+func TestWeightedPlacement(t *testing.T) {
+	c := sim.NewClock()
+	s := NewStore(c, nil, Config{Replicas: 1, PGs: 512})
+	s.AddOSD("small", "a", 1e12, 1)
+	s.AddOSD("big", "a", 1e12, 3)
+	for i := 0; i < 3000; i++ {
+		s.Put("b", fmt.Sprintf("f-%d", i), 1, nil)
+	}
+	small, big := s.OSD("small").Used(), s.OSD("big").Used()
+	ratio := big / small
+	if ratio < 2 || ratio > 4.5 {
+		t.Fatalf("weight-3 OSD holds %vx the data of weight-1, want ~3x", ratio)
+	}
+}
+
+func TestFailOSDKeepsDataReadable(t *testing.T) {
+	c, s := newTestStore(8, Config{Replicas: 3})
+	for i := 0; i < 100; i++ {
+		s.Put("b", fmt.Sprintf("f-%d", i), 100, nil)
+	}
+	if _, err := s.FailOSD("osd-00"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := s.Get("b", fmt.Sprintf("f-%d", i)); err != nil {
+			t.Fatalf("read after single OSD failure: %v", err)
+		}
+	}
+	c.Run()
+	if s.Recovering() {
+		t.Fatal("still recovering after clock drained")
+	}
+}
+
+func TestFailOSDRestoresReplicaCount(t *testing.T) {
+	c, s := newTestStore(8, Config{Replicas: 3})
+	for i := 0; i < 100; i++ {
+		s.Put("b", fmt.Sprintf("f-%d", i), 100, nil)
+	}
+	recov, _ := s.FailOSD("osd-03")
+	if recov <= 0 {
+		t.Fatal("expected bytes to recover after failing a populated OSD")
+	}
+	c.Run()
+	for i := 0; i < 100; i++ {
+		locs := s.Locations("b", fmt.Sprintf("f-%d", i))
+		if len(locs) != 3 {
+			t.Fatalf("object has %d replicas after recovery, want 3", len(locs))
+		}
+		for _, id := range locs {
+			if id == "osd-03" {
+				t.Fatal("replica still mapped to failed OSD")
+			}
+			if !s.OSD(id).Up {
+				t.Fatal("replica mapped to down OSD")
+			}
+		}
+	}
+	if !s.HealthReport().OK() {
+		t.Fatalf("health not OK after recovery: %+v", s.HealthReport())
+	}
+}
+
+func TestFailBelowReplicationUndersized(t *testing.T) {
+	_, s := newTestStore(3, Config{Replicas: 3, PGs: 16})
+	s.Put("b", "k", 100, nil)
+	s.FailOSD("osd-00")
+	h := s.HealthReport()
+	if h.PGsUndersized+h.PGsDegraded != h.PGsTotal {
+		t.Fatalf("with 2 up OSDs and 3 replicas all PGs should be short: %+v", h)
+	}
+}
+
+func TestRecoverOSDRejoins(t *testing.T) {
+	_, s := newTestStore(3, Config{Replicas: 3, PGs: 16})
+	s.Put("b", "k", 100, nil)
+	s.FailOSD("osd-01")
+	if err := s.RecoverOSD("osd-01"); err != nil {
+		t.Fatal(err)
+	}
+	if h := s.HealthReport(); h.PGsActive != h.PGsTotal {
+		t.Fatalf("after rejoin health = %+v, want all active", h)
+	}
+}
+
+func TestFailUnknownOSD(t *testing.T) {
+	_, s := newTestStore(2, Config{})
+	if _, err := s.FailOSD("nope"); err != ErrOSDUnknown {
+		t.Fatalf("err = %v, want ErrOSDUnknown", err)
+	}
+}
+
+func TestPlacementStabilityUnderFailure(t *testing.T) {
+	// Straw2 property: failing one OSD must not shuffle replicas among
+	// surviving OSDs — each PG keeps its surviving members.
+	_, s := newTestStore(10, Config{Replicas: 3, PGs: 128})
+	before := make(map[int][]string)
+	for pg, locs := range s.pgMap {
+		before[pg] = append([]string(nil), locs...)
+	}
+	s.FailOSD("osd-05")
+	for pg, after := range s.pgMap {
+		kept := map[string]bool{}
+		for _, id := range after {
+			kept[id] = true
+		}
+		for _, id := range before[pg] {
+			if id == "osd-05" {
+				continue
+			}
+			if !kept[id] {
+				t.Fatalf("pg %d lost surviving replica %s after unrelated failure", pg, id)
+			}
+		}
+	}
+}
+
+func TestPrimarySite(t *testing.T) {
+	_, s := newTestStore(6, Config{Replicas: 3})
+	s.Put("b", "k", 1, nil)
+	site, ok := s.PrimarySite("b", "k")
+	if !ok || site == "" {
+		t.Fatalf("PrimarySite = %q,%v", site, ok)
+	}
+	if _, ok := s.PrimarySite("b", "missing"); ok {
+		t.Fatal("PrimarySite of missing object reported ok")
+	}
+}
+
+func TestPutWithNoOSDs(t *testing.T) {
+	c := sim.NewClock()
+	s := NewStore(c, nil, Config{})
+	if _, err := s.Put("b", "k", 1, nil); err != ErrNoOSDs {
+		t.Fatalf("err = %v, want ErrNoOSDs", err)
+	}
+}
+
+func TestMountReadWrite(t *testing.T) {
+	_, s := newTestStore(4, Config{Replicas: 2})
+	m := s.MountBucket("connect")
+	if err := m.WriteFile("results/seg0.bin", []byte("mask")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.ReadFile("/results/seg0.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "mask" {
+		t.Fatalf("data = %q", data)
+	}
+}
+
+func TestMountReadDir(t *testing.T) {
+	_, s := newTestStore(4, Config{Replicas: 2})
+	m := s.MountBucket("b")
+	m.WriteSized("data/raw/f1.nc", 10)
+	m.WriteSized("data/raw/f2.nc", 10)
+	m.WriteSized("data/merged/h1.h5", 10)
+	m.WriteSized("top.txt", 1)
+
+	root := m.ReadDir("")
+	if len(root) != 2 || root[0] != "data/" || root[1] != "top.txt" {
+		t.Fatalf("root = %v", root)
+	}
+	sub := m.ReadDir("data/raw")
+	if len(sub) != 2 || sub[0] != "f1.nc" || sub[1] != "f2.nc" {
+		t.Fatalf("data/raw = %v", sub)
+	}
+}
+
+func TestMountDirSizeAndGlob(t *testing.T) {
+	_, s := newTestStore(4, Config{Replicas: 2})
+	m := s.MountBucket("b")
+	m.WriteSized("x/a", 5)
+	m.WriteSized("x/b", 7)
+	m.WriteSized("y/c", 100)
+	if got := m.DirSize("x/"); got != 12 {
+		t.Fatalf("DirSize(x/) = %v, want 12", got)
+	}
+	if got := m.Glob("x/"); len(got) != 2 {
+		t.Fatalf("Glob(x/) = %v", got)
+	}
+}
+
+func TestPropertyReplicaCountInvariant(t *testing.T) {
+	// For any OSD count >= replicas and any key set, every object gets
+	// exactly `replicas` distinct up replicas.
+	f := func(seed uint64, osdRaw, keysRaw uint8) bool {
+		osds := int(osdRaw%12) + 3
+		keys := int(keysRaw%50) + 1
+		c := sim.NewClock()
+		s := NewStore(c, nil, Config{Replicas: 3, PGs: 64})
+		for i := 0; i < osds; i++ {
+			s.AddOSD(fmt.Sprintf("o%d", i), "s", 1e12, 1)
+		}
+		rng := sim.NewRNG(seed)
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("k%d", rng.Intn(1000))
+			s.Put("b", k, 1, nil)
+			locs := s.Locations("b", k)
+			if len(locs) != 3 {
+				return false
+			}
+			seen := map[string]bool{}
+			for _, id := range locs {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyUsageConservation(t *testing.T) {
+	// TotalUsed always equals sum(object size x replica count).
+	f := func(sizes []uint16) bool {
+		c := sim.NewClock()
+		s := NewStore(c, nil, Config{Replicas: 2, PGs: 32})
+		for i := 0; i < 5; i++ {
+			s.AddOSD(fmt.Sprintf("o%d", i), "s", 1e12, 1)
+		}
+		want := 0.0
+		for i, sz := range sizes {
+			s.Put("b", fmt.Sprintf("k%d", i), float64(sz), nil)
+			want += float64(sz) * 2
+		}
+		return math.Abs(s.TotalUsed()-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

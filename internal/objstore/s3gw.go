@@ -1,0 +1,150 @@
+package objstore
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Gateway is the RADOS-gateway stand-in: an S3-flavoured HTTP face over the
+// Store, covering the operations the paper's workflows use ("compatible
+// with other cloud storage solutions such as Amazon S3 ... via the Ceph
+// Object Store"):
+//
+//	PUT    /{bucket}/{key}        store object (body = content)
+//	GET    /{bucket}/{key}        fetch object content
+//	HEAD   /{bucket}/{key}        size/existence probe
+//	DELETE /{bucket}/{key}        delete object
+//	GET    /{bucket}?list         ListBucketResult XML (S3 v1 shape)
+//
+// Objects written through the gateway carry real bytes; size-only simulated
+// objects report their modeled Content-Length on HEAD and return 204 on GET.
+type Gateway struct {
+	store   *Store
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// ServeGateway starts the S3 endpoint on addr ("127.0.0.1:0" for
+// ephemeral).
+func ServeGateway(store *Store, addr string) (*Gateway, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{store: store, ln: ln}
+	g.httpSrv = &http.Server{Handler: http.HandlerFunc(g.handle)}
+	go g.httpSrv.Serve(ln)
+	return g, nil
+}
+
+// Addr returns the listening host:port.
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// BaseURL returns "http://host:port".
+func (g *Gateway) BaseURL() string { return "http://" + g.Addr() }
+
+// Close shuts the gateway down.
+func (g *Gateway) Close() error { return g.httpSrv.Close() }
+
+// listBucketResult is the minimal S3 ListObjects XML document.
+type listBucketResult struct {
+	XMLName  xml.Name      `xml:"ListBucketResult"`
+	Name     string        `xml:"Name"`
+	Contents []listContent `xml:"Contents"`
+}
+
+type listContent struct {
+	Key  string `xml:"Key"`
+	Size int64  `xml:"Size"`
+}
+
+func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/")
+	if path == "" {
+		http.Error(w, "missing bucket", http.StatusBadRequest)
+		return
+	}
+	bucket, key, hasKey := strings.Cut(path, "/")
+	if !hasKey || key == "" {
+		if r.Method == http.MethodGet {
+			g.handleList(w, bucket, r.URL.Query().Get("prefix"))
+			return
+		}
+		http.Error(w, "object key required", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if _, err := g.store.Put(bucket, key, float64(len(body)), body); err != nil {
+			writeS3Error(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	case http.MethodGet:
+		obj, err := g.store.Get(bucket, key)
+		if err != nil {
+			writeS3Error(w, err)
+			return
+		}
+		if obj.Data == nil {
+			// Size-only simulated object: no content to return.
+			w.Header().Set("Content-Length", "0")
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(obj.Data)))
+		w.Write(obj.Data)
+	case http.MethodHead:
+		size, ok := g.store.Stat(bucket, key)
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Length", strconv.FormatInt(int64(size), 10))
+		w.WriteHeader(http.StatusOK)
+	case http.MethodDelete:
+		if err := g.store.Delete(bucket, key); err != nil {
+			writeS3Error(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (g *Gateway) handleList(w http.ResponseWriter, bucket, prefix string) {
+	res := listBucketResult{Name: bucket}
+	for _, key := range g.store.List(bucket) {
+		if prefix != "" && !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		size, _ := g.store.Stat(bucket, key)
+		res.Contents = append(res.Contents, listContent{Key: key, Size: int64(size)})
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	fmt.Fprint(w, xml.Header)
+	xml.NewEncoder(w).Encode(res)
+}
+
+func writeS3Error(w http.ResponseWriter, err error) {
+	switch err {
+	case ErrNotFound:
+		http.Error(w, "NoSuchKey", http.StatusNotFound)
+	case ErrNoOSDs:
+		http.Error(w, "ServiceUnavailable", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,202 @@
+package objstore
+
+import (
+	"bytes"
+	"encoding/xml"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func newGateway(t *testing.T) (*Store, *Gateway) {
+	t.Helper()
+	_, s := newTestStore(6, Config{Replicas: 3})
+	g, err := ServeGateway(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return s, g
+}
+
+func doReq(t *testing.T, method, url string, body []byte) *http.Response {
+	t.Helper()
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestS3PutGetRoundTrip(t *testing.T) {
+	_, g := newGateway(t)
+	url := g.BaseURL() + "/models/ffn/model.bin"
+	payload := []byte("serialized weights")
+
+	resp := doReq(t, http.MethodPut, url, payload)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status = %s", resp.Status)
+	}
+
+	resp = doReq(t, http.MethodGet, url, nil)
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("GET body = %q", got)
+	}
+}
+
+func TestS3PutStoresInCluster(t *testing.T) {
+	s, g := newGateway(t)
+	resp := doReq(t, http.MethodPut, g.BaseURL()+"/b/key", []byte("abc"))
+	resp.Body.Close()
+	obj, err := s.Get("b", "key")
+	if err != nil || string(obj.Data) != "abc" {
+		t.Fatalf("store content = %v, %v", obj, err)
+	}
+	if locs := s.Locations("b", "key"); len(locs) != 3 {
+		t.Fatalf("replicas = %d, want 3", len(locs))
+	}
+}
+
+func TestS3GetMissing(t *testing.T) {
+	_, g := newGateway(t)
+	resp := doReq(t, http.MethodGet, g.BaseURL()+"/b/missing", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %s, want 404", resp.Status)
+	}
+}
+
+func TestS3Head(t *testing.T) {
+	s, g := newGateway(t)
+	s.Put("b", "sized", 12345, nil) // size-only simulated object
+	resp := doReq(t, http.MethodHead, g.BaseURL()+"/b/sized", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD status = %s", resp.Status)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != "12345" {
+		t.Fatalf("Content-Length = %s, want 12345", cl)
+	}
+	resp = doReq(t, http.MethodHead, g.BaseURL()+"/b/none", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("HEAD missing status = %s", resp.Status)
+	}
+}
+
+func TestS3GetSizeOnlyObject(t *testing.T) {
+	s, g := newGateway(t)
+	s.Put("b", "bulk", 1e9, nil)
+	resp := doReq(t, http.MethodGet, g.BaseURL()+"/b/bulk", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status = %s, want 204 for size-only object", resp.Status)
+	}
+}
+
+func TestS3Delete(t *testing.T) {
+	s, g := newGateway(t)
+	s.Put("b", "k", 0, []byte("x"))
+	resp := doReq(t, http.MethodDelete, g.BaseURL()+"/b/k", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE status = %s", resp.Status)
+	}
+	if _, err := s.Get("b", "k"); err != ErrNotFound {
+		t.Fatalf("object survives DELETE: %v", err)
+	}
+	resp = doReq(t, http.MethodDelete, g.BaseURL()+"/b/k", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double DELETE status = %s", resp.Status)
+	}
+}
+
+func TestS3ListBucket(t *testing.T) {
+	s, g := newGateway(t)
+	s.Put("data", "raw/a.nc", 10, nil)
+	s.Put("data", "raw/b.nc", 20, nil)
+	s.Put("data", "merged/c.h5", 30, nil)
+
+	resp := doReq(t, http.MethodGet, g.BaseURL()+"/data", nil)
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/xml" {
+		t.Fatalf("Content-Type = %s", ct)
+	}
+	var out listBucketResult
+	if err := xml.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "data" || len(out.Contents) != 3 {
+		t.Fatalf("list = %+v", out)
+	}
+	if out.Contents[0].Key != "merged/c.h5" || out.Contents[0].Size != 30 {
+		t.Fatalf("first entry = %+v", out.Contents[0])
+	}
+}
+
+func TestS3ListPrefix(t *testing.T) {
+	s, g := newGateway(t)
+	s.Put("data", "raw/a.nc", 10, nil)
+	s.Put("data", "merged/c.h5", 30, nil)
+	resp := doReq(t, http.MethodGet, g.BaseURL()+"/data?prefix=raw/", nil)
+	defer resp.Body.Close()
+	var out listBucketResult
+	xml.NewDecoder(resp.Body).Decode(&out)
+	if len(out.Contents) != 1 || out.Contents[0].Key != "raw/a.nc" {
+		t.Fatalf("prefixed list = %+v", out.Contents)
+	}
+}
+
+func TestS3BadRequests(t *testing.T) {
+	_, g := newGateway(t)
+	resp := doReq(t, http.MethodPut, g.BaseURL()+"/bucketonly", []byte("x"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT without key status = %s", resp.Status)
+	}
+	resp = doReq(t, "PATCH", g.BaseURL()+"/b/k", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PATCH status = %s", resp.Status)
+	}
+}
+
+func TestS3LargeObject(t *testing.T) {
+	_, g := newGateway(t)
+	payload := bytes.Repeat([]byte("granule"), 100000) // 700 KB
+	url := g.BaseURL() + "/big/object"
+	resp := doReq(t, http.MethodPut, url, payload)
+	resp.Body.Close()
+	resp = doReq(t, http.MethodGet, url, nil)
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("large object corrupted: %d vs %d bytes", len(got), len(payload))
+	}
+}
+
+func TestS3KeysWithSlashes(t *testing.T) {
+	_, g := newGateway(t)
+	url := g.BaseURL() + "/b/" + strings.Join([]string{"a", "b", "c", "d.nc"}, "/")
+	resp := doReq(t, http.MethodPut, url, []byte("deep"))
+	resp.Body.Close()
+	resp = doReq(t, http.MethodGet, url, nil)
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body)
+	if string(got) != "deep" {
+		t.Fatalf("nested key = %q", got)
+	}
+}

@@ -1,0 +1,306 @@
+package queue
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreSetGetDel(t *testing.T) {
+	s := NewStore()
+	s.Set("k", "v")
+	if v, ok := s.Get("k"); !ok || v != "v" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if n := s.Del("k"); n != 1 {
+		t.Fatalf("Del = %d, want 1", n)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("key survives Del")
+	}
+	if n := s.Del("k"); n != 0 {
+		t.Fatalf("Del missing = %d, want 0", n)
+	}
+}
+
+func TestStoreFIFOOrder(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 5; i++ {
+		s.LPush("q", fmt.Sprintf("m%d", i))
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := s.RPop("q")
+		if !ok || v != fmt.Sprintf("m%d", i) {
+			t.Fatalf("pop %d = %q,%v", i, v, ok)
+		}
+	}
+	if _, ok := s.RPop("q"); ok {
+		t.Fatal("pop from empty list succeeded")
+	}
+}
+
+func TestStoreRPushLPop(t *testing.T) {
+	s := NewStore()
+	s.RPush("q", "a", "b", "c")
+	if v, _ := s.LPop("q"); v != "a" {
+		t.Fatalf("LPop = %q, want a", v)
+	}
+	if n := s.LLen("q"); n != 2 {
+		t.Fatalf("LLen = %d, want 2", n)
+	}
+}
+
+func TestStoreIncr(t *testing.T) {
+	s := NewStore()
+	if got := s.Incr("n", 5); got != 5 {
+		t.Fatalf("Incr = %d, want 5", got)
+	}
+	if got := s.Incr("n", -2); got != 3 {
+		t.Fatalf("Incr = %d, want 3", got)
+	}
+	if v, _ := s.Get("n"); v != "3" {
+		t.Fatalf("Get after Incr = %q, want 3", v)
+	}
+}
+
+func TestStoreLRange(t *testing.T) {
+	s := NewStore()
+	s.RPush("l", "a", "b", "c", "d")
+	if got := s.LRange("l", 1, 2); len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("LRange(1,2) = %v", got)
+	}
+	if got := s.LRange("l", 0, -1); len(got) != 4 {
+		t.Fatalf("LRange(0,-1) = %v", got)
+	}
+	if got := s.LRange("l", 5, 9); got != nil {
+		t.Fatalf("out-of-range LRange = %v, want nil", got)
+	}
+}
+
+func TestStoreKeys(t *testing.T) {
+	s := NewStore()
+	s.Set("b", "1")
+	s.LPush("a", "x")
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestStoreConcurrentPops(t *testing.T) {
+	// Many concurrent consumers must drain the queue exactly once per item,
+	// the guarantee the paper's 10 download workers rely on.
+	s := NewStore()
+	const items = 1000
+	for i := 0; i < items; i++ {
+		s.LPush("q", fmt.Sprintf("file-%d", i))
+	}
+	var mu sync.Mutex
+	got := make(map[string]int)
+	var wg sync.WaitGroup
+	for w := 0; w < 10; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := s.RPop("q")
+				if !ok {
+					return
+				}
+				mu.Lock()
+				got[v]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(got) != items {
+		t.Fatalf("drained %d distinct items, want %d", len(got), items)
+	}
+	for k, n := range got {
+		if n != 1 {
+			t.Fatalf("item %s popped %d times", k, n)
+		}
+	}
+}
+
+func newServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv, err := Serve(NewStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return srv, cl
+}
+
+func TestServerPing(t *testing.T) {
+	_, cl := newServer(t)
+	v, err := cl.Do("PING")
+	if err != nil || v != "PONG" {
+		t.Fatalf("PING = %v, %v", v, err)
+	}
+}
+
+func TestServerSetGet(t *testing.T) {
+	_, cl := newServer(t)
+	if _, err := cl.Do("SET", "k", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.Do("GET", "k")
+	if err != nil || v != "hello" {
+		t.Fatalf("GET = %v, %v", v, err)
+	}
+	if _, err := cl.Do("GET", "missing"); err != ErrNil {
+		t.Fatalf("GET missing err = %v, want ErrNil", err)
+	}
+}
+
+func TestServerQueueRoundTrip(t *testing.T) {
+	_, cl := newServer(t)
+	for i := 0; i < 3; i++ {
+		if _, err := cl.LPush("urls", fmt.Sprintf("http://thredds/f%d.nc", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := cl.LLen("urls"); n != 3 {
+		t.Fatalf("LLEN = %d, want 3", n)
+	}
+	for i := 0; i < 3; i++ {
+		v, err := cl.RPop("urls")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("http://thredds/f%d.nc", i); v != want {
+			t.Fatalf("RPop = %q, want %q", v, want)
+		}
+	}
+	if _, err := cl.RPop("urls"); err != ErrNil {
+		t.Fatalf("RPop empty err = %v, want ErrNil", err)
+	}
+}
+
+func TestServerLRangeArray(t *testing.T) {
+	_, cl := newServer(t)
+	cl.Do("RPUSH", "l", "a", "b", "c")
+	v, err := cl.Do("LRANGE", "l", "0", "-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := v.([]string)
+	if len(arr) != 3 || arr[0] != "a" || arr[2] != "c" {
+		t.Fatalf("LRANGE = %v", arr)
+	}
+}
+
+func TestServerIncrBy(t *testing.T) {
+	_, cl := newServer(t)
+	v, err := cl.Do("INCRBY", "files_done", "7")
+	if err != nil || v.(int64) != 7 {
+		t.Fatalf("INCRBY = %v, %v", v, err)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	_, cl := newServer(t)
+	if _, err := cl.Do("NOSUCH"); err == nil {
+		t.Fatal("unknown command did not error")
+	}
+	if _, err := cl.Do("SET", "only-key"); err == nil {
+		t.Fatal("arity error not reported")
+	}
+}
+
+func TestServerMultipleClients(t *testing.T) {
+	srv, err := Serve(NewStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const items = 200
+	seed, _ := Dial(srv.Addr())
+	defer seed.Close()
+	for i := 0; i < items; i++ {
+		if _, err := seed.LPush("q", fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	seen := make(map[string]bool)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for {
+				v, err := cl.RPop("q")
+				if err == ErrNil {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("duplicate delivery %q", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != items {
+		t.Fatalf("consumed %d items, want %d", len(seen), items)
+	}
+}
+
+func TestPropertyListOrderPreserved(t *testing.T) {
+	// RPush then LPop replays any sequence in order (per-producer FIFO).
+	f := func(vals []uint16) bool {
+		s := NewStore()
+		for _, v := range vals {
+			s.RPush("q", fmt.Sprint(v))
+		}
+		for _, v := range vals {
+			got, ok := s.LPop("q")
+			if !ok || got != fmt.Sprint(v) {
+				return false
+			}
+		}
+		_, ok := s.LPop("q")
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyIncrMatchesSum(t *testing.T) {
+	f := func(deltas []int16) bool {
+		s := NewStore()
+		var want int64
+		var got int64
+		for _, d := range deltas {
+			got = s.Incr("n", int64(d))
+			want += int64(d)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package queue is the simulated Redis of CHASE-CI's download step: "the
+// Redis queue holds a list of files that contain urls to download ... each
+// pod pops a message off the queue". The core is Store, a synchronous
+// in-memory list/key-value engine that simulation callbacks use directly;
+// Server exposes the same store over TCP with a RESP-like line protocol so
+// examples and tests can exercise the real network path with the stdlib net
+// package.
+package queue
+
+import (
+	"sort"
+	"sync"
+)
+
+// Store is an in-memory Redis-like data store: string keys and list keys.
+// It is safe for concurrent use (the TCP server serves multiple
+// connections); simulation code calls it synchronously.
+type Store struct {
+	mu    sync.Mutex
+	kv    map[string]string
+	lists map[string][]string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{kv: make(map[string]string), lists: make(map[string][]string)}
+}
+
+// Set stores a string value.
+func (s *Store) Set(key, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.kv[key] = value
+}
+
+// Get fetches a string value; ok is false for missing keys.
+func (s *Store) Get(key string) (value string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	value, ok = s.kv[key]
+	return value, ok
+}
+
+// Del removes string and list entries for key, reporting how many existed.
+func (s *Store) Del(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	if _, ok := s.kv[key]; ok {
+		delete(s.kv, key)
+		n++
+	}
+	if _, ok := s.lists[key]; ok {
+		delete(s.lists, key)
+		n++
+	}
+	return n
+}
+
+// Incr atomically adds delta to an integer-valued key, returning the result.
+// A missing key counts from zero.
+func (s *Store) Incr(key string, delta int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := parseInt(s.kv[key])
+	cur += delta
+	s.kv[key] = formatInt(cur)
+	return cur
+}
+
+func parseInt(v string) int64 {
+	var n int64
+	neg := false
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if i == 0 && c == '-' {
+			neg = true
+			continue
+		}
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int64(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n
+}
+
+func formatInt(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// LPush prepends values to the list at key, returning the new length.
+func (s *Store) LPush(key string, values ...string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.lists[key]
+	for _, v := range values {
+		l = append([]string{v}, l...)
+	}
+	s.lists[key] = l
+	return len(l)
+}
+
+// RPush appends values to the list at key, returning the new length.
+func (s *Store) RPush(key string, values ...string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lists[key] = append(s.lists[key], values...)
+	return len(s.lists[key])
+}
+
+// RPop removes and returns the last element; ok is false if empty. LPush +
+// RPop together give the FIFO the download workers consume.
+func (s *Store) RPop(key string) (value string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.lists[key]
+	if len(l) == 0 {
+		return "", false
+	}
+	value = l[len(l)-1]
+	s.lists[key] = l[:len(l)-1]
+	if len(s.lists[key]) == 0 {
+		delete(s.lists, key)
+	}
+	return value, true
+}
+
+// LPop removes and returns the first element; ok is false if empty.
+func (s *Store) LPop(key string) (value string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.lists[key]
+	if len(l) == 0 {
+		return "", false
+	}
+	value = l[0]
+	s.lists[key] = l[1:]
+	if len(s.lists[key]) == 0 {
+		delete(s.lists, key)
+	}
+	return value, true
+}
+
+// LLen returns the list length at key (0 for missing).
+func (s *Store) LLen(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.lists[key])
+}
+
+// LRange returns elements [start, stop] (inclusive, clamped), like Redis.
+// Negative indices count from the end.
+func (s *Store) LRange(key string, start, stop int) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.lists[key]
+	n := len(l)
+	if start < 0 {
+		start += n
+	}
+	if stop < 0 {
+		stop += n
+	}
+	if start < 0 {
+		start = 0
+	}
+	if stop >= n {
+		stop = n - 1
+	}
+	if n == 0 || start > stop {
+		return nil
+	}
+	out := make([]string, stop-start+1)
+	copy(out, l[start:stop+1])
+	return out
+}
+
+// Keys returns every key (string and list) in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []string
+	for k := range s.kv {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for k := range s.lists {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,335 @@
+// Package tensor provides the small dense-tensor kernel the Flood-Filling
+// Network is built on: row-major float32 tensors, 3-D convolution with
+// forward and backward passes, pointwise nonlinearities, and SGD with
+// momentum. It is a from-scratch stand-in for the TensorFlow ops the paper's
+// FFN uses, sized for laptop-scale volumes; wall-clock at cluster scale is
+// projected by internal/gpusim.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"chaseci/internal/sim"
+)
+
+// Tensor is a dense row-major float32 array with an explicit shape.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New allocates a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromData wraps data with a shape; it panics on length mismatch.
+func FromData(data []float32, shape ...int) *Tensor {
+	t := &Tensor{Shape: append([]int(nil), shape...), Data: data}
+	if t.Size() != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v needs %d elements, got %d", shape, t.Size(), len(data)))
+	}
+	return t
+}
+
+// Size returns the element count.
+func (t *Tensor) Size() int {
+	n := 1
+	for _, d := range t.Shape {
+		n *= d
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Zero clears all elements in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Randomize fills with He-style initialization: normal(0, sqrt(2/fanIn)).
+func (t *Tensor) Randomize(rng *sim.RNG, fanIn int) {
+	std := float32(math.Sqrt(2.0 / float64(fanIn)))
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64()) * std
+	}
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AddInPlace accumulates o into t elementwise.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	if !SameShape(t, o) {
+		panic("tensor: AddInPlace shape mismatch")
+	}
+	for i := range t.Data {
+		t.Data[i] += o.Data[i]
+	}
+}
+
+// Scale multiplies every element by s in place.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// --- Volumetric (C, D, H, W) layout helpers --------------------------------
+
+// vIdx computes the flat index of (c, z, y, x) in a (C,D,H,W) tensor.
+func vIdx(shape []int, c, z, y, x int) int {
+	return ((c*shape[1]+z)*shape[2]+y)*shape[3] + x
+}
+
+// Conv3D computes a 3-D convolution with stride 1 and symmetric zero
+// padding kd/2, kh/2, kw/2 ("same" shape for odd kernels).
+//
+//	in:     (Cin, D, H, W)
+//	weight: (Cout, Cin, KD, KH, KW)
+//	bias:   len Cout (may be nil)
+//	out:    (Cout, D, H, W)
+func Conv3D(in, weight *Tensor, bias []float32) *Tensor {
+	cin, d, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	cout := weight.Shape[0]
+	if weight.Shape[1] != cin {
+		panic(fmt.Sprintf("tensor: Conv3D weight expects %d input channels, input has %d", weight.Shape[1], cin))
+	}
+	kd, kh, kw := weight.Shape[2], weight.Shape[3], weight.Shape[4]
+	pd, ph, pw := kd/2, kh/2, kw/2
+	out := New(cout, d, h, w)
+	for oc := 0; oc < cout; oc++ {
+		var b float32
+		if bias != nil {
+			b = bias[oc]
+		}
+		for z := 0; z < d; z++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					sum := b
+					for ic := 0; ic < cin; ic++ {
+						for dz := 0; dz < kd; dz++ {
+							iz := z + dz - pd
+							if iz < 0 || iz >= d {
+								continue
+							}
+							for dy := 0; dy < kh; dy++ {
+								iy := y + dy - ph
+								if iy < 0 || iy >= h {
+									continue
+								}
+								wBase := (((oc*cin+ic)*kd+dz)*kh + dy) * kw
+								iBase := ((ic*d+iz)*h + iy) * w
+								for dx := 0; dx < kw; dx++ {
+									ix := x + dx - pw
+									if ix < 0 || ix >= w {
+										continue
+									}
+									sum += weight.Data[wBase+dx] * in.Data[iBase+ix]
+								}
+							}
+						}
+					}
+					out.Data[vIdx(out.Shape, oc, z, y, x)] = sum
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv3DBackward computes gradients of a Conv3D call: given the forward
+// input, weights, and the gradient of the loss w.r.t. the output, it returns
+// gradients w.r.t. input, weights, and bias.
+func Conv3DBackward(in, weight, gradOut *Tensor) (gradIn, gradW *Tensor, gradB []float32) {
+	cin, d, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	cout := weight.Shape[0]
+	kd, kh, kw := weight.Shape[2], weight.Shape[3], weight.Shape[4]
+	pd, ph, pw := kd/2, kh/2, kw/2
+	gradIn = New(cin, d, h, w)
+	gradW = New(cout, cin, kd, kh, kw)
+	gradB = make([]float32, cout)
+	for oc := 0; oc < cout; oc++ {
+		for z := 0; z < d; z++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					g := gradOut.Data[vIdx(gradOut.Shape, oc, z, y, x)]
+					if g == 0 {
+						continue
+					}
+					gradB[oc] += g
+					for ic := 0; ic < cin; ic++ {
+						for dz := 0; dz < kd; dz++ {
+							iz := z + dz - pd
+							if iz < 0 || iz >= d {
+								continue
+							}
+							for dy := 0; dy < kh; dy++ {
+								iy := y + dy - ph
+								if iy < 0 || iy >= h {
+									continue
+								}
+								wBase := (((oc*cin+ic)*kd+dz)*kh + dy) * kw
+								iBase := ((ic*d+iz)*h + iy) * w
+								for dx := 0; dx < kw; dx++ {
+									ix := x + dx - pw
+									if ix < 0 || ix >= w {
+										continue
+									}
+									gradW.Data[wBase+dx] += g * in.Data[iBase+ix]
+									gradIn.Data[iBase+ix] += g * weight.Data[wBase+dx]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn, gradW, gradB
+}
+
+// ReLU applies max(0, x) elementwise, returning a new tensor.
+func ReLU(in *Tensor) *Tensor {
+	out := in.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// ReLUBackward masks gradOut where the forward input was non-positive.
+func ReLUBackward(in, gradOut *Tensor) *Tensor {
+	out := gradOut.Clone()
+	for i := range out.Data {
+		if in.Data[i] <= 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(in *Tensor) *Tensor {
+	out := in.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return out
+}
+
+// SigmoidValue is the scalar logistic function.
+func SigmoidValue(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// LogitBCE computes mean binary cross-entropy between logits and {0,1}
+// labels, plus the gradient w.r.t. the logits (the numerically stable
+// sigmoid+BCE fusion). mask, if non-nil, weights each element (0 excludes).
+func LogitBCE(logits, labels, mask *Tensor) (loss float64, grad *Tensor) {
+	if !SameShape(logits, labels) {
+		panic("tensor: LogitBCE shape mismatch")
+	}
+	grad = New(logits.Shape...)
+	count := 0.0
+	for i, z := range logits.Data {
+		wgt := float32(1)
+		if mask != nil {
+			wgt = mask.Data[i]
+			if wgt == 0 {
+				continue
+			}
+		}
+		y := float64(labels.Data[i])
+		zf := float64(z)
+		// log(1+exp(-|z|)) + max(z,0) - z*y
+		loss += float64(wgt) * (math.Log(1+math.Exp(-math.Abs(zf))) + math.Max(zf, 0) - zf*y)
+		grad.Data[i] = wgt * (SigmoidValue(z) - float32(y))
+		count += float64(wgt)
+	}
+	if count > 0 {
+		loss /= count
+		grad.Scale(float32(1 / count))
+	}
+	return loss, grad
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float32
+	Momentum float32
+
+	velocity map[*Tensor]*Tensor
+	velBias  map[*[]float32][]float32
+}
+
+// NewSGD creates an optimizer.
+func NewSGD(lr, momentum float32) *SGD {
+	return &SGD{
+		LR: lr, Momentum: momentum,
+		velocity: make(map[*Tensor]*Tensor),
+		velBias:  make(map[*[]float32][]float32),
+	}
+}
+
+// Step applies one update to param given its gradient.
+func (o *SGD) Step(param, grad *Tensor) {
+	v, ok := o.velocity[param]
+	if !ok {
+		v = New(param.Shape...)
+		o.velocity[param] = v
+	}
+	for i := range param.Data {
+		v.Data[i] = o.Momentum*v.Data[i] - o.LR*grad.Data[i]
+		param.Data[i] += v.Data[i]
+	}
+}
+
+// StepBias updates a bias vector.
+func (o *SGD) StepBias(param *[]float32, grad []float32) {
+	v, ok := o.velBias[param]
+	if !ok {
+		v = make([]float32, len(*param))
+		o.velBias[param] = v
+	}
+	p := *param
+	for i := range p {
+		v[i] = o.Momentum*v[i] - o.LR*grad[i]
+		p[i] += v[i]
+	}
+}

@@ -1,0 +1,84 @@
+package thredds
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Downloader is the aria2 stand-in: it fetches a list of URLs with a bounded
+// number of parallel streams (the paper runs "20 parallel downloads" per
+// worker) and hands each completed body to a sink callback.
+type Downloader struct {
+	// Parallel is the concurrent stream count (default 20, aria2's common
+	// configuration in the paper).
+	Parallel int
+	// Client is the HTTP client; nil uses http.DefaultClient.
+	Client *http.Client
+}
+
+// Result describes one fetched URL.
+type Result struct {
+	URL   string
+	Bytes int64
+	Err   error
+}
+
+// Fetch downloads every URL, calling sink (which may be nil) with each body
+// as it completes. Sink calls are serialized; bodies are discarded after the
+// sink returns. Fetch returns per-URL results in input order and the total
+// payload bytes moved.
+func (d *Downloader) Fetch(urls []string, sink func(url string, body []byte)) ([]Result, int64) {
+	parallel := d.Parallel
+	if parallel <= 0 {
+		parallel = 20
+	}
+	client := d.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	results := make([]Result, len(urls))
+	var total int64
+	var totalMu sync.Mutex
+	var sinkMu sync.Mutex
+
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, u := range urls {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			body, err := fetchOne(client, u)
+			results[i] = Result{URL: u, Bytes: int64(len(body)), Err: err}
+			if err != nil {
+				return
+			}
+			totalMu.Lock()
+			total += int64(len(body))
+			totalMu.Unlock()
+			if sink != nil {
+				sinkMu.Lock()
+				sink(u, body)
+				sinkMu.Unlock()
+			}
+		}(i, u)
+	}
+	wg.Wait()
+	return results, total
+}
+
+func fetchOne(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("thredds: GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}

@@ -1,0 +1,241 @@
+package thredds
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"chaseci/internal/merra"
+)
+
+var testGrid = merra.Grid{NLon: 24, NLat: 16, NLev: 6}
+
+func newTestServer(t *testing.T, granules int) *Server {
+	t.Helper()
+	spec := merra.MERRA2().Slice(granules)
+	cat := NewCatalog(spec, merra.NewGenerator(testGrid, 7))
+	srv, err := Serve(cat, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestCatalogEndpoint(t *testing.T) {
+	srv := newTestServer(t, 5)
+	resp, err := http.Get(srv.BaseURL() + "/thredds/catalog.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Datasets []string `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Datasets) != 5 {
+		t.Fatalf("catalog lists %d datasets, want 5", len(out.Datasets))
+	}
+	if !strings.HasPrefix(out.Datasets[0], "MERRA2_100.inst3_3d_asm_Np.19800101") {
+		t.Fatalf("first dataset = %s", out.Datasets[0])
+	}
+}
+
+func TestFullGranuleDownloadDecodes(t *testing.T) {
+	srv := newTestServer(t, 2)
+	name := srv.Catalog.Spec.FileName(1)
+	resp, err := http.Get(srv.FileURL(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	f, err := merra.Decode(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Vars) != 4 {
+		t.Fatalf("granule has %d vars, want 4", len(f.Vars))
+	}
+	if f.Time != srv.Catalog.Spec.FileTime(1).Unix() {
+		t.Fatal("granule timestamp mismatch")
+	}
+}
+
+func TestSubsetSmallerThanFull(t *testing.T) {
+	srv := newTestServer(t, 1)
+	name := srv.Catalog.Spec.FileName(0)
+
+	full, err := fetchOne(http.DefaultClient, srv.FileURL(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset, err := fetchOne(http.DefaultClient, srv.SubsetURL(name, "IVT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subset) >= len(full) {
+		t.Fatalf("subset (%d B) not smaller than full granule (%d B)", len(subset), len(full))
+	}
+	f, err := merra.DecodeBytes(subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Vars) != 1 || f.Vars[0].Name != "IVT" {
+		t.Fatalf("subset vars = %v", f.Vars)
+	}
+	// Subset payload must equal the IVT extracted from the full granule.
+	want, err := merra.ExtractVariable(full, "IVT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if f.Vars[0].Data[i] != want.Data[i] {
+			t.Fatal("subset IVT differs from full-granule IVT")
+		}
+	}
+}
+
+func TestSubsetMissingVariable(t *testing.T) {
+	srv := newTestServer(t, 1)
+	name := srv.Catalog.Spec.FileName(0)
+	resp, err := http.Get(srv.SubsetURL(name, "NOPE"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %s, want 404", resp.Status)
+	}
+}
+
+func TestSubsetMissingVarParam(t *testing.T) {
+	srv := newTestServer(t, 1)
+	name := srv.Catalog.Spec.FileName(0)
+	resp, err := http.Get(srv.BaseURL() + "/thredds/ncss/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %s, want 400", resp.Status)
+	}
+}
+
+func TestUnknownDataset404(t *testing.T) {
+	srv := newTestServer(t, 1)
+	resp, err := http.Get(srv.FileURL("nope.nc4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %s, want 404", resp.Status)
+	}
+}
+
+func TestGranuleBytesDeterministicAndCached(t *testing.T) {
+	spec := merra.MERRA2().Slice(3)
+	cat := NewCatalog(spec, merra.NewGenerator(testGrid, 7))
+	a, err := cat.GranuleBytes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cat.GranuleBytes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("second GranuleBytes did not hit the cache")
+	}
+	if _, err := cat.GranuleBytes(99); err == nil {
+		t.Fatal("out-of-range granule accepted")
+	}
+}
+
+func TestDownloaderFetchesAll(t *testing.T) {
+	srv := newTestServer(t, 12)
+	var urls []string
+	for i := 0; i < 12; i++ {
+		urls = append(urls, srv.SubsetURL(srv.Catalog.Spec.FileName(i), "IVT"))
+	}
+	got := make(map[string]int)
+	dl := &Downloader{Parallel: 4}
+	results, total := dl.Fetch(urls, func(url string, body []byte) {
+		got[url] = len(body)
+	})
+	if len(results) != 12 {
+		t.Fatalf("results = %d, want 12", len(results))
+	}
+	var want int64
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("fetch %s: %v", r.URL, r.Err)
+		}
+		want += r.Bytes
+	}
+	if total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+	if len(got) != 12 {
+		t.Fatalf("sink saw %d urls, want 12", len(got))
+	}
+}
+
+func TestDownloaderReportsErrors(t *testing.T) {
+	srv := newTestServer(t, 1)
+	urls := []string{
+		srv.SubsetURL(srv.Catalog.Spec.FileName(0), "IVT"),
+		srv.FileURL("missing.nc4"),
+	}
+	dl := &Downloader{Parallel: 2}
+	results, _ := dl.Fetch(urls, nil)
+	if results[0].Err != nil {
+		t.Fatalf("good url errored: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("404 url did not error")
+	}
+}
+
+func TestDownloaderDefaultParallelism(t *testing.T) {
+	srv := newTestServer(t, 3)
+	var urls []string
+	for i := 0; i < 3; i++ {
+		urls = append(urls, srv.FileURL(srv.Catalog.Spec.FileName(i)))
+	}
+	dl := &Downloader{} // default 20 streams
+	results, total := dl.Fetch(urls, nil)
+	if total <= 0 {
+		t.Fatal("no bytes fetched")
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+}
+
+func TestSubsetRatioApproximatesPaper(t *testing.T) {
+	// On the full MERRA-2 spec the modeled subset ratio is 246/455; the
+	// rendered NC4-lite files should show the same direction of savings
+	// (subset strictly under half the full size for the 4-variable granule).
+	srv := newTestServer(t, 1)
+	name := srv.Catalog.Spec.FileName(0)
+	full, _ := fetchOne(http.DefaultClient, srv.FileURL(name))
+	subset, _ := fetchOne(http.DefaultClient, srv.SubsetURL(name, "IVT"))
+	ratio := float64(len(subset)) / float64(len(full))
+	if ratio >= 0.5 {
+		t.Fatalf("subset ratio = %.2f, want < 0.5", ratio)
+	}
+	spec := merra.MERRA2()
+	modelRatio := spec.TotalBytes(true) / spec.TotalBytes(false)
+	if modelRatio < 0.5 || modelRatio > 0.6 {
+		t.Fatalf("modeled ratio = %.3f, want ~0.54 (246/455)", modelRatio)
+	}
+}

@@ -1,0 +1,146 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// StatusServer is the web face of Section VI's collaborative workflow
+// interface: "a web-based CHASE-CI interface ... with the list of steps
+// connected to each other in a visual and meaningful way, along with a set
+// of tools for measuring and testing". It serves
+//
+//	GET /           an HTML view of the step list with states and timings
+//	GET /status     the same as JSON
+//
+// The simulation is single-threaded, so the server holds an immutable
+// snapshot that the driver refreshes with Update between clock steps;
+// HTTP handlers never touch live workflow state.
+type StatusServer struct {
+	httpSrv *http.Server
+	ln      net.Listener
+
+	mu   sync.RWMutex
+	snap statusSnapshot
+}
+
+type statusSnapshot struct {
+	Workflow string           `json:"workflow"`
+	Now      time.Duration    `json:"virtual_now"`
+	Done     bool             `json:"done"`
+	Failed   bool             `json:"failed"`
+	Steps    []statusStepView `json:"steps"`
+}
+
+type statusStepView struct {
+	Name         string             `json:"name"`
+	DependsOn    []string           `json:"depends_on"`
+	Status       string             `json:"status"`
+	Duration     string             `json:"duration"`
+	Measurements map[string]float64 `json:"measurements"`
+	Error        string             `json:"error,omitempty"`
+}
+
+// ServeStatus starts a status server on addr ("127.0.0.1:0" for ephemeral)
+// pre-loaded with the workflow's current state.
+func ServeStatus(w *Workflow, addr string) (*StatusServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &StatusServer{ln: ln}
+	s.Update(w)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", s.handleJSON)
+	mux.HandleFunc("/", s.handleHTML)
+	s.httpSrv = &http.Server{Handler: mux}
+	go s.httpSrv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the listening host:port.
+func (s *StatusServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *StatusServer) Close() error { return s.httpSrv.Close() }
+
+// Update refreshes the served snapshot from the workflow's current state.
+// Call it from the simulation driver (never concurrently with clock steps).
+func (s *StatusServer) Update(w *Workflow) {
+	snap := statusSnapshot{
+		Workflow: w.Name,
+		Now:      w.clock.Now(),
+		Done:     w.finished,
+		Failed:   w.failed,
+	}
+	for _, name := range w.order {
+		st := w.steps[name]
+		view := statusStepView{
+			Name:         st.name,
+			DependsOn:    append([]string(nil), st.deps...),
+			Status:       st.status.String(),
+			Measurements: make(map[string]float64, len(st.measurements)),
+		}
+		switch st.status {
+		case StatusSucceeded, StatusFailed:
+			view.Duration = (st.ended - st.started).Round(time.Second).String()
+		case StatusRunning:
+			view.Duration = (w.clock.Now() - st.started).Round(time.Second).String() + " (running)"
+		}
+		for k, v := range st.measurements {
+			view.Measurements[k] = v
+		}
+		if st.err != nil {
+			view.Error = st.err.Error()
+		}
+		snap.Steps = append(snap.Steps, view)
+	}
+	s.mu.Lock()
+	s.snap = snap
+	s.mu.Unlock()
+}
+
+func (s *StatusServer) handleJSON(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	snap := s.snap
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(snap)
+}
+
+var statusTmpl = template.Must(template.New("status").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Workflow}} — CHASE-CI workflow</title></head>
+<body>
+<h1>workflow: {{.Workflow}}</h1>
+<p>virtual time {{.Now}} — done={{.Done}} failed={{.Failed}}</p>
+<table border="1" cellpadding="4">
+<tr><th>#</th><th>step</th><th>depends on</th><th>status</th><th>duration</th><th>measurements</th></tr>
+{{range $i, $s := .Steps}}
+<tr>
+<td>{{$i}}</td><td>{{$s.Name}}</td>
+<td>{{range $s.DependsOn}}{{.}} {{end}}</td>
+<td>{{$s.Status}}</td><td>{{$s.Duration}}</td>
+<td>{{range $k, $v := $s.Measurements}}{{$k}}={{printf "%.4g" $v}} {{end}}</td>
+</tr>
+{{end}}
+</table>
+</body></html>`))
+
+func (s *StatusServer) handleHTML(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.RLock()
+	snap := s.snap
+	s.mu.RUnlock()
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := statusTmpl.Execute(w, snap); err != nil {
+		fmt.Fprintf(w, "<!-- render error: %v -->", err)
+	}
+}

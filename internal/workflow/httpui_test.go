@@ -1,0 +1,183 @@
+package workflow
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"chaseci/internal/sim"
+)
+
+func newUIWorkflow(t *testing.T) (*sim.Clock, *Workflow) {
+	t.Helper()
+	clk := sim.NewClock()
+	w := New("connect-segmentation", clk)
+	w.AddStep(StepSpec{Name: "download", Run: func(ctx *Ctx) {
+		ctx.Record("pods", 14)
+		ctx.After(37*time.Minute, func() { ctx.Done(nil) })
+	}})
+	w.AddStep(StepSpec{Name: "train", DependsOn: []string{"download"}, Run: func(ctx *Ctx) {
+		ctx.After(306*time.Minute, func() { ctx.Done(nil) })
+	}})
+	return clk, w
+}
+
+func TestStatusJSONMidRun(t *testing.T) {
+	clk, w := newUIWorkflow(t)
+	w.Run(nil)
+	clk.RunUntil(10 * time.Minute)
+
+	srv, err := ServeStatus(w, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Workflow string `json:"workflow"`
+		Done     bool   `json:"done"`
+		Steps    []struct {
+			Name         string             `json:"name"`
+			Status       string             `json:"status"`
+			Measurements map[string]float64 `json:"measurements"`
+		} `json:"steps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Workflow != "connect-segmentation" || snap.Done {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Steps[0].Status != "Running" || snap.Steps[1].Status != "Pending" {
+		t.Fatalf("statuses = %s/%s", snap.Steps[0].Status, snap.Steps[1].Status)
+	}
+	if snap.Steps[0].Measurements["pods"] != 14 {
+		t.Fatalf("measurements = %v", snap.Steps[0].Measurements)
+	}
+}
+
+func TestStatusUpdateReflectsCompletion(t *testing.T) {
+	clk, w := newUIWorkflow(t)
+	w.Run(nil)
+	srv, err := ServeStatus(w, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	clk.Run()
+	srv.Update(w)
+
+	resp, err := http.Get("http://" + srv.Addr() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Done  bool `json:"done"`
+		Steps []struct {
+			Status   string `json:"status"`
+			Duration string `json:"duration"`
+		} `json:"steps"`
+	}
+	json.NewDecoder(resp.Body).Decode(&snap)
+	if !snap.Done {
+		t.Fatal("snapshot not done after Update")
+	}
+	for i, s := range snap.Steps {
+		if s.Status != "Succeeded" {
+			t.Fatalf("step %d status = %s", i, s.Status)
+		}
+		if s.Duration == "" {
+			t.Fatalf("step %d missing duration", i)
+		}
+	}
+}
+
+func TestStatusHTMLPage(t *testing.T) {
+	clk, w := newUIWorkflow(t)
+	w.Run(nil)
+	clk.Run()
+	srv, err := ServeStatus(w, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	page := string(body)
+	for _, want := range []string{"connect-segmentation", "download", "train", "Succeeded"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("page missing %q:\n%s", want, page)
+		}
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("Content-Type = %s", ct)
+	}
+}
+
+func TestStatusUnknownPath404(t *testing.T) {
+	_, w := newUIWorkflow(t)
+	srv, err := ServeStatus(w, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %s, want 404", resp.Status)
+	}
+}
+
+func TestStatusFailedStepHasError(t *testing.T) {
+	clk := sim.NewClock()
+	w := New("failing", clk)
+	w.AddStep(StepSpec{Name: "boom", Run: func(ctx *Ctx) {
+		ctx.After(time.Second, func() { ctx.Done(errDownload) })
+	}})
+	w.Run(nil)
+	clk.Run()
+	srv, err := ServeStatus(w, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Failed bool `json:"failed"`
+		Steps  []struct {
+			Error string `json:"error"`
+		} `json:"steps"`
+	}
+	json.NewDecoder(resp.Body).Decode(&snap)
+	if !snap.Failed || snap.Steps[0].Error == "" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+var errDownload = errFor("download exploded")
+
+type errFor string
+
+func (e errFor) Error() string { return string(e) }
