@@ -26,6 +26,7 @@ import (
 	"chaseci/internal/ffn"
 	"chaseci/internal/gpusim"
 	"chaseci/internal/merra"
+	"chaseci/internal/parallel"
 	"chaseci/internal/sim"
 	"chaseci/internal/tensor"
 )
@@ -347,6 +348,54 @@ func BenchmarkConv3DForward(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.Conv3D(in, w, bias)
+	}
+}
+
+// BenchmarkConv3DInto measures the allocation-free convolution kernel
+// writing into a reused output tensor: steady-state allocs/op must be 0.
+func BenchmarkConv3DInto(b *testing.B) {
+	rng := sim.NewRNG(1)
+	in := tensor.New(6, 3, 7, 7)
+	w := tensor.New(6, 6, 3, 3, 3)
+	w.Randomize(rng, 6*27)
+	bias := make([]float32, 6)
+	out := tensor.New(6, 3, 7, 7)
+	tensor.Conv3DInto(out, in, w, bias) // warm the task/waitgroup pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv3DInto(out, in, w, bias)
+	}
+}
+
+// BenchmarkSegmentWorkers measures flood-fill inference at several worker
+// counts on one trained network (results are identical; only wall-clock
+// changes).
+func BenchmarkSegmentWorkers(b *testing.B) {
+	g := merra.Grid{NLon: 36, NLat: 24, NLev: 6}
+	gen := merra.NewGenerator(g, 11)
+	levels := merra.PressureLevels(g.NLev)
+	const steps = 6
+	vol := merra.IVTVolume(gen, levels, 20, steps)
+	img := &ffn.Volume{D: steps, H: g.NLat, W: g.NLon, Data: append([]float32(nil), vol.Data...)}
+	img.Normalize()
+	cfg := ffn.DefaultConfig()
+	cfg.FOV = [3]int{3, 7, 7}
+	cfg.Features = 6
+	cfg.MoveStep = [3]int{1, 2, 2}
+	net, err := ffn.NewNetwork(cfg, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := ffn.GridSeeds(img, cfg.FOV, [3]int{1, 4, 4}, 1.0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			prev := parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(prev)
+			for i := 0; i < b.N; i++ {
+				net.Segment(img, seeds, 0)
+			}
+		})
 	}
 }
 

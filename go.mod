@@ -1,0 +1,3 @@
+module chaseci
+
+go 1.24

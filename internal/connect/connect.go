@@ -12,6 +12,9 @@ package connect
 import (
 	"fmt"
 	"sort"
+	"sync"
+
+	"chaseci/internal/parallel"
 )
 
 // Volume is a binary (T, H, W) mask: time-major, matching ffn.Volume layout.
@@ -92,6 +95,31 @@ func newUnionFind(n int) *unionFind {
 	return uf
 }
 
+// labelBufs pools Label's large per-call working arrays (union-find state
+// and the root compaction table) so repeated labelling of same-sized
+// volumes stops hitting the allocator.
+type labelBufs struct {
+	parent, size, rootSlot []int32
+}
+
+var labelBufPool = sync.Pool{New: func() any { return new(labelBufs) }}
+
+func getLabelBufs(n int) *labelBufs {
+	b := labelBufPool.Get().(*labelBufs)
+	if cap(b.parent) < n {
+		b.parent = make([]int32, n)
+		b.size = make([]int32, n)
+		b.rootSlot = make([]int32, n)
+	}
+	b.parent, b.size, b.rootSlot = b.parent[:n], b.size[:n], b.rootSlot[:n]
+	// parent/size are initialized lazily as labels are allocated; only the
+	// compaction table needs clearing.
+	for i := range b.rootSlot {
+		b.rootSlot[i] = 0
+	}
+	return b
+}
+
 func (uf *unionFind) find(x int32) int32 {
 	for uf.parent[x] != x {
 		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
@@ -112,16 +140,9 @@ func (uf *unionFind) union(a, b int32) {
 	uf.size[ra] += uf.size[rb]
 }
 
-// Label performs connected-object labelling on a binary volume. minVoxels
-// discards objects smaller than the threshold (CONNECT prunes noise
-// objects); 0 keeps everything.
-func Label(v *Volume, conn Connectivity, minVoxels int) *Result {
-	n := v.T * v.H * v.W
-	uf := newUnionFind(n)
-	idx := func(t, y, x int) int32 { return int32((t*v.H+y)*v.W + x) }
-
-	// Neighbor offsets with strictly negative lexicographic order (already-
-	// visited voxels only), so each pair is united exactly once.
+// neighborOffsets returns the offsets with strictly negative lexicographic
+// order (already-visited voxels only), so each pair is united exactly once.
+func neighborOffsets(conn Connectivity) [][3]int {
 	var offs [][3]int
 	switch conn {
 	case Conn6:
@@ -140,58 +161,251 @@ func Label(v *Volume, conn Connectivity, minVoxels int) *Result {
 	default:
 		panic(fmt.Sprintf("connect: unsupported connectivity %d", conn))
 	}
+	return offs
+}
 
-	for t := 0; t < v.T; t++ {
-		for y := 0; y < v.H; y++ {
-			for x := 0; x < v.W; x++ {
-				if !v.At(t, y, x) {
+// labelSlab assigns provisional labels to time slab [t0, t1) with a
+// Rosenfeld-style raster scan: each set voxel adopts the label of any
+// already-labelled backward neighbor inside the slab, allocating a fresh
+// label when it has none and uniting labels only when two distinct ones
+// meet. Labels are allocated from the slab-private range starting at
+// nextLabel (uf entries are initialized lazily on allocation), so slabs
+// touch disjoint label ranges and disjoint regions of the labels array —
+// which is what makes the slab pass safe to run in parallel. Neighbor pairs
+// reaching back into t0-1 are left to the caller's boundary stitch. Returns
+// one past the last label allocated.
+func labelSlab(v *Volume, uf *unionFind, labels []int32, conn Connectivity, t0, t1 int, nextLabel int32) int32 {
+	H, W := v.H, v.W
+	data := v.Data
+	for t := t0; t < t1; t++ {
+		withPrevT := t > t0 // t-1 pairs at the slab start are stitched later
+		for y := 0; y < H; y++ {
+			rowBase := (t*H + y) * W
+			cur := data[rowBase:][:W]
+			curLbl := labels[rowBase:][:W]
+			// Backward neighbor rows: (t, y-1), and for Conn26 also
+			// (t-1, y-1), (t-1, y), (t-1, y+1). For Conn6 the only
+			// off-row neighbors are (t, y-1, x) and (t-1, y, x).
+			var nbr [4][]int32
+			nRows := 0
+			diag := conn == Conn26
+			if y > 0 {
+				nbr[nRows] = labels[rowBase-W:][:W]
+				nRows++
+			}
+			if withPrevT {
+				pBase := ((t-1)*H + y) * W
+				if diag && y > 0 {
+					nbr[nRows] = labels[pBase-W:][:W]
+					nRows++
+				}
+				nbr[nRows] = labels[pBase:][:W]
+				nRows++
+				if diag && y < H-1 {
+					nbr[nRows] = labels[pBase+W:][:W]
+					nRows++
+				}
+			}
+			for x := 0; x < W; x++ {
+				if cur[x] <= 0.5 {
 					continue
 				}
-				me := idx(t, y, x)
-				for _, o := range offs {
-					nt, ny, nx := t+o[0], y+o[1], x+o[2]
-					if nt < 0 || ny < 0 || ny >= v.H || nx < 0 || nx >= v.W {
-						continue
+				var lbl int32
+				if x > 0 {
+					lbl = curLbl[x-1]
+				}
+				if diag {
+					// Center-first: horizontally adjacent set voxels in any
+					// one row are already left-linked, so when the center
+					// probe hits, its side neighbors carry the same
+					// component and need no probe.
+					for r := 0; r < nRows; r++ {
+						row := nbr[r]
+						if l := row[x]; l != 0 {
+							if lbl == 0 {
+								lbl = l
+							} else if l != lbl {
+								uf.union(lbl, l)
+							}
+							continue
+						}
+						if x > 0 {
+							if l := row[x-1]; l != 0 {
+								if lbl == 0 {
+									lbl = l
+								} else if l != lbl {
+									uf.union(lbl, l)
+								}
+							}
+						}
+						if x < W-1 {
+							if l := row[x+1]; l != 0 {
+								if lbl == 0 {
+									lbl = l
+								} else if l != lbl {
+									uf.union(lbl, l)
+								}
+							}
+						}
 					}
-					if v.At(nt, ny, nx) {
-						uf.union(me, idx(nt, ny, nx))
+				} else {
+					for r := 0; r < nRows; r++ {
+						if l := nbr[r][x]; l != 0 {
+							if lbl == 0 {
+								lbl = l
+							} else if l != lbl {
+								uf.union(lbl, l)
+							}
+						}
+					}
+				}
+				if lbl == 0 {
+					lbl = nextLabel
+					uf.parent[lbl] = lbl
+					uf.size[lbl] = 1
+					nextLabel++
+				}
+				curLbl[x] = lbl
+			}
+		}
+	}
+	return nextLabel
+}
+
+// labelAcc accumulates one object's statistics; per-step data is indexed by
+// t - genesis (flat slices instead of the maps the original used, which
+// dominated Label's runtime).
+type labelAcc struct {
+	voxels               int
+	genesis, termination int
+	bbox                 [6]int
+	stepCount            []int32
+	stepSumY, stepSumX   []float64
+}
+
+// Label performs connected-object labelling on a binary volume. minVoxels
+// discards objects smaller than the threshold (CONNECT prunes noise
+// objects); 0 keeps everything.
+//
+// The union pass is a two-pass block-parallel union-find: the time axis is
+// split into slabs whose internal unions run concurrently (backward-looking
+// offsets keep each slab's parent entries disjoint), then the slab
+// boundaries are stitched serially. Components — and therefore labels,
+// objects, and statistics — are identical at every worker count.
+func Label(v *Volume, conn Connectivity, minVoxels int) *Result {
+	n := v.T * v.H * v.W
+	neighborOffsets(conn) // validates conn
+	res := &Result{Labels: make([]int32, n), T: v.T, H: v.H, W: v.W}
+	labels := res.Labels // provisional label ids until the final remap
+
+	// Pass 1: parallel per-slab provisional labelling. Each slab draws
+	// label ids from its own range [starts[k], starts[k+1]): a fresh label
+	// is only needed where the left neighbor is unset, so a row uses at
+	// most ceil(W/2) labels.
+	slabs := parallel.Ranges(v.T)
+	perRow := int32((v.W + 1) / 2)
+	starts := make([]int32, len(slabs)+1)
+	starts[0] = 1 // 0 is background
+	for k, s := range slabs {
+		starts[k+1] = starts[k] + int32(s[1]-s[0])*int32(v.H)*perRow
+	}
+	bufs := getLabelBufs(int(starts[len(slabs)]))
+	defer labelBufPool.Put(bufs)
+	uf := &unionFind{parent: bufs.parent, size: bufs.size}
+	parallel.For(len(slabs), func(s0, s1 int) {
+		for k := s0; k < s1; k++ {
+			labelSlab(v, uf, labels, conn, slabs[k][0], slabs[k][1], starts[k])
+		}
+	})
+
+	// Pass 2: serial boundary stitch — unite labels across each slab's
+	// first time step and the step before it. A voxel is set iff its
+	// provisional label is nonzero, so the stitch reads only labels.
+	H, W := v.H, v.W
+	for _, slab := range slabs[1:] {
+		t := slab[0]
+		for y := 0; y < H; y++ {
+			rowBase := (t*H + y) * W
+			cur := labels[rowBase:][:W]
+			var nbr [3][]int32
+			nRows := 0
+			if conn == Conn26 {
+				for ny := y - 1; ny <= y+1; ny++ {
+					if ny >= 0 && ny < H {
+						nbr[nRows] = labels[((t-1)*H+ny)*W:][:W]
+						nRows++
+					}
+				}
+			} else {
+				nbr[nRows] = labels[((t-1)*H+y)*W:][:W]
+				nRows++
+			}
+			for x := 0; x < W; x++ {
+				l1 := cur[x]
+				if l1 == 0 {
+					continue
+				}
+				if conn == Conn6 {
+					if l2 := nbr[0][x]; l2 != 0 && l2 != l1 {
+						uf.union(l1, l2)
+					}
+					continue
+				}
+				for r := 0; r < nRows; r++ {
+					row := nbr[r]
+					if l2 := row[x]; l2 != 0 {
+						if l2 != l1 {
+							uf.union(l1, l2)
+						}
+						continue // sides are already united with the center
+					}
+					if x > 0 {
+						if l2 := row[x-1]; l2 != 0 && l2 != l1 {
+							uf.union(l1, l2)
+						}
+					}
+					if x < W-1 {
+						if l2 := row[x+1]; l2 != 0 && l2 != l1 {
+							uf.union(l1, l2)
+						}
 					}
 				}
 			}
 		}
 	}
 
-	// Compact roots to sequential IDs and accumulate statistics.
-	res := &Result{Labels: make([]int32, n), T: v.T, H: v.H, W: v.W}
-	rootID := make(map[int32]int32)
-	type acc struct {
-		voxels               int
-		genesis, termination int
-		bbox                 [6]int
-		perStepCount         map[int]int
-		perStepSumY          map[int]float64
-		perStepSumX          map[int]float64
-	}
-	accs := make(map[int32]*acc)
-
+	// Stats pass: compact label roots to dense slots in scan order (first
+	// voxel encountered — deterministic regardless of union order and
+	// worker count) and accumulate per-object statistics. Labels
+	// temporarily hold slot ids.
+	rootSlot := bufs.rootSlot // 0 = unseen, else slot+1
+	var accs []labelAcc
 	for t := 0; t < v.T; t++ {
 		for y := 0; y < v.H; y++ {
+			rowBase := (t*v.H + y) * v.W
 			for x := 0; x < v.W; x++ {
-				if !v.At(t, y, x) {
+				i := rowBase + x
+				l := labels[i]
+				if l == 0 {
 					continue
 				}
-				root := uf.find(idx(t, y, x))
-				a, ok := accs[root]
-				if !ok {
-					a = &acc{
-						genesis: t, termination: t,
-						bbox:         [6]int{t, t, y, y, x, x},
-						perStepCount: make(map[int]int),
-						perStepSumY:  make(map[int]float64),
-						perStepSumX:  make(map[int]float64),
+				// rootSlot memoizes the component slot for every label id
+				// (root or not), so most voxels resolve with one load.
+				slot := rootSlot[l]
+				if slot == 0 {
+					root := uf.find(l)
+					slot = rootSlot[root]
+					if slot == 0 {
+						accs = append(accs, labelAcc{
+							genesis: t, termination: t,
+							bbox: [6]int{t, t, y, y, x, x},
+						})
+						slot = int32(len(accs))
+						rootSlot[root] = slot
 					}
-					accs[root] = a
+					rootSlot[l] = slot
 				}
+				a := &accs[slot-1]
 				a.voxels++
 				if t > a.termination {
 					a.termination = t
@@ -202,20 +416,26 @@ func Label(v *Volume, conn Connectivity, minVoxels int) *Result {
 				a.bbox[3] = max(a.bbox[3], y)
 				a.bbox[4] = min(a.bbox[4], x)
 				a.bbox[5] = max(a.bbox[5], x)
-				a.perStepCount[t]++
-				a.perStepSumY[t] += float64(y)
-				a.perStepSumX[t] += float64(x)
+				for len(a.stepCount) <= t-a.genesis {
+					a.stepCount = append(a.stepCount, 0)
+					a.stepSumY = append(a.stepSumY, 0)
+					a.stepSumX = append(a.stepSumX, 0)
+				}
+				a.stepCount[t-a.genesis]++
+				a.stepSumY[t-a.genesis] += float64(y)
+				a.stepSumX[t-a.genesis] += float64(x)
+				res.Labels[i] = slot
 			}
 		}
 	}
 
 	// Deterministic ordering: by genesis, then size desc, then bbox.
-	roots := make([]int32, 0, len(accs))
-	for r := range accs {
-		roots = append(roots, r)
+	order := make([]int32, len(accs))
+	for i := range order {
+		order[i] = int32(i)
 	}
-	sort.Slice(roots, func(i, j int) bool {
-		a, b := accs[roots[i]], accs[roots[j]]
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := &accs[order[i]], &accs[order[j]]
 		if a.genesis != b.genesis {
 			return a.genesis < b.genesis
 		}
@@ -225,13 +445,15 @@ func Label(v *Volume, conn Connectivity, minVoxels int) *Result {
 		return a.bbox != b.bbox && lessBBox(a.bbox, b.bbox)
 	})
 
+	// Assign final IDs (0 drops the object) and build Object records.
+	slotID := make([]int32, len(accs)+1)
 	nextID := int32(1)
-	for _, root := range roots {
-		a := accs[root]
+	for _, slot := range order {
+		a := &accs[slot]
 		if a.voxels < minVoxels {
 			continue
 		}
-		rootID[root] = nextID
+		slotID[slot+1] = nextID
 		obj := &Object{
 			ID:      int(nextID),
 			Voxels:  a.voxels,
@@ -240,11 +462,15 @@ func Label(v *Volume, conn Connectivity, minVoxels int) *Result {
 		}
 		var lastY, lastX float64
 		for t := a.genesis; t <= a.termination; t++ {
-			if c := a.perStepCount[t]; c > 0 {
-				lastY = a.perStepSumY[t] / float64(c)
-				lastX = a.perStepSumX[t] / float64(c)
-				if c > obj.PeakArea {
-					obj.PeakArea = c
+			var c int32
+			if t-a.genesis < len(a.stepCount) {
+				c = a.stepCount[t-a.genesis]
+			}
+			if c > 0 {
+				lastY = a.stepSumY[t-a.genesis] / float64(c)
+				lastX = a.stepSumX[t-a.genesis] / float64(c)
+				if int(c) > obj.PeakArea {
+					obj.PeakArea = int(c)
 				}
 			}
 			obj.Pathway = append(obj.Pathway, [2]float64{lastY, lastX})
@@ -253,17 +479,10 @@ func Label(v *Volume, conn Connectivity, minVoxels int) *Result {
 		nextID++
 	}
 
-	// Write labels.
-	for t := 0; t < v.T; t++ {
-		for y := 0; y < v.H; y++ {
-			for x := 0; x < v.W; x++ {
-				if !v.At(t, y, x) {
-					continue
-				}
-				if id, ok := rootID[uf.find(idx(t, y, x))]; ok {
-					res.Labels[(t*v.H+y)*v.W+x] = id
-				}
-			}
+	// Remap temporary slots to final IDs.
+	for i, slot := range res.Labels {
+		if slot != 0 {
+			res.Labels[i] = slotID[slot]
 		}
 	}
 	return res

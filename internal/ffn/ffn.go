@@ -89,6 +89,8 @@ type Network struct {
 	mods []*module
 	wOut *tensor.Tensor // (1, F, 1, 1, 1)
 	bOut []float32
+
+	ts *trainScratch // lazily built per-network training buffers
 }
 
 // NewNetwork initializes a model with He-initialized weights from seed.
@@ -131,9 +133,12 @@ func (n *Network) ParamCount() int {
 	return total
 }
 
-// fwdCache stores activations needed for backprop.
+// fwdCache stores activations needed for backprop. Caches are reusable:
+// every tensor except input is preallocated by newCache and overwritten by
+// each forwardInto call, so steady-state training and inference allocate
+// nothing on the forward path.
 type fwdCache struct {
-	input   *tensor.Tensor // (2, D, H, W)
+	input   *tensor.Tensor // (2, D, H, W); set by forwardInto, caller-owned
 	preIn   *tensor.Tensor // pre-ReLU of input conv
 	actIn   *tensor.Tensor
 	modPre1 []*tensor.Tensor
@@ -142,27 +147,48 @@ type fwdCache struct {
 	modOut  []*tensor.Tensor // post residual + ReLU
 }
 
-// forward runs the network on a 2-channel FOV (image, POM logits) and
-// returns the logit update plus the cache for backward.
-func (n *Network) forward(in *tensor.Tensor) (*tensor.Tensor, *fwdCache) {
-	cache := &fwdCache{input: in}
-	cache.preIn = tensor.Conv3D(in, n.wIn, n.bIn)
-	cache.actIn = tensor.ReLU(cache.preIn)
-	cur := cache.actIn
-	for _, m := range n.mods {
-		pre1 := tensor.Conv3D(cur, m.w1, m.b1)
-		act1 := tensor.ReLU(pre1)
-		pre2 := tensor.Conv3D(act1, m.w2, m.b2)
-		sum := pre2.Clone()
-		sum.AddInPlace(cur) // residual connection
-		out := tensor.ReLU(sum)
-		cache.modPre1 = append(cache.modPre1, pre1)
-		cache.modAct1 = append(cache.modAct1, act1)
-		cache.modPre2 = append(cache.modPre2, sum)
-		cache.modOut = append(cache.modOut, out)
-		cur = out
+// newCache preallocates every activation tensor for this architecture.
+func (n *Network) newCache() *fwdCache {
+	f := n.cfg.Features
+	d, h, w := n.cfg.FOV[0], n.cfg.FOV[1], n.cfg.FOV[2]
+	c := &fwdCache{
+		preIn: tensor.New(f, d, h, w),
+		actIn: tensor.New(f, d, h, w),
 	}
-	delta := tensor.Conv3D(cur, n.wOut, n.bOut)
+	for range n.mods {
+		c.modPre1 = append(c.modPre1, tensor.New(f, d, h, w))
+		c.modAct1 = append(c.modAct1, tensor.New(f, d, h, w))
+		c.modPre2 = append(c.modPre2, tensor.New(f, d, h, w))
+		c.modOut = append(c.modOut, tensor.New(f, d, h, w))
+	}
+	return c
+}
+
+// forwardInto runs the network on a 2-channel FOV (image, POM logits),
+// writing activations into cache and the logit update into delta.
+func (n *Network) forwardInto(cache *fwdCache, in, delta *tensor.Tensor) {
+	cache.input = in
+	tensor.Conv3DInto(cache.preIn, in, n.wIn, n.bIn)
+	tensor.ReLUInto(cache.actIn, cache.preIn)
+	cur := cache.actIn
+	for i, m := range n.mods {
+		tensor.Conv3DInto(cache.modPre1[i], cur, m.w1, m.b1)
+		tensor.ReLUInto(cache.modAct1[i], cache.modPre1[i])
+		tensor.Conv3DInto(cache.modPre2[i], cache.modAct1[i], m.w2, m.b2)
+		cache.modPre2[i].AddInPlace(cur) // residual connection
+		tensor.ReLUInto(cache.modOut[i], cache.modPre2[i])
+		cur = cache.modOut[i]
+	}
+	tensor.Conv3DInto(delta, cur, n.wOut, n.bOut)
+}
+
+// forward is the allocating wrapper around forwardInto for callers that
+// keep the cache (ComputeGrads) or need a fresh output tensor (Apply).
+func (n *Network) forward(in *tensor.Tensor) (*tensor.Tensor, *fwdCache) {
+	cache := n.newCache()
+	d, h, w := n.cfg.FOV[0], n.cfg.FOV[1], n.cfg.FOV[2]
+	delta := tensor.New(1, d, h, w)
+	n.forwardInto(cache, in, delta)
 	return delta, cache
 }
 
@@ -181,9 +207,14 @@ func (n *Network) Apply(image, pom *tensor.Tensor) *tensor.Tensor {
 func packInput(image, pom *tensor.Tensor) *tensor.Tensor {
 	d, h, w := image.Shape[1], image.Shape[2], image.Shape[3]
 	in := tensor.New(2, d, h, w)
+	packInputInto(in, image, pom)
+	return in
+}
+
+// packInputInto stacks image and POM into the caller's (2,D,H,W) tensor.
+func packInputInto(in, image, pom *tensor.Tensor) {
 	copy(in.Data[:image.Size()], image.Data)
 	copy(in.Data[image.Size():], pom.Data)
-	return in
 }
 
 // grads mirrors the parameter structure.
@@ -241,16 +272,96 @@ func (n *Network) applySGD(opt *tensor.SGD, g *grads) {
 	opt.StepBias(&n.bOut, g.bOut)
 }
 
+// trainScratch holds every buffer one SGD step needs, so steady-state
+// training allocates nothing. It lives on the Network (training already
+// mutates the weights, so a Network must not be trained concurrently).
+type trainScratch struct {
+	cache      *fwdCache
+	pom        *tensor.Tensor // constant seed POM
+	in         *tensor.Tensor // packed (2,D,H,W) input
+	delta      *tensor.Tensor // (1,D,H,W) output logits
+	gradLogits *tensor.Tensor
+	g          *grads // parameter gradients, reused each step
+	// Backward temporaries, all (F,D,H,W) except gradInput (2,D,H,W).
+	gradCur, gradPrev, gradSum, gradAct1 *tensor.Tensor
+	gradInput                            *tensor.Tensor
+}
+
+func (n *Network) trainScratchBufs() *trainScratch {
+	if n.ts != nil {
+		return n.ts
+	}
+	f := n.cfg.Features
+	d, h, w := n.cfg.FOV[0], n.cfg.FOV[1], n.cfg.FOV[2]
+	ts := &trainScratch{
+		cache:      n.newCache(),
+		pom:        n.SeedPOM(),
+		in:         tensor.New(2, d, h, w),
+		delta:      tensor.New(1, d, h, w),
+		gradLogits: tensor.New(1, d, h, w),
+		gradCur:    tensor.New(f, d, h, w),
+		gradPrev:   tensor.New(f, d, h, w),
+		gradSum:    tensor.New(f, d, h, w),
+		gradAct1:   tensor.New(f, d, h, w),
+		gradInput:  tensor.New(2, d, h, w),
+	}
+	g := &grads{
+		wIn:  tensor.New(f, 2, 3, 3, 3),
+		bIn:  make([]float32, f),
+		wOut: tensor.New(1, f, 1, 1, 1),
+		bOut: make([]float32, 1),
+	}
+	for range n.mods {
+		g.mods = append(g.mods, &module{
+			w1: tensor.New(f, f, 3, 3, 3), b1: make([]float32, f),
+			w2: tensor.New(f, f, 3, 3, 3), b2: make([]float32, f),
+		})
+	}
+	ts.g = g
+	n.ts = ts
+	return ts
+}
+
+// backwardInto computes parameter gradients into ts.g using only the
+// scratch temporaries (no allocation).
+func (n *Network) backwardInto(ts *trainScratch, gradDelta *tensor.Tensor) {
+	cache, g := ts.cache, ts.g
+	last := cache.actIn
+	if len(cache.modOut) > 0 {
+		last = cache.modOut[len(cache.modOut)-1]
+	}
+	tensor.Conv3DBackwardInto(ts.gradCur, g.wOut, g.bOut, last, n.wOut, gradDelta)
+
+	for i := len(n.mods) - 1; i >= 0; i-- {
+		m := n.mods[i]
+		prev := cache.actIn
+		if i > 0 {
+			prev = cache.modOut[i-1]
+		}
+		// Through the output ReLU of the module.
+		tensor.ReLUBackwardInto(ts.gradSum, cache.modPre2[i], ts.gradCur)
+		// Residual: gradient flows both into conv2 branch and skip path.
+		tensor.Conv3DBackwardInto(ts.gradAct1, g.mods[i].w2, g.mods[i].b2, cache.modAct1[i], m.w2, ts.gradSum)
+		tensor.ReLUBackwardInto(ts.gradAct1, cache.modPre1[i], ts.gradAct1)
+		tensor.Conv3DBackwardInto(ts.gradPrev, g.mods[i].w1, g.mods[i].b1, prev, m.w1, ts.gradAct1)
+		ts.gradPrev.AddInPlace(ts.gradSum) // skip connection
+		ts.gradCur, ts.gradPrev = ts.gradPrev, ts.gradCur
+	}
+	tensor.ReLUBackwardInto(ts.gradCur, cache.preIn, ts.gradCur)
+	tensor.Conv3DBackwardInto(ts.gradInput, g.wIn, g.bIn, cache.input, n.wIn, ts.gradCur)
+}
+
 // TrainStep runs one optimization step on a single FOV example: image and
 // label are (1,D,H,W) FOV tensors; the POM starts from the seed state. It
-// returns the BCE loss before the update.
+// returns the BCE loss before the update. All intermediate buffers are
+// reused across calls, so steady-state steps allocate nothing.
 func (n *Network) TrainStep(opt *tensor.SGD, image, label *tensor.Tensor) float64 {
-	pom := n.SeedPOM()
-	in := packInput(image, pom)
-	logits, cache := n.forward(in)
-	loss, gradLogits := tensor.LogitBCE(logits, label, nil)
-	g := n.backward(cache, gradLogits)
-	n.applySGD(opt, g)
+	ts := n.trainScratchBufs()
+	packInputInto(ts.in, image, ts.pom)
+	n.forwardInto(ts.cache, ts.in, ts.delta)
+	loss := tensor.LogitBCEInto(ts.gradLogits, ts.delta, label, nil)
+	n.backwardInto(ts, ts.gradLogits)
+	n.applySGD(opt, ts.g)
 	return loss
 }
 

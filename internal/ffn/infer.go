@@ -1,6 +1,10 @@
 package ffn
 
 import (
+	"math"
+	"sync/atomic"
+
+	"chaseci/internal/parallel"
 	"chaseci/internal/tensor"
 )
 
@@ -42,7 +46,7 @@ func (v *Volume) Normalize() *Volume {
 	variance := sumsq/n - mean*mean
 	std := 1.0
 	if variance > 1e-12 {
-		std = sqrt(variance)
+		std = math.Sqrt(variance)
 	}
 	for i := range v.Data {
 		v.Data[i] = float32((float64(v.Data[i]) - mean) / std)
@@ -50,46 +54,24 @@ func (v *Volume) Normalize() *Volume {
 	return v
 }
 
-func sqrt(x float64) float64 {
-	// Newton iterations; avoids importing math twice for one call site and
-	// keeps Volume free of float64 surprises.
-	if x <= 0 {
-		return 0
-	}
-	z := x
-	for i := 0; i < 30; i++ {
-		z = 0.5 * (z + x/z)
-	}
-	return z
-}
-
 // extractFOV copies the FOV centered at (cz, cy, cx) from a volume into a
 // (1,D,H,W) tensor. The center must be in-bounds for the full FOV.
 func extractFOV(v *Volume, fov [3]int, cz, cy, cx int) *tensor.Tensor {
+	out := tensor.New(1, fov[0], fov[1], fov[2])
+	extractFOVInto(out, v, fov, cz, cy, cx)
+	return out
+}
+
+// extractFOVInto copies the FOV centered at (cz, cy, cx) into the caller's
+// (1,D,H,W) tensor, allocating nothing.
+func extractFOVInto(out *tensor.Tensor, v *Volume, fov [3]int, cz, cy, cx int) {
 	d, h, w := fov[0], fov[1], fov[2]
-	out := tensor.New(1, d, h, w)
 	z0, y0, x0 := cz-d/2, cy-h/2, cx-w/2
 	i := 0
 	for z := 0; z < d; z++ {
 		for y := 0; y < h; y++ {
 			base := ((z0+z)*v.H + y0 + y) * v.W
 			copy(out.Data[i:i+w], v.Data[base+x0:base+x0+w])
-			i += w
-		}
-	}
-	return out
-}
-
-// writeFOV stores a (1,D,H,W) tensor back into the canvas at the FOV
-// position.
-func writeFOV(v *Volume, t *tensor.Tensor, cz, cy, cx int) {
-	d, h, w := t.Shape[1], t.Shape[2], t.Shape[3]
-	z0, y0, x0 := cz-d/2, cy-h/2, cx-w/2
-	i := 0
-	for z := 0; z < d; z++ {
-		for y := 0; y < h; y++ {
-			base := ((z0+z)*v.H + y0 + y) * v.W
-			copy(v.Data[base+x0:base+x0+w], t.Data[i:i+w])
 			i += w
 		}
 	}
@@ -104,101 +86,149 @@ type InferenceStats struct {
 	VoxelsTotal int
 }
 
+// inferScratch holds one flood-fill worker's reusable buffers: the FOV
+// image extract, the packed 2-channel input, the activation cache, and the
+// output logits. One scratch serves one goroutine.
+type inferScratch struct {
+	cache *fwdCache
+	pom   *tensor.Tensor
+	img   *tensor.Tensor // (1,D,H,W) FOV extract
+	in    *tensor.Tensor // (2,D,H,W) packed input
+	out   *tensor.Tensor // (1,D,H,W) output logits
+}
+
+func (n *Network) newInferScratch() *inferScratch {
+	d, h, w := n.cfg.FOV[0], n.cfg.FOV[1], n.cfg.FOV[2]
+	return &inferScratch{
+		cache: n.newCache(),
+		pom:   n.SeedPOM(),
+		img:   tensor.New(1, d, h, w),
+		in:    tensor.New(2, d, h, w),
+		out:   tensor.New(1, d, h, w),
+	}
+}
+
+// applyFOV runs one network application on the FOV centered at (cz, cy, cx),
+// reusing the scratch buffers. The returned tensor is s.out. Each
+// application is conditioned on a fresh seed POM (pad probability
+// everywhere, seed probability at the center) so the network sees exactly
+// the input distribution it was trained on; the canvas serves as the
+// aggregation buffer across FOVs. This is the single-step simplification of
+// FFN's recurrent POM, documented in DESIGN.md.
+func (n *Network) applyFOV(s *inferScratch, image *Volume, cz, cy, cx int) *tensor.Tensor {
+	extractFOVInto(s.img, image, n.cfg.FOV, cz, cy, cx)
+	packInputInto(s.in, s.img, s.pom)
+	n.forwardInto(s.cache, s.in, s.out)
+	return s.out
+}
+
+// mergeCore max-merges the core of an output FOV centered at p into canvas.
+// Only the central core of the FOV is merged: zero-padded convolution
+// borders make edge predictions unreliable, and strong object evidence
+// should accumulate rather than saturate across overlapping applications.
+// Element-wise max is commutative and associative, so the merged canvas is
+// independent of application order — the property the parallel path relies
+// on for determinism.
+func mergeCore(canvas []float32, H, W int, fov [3]int, out *tensor.Tensor, pz, py, px int) {
+	mz, my, mx := fov[0]/4, fov[1]/4, fov[2]/4
+	z0, y0, x0 := pz-fov[0]/2, py-fov[1]/2, px-fov[2]/2
+	for z := mz; z < fov[0]-mz; z++ {
+		for y := my; y < fov[1]-my; y++ {
+			base := ((z0+z)*H + y0 + y) * W
+			row := out.Data[(z*fov[1]+y)*fov[2]:]
+			for x := mx; x < fov[2]-mx; x++ {
+				if v := row[x]; v > canvas[base+x0+x] {
+					canvas[base+x0+x] = v
+				}
+			}
+		}
+	}
+}
+
+type fovPos struct{ z, y, x int }
+
+// fovInBounds reports whether the full FOV centered at (z, y, x) fits
+// inside the volume — the single definition used for seed acceptance and
+// flood expansion alike.
+func (cfg *Config) fovInBounds(v *Volume, z, y, x int) bool {
+	return z-cfg.FOV[0]/2 >= 0 && z+cfg.FOV[0]/2 < v.D &&
+		y-cfg.FOV[1]/2 >= 0 && y+cfg.FOV[1]/2 < v.H &&
+		x-cfg.FOV[2]/2 >= 0 && x+cfg.FOV[2]/2 < v.W
+}
+
 // Segment runs flood-filling inference over an image volume. Seeds are
 // (z, y, x) starting points (typically local IVT maxima); each flood fills
 // outward until no face of the FOV exceeds MoveProb. maxSteps bounds total
 // network applications (0 means no bound). The result is a binary mask
 // volume and run statistics.
+//
+// With maxSteps == 0 and more than one worker (parallel.Workers()), seeds
+// are sharded across workers: floods claim FOV centers through a shared
+// atomic visited array (each center is expanded exactly once, as in the
+// serial multi-source BFS) and merge into worker-private canvases that are
+// max-reduced afterwards. Because each application's output depends only on
+// the image and the center — never on the canvas — the mask and statistics
+// are identical to the serial path at every worker count.
 func (n *Network) Segment(image *Volume, seeds [][3]int, maxSteps int) (*Volume, InferenceStats) {
 	cfg := n.cfg
-	canvas := NewVolume(image.D, image.H, image.W)
-	padLogit := logit(cfg.PadProb)
-	for i := range canvas.Data {
-		canvas.Data[i] = padLogit
-	}
-	moveLogit := logit(cfg.MoveProb)
-	segLogit := logit(cfg.SegmentProb)
-
 	stats := InferenceStats{VoxelsTotal: image.Size()}
-	visited := make(map[int]bool)
 	keyOf := func(z, y, x int) int { return (z*image.H+y)*image.W + x }
-	inBounds := func(z, y, x int) bool {
-		return z-cfg.FOV[0]/2 >= 0 && z+cfg.FOV[0]/2 < image.D &&
-			y-cfg.FOV[1]/2 >= 0 && y+cfg.FOV[1]/2 < image.H &&
-			x-cfg.FOV[2]/2 >= 0 && x+cfg.FOV[2]/2 < image.W
-	}
 
-	type pos struct{ z, y, x int }
-	var queue []pos
+	// Accept in-bounds, deduplicated seeds; claimed doubles as the visited
+	// set for the flood (1 = already claimed by some flood).
+	claimed := make([]int32, image.Size())
+	var accepted []fovPos
 	for _, s := range seeds {
-		if inBounds(s[0], s[1], s[2]) && !visited[keyOf(s[0], s[1], s[2])] {
-			queue = append(queue, pos{s[0], s[1], s[2]})
-			visited[keyOf(s[0], s[1], s[2])] = true
-			canvas.Set(s[0], s[1], s[2], logit(cfg.SeedProb))
+		if cfg.fovInBounds(image, s[0], s[1], s[2]) && claimed[keyOf(s[0], s[1], s[2])] == 0 {
+			claimed[keyOf(s[0], s[1], s[2])] = 1
+			accepted = append(accepted, fovPos{s[0], s[1], s[2]})
 			stats.SeedsUsed++
 		}
 	}
 
-	for len(queue) > 0 {
-		if maxSteps > 0 && stats.Steps >= maxSteps {
-			break
-		}
-		p := queue[0]
-		queue = queue[1:]
-		img := extractFOV(image, cfg.FOV, p.z, p.y, p.x)
-		// Each application is conditioned on a fresh seed POM (pad
-		// probability everywhere, seed probability at the center) so the
-		// network sees exactly the input distribution it was trained on;
-		// the canvas serves as the aggregation buffer across FOVs. This is
-		// the single-step simplification of FFN's recurrent POM, documented
-		// in DESIGN.md.
-		out := n.Apply(img, n.SeedPOM())
-		// Merge by element-wise max, and only within the central core of the
-		// FOV: zero-padded convolution borders make edge predictions
-		// unreliable, and strong object evidence should accumulate rather
-		// than saturate across overlapping applications.
-		merged := extractFOV(canvas, cfg.FOV, p.z, p.y, p.x)
-		mz, my, mx := cfg.FOV[0]/4, cfg.FOV[1]/4, cfg.FOV[2]/4
-		for z := mz; z < cfg.FOV[0]-mz; z++ {
-			for y := my; y < cfg.FOV[1]-my; y++ {
-				for x := mx; x < cfg.FOV[2]-mx; x++ {
-					i := (z*cfg.FOV[1]+y)*cfg.FOV[2] + x
-					if out.Data[i] > merged.Data[i] {
-						merged.Data[i] = out.Data[i]
-					}
+	moveLogit := logit(cfg.MoveProb)
+	padLogit := logit(cfg.PadProb)
+	seedLogit := logit(cfg.SeedProb)
+
+	canvas := NewVolume(image.D, image.H, image.W)
+	for i := range canvas.Data {
+		canvas.Data[i] = padLogit
+	}
+	for _, s := range accepted {
+		canvas.Data[keyOf(s.z, s.y, s.x)] = seedLogit
+	}
+
+	shards := parallel.Ranges(len(accepted))
+	if maxSteps > 0 || len(shards) <= 1 {
+		n.floodSerial(image, accepted, claimed, canvas.Data, moveLogit, maxSteps, &stats)
+	} else {
+		// Worker-private canvases, max-reduced in shard order afterwards
+		// (order is irrelevant for max, but keep it fixed anyway).
+		canvases := make([][]float32, len(shards))
+		shardStats := make([]InferenceStats, len(shards))
+		parallel.For(len(shards), func(s0, s1 int) {
+			for k := s0; k < s1; k++ {
+				wc := make([]float32, image.Size())
+				for i := range wc {
+					wc[i] = padLogit
+				}
+				canvases[k] = wc
+				n.floodShard(image, accepted[shards[k][0]:shards[k][1]], claimed, wc, moveLogit, &shardStats[k])
+			}
+		})
+		for k := range canvases {
+			for i, v := range canvases[k] {
+				if v > canvas.Data[i] {
+					canvas.Data[i] = v
 				}
 			}
-		}
-		writeFOV(canvas, merged, p.z, p.y, p.x)
-		stats.Steps++
-
-		// Probe the raw network output at the six move-target offsets
-		// (center +/- MoveStep along each axis); these sit inside the
-		// reliable core of the FOV prediction.
-		steps := [][3]int{
-			{-cfg.MoveStep[0], 0, 0}, {cfg.MoveStep[0], 0, 0},
-			{0, -cfg.MoveStep[1], 0}, {0, cfg.MoveStep[1], 0},
-			{0, 0, -cfg.MoveStep[2]}, {0, 0, cfg.MoveStep[2]},
-		}
-		for _, off := range steps {
-			fz := cfg.FOV[0]/2 + off[0]
-			fy := cfg.FOV[1]/2 + off[1]
-			fx := cfg.FOV[2]/2 + off[2]
-			v := out.Data[(fz*cfg.FOV[1]+fy)*cfg.FOV[2]+fx]
-			if v < moveLogit {
-				continue
-			}
-			nz, ny, nx := p.z+off[0], p.y+off[1], p.x+off[2]
-			if !inBounds(nz, ny, nx) || visited[keyOf(nz, ny, nx)] {
-				continue
-			}
-			visited[keyOf(nz, ny, nx)] = true
-			queue = append(queue, pos{nz, ny, nx})
-			stats.Moves++
+			stats.Steps += shardStats[k].Steps
+			stats.Moves += shardStats[k].Moves
 		}
 	}
 
 	// Threshold the canvas into a binary mask.
+	segLogit := logit(cfg.SegmentProb)
 	mask := NewVolume(image.D, image.H, image.W)
 	for i, v := range canvas.Data {
 		if v >= segLogit {
@@ -207,6 +237,93 @@ func (n *Network) Segment(image *Volume, seeds [][3]int, maxSteps int) (*Volume,
 		}
 	}
 	return mask, stats
+}
+
+// moveOffsets returns the six move-target displacements (center +/-
+// MoveStep along each axis); these sit inside the reliable core of the FOV
+// prediction.
+func (cfg *Config) moveOffsets() [6][3]int {
+	return [6][3]int{
+		{-cfg.MoveStep[0], 0, 0}, {cfg.MoveStep[0], 0, 0},
+		{0, -cfg.MoveStep[1], 0}, {0, cfg.MoveStep[1], 0},
+		{0, 0, -cfg.MoveStep[2]}, {0, 0, cfg.MoveStep[2]},
+	}
+}
+
+// floodSerial is the single-goroutine flood: a multi-source BFS over FOV
+// centers with an optional step budget.
+func (n *Network) floodSerial(image *Volume, seeds []fovPos, claimed []int32, canvas []float32, moveLogit float32, maxSteps int, stats *InferenceStats) {
+	cfg := n.cfg
+	s := n.newInferScratch()
+	offsets := cfg.moveOffsets()
+	queue := append([]fovPos(nil), seeds...)
+	for len(queue) > 0 {
+		if maxSteps > 0 && stats.Steps >= maxSteps {
+			break
+		}
+		p := queue[0]
+		queue = queue[1:]
+		out := n.applyFOV(s, image, p.z, p.y, p.x)
+		mergeCore(canvas, image.H, image.W, cfg.FOV, out, p.z, p.y, p.x)
+		stats.Steps++
+
+		for _, off := range offsets {
+			fz := cfg.FOV[0]/2 + off[0]
+			fy := cfg.FOV[1]/2 + off[1]
+			fx := cfg.FOV[2]/2 + off[2]
+			v := out.Data[(fz*cfg.FOV[1]+fy)*cfg.FOV[2]+fx]
+			if v < moveLogit {
+				continue
+			}
+			nz, ny, nx := p.z+off[0], p.y+off[1], p.x+off[2]
+			if !cfg.fovInBounds(image, nz, ny, nx) {
+				continue
+			}
+			key := (nz*image.H+ny)*image.W + nx
+			if claimed[key] != 0 {
+				continue
+			}
+			claimed[key] = 1
+			queue = append(queue, fovPos{nz, ny, nx})
+			stats.Moves++
+		}
+	}
+}
+
+// floodShard floods one worker's seed shard, claiming centers through the
+// shared atomic visited array and merging into a worker-private canvas.
+func (n *Network) floodShard(image *Volume, seeds []fovPos, claimed []int32, canvas []float32, moveLogit float32, stats *InferenceStats) {
+	cfg := n.cfg
+	s := n.newInferScratch()
+	offsets := cfg.moveOffsets()
+	queue := append([]fovPos(nil), seeds...)
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		out := n.applyFOV(s, image, p.z, p.y, p.x)
+		mergeCore(canvas, image.H, image.W, cfg.FOV, out, p.z, p.y, p.x)
+		stats.Steps++
+
+		for _, off := range offsets {
+			fz := cfg.FOV[0]/2 + off[0]
+			fy := cfg.FOV[1]/2 + off[1]
+			fx := cfg.FOV[2]/2 + off[2]
+			v := out.Data[(fz*cfg.FOV[1]+fy)*cfg.FOV[2]+fx]
+			if v < moveLogit {
+				continue
+			}
+			nz, ny, nx := p.z+off[0], p.y+off[1], p.x+off[2]
+			if !cfg.fovInBounds(image, nz, ny, nx) {
+				continue
+			}
+			key := (nz*image.H+ny)*image.W + nx
+			if !atomic.CompareAndSwapInt32(&claimed[key], 0, 1) {
+				continue
+			}
+			queue = append(queue, fovPos{nz, ny, nx})
+			stats.Moves++
+		}
+	}
 }
 
 // GridSeeds produces seed positions on a regular lattice wherever the image

@@ -1,0 +1,141 @@
+package ffn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"chaseci/internal/parallel"
+	"chaseci/internal/sim"
+	"chaseci/internal/tensor"
+)
+
+func synthVolume(seed uint64, d, h, w int) *Volume {
+	rng := sim.NewRNG(seed)
+	v := NewVolume(d, h, w)
+	for i := range v.Data {
+		v.Data[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+// TestSegmentParallelDeterministic requires Segment to produce a bit-exact
+// identical mask and identical statistics at worker counts 1 (serial path),
+// 2, and 8 (seed-sharded path): applications depend only on the image and
+// the FOV center, the claimed set is the multi-source reachable set at any
+// schedule, and the canvas merge is an order-independent element-wise max.
+func TestSegmentParallelDeterministic(t *testing.T) {
+	for _, shape := range [][3]int{{6, 20, 22}, {5, 17, 19}} {
+		img := synthVolume(42, shape[0], shape[1], shape[2])
+		img.Normalize()
+		cfg := DefaultConfig()
+		cfg.FOV = [3]int{3, 7, 7}
+		cfg.Features = 4
+		cfg.MoveStep = [3]int{1, 2, 2}
+		cfg.MoveProb = 0.55 // permissive: force floods to overlap and spread
+		net, err := NewNetwork(cfg, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds := GridSeeds(img, cfg.FOV, [3]int{1, 3, 3}, -10) // accept everywhere
+		if len(seeds) < 4 {
+			t.Fatalf("want several seeds, got %d", len(seeds))
+		}
+
+		var refMask *Volume
+		var refStats InferenceStats
+		for _, workers := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("shape=%v/workers=%d", shape, workers), func(t *testing.T) {
+				prev := parallel.SetWorkers(workers)
+				defer parallel.SetWorkers(prev)
+				mask, stats := net.Segment(img, seeds, 0)
+				if workers == 1 {
+					refMask, refStats = mask, stats
+					if stats.Steps == 0 || stats.MaskVoxels == 0 {
+						t.Fatalf("degenerate reference run: %+v", stats)
+					}
+					return
+				}
+				if stats != refStats {
+					t.Fatalf("stats diverge: workers=%d %+v, serial %+v", workers, stats, refStats)
+				}
+				for i := range refMask.Data {
+					if mask.Data[i] != refMask.Data[i] {
+						t.Fatalf("mask voxel %d diverges at workers=%d", i, workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSegmentMaxStepsStaysSerial checks the bounded-step path still honors
+// the budget regardless of the worker setting.
+func TestSegmentMaxStepsStaysSerial(t *testing.T) {
+	prev := parallel.SetWorkers(8)
+	defer parallel.SetWorkers(prev)
+	img := synthVolume(9, 5, 16, 16)
+	img.Normalize()
+	cfg := DefaultConfig()
+	cfg.FOV = [3]int{3, 7, 7}
+	cfg.Features = 4
+	cfg.MoveStep = [3]int{1, 2, 2}
+	cfg.MoveProb = 0.5
+	net, err := NewNetwork(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := GridSeeds(img, cfg.FOV, [3]int{1, 2, 2}, -10)
+	_, stats := net.Segment(img, seeds, 3)
+	if stats.Steps > 3 {
+		t.Fatalf("maxSteps=3 exceeded: %d steps", stats.Steps)
+	}
+}
+
+// TestNormalizeMatchesReference pins Normalize to the direct float64
+// mean/std computation (the hand-rolled Newton sqrt it replaced converged
+// to the same value within 1e-6).
+func TestNormalizeMatchesReference(t *testing.T) {
+	v := synthVolume(3, 4, 6, 5)
+	raw := append([]float32(nil), v.Data...)
+	v.Normalize()
+
+	n := float64(len(raw))
+	var sum, sumsq float64
+	for _, x := range raw {
+		sum += float64(x)
+		sumsq += float64(x) * float64(x)
+	}
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	for i, x := range raw {
+		want := (float64(x) - mean) / std
+		if diff := math.Abs(float64(v.Data[i]) - want); diff > 1e-6 {
+			t.Fatalf("voxel %d: got %v, want %v", i, v.Data[i], want)
+		}
+	}
+}
+
+// TestTrainStepScratchReuse guards the allocation contract of the training
+// hot path: steady-state steps must not allocate beyond trivial noise.
+func TestTrainStepScratchReuse(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FOV = [3]int{3, 7, 7}
+	cfg.Features = 4
+	net, err := NewNetwork(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := tensor.NewSGD(0.01, 0.9)
+	img := synthVolume(8, 3, 7, 7)
+	lab := NewVolume(3, 7, 7)
+	it := extractFOV(img, cfg.FOV, 1, 3, 3)
+	lt := extractFOV(lab, cfg.FOV, 1, 3, 3)
+	net.TrainStep(opt, it, lt) // warm scratch + velocity maps
+	allocs := testing.AllocsPerRun(20, func() {
+		net.TrainStep(opt, it, lt)
+	})
+	if allocs > 2 {
+		t.Fatalf("TrainStep steady-state allocs/op = %v, want <= 2", allocs)
+	}
+}

@@ -42,6 +42,11 @@ func (t *Trainer) TrainOnVolume(image, labels *Volume, steps int) ([]float64, er
 		return nil, ErrNoExamples
 	}
 	losses := make([]float64, 0, steps)
+	fov := t.Net.cfg.FOV
+	// FOV extracts are reused across steps: TrainStep copies them into its
+	// own packed input before touching the network, so mutation is safe.
+	img := tensor.New(1, fov[0], fov[1], fov[2])
+	lab := tensor.New(1, fov[0], fov[1], fov[2])
 	for s := 0; s < steps; s++ {
 		var c [3]int
 		usePos := len(pos) > 0 && (len(neg) == 0 || t.rng.Float64() < t.PositiveBias)
@@ -50,8 +55,8 @@ func (t *Trainer) TrainOnVolume(image, labels *Volume, steps int) ([]float64, er
 		} else {
 			c = neg[t.rng.Intn(len(neg))]
 		}
-		img := extractFOV(image, t.Net.cfg.FOV, c[0], c[1], c[2])
-		lab := extractFOV(labels, t.Net.cfg.FOV, c[0], c[1], c[2])
+		extractFOVInto(img, image, fov, c[0], c[1], c[2])
+		extractFOVInto(lab, labels, fov, c[0], c[1], c[2])
 		losses = append(losses, t.Net.TrainStep(t.Opt, img, lab))
 	}
 	return losses, nil

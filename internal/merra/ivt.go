@@ -1,6 +1,10 @@
 package merra
 
-import "math"
+import (
+	"math"
+
+	"chaseci/internal/parallel"
+)
 
 // Integrated Water Vapor Transport: the vertically integrated horizontal
 // moisture flux,
@@ -32,29 +36,53 @@ func PressureLevels(n int) []float64 {
 // integration over the given pressure levels (surface first, decreasing).
 // It panics if the level count disagrees with the state's grid, since that
 // is always a wiring bug in experiment setup.
+//
+// The integration is sharded over latitude rows (each output element is
+// computed entirely by one worker, so results are bit-exact at every worker
+// count) and walks levels row-wise so each q*u / q*v product is computed
+// once instead of twice as both trapezoid endpoints.
 func IVT(st *State, levels []float64) *Field2D {
 	g := st.Q.Grid
 	if len(levels) != g.NLev {
 		panic("merra: IVT level count mismatch")
 	}
 	out := NewField2D(g.NLon, g.NLat)
-	for j := 0; j < g.NLat; j++ {
-		for i := 0; i < g.NLon; i++ {
-			var fx, fy float64
-			for k := 0; k < g.NLev-1; k++ {
-				dp := levels[k] - levels[k+1] // positive, Pa
-				quA := float64(st.Q.At(i, j, k)) * float64(st.U.At(i, j, k))
-				quB := float64(st.Q.At(i, j, k+1)) * float64(st.U.At(i, j, k+1))
-				qvA := float64(st.Q.At(i, j, k)) * float64(st.V.At(i, j, k))
-				qvB := float64(st.Q.At(i, j, k+1)) * float64(st.V.At(i, j, k+1))
-				fx += 0.5 * (quA + quB) * dp
-				fy += 0.5 * (qvA + qvB) * dp
+	nlon, hw := g.NLon, g.NLon*g.NLat
+	q, u, vv := st.Q.Data, st.U.Data, st.V.Data
+	parallel.ForGrain(g.NLat, 8, func(j0, j1 int) {
+		// Per-chunk rows holding the running integrals and the previous
+		// level's products (the trapezoid's lower endpoints).
+		fx := make([]float64, nlon)
+		fy := make([]float64, nlon)
+		quPrev := make([]float64, nlon)
+		qvPrev := make([]float64, nlon)
+		for j := j0; j < j1; j++ {
+			base := j * nlon
+			for i := 0; i < nlon; i++ {
+				fx[i], fy[i] = 0, 0
+				qf := float64(q[base+i])
+				quPrev[i] = qf * float64(u[base+i])
+				qvPrev[i] = qf * float64(vv[base+i])
 			}
-			fx /= gravity
-			fy /= gravity
-			out.Set(i, j, float32(math.Sqrt(fx*fx+fy*fy)))
+			for k := 1; k < g.NLev; k++ {
+				dp := levels[k-1] - levels[k] // positive, Pa
+				lbase := k*hw + base
+				for i := 0; i < nlon; i++ {
+					qf := float64(q[lbase+i])
+					qu := qf * float64(u[lbase+i])
+					qv := qf * float64(vv[lbase+i])
+					fx[i] += 0.5 * (quPrev[i] + qu) * dp
+					fy[i] += 0.5 * (qvPrev[i] + qv) * dp
+					quPrev[i], qvPrev[i] = qu, qv
+				}
+			}
+			for i := 0; i < nlon; i++ {
+				x := fx[i] / gravity
+				y := fy[i] / gravity
+				out.Data[base+i] = float32(math.Sqrt(x*x + y*y))
+			}
 		}
-	}
+	})
 	return out
 }
 

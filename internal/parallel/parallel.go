@@ -1,0 +1,176 @@
+// Package parallel is the shared compute fan-out substrate for the repo's
+// hot kernels (tensor convolutions, FFN flood-fill inference, CONNECT
+// labelling, MERRA IVT integration). It provides deterministic chunked
+// fan-out over a small pool of persistent worker goroutines, bounded by
+// GOMAXPROCS (overridable for tests and benchmarks via SetWorkers).
+//
+// Design constraints, in priority order:
+//
+//  1. Determinism: chunk boundaries depend only on (n, worker count), never
+//     on scheduling, so kernels that are bit-exact per element stay bit-exact
+//     at every worker count, and kernels that reduce per-chunk partials can
+//     do so in a fixed chunk order.
+//  2. Zero steady-state allocation: dispatch reuses pooled WaitGroups and
+//     sends plain structs on pre-created channels, so an Invoke with a
+//     caller-pooled Task allocates nothing once warm. This is what lets
+//     tensor.Conv3DInto report 0 allocs/op under -benchmem.
+//  3. No deadlock under nesting: dispatch never blocks. If a worker lane is
+//     busy (e.g. a parallel Segment shard calls a parallel convolution), the
+//     chunk runs inline on the caller instead of queueing, so nested
+//     parallelism degrades to sequential execution rather than deadlock.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is one kernel's chunk executor: Run processes the half-open index
+// range [start, end). Implementations that want zero-allocation dispatch
+// should be pointer receivers recycled through a sync.Pool.
+type Task interface {
+	Run(start, end int)
+}
+
+// workerOverride holds the SetWorkers value; 0 means "use GOMAXPROCS".
+var workerOverride atomic.Int32
+
+// Workers returns the current fan-out width: the SetWorkers override if one
+// is in effect, else runtime.GOMAXPROCS(0).
+func Workers() int {
+	if w := workerOverride.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the fan-out width (n <= 0 restores the GOMAXPROCS
+// default) and returns the previous override (0 if none was set). It is
+// intended for tests and benchmarks sweeping worker counts; changing it
+// while kernels are in flight changes only future Invoke calls.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(workerOverride.Swap(int32(n)))
+}
+
+// job is one dispatched chunk.
+type job struct {
+	t          Task
+	start, end int
+	wg         *sync.WaitGroup
+}
+
+var (
+	laneMu sync.Mutex
+	lanes  []chan job // persistent workers; grown on demand, never shrunk
+)
+
+// ensureLanes returns a snapshot of at least k worker lanes.
+func ensureLanes(k int) []chan job {
+	laneMu.Lock()
+	for len(lanes) < k {
+		// Unbuffered: a send succeeds only when the worker is idle and
+		// receiving. Buffering would let a nested Invoke park a job on its
+		// own (busy) lane and then deadlock waiting for it.
+		c := make(chan job)
+		lanes = append(lanes, c)
+		go func() {
+			for j := range c {
+				j.t.Run(j.start, j.end)
+				j.wg.Done()
+			}
+		}()
+	}
+	ls := lanes
+	laneMu.Unlock()
+	return ls
+}
+
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+
+// Invoke fans t out over [0, n) in at most Workers() contiguous chunks.
+// Chunk 0 always runs on the calling goroutine.
+func Invoke(n int, t Task) { InvokeGrain(n, 1, t) }
+
+// InvokeGrain is Invoke with a minimum chunk size: no chunk is smaller than
+// grain indices, so tiny problems stay serial and dispatch overhead is
+// amortized. Chunk boundaries are chunk c = [c*n/w, (c+1)*n/w) for the
+// deterministic w = min(Workers(), ceil(n/grain)).
+func InvokeGrain(n, grain int, t Task) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := Workers()
+	if mc := (n + grain - 1) / grain; w > mc {
+		w = mc
+	}
+	if w <= 1 {
+		t.Run(0, n)
+		return
+	}
+	ls := ensureLanes(w - 1)
+	wg := wgPool.Get().(*sync.WaitGroup)
+	for c := 1; c < w; c++ {
+		s, e := c*n/w, (c+1)*n/w
+		wg.Add(1)
+		select {
+		case ls[c-1] <- job{t, s, e, wg}:
+		default:
+			// Lane busy (concurrent or nested Invoke): run inline rather
+			// than block, which keeps nested fan-out deadlock-free.
+			t.Run(s, e)
+			wg.Done()
+		}
+	}
+	t.Run(0, n/w)
+	wg.Wait()
+	wgPool.Put(wg)
+}
+
+// funcTask adapts a closure to Task for the convenience wrappers. The
+// interface conversion allocates, so hot allocation-free kernels implement
+// Task directly instead of using For.
+type funcTask struct {
+	fn func(start, end int)
+}
+
+func (f *funcTask) Run(s, e int) { f.fn(s, e) }
+
+// For runs fn over [0, n) in at most Workers() deterministic contiguous
+// chunks (fn receives [start, end) and must be safe to call concurrently).
+func For(n int, fn func(start, end int)) {
+	Invoke(n, &funcTask{fn})
+}
+
+// ForGrain is For with a minimum chunk size.
+func ForGrain(n, grain int, fn func(start, end int)) {
+	InvokeGrain(n, grain, &funcTask{fn})
+}
+
+// Ranges splits [0, n) into the same deterministic chunks Invoke would use
+// (at most Workers(), each non-empty). Kernels that reduce per-chunk
+// partials use it to size their partial buffers and to reduce in a fixed
+// chunk order regardless of scheduling.
+func Ranges(n int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	out := make([][2]int, 0, w)
+	for c := 0; c < w; c++ {
+		s, e := c*n/w, (c+1)*n/w
+		if s < e {
+			out = append(out, [2]int{s, e})
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		prev := SetWorkers(workers)
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			hits := make([]int32, n)
+			For(n, func(s, e int) {
+				for i := s; i < e; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+func TestRangesMatchInvokeChunking(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	for _, n := range []int{1, 3, 4, 5, 17, 100} {
+		rs := Ranges(n)
+		if len(rs) == 0 || rs[0][0] != 0 || rs[len(rs)-1][1] != n {
+			t.Fatalf("n=%d: bad range cover %v", n, rs)
+		}
+		for i := 1; i < len(rs); i++ {
+			if rs[i][0] != rs[i-1][1] {
+				t.Fatalf("n=%d: ranges not contiguous: %v", n, rs)
+			}
+		}
+		if len(rs) > 4 {
+			t.Fatalf("n=%d: %d ranges exceeds worker count", n, len(rs))
+		}
+	}
+}
+
+func TestForGrainKeepsSmallWorkSerial(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	var chunks atomic.Int32
+	ForGrain(10, 10, func(s, e int) { chunks.Add(1) })
+	if chunks.Load() != 1 {
+		t.Fatalf("grain 10 over n=10 should run as 1 chunk, got %d", chunks.Load())
+	}
+	chunks.Store(0)
+	ForGrain(40, 10, func(s, e int) { chunks.Add(1) })
+	if c := chunks.Load(); c < 1 || c > 4 {
+		t.Fatalf("grain 10 over n=40 should use at most 4 chunks, got %d", c)
+	}
+}
+
+// TestNestedInvokeDoesNotDeadlock exercises fan-out from inside a worker
+// chunk: the inner Invoke must complete (inline or dispatched), never block.
+func TestNestedInvokeDoesNotDeadlock(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var total atomic.Int64
+	For(16, func(s, e int) {
+		for i := s; i < e; i++ {
+			For(100, func(is, ie int) {
+				total.Add(int64(ie - is))
+			})
+		}
+	})
+	if total.Load() != 1600 {
+		t.Fatalf("nested fan-out covered %d of 1600 indices", total.Load())
+	}
+}
+
+func TestConcurrentInvokes(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local atomic.Int64
+			For(500, func(s, e int) { local.Add(int64(e - s)) })
+			if local.Load() != 500 {
+				t.Errorf("concurrent invoke covered %d of 500", local.Load())
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSetWorkersRestore(t *testing.T) {
+	prev := SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	if back := SetWorkers(prev); back != 3 {
+		t.Fatalf("SetWorkers returned %d, want 3", back)
+	}
+}

@@ -1,0 +1,62 @@
+package tensor
+
+import "sync"
+
+// Scratch is a small arena of reusable float32 buffers, keyed by exact
+// length. Kernels that need temporaries (per-chunk gradient partials, FOV
+// extracts, worker-private canvases) borrow buffers with Floats and return
+// them with Put; whole arenas recycle through a sync.Pool via GetScratch /
+// Release, so steady-state use allocates nothing.
+//
+// A Scratch is not safe for concurrent use; parallel kernels give each
+// worker its own (or pre-borrow buffers before fanning out).
+type Scratch struct {
+	free map[int][][]float32
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &Scratch{free: make(map[int][][]float32)} },
+}
+
+// GetScratch borrows an arena from the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// Release returns the arena (and its buffers) to the shared pool.
+func (s *Scratch) Release() { scratchPool.Put(s) }
+
+// Floats returns a zeroed buffer of exactly n elements, reusing a previously
+// Put buffer when one of that length is free.
+func (s *Scratch) Floats(n int) []float32 {
+	if l := s.free[n]; len(l) > 0 {
+		b := l[len(l)-1]
+		s.free[n] = l[:len(l)-1]
+		for i := range b {
+			b[i] = 0
+		}
+		return b
+	}
+	return make([]float32, n)
+}
+
+// Put returns a buffer obtained from Floats to the arena.
+func (s *Scratch) Put(b []float32) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:cap(b)]
+	s.free[len(b)] = append(s.free[len(b)], b)
+}
+
+// Tensor returns a zeroed tensor whose backing array is borrowed from the
+// arena. Return the backing with PutTensor when done. (The header itself is
+// a fresh allocation; hot kernels that need zero allocs use Floats.)
+func (s *Scratch) Tensor(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: s.Floats(n)}
+}
+
+// PutTensor returns a Tensor's backing buffer to the arena.
+func (s *Scratch) PutTensor(t *Tensor) { s.Put(t.Data) }

@@ -115,113 +115,6 @@ func vIdx(shape []int, c, z, y, x int) int {
 	return ((c*shape[1]+z)*shape[2]+y)*shape[3] + x
 }
 
-// Conv3D computes a 3-D convolution with stride 1 and symmetric zero
-// padding kd/2, kh/2, kw/2 ("same" shape for odd kernels).
-//
-//	in:     (Cin, D, H, W)
-//	weight: (Cout, Cin, KD, KH, KW)
-//	bias:   len Cout (may be nil)
-//	out:    (Cout, D, H, W)
-func Conv3D(in, weight *Tensor, bias []float32) *Tensor {
-	cin, d, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
-	cout := weight.Shape[0]
-	if weight.Shape[1] != cin {
-		panic(fmt.Sprintf("tensor: Conv3D weight expects %d input channels, input has %d", weight.Shape[1], cin))
-	}
-	kd, kh, kw := weight.Shape[2], weight.Shape[3], weight.Shape[4]
-	pd, ph, pw := kd/2, kh/2, kw/2
-	out := New(cout, d, h, w)
-	for oc := 0; oc < cout; oc++ {
-		var b float32
-		if bias != nil {
-			b = bias[oc]
-		}
-		for z := 0; z < d; z++ {
-			for y := 0; y < h; y++ {
-				for x := 0; x < w; x++ {
-					sum := b
-					for ic := 0; ic < cin; ic++ {
-						for dz := 0; dz < kd; dz++ {
-							iz := z + dz - pd
-							if iz < 0 || iz >= d {
-								continue
-							}
-							for dy := 0; dy < kh; dy++ {
-								iy := y + dy - ph
-								if iy < 0 || iy >= h {
-									continue
-								}
-								wBase := (((oc*cin+ic)*kd+dz)*kh + dy) * kw
-								iBase := ((ic*d+iz)*h + iy) * w
-								for dx := 0; dx < kw; dx++ {
-									ix := x + dx - pw
-									if ix < 0 || ix >= w {
-										continue
-									}
-									sum += weight.Data[wBase+dx] * in.Data[iBase+ix]
-								}
-							}
-						}
-					}
-					out.Data[vIdx(out.Shape, oc, z, y, x)] = sum
-				}
-			}
-		}
-	}
-	return out
-}
-
-// Conv3DBackward computes gradients of a Conv3D call: given the forward
-// input, weights, and the gradient of the loss w.r.t. the output, it returns
-// gradients w.r.t. input, weights, and bias.
-func Conv3DBackward(in, weight, gradOut *Tensor) (gradIn, gradW *Tensor, gradB []float32) {
-	cin, d, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
-	cout := weight.Shape[0]
-	kd, kh, kw := weight.Shape[2], weight.Shape[3], weight.Shape[4]
-	pd, ph, pw := kd/2, kh/2, kw/2
-	gradIn = New(cin, d, h, w)
-	gradW = New(cout, cin, kd, kh, kw)
-	gradB = make([]float32, cout)
-	for oc := 0; oc < cout; oc++ {
-		for z := 0; z < d; z++ {
-			for y := 0; y < h; y++ {
-				for x := 0; x < w; x++ {
-					g := gradOut.Data[vIdx(gradOut.Shape, oc, z, y, x)]
-					if g == 0 {
-						continue
-					}
-					gradB[oc] += g
-					for ic := 0; ic < cin; ic++ {
-						for dz := 0; dz < kd; dz++ {
-							iz := z + dz - pd
-							if iz < 0 || iz >= d {
-								continue
-							}
-							for dy := 0; dy < kh; dy++ {
-								iy := y + dy - ph
-								if iy < 0 || iy >= h {
-									continue
-								}
-								wBase := (((oc*cin+ic)*kd+dz)*kh + dy) * kw
-								iBase := ((ic*d+iz)*h + iy) * w
-								for dx := 0; dx < kw; dx++ {
-									ix := x + dx - pw
-									if ix < 0 || ix >= w {
-										continue
-									}
-									gradW.Data[wBase+dx] += g * in.Data[iBase+ix]
-									gradIn.Data[iBase+ix] += g * weight.Data[wBase+dx]
-								}
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-	return gradIn, gradW, gradB
-}
-
 // ReLU applies max(0, x) elementwise, returning a new tensor.
 func ReLU(in *Tensor) *Tensor {
 	out := in.Clone()
@@ -233,6 +126,16 @@ func ReLU(in *Tensor) *Tensor {
 	return out
 }
 
+// ReLUInto writes max(0, x) of in into dst (dst may alias in).
+func ReLUInto(dst, in *Tensor) {
+	for i, v := range in.Data {
+		if v < 0 {
+			v = 0
+		}
+		dst.Data[i] = v
+	}
+}
+
 // ReLUBackward masks gradOut where the forward input was non-positive.
 func ReLUBackward(in, gradOut *Tensor) *Tensor {
 	out := gradOut.Clone()
@@ -242,6 +145,17 @@ func ReLUBackward(in, gradOut *Tensor) *Tensor {
 		}
 	}
 	return out
+}
+
+// ReLUBackwardInto writes gradOut masked by the forward input's sign into
+// dst (dst may alias gradOut).
+func ReLUBackwardInto(dst, in, gradOut *Tensor) {
+	for i, v := range gradOut.Data {
+		if in.Data[i] <= 0 {
+			v = 0
+		}
+		dst.Data[i] = v
+	}
 }
 
 // Sigmoid applies the logistic function elementwise.
@@ -262,10 +176,18 @@ func SigmoidValue(x float32) float32 {
 // labels, plus the gradient w.r.t. the logits (the numerically stable
 // sigmoid+BCE fusion). mask, if non-nil, weights each element (0 excludes).
 func LogitBCE(logits, labels, mask *Tensor) (loss float64, grad *Tensor) {
+	grad = New(logits.Shape...)
+	loss = LogitBCEInto(grad, logits, labels, mask)
+	return loss, grad
+}
+
+// LogitBCEInto is LogitBCE writing the gradient into a caller-provided
+// tensor (overwritten) and returning the loss.
+func LogitBCEInto(grad, logits, labels, mask *Tensor) (loss float64) {
 	if !SameShape(logits, labels) {
 		panic("tensor: LogitBCE shape mismatch")
 	}
-	grad = New(logits.Shape...)
+	grad.Zero()
 	count := 0.0
 	for i, z := range logits.Data {
 		wgt := float32(1)
@@ -286,7 +208,7 @@ func LogitBCE(logits, labels, mask *Tensor) (loss float64, grad *Tensor) {
 		loss /= count
 		grad.Scale(float32(1 / count))
 	}
-	return loss, grad
+	return loss
 }
 
 // SGD is stochastic gradient descent with classical momentum.
