@@ -1,0 +1,77 @@
+// Command chased (CHASE-CI daemon) is the HTTP/JSON job gateway over the
+// repository's compute kernels: FFN segmentation, CONNECT labelling, MERRA
+// IVT derivation, FFN training, and measured PPoDS workflows all submit
+// through one versioned Job API (internal/api) and execute on a shared
+// worker pool (internal/service) with context cancellation, progress
+// streaming, and job state persisted in the simulated-Redis store.
+//
+//	chased -addr localhost:8434            listen address
+//	chased -workers 4                      job worker pool size
+//	chased -anon=false                     require bearer tokens (see -providers)
+//	chased -providers ucsd.edu=UCSD,...    identity providers for /v1/login
+//	chased -ttl 12h                        token lifetime
+//
+// See README.md for the endpoint walkthrough.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"chaseci/internal/queue"
+	"chaseci/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:8434", "HTTP listen address")
+		workers   = flag.Int("workers", 4, "job worker pool size")
+		anon      = flag.Bool("anon", true, "allow unauthenticated requests")
+		providers = flag.String("providers", "ucsd.edu=UCSD,sdsc.edu=SDSC,example.edu=Example",
+			"comma-separated domain=name identity providers")
+		ttl = flag.Duration("ttl", 12*time.Hour, "bearer token lifetime")
+	)
+	flag.Parse()
+
+	provMap := make(map[string]string)
+	for _, pair := range strings.Split(*providers, ",") {
+		domain, name, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || domain == "" || name == "" {
+			fmt.Fprintf(os.Stderr, "chased: bad -providers entry %q (want domain=name)\n", pair)
+			os.Exit(2)
+		}
+		provMap[domain] = name
+	}
+
+	store := queue.NewStore()
+	runner := service.NewRunner(service.DefaultRegistry(), store, *workers)
+	defer runner.Close()
+	gw := service.NewGateway(runner, service.GatewayOptions{
+		Providers:      provMap,
+		TokenTTL:       *ttl,
+		AllowAnonymous: *anon,
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: gw}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("chased: Job API v1 on http://%s (workers=%d anon=%v)\n", *addr, *workers, *anon)
+	fmt.Printf("chased: kinds: segment label ivt train workflow — POST /v1/jobs, GET /v1/jobs/{id}\n")
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "chased:", err)
+		os.Exit(1)
+	}
+}

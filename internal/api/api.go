@@ -1,0 +1,608 @@
+// Package api defines the versioned, typed Job API served by the chased
+// gateway (cmd/chased). Every analysis the paper's ecosystem runs — FFN
+// segmentation, CONNECT labelling, MERRA IVT derivation, FFN training, and
+// measured PPoDS workflows — is expressed as a JobRequest: a JSON envelope
+// carrying exactly one kind-specific spec. The package is pure schema: it
+// imports no compute kernels, so clients (and the gateway's HTTP layer) can
+// depend on it without pulling in the simulation stack. Validation is
+// strict and happens at submit time; anything that passes Validate is safe
+// to hand to internal/service for execution.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Version is the API version accepted by this gateway generation. An empty
+// APIVersion on a request means "current".
+const Version = "chased/v1"
+
+// Kind names a job type the service can execute.
+type Kind string
+
+// The built-in job kinds.
+const (
+	// KindSegment runs FFN flood-fill segmentation over a volume.
+	KindSegment Kind = "segment"
+	// KindLabel runs CONNECT connected-object labelling over a volume.
+	KindLabel Kind = "label"
+	// KindIVT derives the Integrated Water Vapor Transport volume from the
+	// synthetic MERRA-2 generator.
+	KindIVT Kind = "ivt"
+	// KindTrain runs FFN SGD training on a labelled volume.
+	KindTrain Kind = "train"
+	// KindWorkflow executes a measured virtual-time step DAG (PPoDS).
+	KindWorkflow Kind = "workflow"
+)
+
+// Kinds lists the built-in job kinds in a fixed order.
+func Kinds() []Kind {
+	return []Kind{KindSegment, KindLabel, KindIVT, KindTrain, KindWorkflow}
+}
+
+// State is a job's lifecycle state.
+type State string
+
+// Job states. Queued -> Running -> one of the terminal states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCancelled
+}
+
+// ErrInvalid is wrapped by every validation failure, so callers can map any
+// schema problem to a 400 with errors.Is.
+var ErrInvalid = errors.New("api: invalid job request")
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}
+
+// maxVoxels bounds inline and synthetic volumes so a single request cannot
+// ask the gateway to allocate arbitrary memory (64M voxels = 256 MB f32).
+const maxVoxels = 64 << 20
+
+// maxTrainSteps bounds optimizer step counts per job.
+const maxTrainSteps = 1 << 20
+
+// maxStepMS bounds one workflow step's virtual duration (~35 virtual
+// years) so the millisecond-to-Duration conversion can never overflow.
+const maxStepMS = 1 << 40
+
+// volumeVoxels returns a*b*c when all three factors are positive and the
+// product stays within maxVoxels, checking via division so the
+// multiplication itself can never overflow past the cap.
+func volumeVoxels(a, b, c int) (int, bool) {
+	if a <= 0 || b <= 0 || c <= 0 {
+		return 0, false
+	}
+	if a > maxVoxels/b {
+		return 0, false
+	}
+	ab := a * b
+	if ab > maxVoxels/c {
+		return 0, false
+	}
+	return ab * c, true
+}
+
+// JobRequest is the submit envelope: a kind plus exactly one matching spec.
+type JobRequest struct {
+	// APIVersion must be empty or equal to Version.
+	APIVersion string `json:"api_version,omitempty"`
+	Kind       Kind   `json:"kind"`
+	// Name is an optional human label echoed in status listings.
+	Name string `json:"name,omitempty"`
+
+	Segment  *SegmentSpec  `json:"segment,omitempty"`
+	Label    *LabelSpec    `json:"label,omitempty"`
+	IVT      *IVTSpec      `json:"ivt,omitempty"`
+	Train    *TrainSpec    `json:"train,omitempty"`
+	Workflow *WorkflowSpec `json:"workflow,omitempty"`
+}
+
+// Validate checks the envelope and the kind's spec. It returns an error
+// wrapping ErrInvalid on any schema problem.
+func (r *JobRequest) Validate() error {
+	if r == nil {
+		return invalidf("nil request")
+	}
+	if r.APIVersion != "" && r.APIVersion != Version {
+		return invalidf("unsupported api_version %q (want %q)", r.APIVersion, Version)
+	}
+	specs := 0
+	for _, set := range []bool{r.Segment != nil, r.Label != nil, r.IVT != nil, r.Train != nil, r.Workflow != nil} {
+		if set {
+			specs++
+		}
+	}
+	if specs > 1 {
+		return invalidf("request carries %d specs, want exactly the one matching kind %q", specs, r.Kind)
+	}
+	switch r.Kind {
+	case KindSegment:
+		if r.Segment == nil {
+			return invalidf("kind %q needs a segment spec", r.Kind)
+		}
+		return r.Segment.validate()
+	case KindLabel:
+		if r.Label == nil {
+			return invalidf("kind %q needs a label spec", r.Kind)
+		}
+		return r.Label.validate()
+	case KindIVT:
+		if r.IVT == nil {
+			return invalidf("kind %q needs an ivt spec", r.Kind)
+		}
+		return r.IVT.validate()
+	case KindTrain:
+		if r.Train == nil {
+			return invalidf("kind %q needs a train spec", r.Kind)
+		}
+		return r.Train.validate()
+	case KindWorkflow:
+		if r.Workflow == nil {
+			return invalidf("kind %q needs a workflow spec", r.Kind)
+		}
+		return r.Workflow.validate()
+	case "":
+		return invalidf("missing kind")
+	default:
+		return invalidf("unknown kind %q", r.Kind)
+	}
+}
+
+// SynthSpec asks the service to synthesize an IVT volume from the
+// deterministic MERRA-2 generator: Steps time slices on an NLon x NLat grid
+// integrated over NLev pressure levels, starting at generator step Start.
+type SynthSpec struct {
+	NLon  int    `json:"nlon"`
+	NLat  int    `json:"nlat"`
+	NLev  int    `json:"nlev"`
+	Steps int    `json:"steps"`
+	Start int    `json:"start,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+}
+
+func (s *SynthSpec) validate(field string) error {
+	if s.NLon <= 0 || s.NLat <= 0 {
+		return invalidf("%s: grid dims must be positive, got %dx%d", field, s.NLon, s.NLat)
+	}
+	if s.NLev < 2 {
+		return invalidf("%s: nlev must be >= 2 for the vertical integral, got %d", field, s.NLev)
+	}
+	if s.Steps <= 0 {
+		return invalidf("%s: steps must be positive, got %d", field, s.Steps)
+	}
+	if s.Start < 0 {
+		return invalidf("%s: start must be non-negative, got %d", field, s.Start)
+	}
+	if _, ok := volumeVoxels(s.NLon, s.NLat, s.Steps); !ok {
+		return invalidf("%s: volume %dx%dx%d exceeds the %d-voxel limit", field, s.NLon, s.NLat, s.Steps, maxVoxels)
+	}
+	return nil
+}
+
+// VolumeSource names the input volume of a job: either inline row-major
+// (D, H, W) float32 data or a SynthSpec the service materializes. Exactly
+// one of the two forms must be used.
+type VolumeSource struct {
+	D     int        `json:"d,omitempty"`
+	H     int        `json:"h,omitempty"`
+	W     int        `json:"w,omitempty"`
+	Data  []float32  `json:"data,omitempty"`
+	Synth *SynthSpec `json:"synth,omitempty"`
+}
+
+func (v *VolumeSource) validate(field string) error {
+	if v.Synth != nil {
+		if v.D != 0 || v.H != 0 || v.W != 0 || len(v.Data) != 0 {
+			return invalidf("%s: synth and inline data are mutually exclusive", field)
+		}
+		return v.Synth.validate(field + ".synth")
+	}
+	if v.D <= 0 || v.H <= 0 || v.W <= 0 {
+		return invalidf("%s: dims must be positive, got %dx%dx%d", field, v.D, v.H, v.W)
+	}
+	voxels, ok := volumeVoxels(v.D, v.H, v.W)
+	if !ok {
+		return invalidf("%s: volume %dx%dx%d exceeds the %d-voxel limit", field, v.D, v.H, v.W, maxVoxels)
+	}
+	if len(v.Data) != voxels {
+		return invalidf("%s: data length %d does not match dims %dx%dx%d=%d",
+			field, len(v.Data), v.D, v.H, v.W, voxels)
+	}
+	return nil
+}
+
+// NetConfig overrides the default FFN geometry. Zero-valued fields keep the
+// experiment-scale defaults.
+type NetConfig struct {
+	FOV         [3]int  `json:"fov,omitempty"`
+	Features    int     `json:"features,omitempty"`
+	Modules     int     `json:"modules,omitempty"`
+	MoveStep    [3]int  `json:"move_step,omitempty"`
+	MoveProb    float32 `json:"move_prob,omitempty"`
+	SegmentProb float32 `json:"segment_prob,omitempty"`
+}
+
+// Network geometry caps: a request cannot ask for a network whose scratch
+// buffers dwarf the volume cap (maxFOV^3 voxels x maxFeatures channels is
+// ~70 MB f32 per activation tensor at the extremes).
+const (
+	maxFOV      = 65
+	maxFeatures = 256
+	maxModules  = 16
+)
+
+func (n *NetConfig) validate(field string) error {
+	if n == nil {
+		return nil
+	}
+	if n.FOV != [3]int{} {
+		for _, d := range n.FOV {
+			if d <= 0 || d%2 == 0 || d > maxFOV {
+				return invalidf("%s: fov dims must be positive odd <= %d, got %v", field, maxFOV, n.FOV)
+			}
+		}
+	}
+	if n.Features < 0 || n.Features > maxFeatures {
+		return invalidf("%s: features must be in [0,%d]", field, maxFeatures)
+	}
+	if n.Modules < 0 || n.Modules > maxModules {
+		return invalidf("%s: modules must be in [0,%d]", field, maxModules)
+	}
+	for _, d := range n.MoveStep {
+		if d < 0 || d > maxFOV {
+			return invalidf("%s: move_step must be in [0,%d], got %v", field, maxFOV, n.MoveStep)
+		}
+	}
+	if n.MoveProb < 0 || n.MoveProb >= 1 || n.SegmentProb < 0 || n.SegmentProb >= 1 {
+		return invalidf("%s: probabilities must be in [0,1)", field)
+	}
+	return nil
+}
+
+// SegmentSpec runs FFN flood-fill segmentation. When TrainSteps > 0 the
+// network is first trained on the source volume thresholded at Threshold
+// (the self-supervised setup of the case study); when Seeds is empty, seeds
+// come from a lattice of points whose raw value exceeds Threshold.
+type SegmentSpec struct {
+	Source VolumeSource `json:"source"`
+	// Net overrides the default network geometry; NetSeed seeds the weights.
+	Net     *NetConfig `json:"net,omitempty"`
+	NetSeed uint64     `json:"net_seed,omitempty"`
+	// TrainSteps > 0 pretrains on the thresholded source before segmenting.
+	TrainSteps int `json:"train_steps,omitempty"`
+	// Threshold binarizes the raw field for pretraining labels and grid
+	// seeding. Required (> 0) when TrainSteps > 0 or Seeds is empty.
+	Threshold float32 `json:"threshold,omitempty"`
+	// Seeds are explicit (z, y, x) flood origins; empty means grid seeding.
+	Seeds [][3]int `json:"seeds,omitempty"`
+	// SeedStride is the grid-seeding lattice stride (defaults to the FOV).
+	SeedStride [3]int `json:"seed_stride,omitempty"`
+	// MaxSteps bounds network applications (0 = unbounded).
+	MaxSteps int `json:"max_steps,omitempty"`
+	// ReturnMask includes the full binary mask in the result payload.
+	ReturnMask bool `json:"return_mask,omitempty"`
+}
+
+func (s *SegmentSpec) validate() error {
+	if err := s.Source.validate("segment.source"); err != nil {
+		return err
+	}
+	if err := s.Net.validate("segment.net"); err != nil {
+		return err
+	}
+	if s.TrainSteps < 0 || s.TrainSteps > maxTrainSteps {
+		return invalidf("segment.train_steps must be in [0,%d], got %d", maxTrainSteps, s.TrainSteps)
+	}
+	if s.MaxSteps < 0 {
+		return invalidf("segment.max_steps must be non-negative, got %d", s.MaxSteps)
+	}
+	// The stride is either fully defaulted (all zero -> the handler uses
+	// the FOV) or fully specified with positive components — a zero
+	// component would make the seeding lattice never advance.
+	if s.SeedStride != [3]int{} {
+		for _, d := range s.SeedStride {
+			if d <= 0 {
+				return invalidf("segment.seed_stride components must all be positive (or all zero for the default), got %v", s.SeedStride)
+			}
+		}
+	}
+	if s.Threshold <= 0 && (s.TrainSteps > 0 || len(s.Seeds) == 0) {
+		return invalidf("segment.threshold must be > 0 when pretraining or grid-seeding")
+	}
+	return nil
+}
+
+// LabelSpec runs CONNECT labelling on the source thresholded at Threshold.
+type LabelSpec struct {
+	Source    VolumeSource `json:"source"`
+	Threshold float32      `json:"threshold"`
+	// Connectivity is 6 or 26 (0 defaults to 26, the CONNECT default).
+	Connectivity int `json:"connectivity,omitempty"`
+	// MinVoxels prunes objects below the size threshold.
+	MinVoxels int `json:"min_voxels,omitempty"`
+	// MaxObjects caps the per-object list in the result (0 defaults to 20).
+	MaxObjects int `json:"max_objects,omitempty"`
+}
+
+func (s *LabelSpec) validate() error {
+	if err := s.Source.validate("label.source"); err != nil {
+		return err
+	}
+	if s.Threshold <= 0 {
+		return invalidf("label.threshold must be > 0")
+	}
+	if s.Connectivity != 0 && s.Connectivity != 6 && s.Connectivity != 26 {
+		return invalidf("label.connectivity must be 6 or 26, got %d", s.Connectivity)
+	}
+	if s.MinVoxels < 0 || s.MaxObjects < 0 {
+		return invalidf("label.min_voxels/max_objects must be non-negative")
+	}
+	return nil
+}
+
+// IVTSpec derives the IVT volume for a synthetic atmosphere. A positive
+// Threshold additionally reports the fraction of voxels above it (the
+// binary AR coverage of the case study).
+type IVTSpec struct {
+	Synth     SynthSpec `json:"synth"`
+	Threshold float32   `json:"threshold,omitempty"`
+}
+
+func (s *IVTSpec) validate() error {
+	if s.Threshold < 0 {
+		return invalidf("ivt.threshold must be non-negative")
+	}
+	return s.Synth.validate("ivt.synth")
+}
+
+// TrainSpec runs FFN SGD training against the source volume, using the
+// field thresholded at Threshold as the binary label mask.
+type TrainSpec struct {
+	Source    VolumeSource `json:"source"`
+	Threshold float32      `json:"threshold"`
+	Steps     int          `json:"steps"`
+	// LR defaults to 0.05 and Momentum to 0.9 when zero.
+	LR       float32 `json:"lr,omitempty"`
+	Momentum float32 `json:"momentum,omitempty"`
+
+	Net        *NetConfig `json:"net,omitempty"`
+	NetSeed    uint64     `json:"net_seed,omitempty"`
+	SampleSeed uint64     `json:"sample_seed,omitempty"`
+}
+
+func (s *TrainSpec) validate() error {
+	if err := s.Source.validate("train.source"); err != nil {
+		return err
+	}
+	if err := s.Net.validate("train.net"); err != nil {
+		return err
+	}
+	if s.Threshold <= 0 {
+		return invalidf("train.threshold must be > 0")
+	}
+	if s.Steps <= 0 || s.Steps > maxTrainSteps {
+		return invalidf("train.steps must be in [1,%d], got %d", maxTrainSteps, s.Steps)
+	}
+	if s.LR < 0 || s.Momentum < 0 || s.Momentum >= 1 {
+		return invalidf("train.lr must be >= 0 and train.momentum in [0,1)")
+	}
+	return nil
+}
+
+// WorkflowStep declares one step of a measured virtual-time DAG.
+type WorkflowStep struct {
+	Name      string   `json:"name"`
+	DependsOn []string `json:"depends_on,omitempty"`
+	// DurationMS is the step's virtual duration in milliseconds.
+	DurationMS int64 `json:"duration_ms"`
+	// Measurements are recorded on the step (Table I rows).
+	Measurements map[string]float64 `json:"measurements,omitempty"`
+	// Fail, when non-empty, fails the step with this message (dependents
+	// are skipped) — used to exercise failure propagation.
+	Fail string `json:"fail,omitempty"`
+}
+
+// WorkflowSpec executes a PPoDS-style measured DAG in virtual time.
+type WorkflowSpec struct {
+	Name  string         `json:"name"`
+	Steps []WorkflowStep `json:"steps"`
+}
+
+func (s *WorkflowSpec) validate() error {
+	if len(s.Steps) == 0 {
+		return invalidf("workflow needs at least one step")
+	}
+	if len(s.Steps) > 10000 {
+		return invalidf("workflow exceeds the 10000-step limit")
+	}
+	names := make(map[string]bool, len(s.Steps))
+	var totalMS int64
+	for i, st := range s.Steps {
+		if st.Name == "" {
+			return invalidf("workflow.steps[%d] has no name", i)
+		}
+		if names[st.Name] {
+			return invalidf("workflow has duplicate step %q", st.Name)
+		}
+		names[st.Name] = true
+		if st.DurationMS < 0 || st.DurationMS > maxStepMS {
+			return invalidf("workflow step %q duration must be in [0,%d] ms", st.Name, int64(maxStepMS))
+		}
+		// The summed bound keeps even a fully serial chain's virtual end
+		// time far from overflowing time.Duration.
+		totalMS += st.DurationMS
+		if totalMS > maxStepMS {
+			return invalidf("workflow durations sum past the %d ms limit", int64(maxStepMS))
+		}
+	}
+	indeg := make(map[string]int, len(s.Steps))
+	dependents := make(map[string][]string, len(s.Steps))
+	for _, st := range s.Steps {
+		for _, d := range st.DependsOn {
+			if !names[d] {
+				return invalidf("workflow step %q depends on unknown step %q", st.Name, d)
+			}
+			dependents[d] = append(dependents[d], st.Name)
+			indeg[st.Name]++
+		}
+	}
+	// Cycle check (Kahn's algorithm): anything that passes Validate must
+	// be executable, and a cyclic DAG never can be.
+	queue := make([]string, 0, len(s.Steps))
+	for _, st := range s.Steps {
+		if indeg[st.Name] == 0 {
+			queue = append(queue, st.Name)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, next := range dependents[cur] {
+			if indeg[next]--; indeg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+	}
+	if seen != len(s.Steps) {
+		return invalidf("workflow has a dependency cycle")
+	}
+	return nil
+}
+
+// --- Status and result payloads --------------------------------------------
+
+// JobStatus is the poll snapshot of a job. It is a flat value type — no
+// slices or maps — so the in-process status-poll path copies it without
+// allocating.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Kind  Kind   `json:"kind"`
+	Name  string `json:"name,omitempty"`
+	Owner string `json:"owner,omitempty"`
+	State State  `json:"state"`
+	// Done/Total/Stage are the kernel-reported progress (Total 0 = unknown).
+	Done  int64  `json:"done"`
+	Total int64  `json:"total"`
+	Stage string `json:"stage,omitempty"`
+	// Wall-clock transition times, UnixNano (0 = not reached).
+	SubmittedAt int64 `json:"submitted_at"`
+	StartedAt   int64 `json:"started_at,omitempty"`
+	FinishedAt  int64 `json:"finished_at,omitempty"`
+	// Error is set for failed and cancelled jobs.
+	Error string `json:"error,omitempty"`
+}
+
+// SubmitResponse acknowledges a submitted job.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+}
+
+// ErrorResponse is the JSON error body of every non-2xx gateway reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// SegmentResult reports a segmentation job. On cancellation the stats are
+// partial (the flood stopped mid-way) and the mask covers what was flooded.
+type SegmentResult struct {
+	Steps       int `json:"steps"`
+	Moves       int `json:"moves"`
+	SeedsUsed   int `json:"seeds_used"`
+	MaskVoxels  int `json:"mask_voxels"`
+	VoxelsTotal int `json:"voxels_total"`
+	// Pretraining summary, present when train_steps > 0.
+	TrainSteps    int     `json:"train_steps,omitempty"`
+	TrainLossHead float64 `json:"train_loss_head,omitempty"`
+	TrainLossTail float64 `json:"train_loss_tail,omitempty"`
+	// Mask is included only when return_mask was set.
+	D    int       `json:"d,omitempty"`
+	H    int       `json:"h,omitempty"`
+	W    int       `json:"w,omitempty"`
+	Mask []float32 `json:"mask,omitempty"`
+}
+
+// ObjectSummary is one tracked object in a label result.
+type ObjectSummary struct {
+	ID          int `json:"id"`
+	Voxels      int `json:"voxels"`
+	Genesis     int `json:"genesis"`
+	Termination int `json:"termination"`
+	PeakArea    int `json:"peak_area"`
+}
+
+// LabelResult reports a CONNECT labelling job.
+type LabelResult struct {
+	Objects      int             `json:"objects"`
+	TotalVoxels  int             `json:"total_voxels"`
+	MeanDuration float64         `json:"mean_duration"`
+	MaxDuration  int             `json:"max_duration"`
+	MeanVoxels   float64         `json:"mean_voxels"`
+	Top          []ObjectSummary `json:"top,omitempty"`
+}
+
+// IVTStep is one time slice's field summary.
+type IVTStep struct {
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// IVTResult reports an IVT derivation job.
+type IVTResult struct {
+	Steps   int       `json:"steps"`
+	Mean    float64   `json:"mean"`
+	Max     float64   `json:"max"`
+	PerStep []IVTStep `json:"per_step,omitempty"`
+	// Coverage is the fraction of voxels >= threshold (threshold > 0 only).
+	Coverage float64 `json:"coverage,omitempty"`
+}
+
+// TrainResult reports a training job. On cancellation Steps reflects the
+// optimizer steps actually taken.
+type TrainResult struct {
+	Steps    int     `json:"steps"`
+	LossHead float64 `json:"loss_head"`
+	LossTail float64 `json:"loss_tail"`
+}
+
+// WorkflowStepResult is one step of a workflow report.
+type WorkflowStepResult struct {
+	Name         string             `json:"name"`
+	Status       string             `json:"status"`
+	DurationMS   int64              `json:"duration_ms"`
+	Measurements map[string]float64 `json:"measurements,omitempty"`
+}
+
+// WorkflowResult reports a measured DAG run, including the rendered
+// Table-I-style resource summary.
+type WorkflowResult struct {
+	Workflow string               `json:"workflow"`
+	Steps    []WorkflowStepResult `json:"steps"`
+	TotalMS  int64                `json:"total_ms"`
+	Failed   bool                 `json:"failed"`
+	Table    string               `json:"table,omitempty"`
+}
+
+// ResultEnvelope wraps a terminal job's result payload.
+type ResultEnvelope struct {
+	ID     string          `json:"id"`
+	Kind   Kind            `json:"kind"`
+	State  State           `json:"state"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}

@@ -1,0 +1,231 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// tinyVolume returns a valid inline 2x2x2 source.
+func tinyVolume() VolumeSource {
+	return VolumeSource{D: 2, H: 2, W: 2, Data: make([]float32, 8)}
+}
+
+// validRequests returns one well-formed request per kind.
+func validRequests() map[Kind]*JobRequest {
+	return map[Kind]*JobRequest{
+		KindSegment: {Kind: KindSegment, Segment: &SegmentSpec{
+			Source: tinyVolume(), Seeds: [][3]int{{1, 1, 1}}, MaxSteps: 4,
+		}},
+		KindLabel: {Kind: KindLabel, Label: &LabelSpec{
+			Source: tinyVolume(), Threshold: 0.5,
+		}},
+		KindIVT: {Kind: KindIVT, IVT: &IVTSpec{
+			Synth: SynthSpec{NLon: 8, NLat: 6, NLev: 3, Steps: 2},
+		}},
+		KindTrain: {Kind: KindTrain, Train: &TrainSpec{
+			Source: tinyVolume(), Threshold: 0.5, Steps: 3,
+		}},
+		KindWorkflow: {Kind: KindWorkflow, Workflow: &WorkflowSpec{
+			Name: "wf", Steps: []WorkflowStep{{Name: "a", DurationMS: 5}},
+		}},
+	}
+}
+
+func TestValidRequestsPass(t *testing.T) {
+	for kind, req := range validRequests() {
+		if err := req.Validate(); err != nil {
+			t.Errorf("kind %s: unexpected validation error: %v", kind, err)
+		}
+	}
+}
+
+func TestVersionChecked(t *testing.T) {
+	req := validRequests()[KindLabel]
+	req.APIVersion = Version
+	if err := req.Validate(); err != nil {
+		t.Fatalf("explicit current version rejected: %v", err)
+	}
+	req.APIVersion = "chased/v999"
+	if err := req.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("bad version: err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestEnvelopeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		req  *JobRequest
+		want string
+	}{
+		{"missing kind", &JobRequest{}, "missing kind"},
+		{"unknown kind", &JobRequest{Kind: "resample"}, "unknown kind"},
+		{"missing spec", &JobRequest{Kind: KindSegment}, "needs a segment spec"},
+		{"mismatched spec", &JobRequest{Kind: KindSegment, Label: &LabelSpec{Source: tinyVolume(), Threshold: 1}}, "needs a segment spec"},
+		{"two specs", &JobRequest{Kind: KindLabel,
+			Label: &LabelSpec{Source: tinyVolume(), Threshold: 1},
+			IVT:   &IVTSpec{Synth: SynthSpec{NLon: 4, NLat: 4, NLev: 2, Steps: 1}}}, "exactly the one matching"},
+	}
+	for _, c := range cases {
+		err := c.req.Validate()
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", c.name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %q, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestVolumeSourceRejections(t *testing.T) {
+	mk := func(src VolumeSource) *JobRequest {
+		return &JobRequest{Kind: KindLabel, Label: &LabelSpec{Source: src, Threshold: 0.5}}
+	}
+	cases := []struct {
+		name string
+		src  VolumeSource
+	}{
+		{"no dims no synth", VolumeSource{}},
+		{"negative dim", VolumeSource{D: -1, H: 2, W: 2, Data: make([]float32, 8)}},
+		{"data length mismatch", VolumeSource{D: 2, H: 2, W: 2, Data: make([]float32, 7)}},
+		{"synth plus inline", VolumeSource{D: 2, H: 2, W: 2, Data: make([]float32, 8),
+			Synth: &SynthSpec{NLon: 4, NLat: 4, NLev: 2, Steps: 1}}},
+		{"synth single level", VolumeSource{Synth: &SynthSpec{NLon: 4, NLat: 4, NLev: 1, Steps: 1}}},
+		{"synth zero steps", VolumeSource{Synth: &SynthSpec{NLon: 4, NLat: 4, NLev: 2, Steps: 0}}},
+		{"synth oversized", VolumeSource{Synth: &SynthSpec{NLon: 1 << 12, NLat: 1 << 12, NLev: 2, Steps: 1 << 8}}},
+	}
+	for _, c := range cases {
+		if err := mk(c.src).Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", c.name, err)
+		}
+	}
+}
+
+// TestVolumeLimitOverflowProof: dimension products that wrap past int64
+// must not sneak under the voxel cap — the memory bound is the point of
+// the limit.
+func TestVolumeLimitOverflowProof(t *testing.T) {
+	synth := &JobRequest{Kind: KindIVT, IVT: &IVTSpec{
+		Synth: SynthSpec{NLon: 131072, NLat: 65536, NLev: 2, Steps: 2147483648},
+	}}
+	if err := synth.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("overflowing synth volume: err = %v, want ErrInvalid", err)
+	}
+	inline := &JobRequest{Kind: KindLabel, Label: &LabelSpec{
+		Source:    VolumeSource{D: 1 << 21, H: 1 << 21, W: 1 << 22}, // product wraps to 0 == len(nil)
+		Threshold: 1,
+	}}
+	if err := inline.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("overflowing inline volume: err = %v, want ErrInvalid", err)
+	}
+	wf := &JobRequest{Kind: KindWorkflow, Workflow: &WorkflowSpec{
+		Steps: []WorkflowStep{{Name: "a", DurationMS: 1e16}}, // would overflow time.Duration
+	}}
+	if err := wf.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("overflowing step duration: err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestSegmentSpecRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*SegmentSpec)
+	}{
+		{"even fov", func(s *SegmentSpec) { s.Net = &NetConfig{FOV: [3]int{4, 9, 9}} }},
+		{"negative train steps", func(s *SegmentSpec) { s.TrainSteps = -1 }},
+		{"train without threshold", func(s *SegmentSpec) { s.TrainSteps = 5; s.Threshold = 0 }},
+		{"grid seeding without threshold", func(s *SegmentSpec) { s.Seeds = nil; s.Threshold = 0 }},
+		{"negative max steps", func(s *SegmentSpec) { s.MaxSteps = -2 }},
+		{"negative stride", func(s *SegmentSpec) { s.SeedStride = [3]int{-1, 0, 0} }},
+		{"move prob out of range", func(s *SegmentSpec) { s.Net = &NetConfig{MoveProb: 1.5} }},
+	}
+	for _, c := range cases {
+		req := validRequests()[KindSegment]
+		c.mut(req.Segment)
+		if err := req.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", c.name, err)
+		}
+	}
+}
+
+func TestLabelTrainSpecRejections(t *testing.T) {
+	label := validRequests()[KindLabel]
+	label.Label.Connectivity = 18
+	if err := label.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("connectivity 18: err = %v, want ErrInvalid", err)
+	}
+	label = validRequests()[KindLabel]
+	label.Label.Threshold = 0
+	if err := label.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("label threshold 0: err = %v, want ErrInvalid", err)
+	}
+
+	train := validRequests()[KindTrain]
+	train.Train.Steps = 0
+	if err := train.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("train steps 0: err = %v, want ErrInvalid", err)
+	}
+	train = validRequests()[KindTrain]
+	train.Train.Momentum = 1
+	if err := train.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("momentum 1: err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestWorkflowSpecRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec WorkflowSpec
+	}{
+		{"no steps", WorkflowSpec{Name: "w"}},
+		{"unnamed step", WorkflowSpec{Steps: []WorkflowStep{{DurationMS: 1}}}},
+		{"duplicate step", WorkflowSpec{Steps: []WorkflowStep{{Name: "a"}, {Name: "a"}}}},
+		{"unknown dep", WorkflowSpec{Steps: []WorkflowStep{{Name: "a", DependsOn: []string{"ghost"}}}}},
+		{"negative duration", WorkflowSpec{Steps: []WorkflowStep{{Name: "a", DurationMS: -3}}}},
+		{"two-step cycle", WorkflowSpec{Steps: []WorkflowStep{
+			{Name: "a", DependsOn: []string{"b"}}, {Name: "b", DependsOn: []string{"a"}}}}},
+		{"self cycle", WorkflowSpec{Steps: []WorkflowStep{{Name: "a", DependsOn: []string{"a"}}}}},
+		{"duration sum overflow", WorkflowSpec{Steps: []WorkflowStep{
+			{Name: "a", DurationMS: 1 << 40}, {Name: "b", DurationMS: 1 << 40}}}},
+	}
+	for _, c := range cases {
+		req := &JobRequest{Kind: KindWorkflow, Workflow: &c.spec}
+		if err := req.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", c.name, err)
+		}
+	}
+}
+
+// TestJSONRoundTrip pins the wire shape: a request survives
+// marshal/unmarshal and still validates.
+func TestJSONRoundTrip(t *testing.T) {
+	for kind, req := range validRequests() {
+		raw, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("kind %s: marshal: %v", kind, err)
+		}
+		var back JobRequest
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("kind %s: unmarshal: %v", kind, err)
+		}
+		if back.Kind != kind {
+			t.Fatalf("kind %s: round-trip kind = %s", kind, back.Kind)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("kind %s: round-tripped request invalid: %v", kind, err)
+		}
+	}
+}
+
+func TestStateTerminal(t *testing.T) {
+	for st, want := range map[State]bool{
+		StateQueued: false, StateRunning: false,
+		StateSucceeded: true, StateFailed: true, StateCancelled: true,
+	} {
+		if st.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v, want %v", st, !want, want)
+		}
+	}
+}

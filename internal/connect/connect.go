@@ -10,9 +10,11 @@
 package connect
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"chaseci/internal/parallel"
 )
@@ -174,10 +176,16 @@ func neighborOffsets(conn Connectivity) [][3]int {
 // which is what makes the slab pass safe to run in parallel. Neighbor pairs
 // reaching back into t0-1 are left to the caller's boundary stitch. Returns
 // one past the last label allocated.
-func labelSlab(v *Volume, uf *unionFind, labels []int32, conn Connectivity, t0, t1 int, nextLabel int32) int32 {
+func labelSlab(ctx context.Context, v *Volume, uf *unionFind, labels []int32, conn Connectivity, t0, t1 int, nextLabel int32, tick func()) int32 {
 	H, W := v.H, v.W
 	data := v.Data
 	for t := t0; t < t1; t++ {
+		// Cooperative cancellation, checked once per time step: the caller
+		// discards everything when the context is cancelled, so the slab
+		// can stop with labels half-assigned.
+		if ctx.Err() != nil {
+			return nextLabel
+		}
 		withPrevT := t > t0 // t-1 pairs at the slab start are stitched later
 		for y := 0; y < H; y++ {
 			rowBase := (t*H + y) * W
@@ -268,6 +276,9 @@ func labelSlab(v *Volume, uf *unionFind, labels []int32, conn Connectivity, t0, 
 				curLbl[x] = lbl
 			}
 		}
+		if tick != nil {
+			tick()
+		}
 	}
 	return nextLabel
 }
@@ -293,10 +304,31 @@ type labelAcc struct {
 // boundaries are stitched serially. Components — and therefore labels,
 // objects, and statistics — are identical at every worker count.
 func Label(v *Volume, conn Connectivity, minVoxels int) *Result {
+	res, _ := LabelCtx(context.Background(), v, conn, minVoxels, nil)
+	return res
+}
+
+// LabelCtx is the context-aware Label: cancellation is checked once per
+// time step inside the parallel slab scan, between passes, and per time
+// step of the statistics pass, so a cancelled context stops the labelling
+// within one time slice of work per worker. On cancellation it returns
+// (nil, ctx.Err()) — provisional labels are meaningless half-done, so
+// partial progress is reported only through the callback. progress (may be
+// nil) is called with (timeStepsLabelled, v.T) as pass-1 slabs complete
+// time steps; it may fire concurrently from multiple workers. With a
+// background context the result is identical to Label's.
+func LabelCtx(ctx context.Context, v *Volume, conn Connectivity, minVoxels int, progress func(done, total int)) (*Result, error) {
 	n := v.T * v.H * v.W
 	neighborOffsets(conn) // validates conn
 	res := &Result{Labels: make([]int32, n), T: v.T, H: v.H, W: v.W}
 	labels := res.Labels // provisional label ids until the final remap
+
+	var tick func()
+	if progress != nil {
+		var done atomic.Int64
+		total := v.T
+		tick = func() { progress(int(done.Add(1)), total) }
+	}
 
 	// Pass 1: parallel per-slab provisional labelling. Each slab draws
 	// label ids from its own range [starts[k], starts[k+1]): a fresh label
@@ -314,15 +346,21 @@ func Label(v *Volume, conn Connectivity, minVoxels int) *Result {
 	uf := &unionFind{parent: bufs.parent, size: bufs.size}
 	parallel.For(len(slabs), func(s0, s1 int) {
 		for k := s0; k < s1; k++ {
-			labelSlab(v, uf, labels, conn, slabs[k][0], slabs[k][1], starts[k])
+			labelSlab(ctx, v, uf, labels, conn, slabs[k][0], slabs[k][1], starts[k], tick)
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Pass 2: serial boundary stitch — unite labels across each slab's
 	// first time step and the step before it. A voxel is set iff its
 	// provisional label is nonzero, so the stitch reads only labels.
 	H, W := v.H, v.W
 	for _, slab := range slabs[1:] {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t := slab[0]
 		for y := 0; y < H; y++ {
 			rowBase := (t*H + y) * W
@@ -381,6 +419,9 @@ func Label(v *Volume, conn Connectivity, minVoxels int) *Result {
 	rootSlot := bufs.rootSlot // 0 = unseen, else slot+1
 	var accs []labelAcc
 	for t := 0; t < v.T; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for y := 0; y < v.H; y++ {
 			rowBase := (t*v.H + y) * v.W
 			for x := 0; x < v.W; x++ {
@@ -485,7 +526,7 @@ func Label(v *Volume, conn Connectivity, minVoxels int) *Result {
 			res.Labels[i] = slotID[slot]
 		}
 	}
-	return res
+	return res, nil
 }
 
 func lessBBox(a, b [6]int) bool {

@@ -1,6 +1,7 @@
 package ffn
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 
@@ -170,9 +171,48 @@ func (cfg *Config) fovInBounds(v *Volume, z, y, x int) bool {
 // the image and the center — never on the canvas — the mask and statistics
 // are identical to the serial path at every worker count.
 func (n *Network) Segment(image *Volume, seeds [][3]int, maxSteps int) (*Volume, InferenceStats) {
+	mask, stats, _ := n.SegmentCtx(context.Background(), image, seeds, maxSteps, nil)
+	return mask, stats
+}
+
+// floodProgress counts network applications across all flood workers and
+// fires the user callback every progressEvery applications. A nil
+// *floodProgress disables both, costing the flood loops nothing.
+type floodProgress struct {
+	steps atomic.Int64
+	fn    func(steps int)
+}
+
+// progressEvery is the callback cadence in network applications; a power of
+// two so the hot-loop check is a mask.
+const progressEvery = 32
+
+func (p *floodProgress) bump() {
+	if p == nil {
+		return
+	}
+	if n := p.steps.Add(1); n&(progressEvery-1) == 0 {
+		p.fn(int(n))
+	}
+}
+
+// SegmentCtx is the context-aware Segment: cancellation is checked before
+// every network application in both the serial and the sharded flood, so a
+// cancelled context stops the run within one FOV application per worker.
+// On cancellation the partial canvas is still thresholded and returned with
+// the statistics accumulated so far and ctx.Err(). progress (may be nil) is
+// called with the running application count every progressEvery
+// applications; under the sharded flood it fires concurrently from multiple
+// workers, so the callback must be safe for concurrent use. With a
+// background context the mask and statistics are identical to Segment's.
+func (n *Network) SegmentCtx(ctx context.Context, image *Volume, seeds [][3]int, maxSteps int, progress func(steps int)) (*Volume, InferenceStats, error) {
 	cfg := n.cfg
 	stats := InferenceStats{VoxelsTotal: image.Size()}
 	keyOf := func(z, y, x int) int { return (z*image.H+y)*image.W + x }
+	var prog *floodProgress
+	if progress != nil {
+		prog = &floodProgress{fn: progress}
+	}
 
 	// Accept in-bounds, deduplicated seeds; claimed doubles as the visited
 	// set for the flood (1 = already claimed by some flood).
@@ -200,7 +240,7 @@ func (n *Network) Segment(image *Volume, seeds [][3]int, maxSteps int) (*Volume,
 
 	shards := parallel.Ranges(len(accepted))
 	if maxSteps > 0 || len(shards) <= 1 {
-		n.floodSerial(image, accepted, claimed, canvas.Data, moveLogit, maxSteps, &stats)
+		n.floodSerial(ctx, image, accepted, claimed, canvas.Data, moveLogit, maxSteps, &stats, prog)
 	} else {
 		// Worker-private canvases, max-reduced in shard order afterwards
 		// (order is irrelevant for max, but keep it fixed anyway).
@@ -213,7 +253,7 @@ func (n *Network) Segment(image *Volume, seeds [][3]int, maxSteps int) (*Volume,
 					wc[i] = padLogit
 				}
 				canvases[k] = wc
-				n.floodShard(image, accepted[shards[k][0]:shards[k][1]], claimed, wc, moveLogit, &shardStats[k])
+				n.floodShard(ctx, image, accepted[shards[k][0]:shards[k][1]], claimed, wc, moveLogit, &shardStats[k], prog)
 			}
 		})
 		for k := range canvases {
@@ -227,7 +267,15 @@ func (n *Network) Segment(image *Volume, seeds [][3]int, maxSteps int) (*Volume,
 		}
 	}
 
-	// Threshold the canvas into a binary mask.
+	// Report the final application count: the every-N cadence above skips
+	// the tail (and short floods entirely), and the terminal progress
+	// should agree with the returned statistics.
+	if prog != nil {
+		progress(int(prog.steps.Load()))
+	}
+
+	// Threshold the canvas into a binary mask. On cancellation this reports
+	// the partial flood: whatever cores were merged before the stop.
 	segLogit := logit(cfg.SegmentProb)
 	mask := NewVolume(image.D, image.H, image.W)
 	for i, v := range canvas.Data {
@@ -236,7 +284,7 @@ func (n *Network) Segment(image *Volume, seeds [][3]int, maxSteps int) (*Volume,
 			stats.MaskVoxels++
 		}
 	}
-	return mask, stats
+	return mask, stats, ctx.Err()
 }
 
 // moveOffsets returns the six move-target displacements (center +/-
@@ -251,8 +299,9 @@ func (cfg *Config) moveOffsets() [6][3]int {
 }
 
 // floodSerial is the single-goroutine flood: a multi-source BFS over FOV
-// centers with an optional step budget.
-func (n *Network) floodSerial(image *Volume, seeds []fovPos, claimed []int32, canvas []float32, moveLogit float32, maxSteps int, stats *InferenceStats) {
+// centers with an optional step budget and cooperative cancellation checked
+// before every application.
+func (n *Network) floodSerial(ctx context.Context, image *Volume, seeds []fovPos, claimed []int32, canvas []float32, moveLogit float32, maxSteps int, stats *InferenceStats, prog *floodProgress) {
 	cfg := n.cfg
 	s := n.newInferScratch()
 	offsets := cfg.moveOffsets()
@@ -261,11 +310,15 @@ func (n *Network) floodSerial(image *Volume, seeds []fovPos, claimed []int32, ca
 		if maxSteps > 0 && stats.Steps >= maxSteps {
 			break
 		}
+		if ctx.Err() != nil {
+			return
+		}
 		p := queue[0]
 		queue = queue[1:]
 		out := n.applyFOV(s, image, p.z, p.y, p.x)
 		mergeCore(canvas, image.H, image.W, cfg.FOV, out, p.z, p.y, p.x)
 		stats.Steps++
+		prog.bump()
 
 		for _, off := range offsets {
 			fz := cfg.FOV[0]/2 + off[0]
@@ -292,17 +345,22 @@ func (n *Network) floodSerial(image *Volume, seeds []fovPos, claimed []int32, ca
 
 // floodShard floods one worker's seed shard, claiming centers through the
 // shared atomic visited array and merging into a worker-private canvas.
-func (n *Network) floodShard(image *Volume, seeds []fovPos, claimed []int32, canvas []float32, moveLogit float32, stats *InferenceStats) {
+// Cancellation is checked before every application, as in floodSerial.
+func (n *Network) floodShard(ctx context.Context, image *Volume, seeds []fovPos, claimed []int32, canvas []float32, moveLogit float32, stats *InferenceStats, prog *floodProgress) {
 	cfg := n.cfg
 	s := n.newInferScratch()
 	offsets := cfg.moveOffsets()
 	queue := append([]fovPos(nil), seeds...)
 	for len(queue) > 0 {
+		if ctx.Err() != nil {
+			return
+		}
 		p := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		out := n.applyFOV(s, image, p.z, p.y, p.x)
 		mergeCore(canvas, image.H, image.W, cfg.FOV, out, p.z, p.y, p.x)
 		stats.Steps++
+		prog.bump()
 
 		for _, off := range offsets {
 			fz := cfg.FOV[0]/2 + off[0]

@@ -1,6 +1,7 @@
 package ffn
 
 import (
+	"context"
 	"errors"
 
 	"chaseci/internal/sim"
@@ -37,6 +38,16 @@ var ErrNoExamples = errors.New("ffn: no valid training centers in volume")
 // TrainOnVolume runs `steps` optimization steps against (image, labels),
 // returning the per-step losses. Labels are a binary volume.
 func (t *Trainer) TrainOnVolume(image, labels *Volume, steps int) ([]float64, error) {
+	return t.TrainOnVolumeCtx(context.Background(), image, labels, steps, nil)
+}
+
+// TrainOnVolumeCtx is the context-aware TrainOnVolume: cancellation is
+// checked before every optimizer step, and a cancelled context returns the
+// losses of the steps already taken together with ctx.Err(). progress (may
+// be nil) is called with the completed step count after each step. With a
+// background context the loss sequence is identical to TrainOnVolume's
+// (the RNG draw order is unchanged).
+func (t *Trainer) TrainOnVolumeCtx(ctx context.Context, image, labels *Volume, steps int, progress func(step int)) ([]float64, error) {
 	pos, neg := collectCenters(labels, t.Net.cfg.FOV)
 	if len(pos) == 0 && len(neg) == 0 {
 		return nil, ErrNoExamples
@@ -48,6 +59,9 @@ func (t *Trainer) TrainOnVolume(image, labels *Volume, steps int) ([]float64, er
 	img := tensor.New(1, fov[0], fov[1], fov[2])
 	lab := tensor.New(1, fov[0], fov[1], fov[2])
 	for s := 0; s < steps; s++ {
+		if err := ctx.Err(); err != nil {
+			return losses, err
+		}
 		var c [3]int
 		usePos := len(pos) > 0 && (len(neg) == 0 || t.rng.Float64() < t.PositiveBias)
 		if usePos {
@@ -58,6 +72,9 @@ func (t *Trainer) TrainOnVolume(image, labels *Volume, steps int) ([]float64, er
 		extractFOVInto(img, image, fov, c[0], c[1], c[2])
 		extractFOVInto(lab, labels, fov, c[0], c[1], c[2])
 		losses = append(losses, t.Net.TrainStep(t.Opt, img, lab))
+		if progress != nil {
+			progress(s + 1)
+		}
 	}
 	return losses, nil
 }

@@ -1,6 +1,7 @@
 package merra
 
 import (
+	"context"
 	"math"
 
 	"chaseci/internal/parallel"
@@ -42,6 +43,15 @@ func PressureLevels(n int) []float64 {
 // count) and walks levels row-wise so each q*u / q*v product is computed
 // once instead of twice as both trapezoid endpoints.
 func IVT(st *State, levels []float64) *Field2D {
+	out, _ := IVTCtx(context.Background(), st, levels)
+	return out
+}
+
+// IVTCtx is the context-aware IVT: cancellation is checked once per
+// latitude row inside the sharded integration, and a cancelled context
+// returns (nil, ctx.Err()). With a background context the field is
+// bit-exactly IVT's. It panics on a level-count mismatch, like IVT.
+func IVTCtx(ctx context.Context, st *State, levels []float64) (*Field2D, error) {
 	g := st.Q.Grid
 	if len(levels) != g.NLev {
 		panic("merra: IVT level count mismatch")
@@ -57,6 +67,9 @@ func IVT(st *State, levels []float64) *Field2D {
 		quPrev := make([]float64, nlon)
 		qvPrev := make([]float64, nlon)
 		for j := j0; j < j1; j++ {
+			if ctx.Err() != nil {
+				return
+			}
 			base := j * nlon
 			for i := 0; i < nlon; i++ {
 				fx[i], fy[i] = 0, 0
@@ -83,7 +96,10 @@ func IVT(st *State, levels []float64) *Field2D {
 			}
 		}
 	})
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // LabelMask thresholds an IVT field into the binary representation used for
@@ -104,13 +120,28 @@ func LabelMask(ivt *Field2D, threshold float32) *Field2D {
 // 576x361x240 training volume of the paper's step 2 at whatever scale the
 // grid dictates. The returned Field3D uses NLev as the time axis.
 func IVTVolume(gen *Generator, levels []float64, startStep, steps int) *Field3D {
+	vol, _ := IVTVolumeCtx(context.Background(), gen, levels, startStep, steps, nil)
+	return vol
+}
+
+// IVTVolumeCtx is the context-aware IVTVolume: each time step is
+// synthesized and integrated under ctx, and a cancelled context returns
+// (nil, ctx.Err()). progress (may be nil) is called with
+// (stepsDone, steps) after each completed time step.
+func IVTVolumeCtx(ctx context.Context, gen *Generator, levels []float64, startStep, steps int, progress func(done, total int)) (*Field3D, error) {
 	g := gen.Grid
 	vol := NewField3D(Grid{NLon: g.NLon, NLat: g.NLat, NLev: steps})
 	for t := 0; t < steps; t++ {
-		f := IVT(gen.State(startStep+t), levels)
+		f, err := IVTCtx(ctx, gen.State(startStep+t), levels)
+		if err != nil {
+			return nil, err
+		}
 		copy(vol.Data[t*g.NLon*g.NLat:(t+1)*g.NLon*g.NLat], f.Data)
+		if progress != nil {
+			progress(t+1, steps)
+		}
 	}
-	return vol
+	return vol, nil
 }
 
 // MaskVolume thresholds an IVT volume into a binary volume, the label data

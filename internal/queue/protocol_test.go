@@ -1,0 +1,125 @@
+package queue
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// protoConn wraps a raw connection to the line-protocol server for
+// edge-case tests that the cooked Client cannot express.
+type protoConn struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialProto(t *testing.T) (*Server, *protoConn) {
+	t.Helper()
+	srv, err := Serve(NewStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return srv, &protoConn{t: t, conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (p *protoConn) send(raw string) {
+	p.t.Helper()
+	if _, err := p.conn.Write([]byte(raw)); err != nil {
+		p.t.Fatalf("write %q: %v", raw, err)
+	}
+}
+
+func (p *protoConn) expect(want string) {
+	p.t.Helper()
+	p.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	line, err := p.r.ReadString('\n')
+	if err != nil {
+		p.t.Fatalf("read (want %q): %v", want, err)
+	}
+	if line != want {
+		p.t.Fatalf("reply = %q, want %q", line, want)
+	}
+}
+
+// TestProtocolTrailingCR: telnet-style CRLF commands parse cleanly, with no
+// stray \r glued onto the last argument.
+func TestProtocolTrailingCR(t *testing.T) {
+	_, c := dialProto(t)
+	c.send("PING\r\n")
+	c.expect("+PONG\n")
+	c.send("SET greeting hello\r\n")
+	c.expect("+OK\n")
+	// A value stored via CRLF must read back without the \r.
+	c.send("GET greeting\r\n")
+	c.expect("$5\n")
+	c.expect("hello\n")
+}
+
+// TestProtocolBlankLinesSkipped: empty and whitespace-only lines (telnet
+// keep-alives, sloppy scripts) produce no reply instead of an error, and
+// the next real command still works.
+func TestProtocolBlankLinesSkipped(t *testing.T) {
+	_, c := dialProto(t)
+	c.send("\n")
+	c.send("\r\n")
+	c.send("   \n")
+	// If any blank line had produced a reply, this PING would read it
+	// instead of +PONG and fail.
+	c.send("PING\n")
+	c.expect("+PONG\n")
+}
+
+// TestProtocolUnknownCommandKeepsConnection: a bogus command answers -ERR
+// and the session continues.
+func TestProtocolUnknownCommandKeepsConnection(t *testing.T) {
+	_, c := dialProto(t)
+	c.send("FLUSHALL\n")
+	c.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !strings.HasPrefix(line, "-ERR unknown command") {
+		t.Fatalf("reply = %q, want -ERR unknown command ...", line)
+	}
+	c.send("LPUSH q a\n")
+	c.expect(":1\n")
+	c.send("RPOP q\n")
+	c.expect("$1\n")
+	c.expect("a\n")
+}
+
+// TestProtocolArityErrorsKeepConnection: wrong-arity commands answer -ERR
+// without dropping the session.
+func TestProtocolArityErrorsKeepConnection(t *testing.T) {
+	_, c := dialProto(t)
+	c.send("SET onlykey\n")
+	c.expect("-ERR SET needs key value\n")
+	c.send("LRANGE q 0\n")
+	c.expect("-ERR LRANGE needs key start stop\n")
+	c.send("INCRBY n notanumber\n")
+	c.expect("-ERR bad integer\n")
+	c.send("PING\n")
+	c.expect("+PONG\n")
+}
+
+// TestProtocolLowercaseCommands: command words are case-insensitive.
+func TestProtocolLowercaseCommands(t *testing.T) {
+	_, c := dialProto(t)
+	c.send("ping\r\n")
+	c.expect("+PONG\n")
+	c.send("set k v\n")
+	c.expect("+OK\n")
+	c.send("get k\n")
+	c.expect("$1\n")
+	c.expect("v\n")
+}

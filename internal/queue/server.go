@@ -94,7 +94,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		reply := s.dispatch(strings.Fields(strings.TrimSpace(line)))
+		// Tolerate interactive clients (telnet, nc -C): CRLF line endings
+		// are trimmed and blank keep-alive lines are skipped without a
+		// reply. Unknown commands answer -ERR (dispatch) rather than
+		// dropping the connection, so a typo costs one error line, not the
+		// session.
+		parts := strings.Fields(strings.TrimRight(line, "\r\n"))
+		if len(parts) == 0 {
+			continue
+		}
+		reply := s.dispatch(parts)
 		if _, err := w.WriteString(reply); err != nil {
 			return
 		}

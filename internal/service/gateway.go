@@ -1,0 +1,336 @@
+package service
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"chaseci/internal/api"
+	"chaseci/internal/auth"
+)
+
+// GatewayOptions configures the HTTP face of the service.
+type GatewayOptions struct {
+	// Providers registers identity providers (email domain -> provider
+	// name) with the CILogon-style federation backing /v1/login.
+	Providers map[string]string
+	// TokenTTL is the bearer-token lifetime (<= 0 defaults to 12h).
+	TokenTTL time.Duration
+	// AllowAnonymous accepts requests without an Authorization header,
+	// attributing them to the "anonymous" owner.
+	AllowAnonymous bool
+	// PollInterval is the progress-stream poll cadence (<= 0 = 50ms).
+	PollInterval time.Duration
+	// TokenSeed seeds the token RNG; 0 derives one from the wall clock.
+	TokenSeed uint64
+}
+
+// Gateway is the chased HTTP/JSON front-end: submit, poll, stream
+// progress, fetch results, cancel — the uniform service face over every
+// compute kernel. It implements http.Handler.
+//
+//	POST /v1/login            {"user": "who@domain"} -> {"token": ...}
+//	POST /v1/jobs             api.JobRequest -> 202 api.SubmitResponse
+//	GET  /v1/jobs             [api.JobStatus, ...]
+//	GET  /v1/jobs/{id}        api.JobStatus
+//	GET  /v1/jobs/{id}/events NDJSON stream of api.JobStatus until terminal
+//	GET  /v1/jobs/{id}/result api.ResultEnvelope (409 until terminal)
+//	POST /v1/jobs/{id}/cancel {"id": ..., "cancelled": bool}
+//	GET  /v1/kinds            [kind, ...]
+//	GET  /healthz             liveness + job count
+//	GET  /metricz             text metrics (internal/metrics counters)
+//
+// The reused internal/auth federation runs on a virtual clock; the gateway
+// pins that clock to wall-elapsed time under a mutex, so token expiry
+// behaves like real time while the federation stays single-threaded.
+//
+// Authentication model: the federation simulates CILogon identity
+// claiming — /v1/login vouches that the identity's domain has a
+// registered provider, it does not verify a credential. Ownership
+// scoping therefore isolates cooperating tenants (and accidents), not a
+// malicious caller who asserts someone else's identity; real deployments
+// would swap the login handler for an actual SSO exchange.
+type Gateway struct {
+	runner *Runner
+	mux    *http.ServeMux
+	poll   time.Duration
+	anon   bool
+
+	aclk *wallClock
+	fed  *auth.Federation
+}
+
+// NewGateway builds a Gateway over runner.
+func NewGateway(runner *Runner, opts GatewayOptions) *Gateway {
+	aclk := newWallClock()
+	seed := opts.TokenSeed
+	if seed == 0 {
+		// Token ids must not be guessable from process start time.
+		var b [8]byte
+		if _, err := cryptorand.Read(b[:]); err == nil {
+			seed = binary.LittleEndian.Uint64(b[:])
+		} else {
+			seed = uint64(time.Now().UnixNano())
+		}
+	}
+	fed := auth.NewFederation(aclk.clock, opts.TokenTTL, seed)
+	for domain, name := range opts.Providers {
+		fed.RegisterProvider(name, domain)
+	}
+	poll := opts.PollInterval
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	g := &Gateway{
+		runner: runner,
+		mux:    http.NewServeMux(),
+		poll:   poll,
+		anon:   opts.AllowAnonymous,
+		aclk:   aclk,
+		fed:    fed,
+	}
+	g.mux.HandleFunc("POST /v1/login", g.handleLogin)
+	g.mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
+	g.mux.HandleFunc("GET /v1/jobs", g.handleList)
+	g.mux.HandleFunc("GET /v1/jobs/{id}", g.handleStatus)
+	g.mux.HandleFunc("GET /v1/jobs/{id}/events", g.handleEvents)
+	g.mux.HandleFunc("GET /v1/jobs/{id}/result", g.handleResult)
+	g.mux.HandleFunc("POST /v1/jobs/{id}/cancel", g.handleCancel)
+	g.mux.HandleFunc("GET /v1/kinds", g.handleKinds)
+	g.mux.HandleFunc("GET /healthz", g.handleHealth)
+	g.mux.HandleFunc("GET /metricz", g.handleMetrics)
+	return g
+}
+
+// ServeHTTP dispatches to the gateway's routes.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// Request-body caps: the schema layer bounds what a request may make the
+// service allocate, but json decoding allocates while parsing, so the
+// byte stream itself must be bounded first. maxSubmitBytes fits the
+// largest valid inline volume (maxVoxels floats) even at full ~16-byte
+// JSON precision per value.
+const (
+	maxSubmitBytes = 1536 << 20
+	maxLoginBytes  = 4 << 10
+)
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// authenticate resolves the request's identity: a Bearer token validated
+// against the federation, or "anonymous" when allowed.
+func (g *Gateway) authenticate(r *http.Request) (string, error) {
+	h := r.Header.Get("Authorization")
+	if h == "" {
+		if g.anon {
+			return "anonymous", nil
+		}
+		return "", errors.New("missing Authorization: Bearer <token> header")
+	}
+	tok, ok := strings.CutPrefix(h, "Bearer ")
+	if !ok {
+		return "", errors.New("malformed Authorization header, want Bearer <token>")
+	}
+	g.aclk.Lock()
+	defer g.aclk.Unlock()
+	id, err := g.fed.Validate(auth.Token(tok))
+	if err != nil {
+		return "", err
+	}
+	return id.User, nil
+}
+
+func (g *Gateway) handleLogin(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		User string `json:"user"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxLoginBytes)).Decode(&body); err != nil || body.User == "" {
+		writeErr(w, http.StatusBadRequest, "body must be {\"user\": \"who@domain\"}")
+		return
+	}
+	g.aclk.Lock()
+	tok, err := g.fed.Login(body.User)
+	g.aclk.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"token": string(tok), "user": body.User})
+}
+
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	owner, err := g.authenticate(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, "%v", err)
+		return
+	}
+	var req api.JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	st, err := g.runner.Submit(&req, owner)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, api.ErrInvalid) {
+			code = http.StatusBadRequest
+		} else if errors.Is(err, ErrClosed) {
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, api.SubmitResponse{ID: st.ID, State: st.State})
+}
+
+func (g *Gateway) handleList(w http.ResponseWriter, r *http.Request) {
+	caller, err := g.authenticate(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, "%v", err)
+		return
+	}
+	// Same ownership scope as the per-job endpoints: an identity lists
+	// its own jobs plus anonymous-owned ones.
+	all := g.runner.List()
+	mine := make([]api.JobStatus, 0, len(all))
+	for _, st := range all {
+		if visibleTo(st, caller) {
+			mine = append(mine, st)
+		}
+	}
+	writeJSON(w, http.StatusOK, mine)
+}
+
+// anonOwner is the identity recorded on jobs submitted without a token.
+const anonOwner = "anonymous"
+
+// visibleTo reports whether a job is in the caller's ownership scope:
+// jobs submitted by a federated identity are visible only to that
+// identity, even when the gateway also accepts anonymous traffic;
+// anonymous-owned jobs are open.
+func visibleTo(st api.JobStatus, caller string) bool {
+	return st.Owner == "" || st.Owner == anonOwner || st.Owner == caller
+}
+
+// jobForCaller authenticates the request and resolves the {id} job
+// (falling back to the persisted store record for jobs evicted from the
+// in-memory index), enforcing ownership. It writes the error reply
+// itself and reports ok=false on any failure.
+func (g *Gateway) jobForCaller(w http.ResponseWriter, r *http.Request) (api.JobStatus, bool) {
+	caller, err := g.authenticate(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, "%v", err)
+		return api.JobStatus{}, false
+	}
+	id := r.PathValue("id")
+	st, ok := g.runner.Lookup(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return api.JobStatus{}, false
+	}
+	if !visibleTo(st, caller) {
+		writeErr(w, http.StatusForbidden, "job %s belongs to another identity", id)
+		return api.JobStatus{}, false
+	}
+	return st, true
+}
+
+func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := g.jobForCaller(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams NDJSON status snapshots: one line per observed
+// change, ending with the terminal snapshot.
+func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	st, ok := g.jobForCaller(w, r)
+	if !ok {
+		return
+	}
+	id := st.ID
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	last := api.JobStatus{}
+	for {
+		if st != last {
+			if err := enc.Encode(st); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			last = st
+		}
+		if st.State.Terminal() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(g.poll):
+		}
+		st, ok = g.runner.Lookup(id)
+		if !ok {
+			return
+		}
+	}
+}
+
+func (g *Gateway) handleResult(w http.ResponseWriter, r *http.Request) {
+	st, ok := g.jobForCaller(w, r)
+	if !ok {
+		return
+	}
+	if !st.State.Terminal() {
+		writeErr(w, http.StatusConflict, "job %s is %s; result not ready", st.ID, st.State)
+		return
+	}
+	raw, _, _ := g.runner.Result(st.ID)
+	writeJSON(w, http.StatusOK, api.ResultEnvelope{
+		ID: st.ID, Kind: st.Kind, State: st.State, Error: st.Error, Result: raw,
+	})
+}
+
+func (g *Gateway) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := g.jobForCaller(w, r)
+	if !ok {
+		return
+	}
+	cancelled := g.runner.Cancel(st.ID)
+	writeJSON(w, http.StatusOK, map[string]any{"id": st.ID, "cancelled": cancelled})
+}
+
+func (g *Gateway) handleKinds(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.runner.reg.Kinds())
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "jobs": g.runner.Count()})
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, g.runner.MetricsText())
+}

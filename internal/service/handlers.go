@@ -1,0 +1,333 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"chaseci/internal/api"
+	"chaseci/internal/connect"
+	"chaseci/internal/ffn"
+	"chaseci/internal/merra"
+	"chaseci/internal/sim"
+	"chaseci/internal/workflow"
+)
+
+// DefaultRegistry returns a registry with the built-in handler for every
+// api kind — the uniform front-end over the heterogeneous kernels.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	r.Register(api.KindSegment, SegmentHandler)
+	r.Register(api.KindLabel, LabelHandler)
+	r.Register(api.KindIVT, IVTHandler)
+	r.Register(api.KindTrain, TrainHandler)
+	r.Register(api.KindWorkflow, WorkflowHandler)
+	return r
+}
+
+// synthIVTVolume materializes the synthetic IVT volume behind a spec,
+// reporting per-step progress under the given stage name — the single
+// synthesis path shared by every kind that accepts a synth source.
+func synthIVTVolume(ctx context.Context, jc *JobContext, sy *api.SynthSpec, stage string) (*merra.Field3D, error) {
+	g := merra.Grid{NLon: sy.NLon, NLat: sy.NLat, NLev: sy.NLev}
+	gen := merra.NewGenerator(g, sy.Seed)
+	jc.Progress(0, int64(sy.Steps), stage)
+	return merra.IVTVolumeCtx(ctx, gen, merra.PressureLevels(g.NLev), sy.Start, sy.Steps,
+		func(done, total int) { jc.Progress(int64(done), int64(total), stage) })
+}
+
+// sourceVolume materializes a job's input volume: a copy of the inline
+// data, or the synthetic IVT volume (time-major, like ffn.Volume).
+func sourceVolume(ctx context.Context, jc *JobContext, src *api.VolumeSource) (*ffn.Volume, error) {
+	if src.Synth != nil {
+		vol, err := synthIVTVolume(ctx, jc, src.Synth, "synthesize")
+		if err != nil {
+			return nil, err
+		}
+		return &ffn.Volume{D: src.Synth.Steps, H: src.Synth.NLat, W: src.Synth.NLon, Data: vol.Data}, nil
+	}
+	v := ffn.NewVolume(src.D, src.H, src.W)
+	copy(v.Data, src.Data)
+	return v, nil
+}
+
+// thresholdVolume builds the binary mask raw >= threshold.
+func thresholdVolume(raw *ffn.Volume, threshold float32) *ffn.Volume {
+	out := ffn.NewVolume(raw.D, raw.H, raw.W)
+	for i, v := range raw.Data {
+		if v >= threshold {
+			out.Data[i] = 1
+		}
+	}
+	return out
+}
+
+// netConfig maps an optional api.NetConfig onto ffn defaults.
+func netConfig(nc *api.NetConfig) ffn.Config {
+	cfg := ffn.DefaultConfig()
+	if nc == nil {
+		return cfg
+	}
+	if nc.FOV != [3]int{} {
+		cfg.FOV = nc.FOV
+	}
+	if nc.Features > 0 {
+		cfg.Features = nc.Features
+	}
+	if nc.Modules > 0 {
+		cfg.Modules = nc.Modules
+	}
+	if nc.MoveStep != [3]int{} {
+		cfg.MoveStep = nc.MoveStep
+	}
+	if nc.MoveProb > 0 {
+		cfg.MoveProb = nc.MoveProb
+	}
+	if nc.SegmentProb > 0 {
+		cfg.SegmentProb = nc.SegmentProb
+	}
+	return cfg
+}
+
+// SegmentHandler runs FFN flood-fill segmentation: optional pretraining on
+// the thresholded source, seed selection, then SegmentCtx. A cancelled
+// flood still returns the partial mask statistics alongside ctx.Err().
+func SegmentHandler(jc *JobContext) (any, error) {
+	spec := jc.Request().Segment
+	raw, err := sourceVolume(jc.Ctx(), jc, &spec.Source)
+	if err != nil {
+		return nil, err
+	}
+	cfg := netConfig(spec.Net)
+	net, err := ffn.NewNetwork(cfg, spec.NetSeed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Labels and seeds come from the raw field, before normalization.
+	var labels *ffn.Volume
+	if spec.TrainSteps > 0 {
+		labels = thresholdVolume(raw, spec.Threshold)
+	}
+	seeds := spec.Seeds
+	if len(seeds) == 0 {
+		stride := spec.SeedStride
+		if stride == [3]int{} {
+			stride = cfg.FOV
+		}
+		seeds = ffn.GridSeeds(raw, cfg.FOV, stride, spec.Threshold)
+	}
+	image := raw.Normalize()
+
+	res := api.SegmentResult{}
+	if spec.TrainSteps > 0 {
+		jc.Progress(0, int64(spec.TrainSteps), "train")
+		tr := ffn.NewTrainer(net, 0.05, 0.9, spec.NetSeed+1)
+		losses, err := tr.TrainOnVolumeCtx(jc.Ctx(), image, labels, spec.TrainSteps,
+			func(step int) { jc.Progress(int64(step), int64(spec.TrainSteps), "train") })
+		res.TrainSteps = len(losses)
+		if len(losses) > 0 {
+			res.TrainLossHead = ffn.MeanTail(losses[:(len(losses)+4)/5], 1)
+			res.TrainLossTail = ffn.MeanTail(losses, 0.2)
+		}
+		if err != nil {
+			// Cancelled (or failed) mid-training: keep the partial
+			// training stats in the result, matching the flood phase.
+			return res, err
+		}
+	}
+
+	jc.Progress(0, 0, "segment")
+	mask, stats, segErr := net.SegmentCtx(jc.Ctx(), image, seeds, spec.MaxSteps,
+		func(steps int) { jc.Progress(int64(steps), 0, "segment") })
+	res.Steps = stats.Steps
+	res.Moves = stats.Moves
+	res.SeedsUsed = stats.SeedsUsed
+	res.MaskVoxels = stats.MaskVoxels
+	res.VoxelsTotal = stats.VoxelsTotal
+	if spec.ReturnMask {
+		res.D, res.H, res.W = mask.D, mask.H, mask.W
+		res.Mask = mask.Data
+	}
+	return res, segErr
+}
+
+// LabelHandler thresholds the source and runs CONNECT labelling.
+func LabelHandler(jc *JobContext) (any, error) {
+	spec := jc.Request().Label
+	raw, err := sourceVolume(jc.Ctx(), jc, &spec.Source)
+	if err != nil {
+		return nil, err
+	}
+	bin := thresholdVolume(raw, spec.Threshold)
+	vol := connect.FromMask(bin.D, bin.H, bin.W, bin.Data)
+	conn := connect.Conn26
+	if spec.Connectivity == 6 {
+		conn = connect.Conn6
+	}
+	jc.Progress(0, int64(vol.T), "label")
+	result, err := connect.LabelCtx(jc.Ctx(), vol, conn, spec.MinVoxels,
+		func(done, total int) { jc.Progress(int64(done), int64(total), "label") })
+	if err != nil {
+		return nil, err
+	}
+	stats := connect.Summarize(result)
+	res := api.LabelResult{
+		Objects:      stats.Objects,
+		TotalVoxels:  stats.TotalVoxels,
+		MeanDuration: stats.MeanDuration,
+		MaxDuration:  stats.MaxDuration,
+		MeanVoxels:   stats.MeanVoxels,
+	}
+	maxObjects := spec.MaxObjects
+	if maxObjects == 0 {
+		maxObjects = 20
+	}
+	for _, o := range result.Objects {
+		if len(res.Top) >= maxObjects {
+			break
+		}
+		res.Top = append(res.Top, api.ObjectSummary{
+			ID: o.ID, Voxels: o.Voxels,
+			Genesis: o.Genesis, Termination: o.Termination,
+			PeakArea: o.PeakArea,
+		})
+	}
+	return res, nil
+}
+
+// IVTHandler derives the IVT volume and summarizes each time slice.
+func IVTHandler(jc *JobContext) (any, error) {
+	spec := jc.Request().IVT
+	sy := spec.Synth
+	vol, err := synthIVTVolume(jc.Ctx(), jc, &sy, "ivt")
+	if err != nil {
+		return nil, err
+	}
+	hw := sy.NLon * sy.NLat
+	res := api.IVTResult{Steps: sy.Steps, PerStep: make([]api.IVTStep, sy.Steps)}
+	above := 0
+	for t := 0; t < sy.Steps; t++ {
+		slice := vol.Data[t*hw : (t+1)*hw]
+		var sum float64
+		var mx float32
+		for _, v := range slice {
+			sum += float64(v)
+			if v > mx {
+				mx = v
+			}
+			if spec.Threshold > 0 && v >= spec.Threshold {
+				above++
+			}
+		}
+		res.PerStep[t] = api.IVTStep{Mean: sum / float64(hw), Max: float64(mx)}
+		res.Mean += sum / float64(hw)
+		if float64(mx) > res.Max {
+			res.Max = float64(mx)
+		}
+	}
+	res.Mean /= float64(sy.Steps)
+	if spec.Threshold > 0 {
+		res.Coverage = float64(above) / float64(sy.Steps*hw)
+	}
+	return res, nil
+}
+
+// TrainHandler runs FFN SGD training against the thresholded source. A
+// cancelled run reports the losses of the steps actually taken.
+func TrainHandler(jc *JobContext) (any, error) {
+	spec := jc.Request().Train
+	raw, err := sourceVolume(jc.Ctx(), jc, &spec.Source)
+	if err != nil {
+		return nil, err
+	}
+	labels := thresholdVolume(raw, spec.Threshold)
+	image := raw.Normalize()
+	net, err := ffn.NewNetwork(netConfig(spec.Net), spec.NetSeed)
+	if err != nil {
+		return nil, err
+	}
+	lr, momentum := spec.LR, spec.Momentum
+	if lr == 0 {
+		lr = 0.05
+	}
+	if momentum == 0 {
+		momentum = 0.9
+	}
+	tr := ffn.NewTrainer(net, lr, momentum, spec.SampleSeed)
+	jc.Progress(0, int64(spec.Steps), "train")
+	losses, trainErr := tr.TrainOnVolumeCtx(jc.Ctx(), image, labels, spec.Steps,
+		func(step int) { jc.Progress(int64(step), int64(spec.Steps), "train") })
+	if len(losses) == 0 {
+		return nil, trainErr
+	}
+	res := api.TrainResult{
+		Steps:    len(losses),
+		LossHead: ffn.MeanTail(losses[:(len(losses)+4)/5], 1),
+		LossTail: ffn.MeanTail(losses, 0.2),
+	}
+	return res, trainErr
+}
+
+// WorkflowHandler executes a measured virtual-time DAG on a private clock.
+// Virtual durations cost no wall time, so even multi-hour plans finish in
+// microseconds; cancellation is checked between events.
+func WorkflowHandler(jc *JobContext) (any, error) {
+	spec := jc.Request().Workflow
+	clk := sim.NewClock()
+	wf := workflow.New(spec.Name, clk)
+	for _, st := range spec.Steps {
+		st := st
+		err := wf.AddStep(workflow.StepSpec{
+			Name:      st.Name,
+			DependsOn: st.DependsOn,
+			Run: func(ctx *workflow.Ctx) {
+				for k, v := range st.Measurements {
+					ctx.Record(k, v)
+				}
+				ctx.After(time.Duration(st.DurationMS)*time.Millisecond, func() {
+					var err error
+					if st.Fail != "" {
+						err = errors.New(st.Fail)
+					}
+					ctx.Done(err)
+				})
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	jc.Progress(0, int64(len(spec.Steps)), "workflow")
+	report, execErr := wf.ExecuteCtx(jc.Ctx())
+
+	res := api.WorkflowResult{Workflow: report.Workflow, Failed: wf.Failed()}
+	completed := int64(0)
+	for _, s := range report.Steps {
+		res.Steps = append(res.Steps, api.WorkflowStepResult{
+			Name:         s.Name,
+			Status:       s.Status.String(),
+			DurationMS:   s.Duration.Milliseconds(),
+			Measurements: s.Measurements,
+		})
+		if s.Status == workflow.StatusSucceeded || s.Status == workflow.StatusFailed {
+			completed++
+		}
+	}
+	res.TotalMS = report.Total.Milliseconds()
+	res.Table = report.RenderTable()
+	jc.Progress(completed, int64(len(spec.Steps)), "workflow")
+	if execErr != nil {
+		return res, execErr
+	}
+	if wf.Failed() {
+		for _, s := range report.Steps {
+			if s.Status == workflow.StatusFailed {
+				return res, fmt.Errorf("workflow step %q failed: %v", s.Name, wf.StepError(s.Name))
+			}
+		}
+		return res, errors.New("workflow failed")
+	}
+	return res, nil
+}

@@ -1,0 +1,684 @@
+// Package service executes Job API requests (internal/api) against the
+// real compute kernels. A Registry maps job kinds to handlers; a Runner
+// owns a pool of worker goroutines that drain a queue.Store-backed pending
+// list, execute each job under a cancellable context.Context with
+// kernel-reported progress, and persist every state transition back into
+// the store — the same simulated-Redis substrate the paper's download step
+// uses, so job records survive in the store whether the Runner is fronted
+// by the chased HTTP gateway, the line-protocol queue.Server, or both.
+//
+// Concurrency model: the Runner is fully concurrent (real goroutines, real
+// wall time), while the reused internal/metrics registry is built for the
+// single-threaded simulation — so the Runner privately drives a sim.Clock
+// pinned to wall-elapsed time and serializes every metrics touch behind
+// its own mutex.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chaseci/internal/api"
+	"chaseci/internal/metrics"
+	"chaseci/internal/queue"
+	"chaseci/internal/sim"
+)
+
+// Store keys used for job persistence.
+const (
+	// PendingKey is the store list the worker pool drains (LPush + RPop =
+	// FIFO, as in the paper's download queue).
+	PendingKey = "jobs:pending"
+)
+
+// JobKey returns the store key holding a job's status record (JSON).
+func JobKey(id string) string { return "job:" + id }
+
+// ResultKey returns the store key holding a job's result payload (JSON).
+func ResultKey(id string) string { return "job:" + id + ":result" }
+
+// seqKey is the store counter that allocates job ids; because it lives in
+// the store, ids stay collision-free across runner generations sharing
+// one store.
+const seqKey = "jobs:seq"
+
+// ErrClosed is returned by Submit after the Runner has been closed.
+var ErrClosed = errors.New("service: runner closed")
+
+// maxRetainedJobs bounds the Runner's in-memory job index: once
+// exceeded, the oldest terminal jobs (with their result payloads) are
+// evicted. Their status and result records remain readable through the
+// store fallback (Lookup/Result) until they age past the store cap.
+const maxRetainedJobs = 10000
+
+// storeRetainFactor sizes the store's post-eviction tail: up to
+// storeRetainFactor*retain evicted jobs keep their store records before
+// those too are deleted, so total footprint stays bounded even though
+// the store lives in this process.
+const storeRetainFactor = 4
+
+// wallClock drives a sim.Clock to wall-elapsed time under a mutex, so the
+// single-threaded virtual-time components this package reuses (the
+// metrics registry, the auth federation) behave correctly inside the
+// concurrent service: Lock() advances the clock to "now" and must be held
+// around every touch of the wrapped component.
+type wallClock struct {
+	mu    sync.Mutex
+	clock *sim.Clock
+	epoch time.Time
+}
+
+func newWallClock() *wallClock {
+	return &wallClock{clock: sim.NewClock(), epoch: time.Now()}
+}
+
+// Lock acquires the mutex and advances the clock to wall-elapsed time.
+func (w *wallClock) Lock() {
+	w.mu.Lock()
+	w.clock.RunUntil(time.Since(w.epoch))
+}
+
+func (w *wallClock) Unlock() { w.mu.Unlock() }
+
+// Handler executes one job kind. It must honor jc.Ctx() cancellation
+// promptly and may report progress through jc.Progress. The returned value
+// is JSON-marshalled into the job's result; returning a non-nil value
+// together with ctx.Err() records a partial result for a cancelled job.
+type Handler func(jc *JobContext) (any, error)
+
+// Registry maps job kinds to handlers. It is safe for concurrent use;
+// registering an already-registered kind replaces the handler (tests use
+// this to stub built-ins).
+type Registry struct {
+	mu       sync.RWMutex
+	handlers map[api.Kind]Handler
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{handlers: make(map[api.Kind]Handler)}
+}
+
+// Register installs a handler for kind.
+func (r *Registry) Register(kind api.Kind, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handlers[kind] = h
+}
+
+// Handler looks up the handler for kind.
+func (r *Registry) Handler(kind api.Kind) (Handler, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.handlers[kind]
+	return h, ok
+}
+
+// Kinds lists registered kinds sorted lexically.
+func (r *Registry) Kinds() []api.Kind {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]api.Kind, 0, len(r.handlers))
+	for k := range r.handlers {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// state codes; indexes into stateNames. Stored in an atomic so the
+// status-poll path reads without locking.
+const (
+	codeQueued int32 = iota
+	codeRunning
+	codeSucceeded
+	codeFailed
+	codeCancelled
+)
+
+var stateNames = [...]api.State{
+	api.StateQueued, api.StateRunning, api.StateSucceeded, api.StateFailed, api.StateCancelled,
+}
+
+// job is the Runner's in-memory record. Progress and lifecycle fields are
+// atomics so Status snapshots allocate nothing and never block a running
+// handler.
+type job struct {
+	id    string
+	kind  api.Kind
+	name  string
+	owner string
+	req   *api.JobRequest
+
+	state                        atomic.Int32
+	done, total                  atomic.Int64
+	stage                        atomic.Pointer[string]
+	submitted, started, finished atomic.Int64 // wall clock, UnixNano
+	errMsg                       atomic.Pointer[string]
+
+	mu     sync.Mutex
+	result json.RawMessage
+}
+
+// JobContext is a running handler's view of its job: the cancellation
+// context plus progress reporting.
+type JobContext struct {
+	ctx context.Context
+	job *job
+}
+
+// Ctx returns the job's cancellation context. Handlers must pass it to the
+// context-aware kernel entrypoints.
+func (jc *JobContext) Ctx() context.Context { return jc.ctx }
+
+// Request returns the validated job request.
+func (jc *JobContext) Request() *api.JobRequest { return jc.job.req }
+
+// Progress records kernel progress (total 0 = unknown) and the current
+// stage. It is cheap (three atomic stores) and safe to call from multiple
+// goroutines, so kernel callbacks can invoke it directly.
+func (jc *JobContext) Progress(done, total int64, stage string) {
+	jc.job.done.Store(done)
+	jc.job.total.Store(total)
+	jc.job.stage.Store(&stage)
+}
+
+// Runner executes submitted jobs on a fixed worker pool.
+type Runner struct {
+	reg     *Registry
+	store   *queue.Store
+	workers int
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string
+	cancels map[string]context.CancelFunc
+	retain  int      // in-memory cap on job records (maxRetainedJobs)
+	evicted []string // ids evicted from memory whose store records remain
+	closed  bool     // set by Close under mu; Submit refuses afterwards
+
+	// Metrics substrate (see the package comment): the reused
+	// metrics.Registry behind a wall-pinned clock lock.
+	mclk     *wallClock
+	metrics  *metrics.Registry
+	counters map[string]*metrics.Counter
+	gauges   map[string]*metrics.Gauge
+
+	wake    chan struct{}
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// NewRunner builds and starts a Runner with the given worker pool size
+// (<= 0 defaults to 4). Jobs persist into store; pass a fresh store or one
+// shared with a queue.Server to expose job records over the line protocol.
+func NewRunner(reg *Registry, store *queue.Store, workers int) *Runner {
+	if workers <= 0 {
+		workers = 4
+	}
+	baseCtx, stop := context.WithCancel(context.Background())
+	mclk := newWallClock()
+	r := &Runner{
+		reg:      reg,
+		store:    store,
+		workers:  workers,
+		jobs:     make(map[string]*job),
+		cancels:  make(map[string]context.CancelFunc),
+		retain:   maxRetainedJobs,
+		mclk:     mclk,
+		metrics:  metrics.NewRegistry(mclk.clock),
+		counters: make(map[string]*metrics.Counter),
+		gauges:   make(map[string]*metrics.Gauge),
+		// Buffered to the pool size so a burst of submits wakes a worker
+		// per job instead of collapsing into one token (signals dropped
+		// beyond that are harmless: every worker is already awake and
+		// re-drains the queue before sleeping).
+		wake:    make(chan struct{}, workers),
+		baseCtx: baseCtx,
+		stop:    stop,
+	}
+	r.drainOrphans()
+	r.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go r.workerLoop()
+	}
+	return r
+}
+
+// drainOrphans clears pending ids left behind by a previous runner
+// generation sharing this store. Job specs are not persisted — only
+// status records are — so an orphaned job cannot be re-executed; its
+// stored record is flipped to failed rather than staying "queued"
+// forever.
+func (r *Runner) drainOrphans() {
+	for {
+		id, ok := r.store.RPop(PendingKey)
+		if !ok {
+			return
+		}
+		rec, ok := r.store.Get(JobKey(id))
+		if !ok {
+			continue
+		}
+		var st api.JobStatus
+		if json.Unmarshal([]byte(rec), &st) != nil || st.State.Terminal() {
+			continue
+		}
+		st.State = api.StateFailed
+		st.Error = "orphaned: runner restarted before execution"
+		st.FinishedAt = time.Now().UnixNano()
+		if raw, err := json.Marshal(st); err == nil {
+			r.store.Set(JobKey(id), string(raw))
+		}
+	}
+}
+
+// Close stops the worker pool: running jobs are cancelled through their
+// contexts, and jobs still pending (including one a racing Submit lands
+// after the closed check) are marked cancelled rather than stranded
+// "queued" forever — specs are not persisted, so no later generation
+// could execute them. Close blocks until every worker has exited.
+func (r *Runner) Close() {
+	r.stop()
+	r.wg.Wait()
+	// Flip the closed flag under the same mutex Submit inserts under:
+	// every Submit either observes closed (and refuses) or completed its
+	// insert+LPush beforehand, in which case the drain below sees it.
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	for {
+		id, ok := r.store.RPop(PendingKey)
+		if !ok {
+			return
+		}
+		r.mu.Lock()
+		j := r.jobs[id]
+		r.mu.Unlock()
+		if j == nil || !j.state.CompareAndSwap(codeQueued, codeCancelled) {
+			continue
+		}
+		msg := ErrClosed.Error()
+		j.errMsg.Store(&msg)
+		j.finished.Store(time.Now().UnixNano())
+		r.persist(j)
+	}
+}
+
+// Submit validates req, persists it as a queued job, and wakes the worker
+// pool. owner is the authenticated identity recorded on the job.
+func (r *Runner) Submit(req *api.JobRequest, owner string) (api.JobStatus, error) {
+	if r.baseCtx.Err() != nil {
+		return api.JobStatus{}, ErrClosed
+	}
+	if err := req.Validate(); err != nil {
+		return api.JobStatus{}, err
+	}
+	if _, ok := r.reg.Handler(req.Kind); !ok {
+		return api.JobStatus{}, fmt.Errorf("service: no handler registered for kind %q", req.Kind)
+	}
+	j := &job{
+		id:    fmt.Sprintf("job-%06d", r.store.Incr(seqKey, 1)),
+		kind:  req.Kind,
+		name:  req.Name,
+		owner: owner,
+		req:   req,
+	}
+	j.state.Store(codeQueued)
+	j.submitted.Store(time.Now().UnixNano())
+
+	// Insert and enqueue under the same mutex Close flips closed under,
+	// so a job is either refused or visible to Close's pending drain —
+	// never stranded queued with no worker left to pop it.
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return api.JobStatus{}, ErrClosed
+	}
+	r.jobs[j.id] = j
+	r.order = append(r.order, j.id)
+	r.persist(j)
+	r.store.LPush(PendingKey, j.id)
+	r.mu.Unlock()
+
+	r.count("jobs_submitted", j.kind)
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+	return r.statusOf(j), nil
+}
+
+// Status returns a job's poll snapshot. The path is allocation-free: a map
+// lookup plus atomic loads into a flat value struct (BenchmarkStatusPoll
+// locks this in).
+func (r *Runner) Status(id string) (api.JobStatus, bool) {
+	r.mu.Lock()
+	j := r.jobs[id]
+	r.mu.Unlock()
+	if j == nil {
+		return api.JobStatus{}, false
+	}
+	return r.statusOf(j), true
+}
+
+// Lookup returns a job's status like Status, but falls back to the
+// persisted store record for jobs evicted from the in-memory index — the
+// gateway's read path, so completed-job ids stay resolvable for as long
+// as the store holds them. (Status stays memory-only and allocation-free
+// for hot polling.)
+func (r *Runner) Lookup(id string) (api.JobStatus, bool) {
+	if st, ok := r.Status(id); ok {
+		return st, true
+	}
+	rec, ok := r.store.Get(JobKey(id))
+	if !ok {
+		return api.JobStatus{}, false
+	}
+	var st api.JobStatus
+	if json.Unmarshal([]byte(rec), &st) != nil {
+		return api.JobStatus{}, false
+	}
+	return st, true
+}
+
+// Count returns the number of jobs this runner knows about.
+func (r *Runner) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.jobs)
+}
+
+// List returns every job's status in submit order.
+func (r *Runner) List() []api.JobStatus {
+	r.mu.Lock()
+	out := make([]api.JobStatus, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.statusOf(r.jobs[id]))
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Result returns a job's result payload (nil until one is recorded) and
+// its current status, falling back to the store for evicted jobs.
+func (r *Runner) Result(id string) (json.RawMessage, api.JobStatus, bool) {
+	r.mu.Lock()
+	j := r.jobs[id]
+	r.mu.Unlock()
+	if j != nil {
+		j.mu.Lock()
+		raw := j.result
+		j.mu.Unlock()
+		return raw, r.statusOf(j), true
+	}
+	st, ok := r.Lookup(id)
+	if !ok {
+		return nil, api.JobStatus{}, false
+	}
+	rec, _ := r.store.Get(ResultKey(id))
+	return json.RawMessage(rec), st, true
+}
+
+// Cancel stops a job: a queued job is marked cancelled before it ever
+// runs, and a running job has its context cancelled (the terminal state
+// lands when the handler returns). It reports false for unknown or
+// already-terminal jobs.
+func (r *Runner) Cancel(id string) bool {
+	r.mu.Lock()
+	j := r.jobs[id]
+	r.mu.Unlock()
+	if j == nil {
+		return false
+	}
+	if j.state.CompareAndSwap(codeQueued, codeCancelled) {
+		msg := "cancelled before start"
+		j.errMsg.Store(&msg)
+		j.finished.Store(time.Now().UnixNano())
+		r.count("jobs_cancelled", j.kind)
+		r.persist(j)
+		return true
+	}
+	// Not queued, so execute() already registered the cancel func (it does
+	// so before flipping the state to running); a nil lookup means the job
+	// is terminal or in its final bookkeeping.
+	r.mu.Lock()
+	cancel := r.cancels[id]
+	r.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		return true
+	}
+	return false
+}
+
+func (r *Runner) statusOf(j *job) api.JobStatus {
+	st := api.JobStatus{
+		ID:          j.id,
+		Kind:        j.kind,
+		Name:        j.name,
+		Owner:       j.owner,
+		State:       stateNames[j.state.Load()],
+		Done:        j.done.Load(),
+		Total:       j.total.Load(),
+		SubmittedAt: j.submitted.Load(),
+		StartedAt:   j.started.Load(),
+		FinishedAt:  j.finished.Load(),
+	}
+	if p := j.stage.Load(); p != nil {
+		st.Stage = *p
+	}
+	if p := j.errMsg.Load(); p != nil {
+		st.Error = *p
+	}
+	return st
+}
+
+// persist writes the job's status snapshot into the store. Progress fields
+// are persisted at transition points, not on every kernel callback; live
+// progress is served from memory.
+func (r *Runner) persist(j *job) {
+	raw, err := json.Marshal(r.statusOf(j))
+	if err != nil {
+		return // JobStatus is a flat struct; cannot happen
+	}
+	r.store.Set(JobKey(j.id), string(raw))
+}
+
+func (r *Runner) workerLoop() {
+	defer r.wg.Done()
+	for {
+		for {
+			id, ok := r.store.RPop(PendingKey)
+			if !ok {
+				break
+			}
+			r.execute(id)
+			if r.baseCtx.Err() != nil {
+				return
+			}
+		}
+		select {
+		case <-r.baseCtx.Done():
+			return
+		case <-r.wake:
+		}
+	}
+}
+
+func (r *Runner) execute(id string) {
+	r.mu.Lock()
+	j := r.jobs[id]
+	r.mu.Unlock()
+	if j == nil {
+		return // foreign id pushed onto the pending list out of band
+	}
+	// Register the cancel func before flipping to running so Cancel always
+	// finds it for a non-queued, non-terminal job.
+	ctx, cancel := context.WithCancel(r.baseCtx)
+	r.mu.Lock()
+	r.cancels[id] = cancel
+	r.mu.Unlock()
+	// Cancelled-while-queued jobs are already terminal; skip them.
+	if !j.state.CompareAndSwap(codeQueued, codeRunning) {
+		cancel()
+		r.mu.Lock()
+		delete(r.cancels, id)
+		r.mu.Unlock()
+		return
+	}
+	j.started.Store(time.Now().UnixNano())
+	r.gaugeAdd("jobs_running", j.kind, +1)
+	r.persist(j)
+
+	h, _ := r.reg.Handler(j.kind)
+	res, err := runHandler(h, &JobContext{ctx: ctx, job: j})
+	cancel()
+	r.mu.Lock()
+	delete(r.cancels, id)
+	r.mu.Unlock()
+
+	if res != nil {
+		if raw, mErr := json.Marshal(res); mErr == nil {
+			j.mu.Lock()
+			j.result = raw
+			j.mu.Unlock()
+			r.store.Set(ResultKey(id), string(raw))
+		} else if err == nil {
+			err = fmt.Errorf("service: result marshal: %w", mErr)
+		}
+	}
+
+	final, metric := codeSucceeded, "jobs_succeeded"
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		final, metric = codeCancelled, "jobs_cancelled"
+	default:
+		final, metric = codeFailed, "jobs_failed"
+	}
+	if err != nil {
+		msg := err.Error()
+		j.errMsg.Store(&msg)
+	}
+	j.state.Store(final)
+	j.finished.Store(time.Now().UnixNano())
+	r.gaugeAdd("jobs_running", j.kind, -1)
+	r.count(metric, j.kind)
+	r.observeDuration(j)
+	r.persist(j)
+
+	// The spec (which may hold a large inline volume) is dead weight once
+	// the job is terminal; only the executor touches req, so the plain
+	// write is safe.
+	j.req = nil
+	r.mu.Lock()
+	r.pruneLocked()
+	r.mu.Unlock()
+}
+
+// pruneLocked evicts the oldest terminal jobs once the in-memory index
+// exceeds the retention cap, and deletes the store records of jobs that
+// age past the store's larger tail — keeping total memory bounded while
+// recently evicted ids stay resolvable. r.mu held.
+func (r *Runner) pruneLocked() {
+	// Amortized: let the index overshoot by 10% before paying the O(n)
+	// sweep, so steady-state job turnover does not walk the whole order
+	// list on every terminal transition.
+	if len(r.jobs) <= r.retain+r.retain/10+1 {
+		return
+	}
+	excess := len(r.jobs) - r.retain
+	kept := r.order[:0]
+	for _, id := range r.order {
+		j := r.jobs[id]
+		if excess > 0 && j != nil && stateNames[j.state.Load()].Terminal() {
+			delete(r.jobs, id)
+			r.evicted = append(r.evicted, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	r.order = kept
+	for len(r.evicted) > storeRetainFactor*r.retain {
+		id := r.evicted[0]
+		r.evicted = r.evicted[1:]
+		r.store.Del(JobKey(id))
+		r.store.Del(ResultKey(id))
+	}
+}
+
+// runHandler isolates handler panics: a gateway must not die because one
+// job kind hit a bug.
+func runHandler(h Handler, jc *JobContext) (res any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("service: handler panicked: %v", p)
+		}
+	}()
+	return h(jc)
+}
+
+// --- Metrics ---------------------------------------------------------------
+
+func (r *Runner) count(name string, kind api.Kind) {
+	r.mclk.Lock()
+	defer r.mclk.Unlock()
+	key := name + "/" + string(kind)
+	c := r.counters[key]
+	if c == nil {
+		c = r.metrics.Counter(name, metrics.Labels{"kind": string(kind)})
+		r.counters[key] = c
+	}
+	c.Inc()
+}
+
+// gaugeLocked returns (creating once) the per-kind gauge. mclk held.
+func (r *Runner) gaugeLocked(name string, kind api.Kind) *metrics.Gauge {
+	key := name + "/" + string(kind)
+	g := r.gauges[key]
+	if g == nil {
+		g = r.metrics.Gauge(name, metrics.Labels{"kind": string(kind)})
+		r.gauges[key] = g
+	}
+	return g
+}
+
+func (r *Runner) gaugeAdd(name string, kind api.Kind, d float64) {
+	r.mclk.Lock()
+	defer r.mclk.Unlock()
+	r.gaugeLocked(name, kind).Add(d)
+}
+
+// observeDuration records the finished job's wall duration on a per-kind
+// gauge (last value wins, the series keeps history).
+func (r *Runner) observeDuration(j *job) {
+	started, finished := j.started.Load(), j.finished.Load()
+	if started == 0 || finished < started {
+		return
+	}
+	r.mclk.Lock()
+	defer r.mclk.Unlock()
+	r.gaugeLocked("job_duration_seconds", j.kind).Set(time.Duration(finished - started).Seconds())
+}
+
+// MetricsText renders every series' latest value in a Prometheus-flavored
+// one-line-per-series text form for the gateway's /metricz endpoint.
+func (r *Runner) MetricsText() string {
+	r.mclk.Lock()
+	defer r.mclk.Unlock()
+	var b strings.Builder
+	for _, s := range r.metrics.Select("", nil) {
+		fmt.Fprintf(&b, "%s%s %g\n", s.Name, s.Labels, s.Last().Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,550 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"chaseci/internal/api"
+	"chaseci/internal/queue"
+)
+
+// waitState polls until the job reaches a terminal state or pred(st) holds.
+func waitState(t *testing.T, r *Runner, id string, pred func(api.JobStatus) bool) api.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := r.Status(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if pred(st) {
+			return st
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st, _ := r.Status(id)
+	t.Fatalf("timeout waiting on job %s (state %s, %d/%d %s)", id, st.State, st.Done, st.Total, st.Stage)
+	return st
+}
+
+func terminal(st api.JobStatus) bool { return st.State.Terminal() }
+
+// tinySegmentRequest is a segment job sized to finish in a few
+// milliseconds: a FOV-sized volume with one explicit center seed.
+func tinySegmentRequest() *api.JobRequest {
+	d, h, w := 5, 9, 9
+	data := make([]float32, d*h*w)
+	for i := range data {
+		data[i] = float32(i%7) - 3
+	}
+	return &api.JobRequest{
+		Kind: api.KindSegment,
+		Name: "tiny-segment",
+		Segment: &api.SegmentSpec{
+			Source:   api.VolumeSource{D: d, H: h, W: w, Data: data},
+			Seeds:    [][3]int{{2, 4, 4}},
+			MaxSteps: 2,
+		},
+	}
+}
+
+// bigSegmentRequest is a segment job large enough to observe and cancel
+// mid-flight: a synthetic scene with dense grid seeding and an unbounded
+// flood (several thousand FOV applications).
+func bigSegmentRequest() *api.JobRequest {
+	return &api.JobRequest{
+		Kind: api.KindSegment,
+		Segment: &api.SegmentSpec{
+			Source:     api.VolumeSource{Synth: &api.SynthSpec{NLon: 72, NLat: 48, NLev: 4, Steps: 12, Seed: 7}},
+			Threshold:  1, // IVT magnitudes are O(100); nearly every voxel seeds
+			SeedStride: [3]int{1, 3, 3},
+			Net:        &api.NetConfig{MoveProb: 0.55},
+		},
+	}
+}
+
+func newTestRunner(t *testing.T, reg *Registry, workers int) (*Runner, *queue.Store) {
+	t.Helper()
+	store := queue.NewStore()
+	r := NewRunner(reg, store, workers)
+	t.Cleanup(r.Close)
+	return r, store
+}
+
+func TestSubmitRunsSegmentJob(t *testing.T) {
+	r, store := newTestRunner(t, DefaultRegistry(), 2)
+	st, err := r.Submit(tinySegmentRequest(), "tester@ucsd.edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateQueued || st.Owner != "tester@ucsd.edu" {
+		t.Fatalf("submit status = %+v", st)
+	}
+	final := waitState(t, r, st.ID, terminal)
+	if final.State != api.StateSucceeded {
+		t.Fatalf("state = %s (%s)", final.State, final.Error)
+	}
+
+	raw, _, ok := r.Result(st.ID)
+	if !ok || raw == nil {
+		t.Fatal("missing result payload")
+	}
+	var res api.SegmentResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	// The FOV-sized volume admits exactly one application: every move
+	// target falls out of bounds.
+	if res.Steps != 1 || res.SeedsUsed != 1 || res.VoxelsTotal != 5*9*9 {
+		t.Fatalf("result = %+v", res)
+	}
+
+	// Job state and result persist in the queue store.
+	if rec, ok := store.Get(JobKey(st.ID)); !ok || !strings.Contains(rec, `"succeeded"`) {
+		t.Fatalf("store job record = %q, ok=%v", rec, ok)
+	}
+	if _, ok := store.Get(ResultKey(st.ID)); !ok {
+		t.Fatal("store missing result record")
+	}
+	if got := r.MetricsText(); !strings.Contains(got, `jobs_succeeded{kind="segment"} 1`) {
+		t.Fatalf("metrics missing success counter:\n%s", got)
+	}
+}
+
+func TestSubmitValidatesRequest(t *testing.T) {
+	r, _ := newTestRunner(t, DefaultRegistry(), 1)
+	_, err := r.Submit(&api.JobRequest{Kind: "nonsense"}, "")
+	if !errors.Is(err, api.ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+}
+
+func TestCancelRunningJobReportsPartialStats(t *testing.T) {
+	r, _ := newTestRunner(t, DefaultRegistry(), 1)
+	st, err := r.Submit(bigSegmentRequest(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the flood is genuinely mid-flight (progress ticking in the
+	// segment stage), then cancel.
+	waitState(t, r, st.ID, func(s api.JobStatus) bool {
+		return s.Stage == "segment" && s.Done > 0
+	})
+	if !r.Cancel(st.ID) {
+		t.Fatal("Cancel returned false for a running job")
+	}
+	final := waitState(t, r, st.ID, terminal)
+	if final.State != api.StateCancelled {
+		t.Fatalf("state = %s, want cancelled", final.State)
+	}
+	if final.FinishedAt == 0 || final.Error == "" {
+		t.Fatalf("terminal status incomplete: %+v", final)
+	}
+
+	// Partial stats are recorded: the flood took some steps but was cut
+	// short of covering the scene.
+	raw, _, ok := r.Result(st.ID)
+	if !ok || raw == nil {
+		t.Fatal("cancelled segment job must record partial stats")
+	}
+	var res api.SegmentResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Fatalf("partial result has no steps: %+v", res)
+	}
+	if got := r.MetricsText(); !strings.Contains(got, `jobs_cancelled{kind="segment"} 1`) {
+		t.Fatalf("metrics missing cancel counter:\n%s", got)
+	}
+}
+
+func TestCancelMidFlightLabelJob(t *testing.T) {
+	r, _ := newTestRunner(t, DefaultRegistry(), 1)
+	req := &api.JobRequest{
+		Kind: api.KindLabel,
+		Label: &api.LabelSpec{
+			Source:    api.VolumeSource{Synth: &api.SynthSpec{NLon: 96, NLat: 64, NLev: 4, Steps: 48, Seed: 3}},
+			Threshold: 120,
+		},
+	}
+	st, err := r.Submit(req, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The synth stage dominates wall time here; cancelling during it (or
+	// during labelling) must stop the job promptly either way.
+	waitState(t, r, st.ID, func(s api.JobStatus) bool { return s.Done > 0 })
+	if !r.Cancel(st.ID) {
+		t.Fatal("Cancel returned false for a running job")
+	}
+	final := waitState(t, r, st.ID, terminal)
+	if final.State != api.StateCancelled {
+		t.Fatalf("state = %s, want cancelled", final.State)
+	}
+}
+
+// blockingWorkflowRequest passes api validation for the workflow kind;
+// tests pair it with a stub handler to control execution timing.
+func blockingWorkflowRequest() *api.JobRequest {
+	return &api.JobRequest{
+		Kind:     api.KindWorkflow,
+		Workflow: &api.WorkflowSpec{Name: "stub", Steps: []api.WorkflowStep{{Name: "a"}}},
+	}
+}
+
+func TestCancelQueuedJobNeverRuns(t *testing.T) {
+	reg := NewRegistry()
+	started := make(chan string, 8)
+	reg.Register(api.KindWorkflow, func(jc *JobContext) (any, error) {
+		started <- jc.Request().Name
+		<-jc.Ctx().Done()
+		return nil, jc.Ctx().Err()
+	})
+	r, _ := newTestRunner(t, reg, 1)
+
+	blocker := blockingWorkflowRequest()
+	blocker.Name = "blocker"
+	b, err := r.Submit(blocker, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := blockingWorkflowRequest()
+	queued.Name = "queued"
+	q, err := r.Submit(queued, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // blocker occupies the only worker
+
+	if !r.Cancel(q.ID) {
+		t.Fatal("Cancel returned false for a queued job")
+	}
+	st, _ := r.Status(q.ID)
+	if st.State != api.StateCancelled || st.StartedAt != 0 {
+		t.Fatalf("queued-cancel status = %+v", st)
+	}
+
+	// Unblock the worker; the cancelled job must never start.
+	r.Cancel(b.ID)
+	waitState(t, r, b.ID, terminal)
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case name := <-started:
+		t.Fatalf("cancelled queued job %q ran anyway", name)
+	default:
+	}
+}
+
+func TestRunnerCloseCancelsRunning(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(api.KindWorkflow, func(jc *JobContext) (any, error) {
+		<-jc.Ctx().Done()
+		return nil, jc.Ctx().Err()
+	})
+	store := queue.NewStore()
+	r := NewRunner(reg, store, 1)
+	st, err := r.Submit(blockingWorkflowRequest(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r, st.ID, func(s api.JobStatus) bool { return s.State == api.StateRunning })
+	r.Close()
+	got, _ := r.Status(st.ID)
+	if got.State != api.StateCancelled {
+		t.Fatalf("state after Close = %s, want cancelled", got.State)
+	}
+	if _, err := r.Submit(blockingWorkflowRequest(), ""); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestHandlerPanicBecomesFailure(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(api.KindWorkflow, func(jc *JobContext) (any, error) {
+		panic("kaboom")
+	})
+	r, _ := newTestRunner(t, reg, 1)
+	st, err := r.Submit(blockingWorkflowRequest(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, r, st.ID, terminal)
+	if final.State != api.StateFailed || !strings.Contains(final.Error, "kaboom") {
+		t.Fatalf("status = %+v", final)
+	}
+}
+
+func TestAllKindsEndToEndInProcess(t *testing.T) {
+	r, _ := newTestRunner(t, DefaultRegistry(), 4)
+	reqs := []*api.JobRequest{
+		tinySegmentRequest(),
+		{Kind: api.KindLabel, Label: &api.LabelSpec{
+			Source:    api.VolumeSource{Synth: &api.SynthSpec{NLon: 24, NLat: 16, NLev: 3, Steps: 6, Seed: 2}},
+			Threshold: 120,
+		}},
+		{Kind: api.KindIVT, IVT: &api.IVTSpec{
+			Synth: api.SynthSpec{NLon: 24, NLat: 16, NLev: 3, Steps: 4, Seed: 2}, Threshold: 120,
+		}},
+		{Kind: api.KindTrain, Train: &api.TrainSpec{
+			Source:    api.VolumeSource{Synth: &api.SynthSpec{NLon: 24, NLat: 16, NLev: 3, Steps: 6, Seed: 2}},
+			Threshold: 120, Steps: 10,
+		}},
+		{Kind: api.KindWorkflow, Workflow: &api.WorkflowSpec{
+			Name: "ppods",
+			Steps: []api.WorkflowStep{
+				{Name: "download", DurationMS: 37 * 60 * 1000, Measurements: map[string]float64{"pods": 14}},
+				{Name: "train", DependsOn: []string{"download"}, DurationMS: 306 * 60 * 1000},
+			},
+		}},
+	}
+	for _, req := range reqs {
+		st, err := r.Submit(req, "")
+		if err != nil {
+			t.Fatalf("%s: %v", req.Kind, err)
+		}
+		final := waitState(t, r, st.ID, terminal)
+		if final.State != api.StateSucceeded {
+			t.Fatalf("%s: state = %s (%s)", req.Kind, final.State, final.Error)
+		}
+		raw, _, _ := r.Result(st.ID)
+		if len(raw) == 0 {
+			t.Fatalf("%s: empty result", req.Kind)
+		}
+	}
+	// The virtual-time workflow totals 343 minutes but must cost ~no wall
+	// time; its report carries the measured durations.
+	sts := r.List()
+	last := sts[len(sts)-1]
+	raw, _, _ := r.Result(last.ID)
+	var wres api.WorkflowResult
+	if err := json.Unmarshal(raw, &wres); err != nil {
+		t.Fatal(err)
+	}
+	if wres.TotalMS != 343*60*1000 || wres.Failed {
+		t.Fatalf("workflow result = %+v", wres)
+	}
+}
+
+// TestRunnerRestartOnSharedStore: a new runner generation over a reused
+// store must not resurrect or clobber the previous generation's records —
+// orphaned pending jobs flip to failed, and job ids keep counting from
+// the store's sequence.
+func TestCloseCancelsPendingJobs(t *testing.T) {
+	store := queue.NewStore()
+	reg := NewRegistry()
+	reg.Register(api.KindWorkflow, func(jc *JobContext) (any, error) {
+		<-jc.Ctx().Done() // runs until the runner closes
+		return struct{}{}, nil
+	})
+	r := NewRunner(reg, store, 1)
+	first, err := r.Submit(blockingWorkflowRequest(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r, first.ID, func(s api.JobStatus) bool { return s.State == api.StateRunning })
+	// The only worker is occupied, so this stays pending until Close.
+	stuck, err := r.Submit(blockingWorkflowRequest(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if st, _ := r.Status(stuck.ID); st.State != api.StateCancelled {
+		t.Fatalf("pending job state after Close = %s, want cancelled", st.State)
+	}
+	if store.LLen(PendingKey) != 0 {
+		t.Fatalf("pending list not drained by Close: %d entries", store.LLen(PendingKey))
+	}
+	if rec, ok := store.Get(JobKey(stuck.ID)); !ok || !strings.Contains(rec, `"cancelled"`) {
+		t.Fatalf("store record = %q, ok=%v", rec, ok)
+	}
+}
+
+// TestRunnerRestartOnSharedStore: a new runner generation over a store
+// left behind by a crashed one (pending id + queued record, no Close)
+// must not resurrect or clobber the old records.
+func TestRunnerRestartOnSharedStore(t *testing.T) {
+	store := queue.NewStore()
+	// Manufacture the crash leftovers: the seq counter, a queued status
+	// record, and its pending-list entry.
+	store.Incr(seqKey, 3)
+	ghost := api.JobStatus{ID: "job-000002", Kind: api.KindSegment, State: api.StateQueued}
+	raw, _ := json.Marshal(ghost)
+	store.Set(JobKey(ghost.ID), string(raw))
+	store.LPush(PendingKey, ghost.ID)
+
+	r := NewRunner(DefaultRegistry(), store, 1)
+	t.Cleanup(r.Close)
+	rec, ok := store.Get(JobKey(ghost.ID))
+	if !ok || !strings.Contains(rec, `"failed"`) || !strings.Contains(rec, "orphaned") {
+		t.Fatalf("orphaned record = %q, ok=%v", rec, ok)
+	}
+	if store.LLen(PendingKey) != 0 {
+		t.Fatalf("pending list not drained: %d entries", store.LLen(PendingKey))
+	}
+	// New ids continue from the store counter instead of overwriting the
+	// previous generation's records.
+	st, err := r.Submit(tinySegmentRequest(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "job-000004" {
+		t.Fatalf("id = %s, want job-000004 (sequence continues)", st.ID)
+	}
+	waitState(t, r, st.ID, terminal)
+}
+
+// TestTerminalJobEviction: once the retention cap is exceeded, the
+// oldest terminal jobs leave the in-memory index while their store
+// records survive.
+func TestTerminalJobEviction(t *testing.T) {
+	r, store := newTestRunner(t, DefaultRegistry(), 1)
+	r.mu.Lock()
+	r.retain = 2
+	r.mu.Unlock()
+	// With retain=2 the sweep fires when the index exceeds 3 (10% slack
+	// rounds to +1), so six jobs guarantee two prunes back down to 2.
+	var ids []string
+	for i := 0; i < 6; i++ {
+		st, err := r.Submit(tinySegmentRequest(), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+		waitState(t, r, st.ID, terminal)
+	}
+	// The final execute's prune runs after its own terminal persist, so
+	// give it a beat, then the index must be at the cap.
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Count() > 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := r.Count(); got != 2 {
+		t.Fatalf("retained %d jobs, want 2", got)
+	}
+	if _, ok := r.Status(ids[0]); ok {
+		t.Fatal("oldest job still in memory after eviction")
+	}
+	if rec, ok := store.Get(JobKey(ids[0])); !ok || !strings.Contains(rec, `"succeeded"`) {
+		t.Fatalf("evicted job lost its store record: %q ok=%v", rec, ok)
+	}
+	// The read path falls back to the store, so the evicted job's id
+	// stays resolvable with its full status and result.
+	st, ok := r.Lookup(ids[0])
+	if !ok || st.State != api.StateSucceeded || st.ID != ids[0] {
+		t.Fatalf("Lookup after eviction = %+v, ok=%v", st, ok)
+	}
+	raw, st2, ok := r.Result(ids[0])
+	if !ok || st2.State != api.StateSucceeded || len(raw) == 0 {
+		t.Fatalf("Result after eviction: ok=%v st=%+v raw=%q", ok, st2, raw)
+	}
+	var res api.SegmentResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelDuringPretrainKeepsPartialTrainStats: a segment job
+// cancelled in its train stage still records the optimizer steps taken.
+func TestCancelDuringPretrainKeepsPartialTrainStats(t *testing.T) {
+	r, _ := newTestRunner(t, DefaultRegistry(), 1)
+	st, err := r.Submit(&api.JobRequest{
+		Kind: api.KindSegment,
+		Segment: &api.SegmentSpec{
+			Source:     api.VolumeSource{Synth: &api.SynthSpec{NLon: 24, NLat: 16, NLev: 3, Steps: 6, Seed: 2}},
+			Threshold:  120,
+			TrainSteps: 100000, // hours of training; cancelled almost immediately
+		},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r, st.ID, func(s api.JobStatus) bool { return s.Stage == "train" && s.Done > 0 })
+	r.Cancel(st.ID)
+	final := waitState(t, r, st.ID, terminal)
+	if final.State != api.StateCancelled {
+		t.Fatalf("state = %s", final.State)
+	}
+	raw, _, _ := r.Result(st.ID)
+	var res api.SegmentResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("missing partial result: %v (raw %q)", err, raw)
+	}
+	if res.TrainSteps == 0 || res.TrainSteps >= 100000 {
+		t.Fatalf("partial train steps = %d", res.TrainSteps)
+	}
+}
+
+// TestStatusPollAllocFree pins the satellite requirement: the in-process
+// status-poll path performs zero allocations.
+func TestStatusPollAllocFree(t *testing.T) {
+	r, _ := newTestRunner(t, DefaultRegistry(), 1)
+	st, err := r.Submit(tinySegmentRequest(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r, st.ID, terminal)
+	var sink api.JobStatus
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink, _ = r.Status(st.ID)
+	})
+	if allocs != 0 {
+		t.Fatalf("Status allocates %.1f objects per call, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestWorkflowJobFailurePropagates(t *testing.T) {
+	r, _ := newTestRunner(t, DefaultRegistry(), 1)
+	st, err := r.Submit(&api.JobRequest{
+		Kind: api.KindWorkflow,
+		Workflow: &api.WorkflowSpec{
+			Name: "failing",
+			Steps: []api.WorkflowStep{
+				{Name: "boom", DurationMS: 10, Fail: "disk melted"},
+				{Name: "after", DependsOn: []string{"boom"}, DurationMS: 10},
+			},
+		},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, r, st.ID, terminal)
+	if final.State != api.StateFailed || !strings.Contains(final.Error, "disk melted") {
+		t.Fatalf("status = %+v", final)
+	}
+	raw, _, _ := r.Result(st.ID)
+	var res api.WorkflowResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed || res.Steps[1].Status != "Skipped" {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+// TestCancelledSegmentStopsPromptly times the stop: cancelling a large
+// flood must terminate orders of magnitude faster than letting it finish,
+// proving the handler really threads the job context into the kernel.
+func TestCancelledSegmentStopsPromptly(t *testing.T) {
+	r, _ := newTestRunner(t, DefaultRegistry(), 1)
+	st, err := r.Submit(bigSegmentRequest(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r, st.ID, func(s api.JobStatus) bool { return s.State == api.StateRunning })
+	r.Cancel(st.ID)
+	start := time.Now()
+	final := waitState(t, r, st.ID, terminal)
+	if final.State != api.StateCancelled {
+		t.Fatalf("state = %s", final.State)
+	}
+	// "Promptly": a cancelled big job must terminate orders of magnitude
+	// faster than the full multi-second flood.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}

@@ -1,0 +1,78 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"chaseci/internal/sim"
+)
+
+// TestExecuteCtxRunsToCompletion drives a small DAG end to end without an
+// external clock loop.
+func TestExecuteCtxRunsToCompletion(t *testing.T) {
+	clk := sim.NewClock()
+	w := New("exec", clk)
+	w.AddStep(StepSpec{Name: "a", Run: func(ctx *Ctx) {
+		ctx.Record("pods", 2)
+		ctx.After(10*time.Minute, func() { ctx.Done(nil) })
+	}})
+	w.AddStep(StepSpec{Name: "b", DependsOn: []string{"a"}, Run: func(ctx *Ctx) {
+		ctx.After(5*time.Minute, func() { ctx.Done(nil) })
+	}})
+	report, err := w.ExecuteCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Done() || w.Failed() {
+		t.Fatalf("done=%v failed=%v after ExecuteCtx", w.Done(), w.Failed())
+	}
+	if report.Total != 15*time.Minute {
+		t.Fatalf("total = %v, want 15m", report.Total)
+	}
+}
+
+// TestExecuteCtxCancelled: a cancelled context stops the clock drive and
+// returns the partial report.
+func TestExecuteCtxCancelled(t *testing.T) {
+	clk := sim.NewClock()
+	w := New("exec-cancel", clk)
+	w.AddStep(StepSpec{Name: "long", Run: func(ctx *Ctx) {
+		ctx.After(time.Hour, func() { ctx.Done(nil) })
+	}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	report, err := w.ExecuteCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if w.Done() {
+		t.Fatal("workflow must not be done after cancellation")
+	}
+	if len(report.Steps) != 1 || report.Steps[0].Status != StatusRunning {
+		t.Fatalf("partial report = %+v", report)
+	}
+}
+
+// TestExecuteCtxStalled: a step that never completes drains the event
+// queue and surfaces ErrStalled instead of hanging.
+func TestExecuteCtxStalled(t *testing.T) {
+	clk := sim.NewClock()
+	w := New("stall", clk)
+	w.AddStep(StepSpec{Name: "zombie", Run: func(ctx *Ctx) {}}) // never Done
+	_, err := w.ExecuteCtx(context.Background())
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+}
+
+// TestExecuteCtxInvalidDAG propagates Run's validation errors.
+func TestExecuteCtxInvalidDAG(t *testing.T) {
+	clk := sim.NewClock()
+	w := New("bad", clk)
+	w.AddStep(StepSpec{Name: "a", DependsOn: []string{"ghost"}, Run: func(ctx *Ctx) { ctx.Done(nil) }})
+	if _, err := w.ExecuteCtx(context.Background()); !errors.Is(err, ErrUnknownDep) {
+		t.Fatalf("err = %v, want ErrUnknownDep", err)
+	}
+}

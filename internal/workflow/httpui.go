@@ -25,8 +25,9 @@ type StatusServer struct {
 	httpSrv *http.Server
 	ln      net.Listener
 
-	mu   sync.RWMutex
-	snap statusSnapshot
+	mu     sync.RWMutex
+	closed bool
+	snap   statusSnapshot
 }
 
 type statusSnapshot struct {
@@ -66,11 +67,25 @@ func ServeStatus(w *Workflow, addr string) (*StatusServer, error) {
 // Addr returns the listening host:port.
 func (s *StatusServer) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
-func (s *StatusServer) Close() error { return s.httpSrv.Close() }
+// Close shuts the server down. It is idempotent and safe to call
+// concurrently with Update: the snapshot swap and the closed flag share
+// the server mutex, so an Update racing a Close either lands before the
+// shutdown or becomes a no-op.
+func (s *StatusServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.httpSrv.Close()
+}
 
 // Update refreshes the served snapshot from the workflow's current state.
-// Call it from the simulation driver (never concurrently with clock steps).
+// Call it from the simulation driver (never concurrently with clock
+// steps). Update may race Close from another goroutine: after Close it is
+// a no-op.
 func (s *StatusServer) Update(w *Workflow) {
 	snap := statusSnapshot{
 		Workflow: w.Name,
@@ -101,7 +116,9 @@ func (s *StatusServer) Update(w *Workflow) {
 		snap.Steps = append(snap.Steps, view)
 	}
 	s.mu.Lock()
-	s.snap = snap
+	if !s.closed {
+		s.snap = snap
+	}
 	s.mu.Unlock()
 }
 

@@ -1,0 +1,69 @@
+package workflow
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatusServerConcurrentUpdateClose hammers Update from several
+// goroutines while HTTP readers poll and another goroutine closes the
+// server mid-stream. Run under -race (the CI race job does) this pins the
+// snapshot-swap/Close synchronization; without -race it still checks that
+// late Updates are harmless no-ops and Close is idempotent.
+func TestStatusServerConcurrentUpdateClose(t *testing.T) {
+	clk, w := newUIWorkflow(t)
+	w.Run(nil)
+	clk.RunUntil(5 * time.Minute)
+
+	srv, err := ServeStatus(w, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 200; j++ {
+				srv.Update(w)
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 50; j++ {
+				resp, err := http.Get("http://" + addr + "/status")
+				if err != nil {
+					return // server closed mid-loop; expected
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	close(start)
+	wg.Wait()
+
+	// Idempotent close, and Update after Close must not panic.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	srv.Update(w)
+}

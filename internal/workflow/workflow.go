@@ -8,6 +8,7 @@
 package workflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -51,6 +52,9 @@ var (
 	ErrUnknownDep    = errors.New("workflow: dependency on unknown step")
 	ErrCycle         = errors.New("workflow: dependency cycle")
 	ErrAlreadyRun    = errors.New("workflow: already run")
+	// ErrStalled means the clock's event queue drained before every step
+	// finished — some step never arranged for Done to be called.
+	ErrStalled = errors.New("workflow: event queue drained before completion")
 )
 
 // Ctx is a running step's handle for measurement and completion.
@@ -251,6 +255,32 @@ func (w *Workflow) maybeFinish() {
 	if w.onComplete != nil {
 		w.onComplete(!w.failed)
 	}
+}
+
+// ExecuteCtx is the context-aware way to run a workflow to completion: it
+// validates and starts the DAG, then drives the virtual clock event by
+// event, checking ctx between events. A cancelled context stops the run
+// promptly and returns the report accumulated so far together with
+// ctx.Err(); a drained event queue with unfinished steps returns ErrStalled
+// with the partial report. Step failures are not an execution error — the
+// returned report carries them and Failed() reports true.
+//
+// The clock must not be driven concurrently by anything else; events
+// belonging to other components sharing the clock are executed as they
+// come due, exactly as an external driver loop would.
+func (w *Workflow) ExecuteCtx(ctx context.Context) (Report, error) {
+	if err := w.Run(nil); err != nil {
+		return Report{}, err
+	}
+	for !w.finished {
+		if err := ctx.Err(); err != nil {
+			return w.Report(), err
+		}
+		if !w.clock.Step() {
+			return w.Report(), ErrStalled
+		}
+	}
+	return w.Report(), nil
 }
 
 // Done reports whether every step reached a terminal state.
