@@ -1,0 +1,332 @@
+// Command benchjson runs the repository's kernel and service
+// micro-benchmarks through testing.Benchmark and emits machine-readable
+// JSON — the format BENCH_PR*.json files and the CI bench artifact use to
+// track the performance trajectory across PRs.
+//
+//	benchjson                 run everything, JSON to stdout
+//	benchjson -bench conv     substring filter on benchmark names
+//	benchjson -out bench.json write to a file instead of stdout
+//	benchjson -list           print benchmark names and exit
+//
+// Each benchmark runs with the testing package's default 1s target time;
+// results carry ns/op, B/op, allocs/op, and any custom b.ReportMetric
+// values (the pipeline entries report their segmentation step counts so
+// divergence between modes is visible in the trajectory, not just time).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"chaseci/internal/api"
+	"chaseci/internal/connect"
+	"chaseci/internal/ffn"
+	"chaseci/internal/merra"
+	"chaseci/internal/queue"
+	"chaseci/internal/service"
+	"chaseci/internal/sim"
+	"chaseci/internal/tensor"
+)
+
+// Result is one benchmark's machine-readable outcome.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full output document.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Timestamp  string   `json:"timestamp"`
+	Results    []Result `json:"results"`
+}
+
+type benchCase struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+func main() {
+	var (
+		filter = flag.String("bench", "", "run only benchmarks whose name contains this substring")
+		out    = flag.String("out", "", "write JSON to this file (default stdout)")
+		list   = flag.Bool("list", false, "list benchmark names and exit")
+	)
+	flag.Parse()
+
+	cases := benchCases()
+	if *list {
+		for _, c := range cases {
+			fmt.Println(c.name)
+		}
+		return
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, c := range cases {
+		if *filter != "" && !strings.Contains(c.name, *filter) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: running %s...\n", c.name)
+		r := testing.Benchmark(c.fn)
+		res := Result{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		rep.Results = append(rep.Results, res)
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// segmentScene builds the shared flood-fill benchmark scene (the same
+// geometry bench_test.go's BenchmarkSegmentWorkers uses).
+func segmentScene(floodBatch int) (*ffn.Network, *ffn.Volume, [][3]int) {
+	g := merra.Grid{NLon: 36, NLat: 24, NLev: 6}
+	gen := merra.NewGenerator(g, 11)
+	vol := merra.IVTVolume(gen, merra.PressureLevels(g.NLev), 20, 6)
+	img := &ffn.Volume{D: 6, H: g.NLat, W: g.NLon, Data: append([]float32(nil), vol.Data...)}
+	img.Normalize()
+	cfg := ffn.DefaultConfig()
+	cfg.FOV = [3]int{3, 7, 7}
+	cfg.Features = 6
+	cfg.MoveStep = [3]int{1, 2, 2}
+	cfg.FloodBatch = floodBatch
+	net, err := ffn.NewNetwork(cfg, 3)
+	if err != nil {
+		panic(err)
+	}
+	seeds := ffn.GridSeeds(img, cfg.FOV, [3]int{1, 4, 4}, 1.0)
+	return net, img, seeds
+}
+
+// pipelineRequest builds the overlap-vs-sequential pipeline benchmark job.
+func pipelineRequest(sequential bool) *api.JobRequest {
+	return &api.JobRequest{
+		Kind: api.KindPipeline,
+		Pipeline: &api.PipelineSpec{
+			Synth:      api.SynthSpec{NLon: 72, NLat: 48, NLev: 24, Steps: 12, Seed: 11},
+			SlabSteps:  3,
+			Threshold:  120,
+			Net:        &api.NetConfig{FOV: [3]int{3, 9, 9}, Features: 6, MoveProb: 0.6},
+			SeedStride: [3]int{1, 4, 4},
+			Sequential: sequential,
+		},
+	}
+}
+
+func benchCases() []benchCase {
+	return []benchCase{
+		{"conv3d_into", func(b *testing.B) {
+			rng := sim.NewRNG(1)
+			in := tensor.New(6, 3, 7, 7)
+			w := tensor.New(6, 6, 3, 3, 3)
+			w.Randomize(rng, 6*27)
+			bias := make([]float32, 6)
+			out := tensor.New(6, 3, 7, 7)
+			tensor.Conv3DInto(out, in, w, bias)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.Conv3DInto(out, in, w, bias)
+			}
+		}},
+		{"conv3d_batch8_into", func(b *testing.B) {
+			rng := sim.NewRNG(1)
+			in := tensor.New(8, 6, 3, 7, 7)
+			w := tensor.New(6, 6, 3, 3, 3)
+			w.Randomize(rng, 6*27)
+			bias := make([]float32, 6)
+			out := tensor.New(8, 6, 3, 7, 7)
+			tensor.Conv3DBatchInto(out, in, w, bias, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.Conv3DBatchInto(out, in, w, bias, 0)
+			}
+		}},
+		{"conv3d_batch8_relu_into", func(b *testing.B) {
+			rng := sim.NewRNG(1)
+			in := tensor.New(8, 6, 3, 7, 7)
+			w := tensor.New(6, 6, 3, 3, 3)
+			w.Randomize(rng, 6*27)
+			bias := make([]float32, 6)
+			out := tensor.New(8, 6, 3, 7, 7)
+			tensor.Conv3DBatchReLUInto(out, in, w, bias, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.Conv3DBatchReLUInto(out, in, w, bias, 0)
+			}
+		}},
+		{"ffn_train_step", func(b *testing.B) {
+			cfg := ffn.DefaultConfig()
+			cfg.FOV = [3]int{3, 7, 7}
+			cfg.Features = 6
+			net, err := ffn.NewNetwork(cfg, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := tensor.NewSGD(0.01, 0.9)
+			img := tensor.New(1, 3, 7, 7)
+			lab := tensor.New(1, 3, 7, 7)
+			net.TrainStep(opt, img, lab)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.TrainStep(opt, img, lab)
+			}
+		}},
+		{"segment_batch1", func(b *testing.B) {
+			net, img, seeds := segmentScene(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Segment(img, seeds, 0)
+			}
+		}},
+		{"segment_batch8", func(b *testing.B) {
+			net, img, seeds := segmentScene(8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Segment(img, seeds, 0)
+			}
+		}},
+		{"ivt_computation", func(b *testing.B) {
+			g := merra.Grid{NLon: 96, NLat: 64, NLev: 16}
+			gen := merra.NewGenerator(g, 3)
+			st := gen.State(0)
+			levels := merra.PressureLevels(g.NLev)
+			merra.IVT(st, levels)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				merra.IVT(st, levels)
+			}
+		}},
+		{"connect_label", func(b *testing.B) {
+			rng := sim.NewRNG(2)
+			v := connect.NewVolume(16, 64, 64)
+			for i := range v.Data {
+				if rng.Float64() < 0.2 {
+					v.Data[i] = 1
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				connect.Label(v, connect.Conn26, 0)
+			}
+		}},
+		{"status_poll", func(b *testing.B) {
+			r := service.NewRunner(service.DefaultRegistry(), queue.NewStore(), 1)
+			defer r.Close()
+			st, err := r.Submit(&api.JobRequest{Kind: api.KindWorkflow, Workflow: &api.WorkflowSpec{
+				Name:  "poll",
+				Steps: []api.WorkflowStep{{Name: "s", DurationMS: 1}},
+			}}, "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := r.Status(st.ID); !ok {
+					b.Fatal("job disappeared")
+				}
+			}
+		}},
+		{"pipeline_overlapped", func(b *testing.B) {
+			benchPipeline(b, pipelineRequest(false))
+		}},
+		{"pipeline_sequential", func(b *testing.B) {
+			benchPipeline(b, pipelineRequest(true))
+		}},
+	}
+}
+
+// benchPipeline runs a pipeline job end to end per iteration through an
+// in-process runner and reports its segmentation step count so the
+// overlapped/sequential entries are verifiably the same workload.
+func benchPipeline(b *testing.B, req *api.JobRequest) {
+	r := service.NewRunner(service.DefaultRegistry(), queue.NewStore(), 4)
+	defer r.Close()
+	var segSteps float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := r.Submit(req, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		final := waitTerminal(r, st.ID)
+		if final.State != api.StateSucceeded {
+			b.Fatalf("pipeline state %s: %s", final.State, final.Error)
+		}
+		raw, _, _ := r.Result(st.ID)
+		var res api.PipelineResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			b.Fatal(err)
+		}
+		segSteps = float64(res.SegSteps)
+	}
+	b.ReportMetric(segSteps, "seg-steps")
+}
+
+func waitTerminal(r *service.Runner, id string) api.JobStatus {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	for {
+		st, ok := r.Status(id)
+		if ok && st.State.Terminal() {
+			return st
+		}
+		select {
+		case <-ctx.Done():
+			return st
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}

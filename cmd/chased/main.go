@@ -1,9 +1,10 @@
 // Command chased (CHASE-CI daemon) is the HTTP/JSON job gateway over the
 // repository's compute kernels: FFN segmentation, CONNECT labelling, MERRA
-// IVT derivation, FFN training, and measured PPoDS workflows all submit
-// through one versioned Job API (internal/api) and execute on a shared
-// worker pool (internal/service) with context cancellation, progress
-// streaming, and job state persisted in the simulated-Redis store.
+// IVT derivation, FFN training, measured PPoDS workflows, and streamed
+// IVT->segment->label pipelines all submit through one versioned Job API
+// (internal/api) and execute on a shared worker pool (internal/service)
+// with context cancellation, progress streaming, and job state persisted
+// in the simulated-Redis store.
 //
 //	chased -addr localhost:8434            listen address
 //	chased -workers 4                      job worker pool size
@@ -69,7 +70,7 @@ func main() {
 	}()
 
 	fmt.Printf("chased: Job API v1 on http://%s (workers=%d anon=%v)\n", *addr, *workers, *anon)
-	fmt.Printf("chased: kinds: segment label ivt train workflow — POST /v1/jobs, GET /v1/jobs/{id}\n")
+	fmt.Printf("chased: kinds: segment label ivt train workflow pipeline — POST /v1/jobs, GET /v1/jobs/{id}\n")
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "chased:", err)
 		os.Exit(1)

@@ -35,11 +35,14 @@ const (
 	KindTrain Kind = "train"
 	// KindWorkflow executes a measured virtual-time step DAG (PPoDS).
 	KindWorkflow Kind = "workflow"
+	// KindPipeline streams a multi-timestep volume through the full
+	// IVT -> segment -> label analysis in overlapped time slabs.
+	KindPipeline Kind = "pipeline"
 )
 
 // Kinds lists the built-in job kinds in a fixed order.
 func Kinds() []Kind {
-	return []Kind{KindSegment, KindLabel, KindIVT, KindTrain, KindWorkflow}
+	return []Kind{KindSegment, KindLabel, KindIVT, KindTrain, KindWorkflow, KindPipeline}
 }
 
 // State is a job's lifecycle state.
@@ -108,6 +111,7 @@ type JobRequest struct {
 	IVT      *IVTSpec      `json:"ivt,omitempty"`
 	Train    *TrainSpec    `json:"train,omitempty"`
 	Workflow *WorkflowSpec `json:"workflow,omitempty"`
+	Pipeline *PipelineSpec `json:"pipeline,omitempty"`
 }
 
 // Validate checks the envelope and the kind's spec. It returns an error
@@ -120,7 +124,7 @@ func (r *JobRequest) Validate() error {
 		return invalidf("unsupported api_version %q (want %q)", r.APIVersion, Version)
 	}
 	specs := 0
-	for _, set := range []bool{r.Segment != nil, r.Label != nil, r.IVT != nil, r.Train != nil, r.Workflow != nil} {
+	for _, set := range []bool{r.Segment != nil, r.Label != nil, r.IVT != nil, r.Train != nil, r.Workflow != nil, r.Pipeline != nil} {
 		if set {
 			specs++
 		}
@@ -154,6 +158,11 @@ func (r *JobRequest) Validate() error {
 			return invalidf("kind %q needs a workflow spec", r.Kind)
 		}
 		return r.Workflow.validate()
+	case KindPipeline:
+		if r.Pipeline == nil {
+			return invalidf("kind %q needs a pipeline spec", r.Kind)
+		}
+		return r.Pipeline.validate()
 	case "":
 		return invalidf("missing kind")
 	default:
@@ -233,15 +242,23 @@ type NetConfig struct {
 	MoveStep    [3]int  `json:"move_step,omitempty"`
 	MoveProb    float32 `json:"move_prob,omitempty"`
 	SegmentProb float32 `json:"segment_prob,omitempty"`
+	// FloodBatch is the flood-fill inference batch size (0 = kernel
+	// default; 1 = per-FOV). Results are bit-exact at every batch size.
+	FloodBatch int `json:"flood_batch,omitempty"`
 }
 
 // Network geometry caps: a request cannot ask for a network whose scratch
 // buffers dwarf the volume cap (maxFOV^3 voxels x maxFeatures channels is
 // ~70 MB f32 per activation tensor at the extremes).
 const (
-	maxFOV      = 65
-	maxFeatures = 256
-	maxModules  = 16
+	maxFOV        = 65
+	maxFeatures   = 256
+	maxModules    = 16
+	maxFloodBatch = 256
+	// maxScratchElems bounds one batched-scratch activation tensor
+	// (FloodBatch x Features x FOV voxels): 64M float32 = 256 MB, the
+	// same ceiling maxVoxels puts on request volumes.
+	maxScratchElems = 64 << 20
 )
 
 func (n *NetConfig) validate(field string) error {
@@ -268,6 +285,33 @@ func (n *NetConfig) validate(field string) error {
 	}
 	if n.MoveProb < 0 || n.MoveProb >= 1 || n.SegmentProb < 0 || n.SegmentProb >= 1 {
 		return invalidf("%s: probabilities must be in [0,1)", field)
+	}
+	if n.FloodBatch < 0 || n.FloodBatch > maxFloodBatch {
+		return invalidf("%s: flood_batch must be in [0,%d]", field, maxFloodBatch)
+	}
+	// Combined batched-scratch budget: the flood scratch holds a few
+	// (FloodBatch, Features, D, H, W) activation tensors, so the three
+	// individually-capped knobs must also be bounded together — otherwise
+	// a request at every individual extreme could demand hundreds of GB.
+	// Zero-valued knobs assume the kernel defaults; a service-level test
+	// pins these literals against ffn.DefaultConfig so they cannot drift.
+	fov, feat, batch := n.FOV, n.Features, n.FloodBatch
+	if fov == [3]int{} {
+		fov = [3]int{5, 9, 9} // ffn.DefaultConfig().FOV
+	}
+	if feat == 0 {
+		feat = 8 // ffn.DefaultConfig().Features
+	}
+	if batch == 0 {
+		batch = 8 // ffn.DefaultFloodBatch
+	}
+	// Division-based like volumeVoxels, so the product can never overflow:
+	// fovVol <= maxFOV^3 and feat*batch <= maxFeatures*maxFloodBatch both
+	// fit comfortably even in 32-bit int.
+	fovVol := fov[0] * fov[1] * fov[2]
+	if fovVol > maxScratchElems/(feat*batch) {
+		return invalidf("%s: fov x features x flood_batch implies a batched scratch over the %d-element limit",
+			field, maxScratchElems)
 	}
 	return nil
 }
@@ -484,6 +528,71 @@ func (s *WorkflowSpec) validate() error {
 	return nil
 }
 
+// maxStreamBuffer bounds the pipeline's inter-stage slab buffering.
+const maxStreamBuffer = 64
+
+// PipelineSpec streams the full IVT -> segment -> label analysis over a
+// multi-timestep synthetic volume in time slabs of SlabSteps steps each:
+// while slab t is being segmented, slab t+1's IVT is derived and slab t-1's
+// mask is labelled. Each slab is an independent analysis unit (its own
+// normalization, seeding, flood, and labelling), so the result is identical
+// whether the stages overlap or run sequentially — only wall-clock differs.
+type PipelineSpec struct {
+	Synth SynthSpec `json:"synth"`
+	// SlabSteps is the number of time steps per slab (0, or more than
+	// synth.steps, means one slab spanning the whole volume).
+	SlabSteps int `json:"slab_steps,omitempty"`
+	// Threshold binarizes each slab's raw IVT field for grid seeding.
+	Threshold float32 `json:"threshold"`
+	// Net overrides the segmentation network geometry; NetSeed seeds it.
+	Net     *NetConfig `json:"net,omitempty"`
+	NetSeed uint64     `json:"net_seed,omitempty"`
+	// SeedStride is the grid-seeding lattice stride (defaults to the FOV).
+	SeedStride [3]int `json:"seed_stride,omitempty"`
+	// Connectivity is 6 or 26 (0 defaults to 26); MinVoxels prunes small
+	// objects in the label stage.
+	Connectivity int `json:"connectivity,omitempty"`
+	MinVoxels    int `json:"min_voxels,omitempty"`
+	// Sequential disables stage overlap — the baseline mode the overlapped
+	// pipeline is benchmarked against. Results are identical.
+	Sequential bool `json:"sequential,omitempty"`
+	// Buffer bounds how many slabs may queue between adjacent stages
+	// (<= 0 defaults to 1).
+	Buffer int `json:"buffer,omitempty"`
+}
+
+func (s *PipelineSpec) validate() error {
+	if err := s.Synth.validate("pipeline.synth"); err != nil {
+		return err
+	}
+	if err := s.Net.validate("pipeline.net"); err != nil {
+		return err
+	}
+	if s.SlabSteps < 0 {
+		return invalidf("pipeline.slab_steps must be non-negative, got %d", s.SlabSteps)
+	}
+	if s.Threshold <= 0 {
+		return invalidf("pipeline.threshold must be > 0")
+	}
+	if s.SeedStride != [3]int{} {
+		for _, d := range s.SeedStride {
+			if d <= 0 {
+				return invalidf("pipeline.seed_stride components must all be positive (or all zero for the default), got %v", s.SeedStride)
+			}
+		}
+	}
+	if s.Connectivity != 0 && s.Connectivity != 6 && s.Connectivity != 26 {
+		return invalidf("pipeline.connectivity must be 6 or 26, got %d", s.Connectivity)
+	}
+	if s.MinVoxels < 0 {
+		return invalidf("pipeline.min_voxels must be non-negative")
+	}
+	if s.Buffer < 0 || s.Buffer > maxStreamBuffer {
+		return invalidf("pipeline.buffer must be in [0,%d]", maxStreamBuffer)
+	}
+	return nil
+}
+
 // --- Status and result payloads --------------------------------------------
 
 // JobStatus is the poll snapshot of a job. It is a flat value type — no
@@ -596,6 +705,50 @@ type WorkflowResult struct {
 	TotalMS  int64                `json:"total_ms"`
 	Failed   bool                 `json:"failed"`
 	Table    string               `json:"table,omitempty"`
+}
+
+// PipelineSlabResult summarizes one time slab's trip through the
+// IVT -> segment -> label pipeline.
+type PipelineSlabResult struct {
+	Slab      int `json:"slab"`
+	StartStep int `json:"start_step"`
+	Steps     int `json:"steps"`
+	// IVT stage.
+	IVTMean float64 `json:"ivt_mean"`
+	IVTMax  float64 `json:"ivt_max"`
+	// Segment stage.
+	SegSteps   int `json:"seg_steps"`
+	SegMoves   int `json:"seg_moves"`
+	SeedsUsed  int `json:"seeds_used"`
+	MaskVoxels int `json:"mask_voxels"`
+	// Label stage.
+	Objects      int `json:"objects"`
+	ObjectVoxels int `json:"object_voxels"`
+	MaxDuration  int `json:"max_duration"`
+}
+
+// PipelineResult reports a streamed pipeline job. On cancellation the
+// aggregates cover the slabs that completed all three stages.
+type PipelineResult struct {
+	Slabs      int  `json:"slabs"`
+	SlabsDone  int  `json:"slabs_done"`
+	Steps      int  `json:"steps"`
+	Sequential bool `json:"sequential,omitempty"`
+	// Step-weighted IVT field aggregates.
+	IVTMean float64 `json:"ivt_mean"`
+	IVTMax  float64 `json:"ivt_max"`
+	// Summed segmentation statistics.
+	SegSteps    int `json:"seg_steps"`
+	SegMoves    int `json:"seg_moves"`
+	SeedsUsed   int `json:"seeds_used"`
+	MaskVoxels  int `json:"mask_voxels"`
+	VoxelsTotal int `json:"voxels_total"`
+	// Summed labelling statistics (objects are per-slab: a structure
+	// spanning a slab boundary counts once per slab it appears in).
+	Objects      int                  `json:"objects"`
+	ObjectVoxels int                  `json:"object_voxels"`
+	MaxDuration  int                  `json:"max_duration"`
+	PerSlab      []PipelineSlabResult `json:"per_slab,omitempty"`
 }
 
 // ResultEnvelope wraps a terminal job's result payload.

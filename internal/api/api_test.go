@@ -30,6 +30,71 @@ func validRequests() map[Kind]*JobRequest {
 		KindWorkflow: {Kind: KindWorkflow, Workflow: &WorkflowSpec{
 			Name: "wf", Steps: []WorkflowStep{{Name: "a", DurationMS: 5}},
 		}},
+		KindPipeline: {Kind: KindPipeline, Pipeline: &PipelineSpec{
+			Synth: SynthSpec{NLon: 8, NLat: 6, NLev: 3, Steps: 6}, SlabSteps: 3, Threshold: 1,
+		}},
+	}
+}
+
+// TestNetConfigScratchBudget requires the combined fov x features x
+// flood_batch budget to hold even when every individual knob is within its
+// own cap — a request at all three extremes would otherwise demand
+// hundreds of GB of batched flood scratch.
+func TestNetConfigScratchBudget(t *testing.T) {
+	mk := func(nc *NetConfig) *JobRequest {
+		return &JobRequest{Kind: KindSegment, Segment: &SegmentSpec{
+			Source: tinyVolume(), Seeds: [][3]int{{1, 1, 1}}, MaxSteps: 1, Net: nc,
+		}}
+	}
+	extreme := &NetConfig{FOV: [3]int{65, 65, 65}, Features: 256, FloodBatch: 256}
+	err := mk(extreme).Validate()
+	if !errors.Is(err, ErrInvalid) || !strings.Contains(err.Error(), "batched scratch") {
+		t.Fatalf("all-extremes net config passed validation: %v", err)
+	}
+	// Each extreme alone (others defaulted) stays within the budget.
+	for _, nc := range []*NetConfig{
+		{FOV: [3]int{65, 65, 65}},
+		{Features: 256},
+		{FloodBatch: 256},
+	} {
+		if err := mk(nc).Validate(); err != nil {
+			t.Fatalf("single-extreme net config %+v rejected: %v", nc, err)
+		}
+	}
+}
+
+// TestPipelineSpecRejections covers the streaming pipeline's validation.
+func TestPipelineSpecRejections(t *testing.T) {
+	mk := func(mut func(*PipelineSpec)) *JobRequest {
+		spec := &PipelineSpec{
+			Synth: SynthSpec{NLon: 8, NLat: 6, NLev: 3, Steps: 6}, SlabSteps: 2, Threshold: 1,
+		}
+		mut(spec)
+		return &JobRequest{Kind: KindPipeline, Pipeline: spec}
+	}
+	cases := []struct {
+		name string
+		req  *JobRequest
+		want string
+	}{
+		{"zero threshold", mk(func(s *PipelineSpec) { s.Threshold = 0 }), "threshold"},
+		{"negative slab", mk(func(s *PipelineSpec) { s.SlabSteps = -1 }), "slab_steps"},
+		{"bad synth", mk(func(s *PipelineSpec) { s.Synth.NLev = 1 }), "nlev"},
+		{"bad connectivity", mk(func(s *PipelineSpec) { s.Connectivity = 18 }), "connectivity"},
+		{"negative min voxels", mk(func(s *PipelineSpec) { s.MinVoxels = -1 }), "min_voxels"},
+		{"partial stride", mk(func(s *PipelineSpec) { s.SeedStride = [3]int{1, 0, 2} }), "seed_stride"},
+		{"oversized buffer", mk(func(s *PipelineSpec) { s.Buffer = maxStreamBuffer + 1 }), "buffer"},
+		{"bad net batch", mk(func(s *PipelineSpec) { s.Net = &NetConfig{FloodBatch: -1} }), "flood_batch"},
+	}
+	for _, c := range cases {
+		err := c.req.Validate()
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", c.name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %q, want substring %q", c.name, err, c.want)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ package ffn
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"chaseci/internal/sim"
 	"chaseci/internal/tensor"
@@ -38,6 +39,11 @@ type Config struct {
 	// the seed voxel is clamped to SeedProb (paper: 0.05 / 0.95).
 	PadProb  float32
 	SeedProb float32
+	// FloodBatch is how many ready FOV positions a flood worker pushes
+	// through the batched forward path per dispatch (0 = default 8; 1 =
+	// per-FOV applications). Masks and statistics are bit-exact at every
+	// batch size.
+	FloodBatch int
 }
 
 // DefaultConfig returns an experiment-scale configuration.
@@ -66,6 +72,9 @@ func (c *Config) validate() error {
 	if c.MoveProb <= 0 || c.MoveProb >= 1 || c.SegmentProb <= 0 || c.SegmentProb >= 1 {
 		return fmt.Errorf("ffn: probabilities must be in (0,1)")
 	}
+	if c.FloodBatch < 0 {
+		return fmt.Errorf("ffn: FloodBatch must be non-negative, got %d", c.FloodBatch)
+	}
 	return nil
 }
 
@@ -90,7 +99,8 @@ type Network struct {
 	wOut *tensor.Tensor // (1, F, 1, 1, 1)
 	bOut []float32
 
-	ts *trainScratch // lazily built per-network training buffers
+	ts     *trainScratch // lazily built per-network training buffers
+	bsPool sync.Pool     // *batchScratch, reused across batched floods
 }
 
 // NewNetwork initializes a model with He-initialized weights from seed.

@@ -66,13 +66,20 @@ func extractFOV(v *Volume, fov [3]int, cz, cy, cx int) *tensor.Tensor {
 // extractFOVInto copies the FOV centered at (cz, cy, cx) into the caller's
 // (1,D,H,W) tensor, allocating nothing.
 func extractFOVInto(out *tensor.Tensor, v *Volume, fov [3]int, cz, cy, cx int) {
+	extractFOVIntoSlice(out.Data, v, fov, cz, cy, cx)
+}
+
+// extractFOVIntoSlice copies the FOV centered at (cz, cy, cx) into dst
+// (row-major (D,H,W) layout) — the shared core of the tensor-target and
+// batched-slot extract paths.
+func extractFOVIntoSlice(dst []float32, v *Volume, fov [3]int, cz, cy, cx int) {
 	d, h, w := fov[0], fov[1], fov[2]
 	z0, y0, x0 := cz-d/2, cy-h/2, cx-w/2
 	i := 0
 	for z := 0; z < d; z++ {
 		for y := 0; y < h; y++ {
 			base := ((z0+z)*v.H + y0 + y) * v.W
-			copy(out.Data[i:i+w], v.Data[base+x0:base+x0+w])
+			copy(dst[i:i+w], v.Data[base+x0:base+x0+w])
 			i += w
 		}
 	}
@@ -130,13 +137,13 @@ func (n *Network) applyFOV(s *inferScratch, image *Volume, cz, cy, cx int) *tens
 // Element-wise max is commutative and associative, so the merged canvas is
 // independent of application order — the property the parallel path relies
 // on for determinism.
-func mergeCore(canvas []float32, H, W int, fov [3]int, out *tensor.Tensor, pz, py, px int) {
+func mergeCore(canvas []float32, H, W int, fov [3]int, out []float32, pz, py, px int) {
 	mz, my, mx := fov[0]/4, fov[1]/4, fov[2]/4
 	z0, y0, x0 := pz-fov[0]/2, py-fov[1]/2, px-fov[2]/2
 	for z := mz; z < fov[0]-mz; z++ {
 		for y := my; y < fov[1]-my; y++ {
 			base := ((z0+z)*H + y0 + y) * W
-			row := out.Data[(z*fov[1]+y)*fov[2]:]
+			row := out[(z*fov[1]+y)*fov[2]:]
 			for x := mx; x < fov[2]-mx; x++ {
 				if v := row[x]; v > canvas[base+x0+x] {
 					canvas[base+x0+x] = v
@@ -167,9 +174,12 @@ func (cfg *Config) fovInBounds(v *Volume, z, y, x int) bool {
 // are sharded across workers: floods claim FOV centers through a shared
 // atomic visited array (each center is expanded exactly once, as in the
 // serial multi-source BFS) and merge into worker-private canvases that are
-// max-reduced afterwards. Because each application's output depends only on
-// the image and the center — never on the canvas — the mask and statistics
-// are identical to the serial path at every worker count.
+// max-reduced afterwards. Workers drain ready centers in batches of
+// Config.FloodBatch through the batched forward path (weights stream once
+// per batch, activations fused into the conv writes). Because each
+// application's output depends only on the image and the center — never on
+// the canvas — the mask and statistics are identical to the serial per-FOV
+// path at every batch size and worker count.
 func (n *Network) Segment(image *Volume, seeds [][3]int, maxSteps int) (*Volume, InferenceStats) {
 	mask, stats, _ := n.SegmentCtx(context.Background(), image, seeds, maxSteps, nil)
 	return mask, stats
@@ -197,8 +207,9 @@ func (p *floodProgress) bump() {
 }
 
 // SegmentCtx is the context-aware Segment: cancellation is checked before
-// every network application in both the serial and the sharded flood, so a
-// cancelled context stops the run within one FOV application per worker.
+// every network application in the serial flood and before every batch in
+// the batched flood, so a cancelled context stops the run within one FOV
+// batch (FloodBatch applications) per worker.
 // On cancellation the partial canvas is still thresholded and returned with
 // the statistics accumulated so far and ctx.Err(). progress (may be nil) is
 // called with the running application count every progressEvery
@@ -239,8 +250,17 @@ func (n *Network) SegmentCtx(ctx context.Context, image *Volume, seeds [][3]int,
 	}
 
 	shards := parallel.Ranges(len(accepted))
-	if maxSteps > 0 || len(shards) <= 1 {
+	batch := cfg.effectiveFloodBatch()
+	if maxSteps > 0 {
+		// The bounded-step flood stays per-FOV FIFO, so which applications
+		// spend the budget is unchanged by the batch setting.
 		n.floodSerial(ctx, image, accepted, claimed, canvas.Data, moveLogit, maxSteps, &stats, prog)
+	} else if len(shards) <= 1 {
+		if batch > 1 {
+			n.floodShardBatch(ctx, image, accepted, claimed, canvas.Data, moveLogit, &stats, prog)
+		} else {
+			n.floodSerial(ctx, image, accepted, claimed, canvas.Data, moveLogit, 0, &stats, prog)
+		}
 	} else {
 		// Worker-private canvases, max-reduced in shard order afterwards
 		// (order is irrelevant for max, but keep it fixed anyway).
@@ -253,7 +273,11 @@ func (n *Network) SegmentCtx(ctx context.Context, image *Volume, seeds [][3]int,
 					wc[i] = padLogit
 				}
 				canvases[k] = wc
-				n.floodShard(ctx, image, accepted[shards[k][0]:shards[k][1]], claimed, wc, moveLogit, &shardStats[k], prog)
+				if batch > 1 {
+					n.floodShardBatch(ctx, image, accepted[shards[k][0]:shards[k][1]], claimed, wc, moveLogit, &shardStats[k], prog)
+				} else {
+					n.floodShard(ctx, image, accepted[shards[k][0]:shards[k][1]], claimed, wc, moveLogit, &shardStats[k], prog)
+				}
 			}
 		})
 		for k := range canvases {
@@ -316,7 +340,7 @@ func (n *Network) floodSerial(ctx context.Context, image *Volume, seeds []fovPos
 		p := queue[0]
 		queue = queue[1:]
 		out := n.applyFOV(s, image, p.z, p.y, p.x)
-		mergeCore(canvas, image.H, image.W, cfg.FOV, out, p.z, p.y, p.x)
+		mergeCore(canvas, image.H, image.W, cfg.FOV, out.Data, p.z, p.y, p.x)
 		stats.Steps++
 		prog.bump()
 
@@ -358,7 +382,7 @@ func (n *Network) floodShard(ctx context.Context, image *Volume, seeds []fovPos,
 		p := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
 		out := n.applyFOV(s, image, p.z, p.y, p.x)
-		mergeCore(canvas, image.H, image.W, cfg.FOV, out, p.z, p.y, p.x)
+		mergeCore(canvas, image.H, image.W, cfg.FOV, out.Data, p.z, p.y, p.x)
 		stats.Steps++
 		prog.bump()
 

@@ -1,0 +1,156 @@
+package ffn
+
+import (
+	"context"
+	"sync/atomic"
+
+	"chaseci/internal/tensor"
+)
+
+// Batched flood-fill inference. Instead of running one network application
+// per ready FOV center, a flood worker drains up to FloodBatch positions
+// from its queue and pushes them through the batched forward path in one
+// dispatch: the shared weights are streamed from memory once per batch
+// rather than once per application, and the fused conv epilogues
+// (tensor.Conv3DBatchReLUInto / Conv3DBatchResReLUInto) fold each layer's
+// activation and residual into the conv output write. Because every
+// application's output depends only on the image and the center — never on
+// the canvas or on other in-flight applications — batching any subset of
+// ready positions produces bit-exact masks and statistics at every batch
+// size and worker count (the claimed set stays the multi-source closure,
+// and the canvas merge is an order-independent element-wise max).
+
+// DefaultFloodBatch is the FOV batch size used when Config.FloodBatch is 0.
+const DefaultFloodBatch = 8
+
+// MaxFloodBatch caps the batch (and therefore the batched scratch size).
+// The api schema layer enforces the same cap at validation time.
+const MaxFloodBatch = 256
+
+// effectiveFloodBatch resolves the configured batch size.
+func (c *Config) effectiveFloodBatch() int {
+	b := c.FloodBatch
+	if b <= 0 {
+		b = DefaultFloodBatch
+	}
+	if b > MaxFloodBatch {
+		b = MaxFloodBatch
+	}
+	return b
+}
+
+// batchScratch holds one flood worker's reusable batched buffers: the
+// packed (B,2,D,H,W) input (POM channels prefilled once — they are the
+// constant seed POM), ping-pong activation tensors, the module hidden
+// buffer, and the output logits. Scratches recycle through the Network's
+// pool, so steady-state batched floods allocate nothing per batch.
+type batchScratch struct {
+	in     *tensor.Tensor // (B, 2, D, H, W) packed image+POM
+	x0, x1 *tensor.Tensor // (B, F, D, H, W) activations (ping-pong)
+	hid    *tensor.Tensor // (B, F, D, H, W) module hidden
+	out    *tensor.Tensor // (B, 1, D, H, W) output logits
+	pos    []fovPos       // live batch positions
+}
+
+func (n *Network) newBatchScratch() *batchScratch {
+	B := n.cfg.effectiveFloodBatch()
+	f := n.cfg.Features
+	d, h, w := n.cfg.FOV[0], n.cfg.FOV[1], n.cfg.FOV[2]
+	s := &batchScratch{
+		in:  tensor.New(B, 2, d, h, w),
+		x0:  tensor.New(B, f, d, h, w),
+		x1:  tensor.New(B, f, d, h, w),
+		hid: tensor.New(B, f, d, h, w),
+		out: tensor.New(B, 1, d, h, w),
+		pos: make([]fovPos, 0, B),
+	}
+	// The POM channel of every slot is the constant seed POM: fill once.
+	pom := n.SeedPOM()
+	fovN := d * h * w
+	for b := 0; b < B; b++ {
+		copy(s.in.Data[(2*b+1)*fovN:(2*b+2)*fovN], pom.Data)
+	}
+	return s
+}
+
+// getBatchScratch borrows a scratch from the network's pool.
+func (n *Network) getBatchScratch() *batchScratch {
+	if s, _ := n.bsPool.Get().(*batchScratch); s != nil {
+		return s
+	}
+	return n.newBatchScratch()
+}
+
+func (n *Network) putBatchScratch(s *batchScratch) { n.bsPool.Put(s) }
+
+// forwardBatchInto runs the inference-only forward pass over the first k
+// batch slots with fused activations: conv+ReLU for the input layer and
+// module hidden, conv+residual+ReLU for the module tail, plain conv for the
+// final 1x1x1 logit layer (its bias epilogue is the logit itself). Results
+// land in s.out and are bit-exact with forwardInto per slot.
+func (n *Network) forwardBatchInto(s *batchScratch, k int) {
+	tensor.Conv3DBatchReLUInto(s.x0, s.in, n.wIn, n.bIn, k)
+	cur, nxt := s.x0, s.x1
+	for _, m := range n.mods {
+		tensor.Conv3DBatchReLUInto(s.hid, cur, m.w1, m.b1, k)
+		tensor.Conv3DBatchResReLUInto(nxt, s.hid, m.w2, m.b2, cur, k)
+		cur, nxt = nxt, cur
+	}
+	tensor.Conv3DBatchInto(s.out, cur, n.wOut, n.bOut, k)
+}
+
+// floodShardBatch floods one worker's seed shard in batches of up to B FOV
+// positions, claiming centers through the shared atomic visited array and
+// max-merging output cores into canvas (worker-private under the sharded
+// flood, the shared canvas when single-shard). Cancellation is checked
+// before every batch, so a cancelled context stops the run within one batch
+// per worker.
+func (n *Network) floodShardBatch(ctx context.Context, image *Volume, seeds []fovPos, claimed []int32, canvas []float32, moveLogit float32, stats *InferenceStats, prog *floodProgress) {
+	cfg := n.cfg
+	s := n.getBatchScratch()
+	defer n.putBatchScratch(s)
+	B := cap(s.pos)
+	fov := cfg.FOV
+	fovN := fov[0] * fov[1] * fov[2]
+	offsets := cfg.moveOffsets()
+	queue := append([]fovPos(nil), seeds...)
+	for len(queue) > 0 {
+		if ctx.Err() != nil {
+			return
+		}
+		k := B
+		if len(queue) < k {
+			k = len(queue)
+		}
+		s.pos = append(s.pos[:0], queue[len(queue)-k:]...)
+		queue = queue[:len(queue)-k]
+		for i, p := range s.pos {
+			extractFOVIntoSlice(s.in.Data[2*i*fovN:][:fovN], image, fov, p.z, p.y, p.x)
+		}
+		n.forwardBatchInto(s, k)
+		for i, p := range s.pos {
+			out := s.out.Data[i*fovN:][:fovN]
+			mergeCore(canvas, image.H, image.W, fov, out, p.z, p.y, p.x)
+			stats.Steps++
+			prog.bump()
+			for _, off := range offsets {
+				fz := fov[0]/2 + off[0]
+				fy := fov[1]/2 + off[1]
+				fx := fov[2]/2 + off[2]
+				if out[(fz*fov[1]+fy)*fov[2]+fx] < moveLogit {
+					continue
+				}
+				nz, ny, nx := p.z+off[0], p.y+off[1], p.x+off[2]
+				if !cfg.fovInBounds(image, nz, ny, nx) {
+					continue
+				}
+				key := (nz*image.H+ny)*image.W + nx
+				if !atomic.CompareAndSwapInt32(&claimed[key], 0, 1) {
+					continue
+				}
+				queue = append(queue, fovPos{nz, ny, nx})
+				stats.Moves++
+			}
+		}
+	}
+}

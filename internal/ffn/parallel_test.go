@@ -7,7 +7,6 @@ import (
 
 	"chaseci/internal/parallel"
 	"chaseci/internal/sim"
-	"chaseci/internal/tensor"
 )
 
 func synthVolume(seed uint64, d, h, w int) *Volume {
@@ -116,26 +115,5 @@ func TestNormalizeMatchesReference(t *testing.T) {
 	}
 }
 
-// TestTrainStepScratchReuse guards the allocation contract of the training
-// hot path: steady-state steps must not allocate beyond trivial noise.
-func TestTrainStepScratchReuse(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.FOV = [3]int{3, 7, 7}
-	cfg.Features = 4
-	net, err := NewNetwork(cfg, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	opt := tensor.NewSGD(0.01, 0.9)
-	img := synthVolume(8, 3, 7, 7)
-	lab := NewVolume(3, 7, 7)
-	it := extractFOV(img, cfg.FOV, 1, 3, 3)
-	lt := extractFOV(lab, cfg.FOV, 1, 3, 3)
-	net.TrainStep(opt, it, lt) // warm scratch + velocity maps
-	allocs := testing.AllocsPerRun(20, func() {
-		net.TrainStep(opt, it, lt)
-	})
-	if allocs > 2 {
-		t.Fatalf("TrainStep steady-state allocs/op = %v, want <= 2", allocs)
-	}
-}
+// The training-path allocation guard lives in batch_test.go
+// (TestTrainStepAllocFree), tightened to exactly zero steady-state allocs.

@@ -3,6 +3,7 @@ package merra
 import (
 	"context"
 	"math"
+	"sync"
 
 	"chaseci/internal/parallel"
 )
@@ -47,55 +48,100 @@ func IVT(st *State, levels []float64) *Field2D {
 	return out
 }
 
+// ivtRows is one shard's reusable row buffers: the running integrals and
+// the previous level's products (the trapezoid's lower endpoints). Rows
+// recycle through ivtRowsPool so steady-state IVT derivation allocates
+// nothing per shard.
+type ivtRows struct {
+	fx, fy, quPrev, qvPrev []float64
+}
+
+var ivtRowsPool sync.Pool
+
+func getIVTRows(nlon int) *ivtRows {
+	if r, _ := ivtRowsPool.Get().(*ivtRows); r != nil && len(r.fx) >= nlon {
+		return r
+	}
+	return &ivtRows{
+		fx: make([]float64, nlon), fy: make([]float64, nlon),
+		quPrev: make([]float64, nlon), qvPrev: make([]float64, nlon),
+	}
+}
+
+// ivtTask is the pooled integration Task: one Run processes a chunk of
+// latitude rows with its own pooled row buffers, so dispatch allocates
+// nothing once warm.
+type ivtTask struct {
+	ctx        context.Context
+	out        []float32
+	q, u, v    []float32
+	levels     []float64
+	nlon, nlev int
+	hw         int
+}
+
+var ivtTaskPool = sync.Pool{New: func() any { return new(ivtTask) }}
+
+func (t *ivtTask) Run(j0, j1 int) {
+	nlon := t.nlon
+	r := getIVTRows(nlon)
+	fx, fy := r.fx[:nlon], r.fy[:nlon]
+	quPrev, qvPrev := r.quPrev[:nlon], r.qvPrev[:nlon]
+	q, u, vv := t.q, t.u, t.v
+	for j := j0; j < j1; j++ {
+		if t.ctx.Err() != nil {
+			break
+		}
+		base := j * nlon
+		for i := 0; i < nlon; i++ {
+			fx[i], fy[i] = 0, 0
+			qf := float64(q[base+i])
+			quPrev[i] = qf * float64(u[base+i])
+			qvPrev[i] = qf * float64(vv[base+i])
+		}
+		for k := 1; k < t.nlev; k++ {
+			dp := t.levels[k-1] - t.levels[k] // positive, Pa
+			lbase := k*t.hw + base
+			for i := 0; i < nlon; i++ {
+				qf := float64(q[lbase+i])
+				qu := qf * float64(u[lbase+i])
+				qv := qf * float64(vv[lbase+i])
+				fx[i] += 0.5 * (quPrev[i] + qu) * dp
+				fy[i] += 0.5 * (qvPrev[i] + qv) * dp
+				quPrev[i], qvPrev[i] = qu, qv
+			}
+		}
+		for i := 0; i < nlon; i++ {
+			x := fx[i] / gravity
+			y := fy[i] / gravity
+			t.out[base+i] = float32(math.Sqrt(x*x + y*y))
+		}
+	}
+	ivtRowsPool.Put(r)
+}
+
 // IVTCtx is the context-aware IVT: cancellation is checked once per
 // latitude row inside the sharded integration, and a cancelled context
 // returns (nil, ctx.Err()). With a background context the field is
 // bit-exactly IVT's. It panics on a level-count mismatch, like IVT.
+// Beyond the output field itself (one Field2D: two allocations), the
+// integration allocates nothing in steady state — the dispatch task and
+// per-shard row buffers recycle through pools.
 func IVTCtx(ctx context.Context, st *State, levels []float64) (*Field2D, error) {
 	g := st.Q.Grid
 	if len(levels) != g.NLev {
 		panic("merra: IVT level count mismatch")
 	}
 	out := NewField2D(g.NLon, g.NLat)
-	nlon, hw := g.NLon, g.NLon*g.NLat
-	q, u, vv := st.Q.Data, st.U.Data, st.V.Data
-	parallel.ForGrain(g.NLat, 8, func(j0, j1 int) {
-		// Per-chunk rows holding the running integrals and the previous
-		// level's products (the trapezoid's lower endpoints).
-		fx := make([]float64, nlon)
-		fy := make([]float64, nlon)
-		quPrev := make([]float64, nlon)
-		qvPrev := make([]float64, nlon)
-		for j := j0; j < j1; j++ {
-			if ctx.Err() != nil {
-				return
-			}
-			base := j * nlon
-			for i := 0; i < nlon; i++ {
-				fx[i], fy[i] = 0, 0
-				qf := float64(q[base+i])
-				quPrev[i] = qf * float64(u[base+i])
-				qvPrev[i] = qf * float64(vv[base+i])
-			}
-			for k := 1; k < g.NLev; k++ {
-				dp := levels[k-1] - levels[k] // positive, Pa
-				lbase := k*hw + base
-				for i := 0; i < nlon; i++ {
-					qf := float64(q[lbase+i])
-					qu := qf * float64(u[lbase+i])
-					qv := qf * float64(vv[lbase+i])
-					fx[i] += 0.5 * (quPrev[i] + qu) * dp
-					fy[i] += 0.5 * (qvPrev[i] + qv) * dp
-					quPrev[i], qvPrev[i] = qu, qv
-				}
-			}
-			for i := 0; i < nlon; i++ {
-				x := fx[i] / gravity
-				y := fy[i] / gravity
-				out.Data[base+i] = float32(math.Sqrt(x*x + y*y))
-			}
-		}
-	})
+	t := ivtTaskPool.Get().(*ivtTask)
+	t.ctx = ctx
+	t.out = out.Data
+	t.q, t.u, t.v = st.Q.Data, st.U.Data, st.V.Data
+	t.levels = levels
+	t.nlon, t.nlev, t.hw = g.NLon, g.NLev, g.NLon*g.NLat
+	parallel.InvokeGrain(g.NLat, 8, t)
+	t.ctx, t.out, t.q, t.u, t.v, t.levels = nil, nil, nil, nil, nil, nil
+	ivtTaskPool.Put(t)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

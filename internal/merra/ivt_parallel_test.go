@@ -33,6 +33,33 @@ func ivtScalarReference(st *State, levels []float64) *Field2D {
 	return out
 }
 
+// TestIVTAllocBound pins the integration's allocation budget: beyond the
+// output Field2D (struct + data = 2 allocations), the pooled dispatch task
+// and row buffers must make steady-state IVT derivation allocation-free at
+// every worker count.
+func TestIVTAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc pins run in the non-race job")
+	}
+	g := Grid{NLon: 96, NLat: 64, NLev: 16}
+	gen := NewGenerator(g, 3)
+	st := gen.State(0)
+	levels := PressureLevels(g.NLev)
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			prev := parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(prev)
+			IVT(st, levels) // warm task + row pools
+			allocs := testing.AllocsPerRun(20, func() {
+				IVT(st, levels)
+			})
+			if allocs > 2 {
+				t.Fatalf("IVT steady-state allocs/op = %v, want <= 2 (output Field2D only)", allocs)
+			}
+		})
+	}
+}
+
 // TestIVTParallelMatchesScalar requires the sharded row-walking kernel to be
 // bit-exact with the original per-point integration at every worker count:
 // each output element is computed by exactly one worker with an identical

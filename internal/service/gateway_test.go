@@ -357,7 +357,7 @@ func TestGatewayValidationAndRouting(t *testing.T) {
 	// Kinds and health endpoints.
 	var kinds []api.Kind
 	f.do("GET", "/v1/kinds", nil, &kinds)
-	if len(kinds) != 5 {
+	if len(kinds) != len(api.Kinds()) {
 		t.Fatalf("kinds = %v", kinds)
 	}
 }

@@ -23,6 +23,7 @@ func DefaultRegistry() *Registry {
 	r.Register(api.KindIVT, IVTHandler)
 	r.Register(api.KindTrain, TrainHandler)
 	r.Register(api.KindWorkflow, WorkflowHandler)
+	r.Register(api.KindPipeline, PipelineHandler)
 	return r
 }
 
@@ -86,6 +87,9 @@ func netConfig(nc *api.NetConfig) ffn.Config {
 	}
 	if nc.SegmentProb > 0 {
 		cfg.SegmentProb = nc.SegmentProb
+	}
+	if nc.FloodBatch > 0 {
+		cfg.FloodBatch = nc.FloodBatch
 	}
 	return cfg
 }

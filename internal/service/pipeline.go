@@ -1,0 +1,180 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"chaseci/internal/api"
+	"chaseci/internal/connect"
+	"chaseci/internal/ffn"
+	"chaseci/internal/merra"
+	"chaseci/internal/workflow"
+)
+
+// The pipeline job: a multi-timestep synthetic volume is cut into time
+// slabs, and every slab flows through the three analysis stages the case
+// study otherwise runs as separate jobs — IVT derivation, FFN flood-fill
+// segmentation, CONNECT labelling — on a workflow.RunStream. While slab t
+// is being segmented, slab t+1's IVT is derived and slab t-1's mask is
+// labelled, so the two cheaper stages hide behind the expensive one on
+// multi-core. Each slab is an independent analysis unit (its own
+// normalization, seeding, flood, and labelling), so the aggregate result is
+// identical in overlapped and sequential mode at every buffer size.
+
+// pipeSlab is the item flowing through the pipeline stages.
+type pipeSlab struct {
+	start, steps int         // generator step range
+	raw          *ffn.Volume // IVT output; normalized in place by segment
+	seeds        [][3]int    // grid seeds (from the raw field)
+	mask         *ffn.Volume // segment output
+	res          api.PipelineSlabResult
+}
+
+// pipeProgress aggregates per-stage completion counts into the single
+// JobStatus progress channel: done is stage-completions across all stages,
+// and the stage string carries the per-stage breakdown the NDJSON stream
+// shows live. The count-increment and Progress store happen under one
+// mutex so concurrent stage goroutines cannot publish a stale (smaller)
+// snapshot after a newer one — the stream stays monotonic and consistent.
+type pipeProgress struct {
+	jc    *JobContext
+	slabs int
+
+	mu   sync.Mutex
+	done [3]int64
+}
+
+func (p *pipeProgress) advance(stage, _ int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done[stage]++
+	i, s, l := p.done[0], p.done[1], p.done[2]
+	p.jc.Progress(i+s+l, int64(3*p.slabs),
+		fmt.Sprintf("ivt %d/%d · segment %d/%d · label %d/%d", i, p.slabs, s, p.slabs, l, p.slabs))
+}
+
+// PipelineHandler executes a pipeline job. A cancelled run reports the
+// slabs that completed all three stages alongside ctx.Err().
+func PipelineHandler(jc *JobContext) (any, error) {
+	spec := jc.Request().Pipeline
+	sy := spec.Synth
+	slabSteps := spec.SlabSteps
+	if slabSteps <= 0 || slabSteps > sy.Steps {
+		slabSteps = sy.Steps
+	}
+	slabs := (sy.Steps + slabSteps - 1) / slabSteps
+
+	cfg := netConfig(spec.Net)
+	net, err := ffn.NewNetwork(cfg, spec.NetSeed)
+	if err != nil {
+		return nil, err
+	}
+	stride := spec.SeedStride
+	if stride == [3]int{} {
+		stride = cfg.FOV
+	}
+	conn := connect.Conn26
+	if spec.Connectivity == 6 {
+		conn = connect.Conn6
+	}
+	g := merra.Grid{NLon: sy.NLon, NLat: sy.NLat, NLev: sy.NLev}
+	gen := merra.NewGenerator(g, sy.Seed)
+	levels := merra.PressureLevels(g.NLev)
+	hw := g.NLon * g.NLat
+
+	prog := &pipeProgress{jc: jc, slabs: slabs}
+	prog.jc.Progress(0, int64(3*slabs), "pipeline")
+
+	stages := []workflow.StreamStage{
+		{Name: "ivt", Run: func(ctx context.Context, i int, _ any) (any, error) {
+			start := sy.Start + i*slabSteps
+			steps := slabSteps
+			if rem := sy.Steps - i*slabSteps; steps > rem {
+				steps = rem
+			}
+			sl := &pipeSlab{start: start, steps: steps}
+			sl.res = api.PipelineSlabResult{Slab: i, StartStep: start, Steps: steps}
+			vol, err := merra.IVTVolumeCtx(ctx, gen, levels, start, steps, nil)
+			if err != nil {
+				return nil, err
+			}
+			sl.raw = &ffn.Volume{D: steps, H: g.NLat, W: g.NLon, Data: vol.Data}
+			var sum float64
+			for _, v := range vol.Data {
+				sum += float64(v)
+				if float64(v) > sl.res.IVTMax {
+					sl.res.IVTMax = float64(v)
+				}
+			}
+			sl.res.IVTMean = sum / float64(steps*hw)
+			return sl, nil
+		}},
+		{Name: "segment", Run: func(ctx context.Context, _ int, item any) (any, error) {
+			sl := item.(*pipeSlab)
+			// Seeds come from the raw field, before normalization — the
+			// same order of operations as SegmentHandler.
+			sl.seeds = ffn.GridSeeds(sl.raw, cfg.FOV, stride, spec.Threshold)
+			image := sl.raw.Normalize()
+			mask, stats, err := net.SegmentCtx(ctx, image, sl.seeds, 0, nil)
+			if err != nil {
+				return nil, err
+			}
+			sl.mask = mask
+			sl.raw = nil // the slab's image is dead weight past this stage
+			sl.res.SegSteps = stats.Steps
+			sl.res.SegMoves = stats.Moves
+			sl.res.SeedsUsed = stats.SeedsUsed
+			sl.res.MaskVoxels = stats.MaskVoxels
+			return sl, nil
+		}},
+		{Name: "label", Run: func(ctx context.Context, _ int, item any) (any, error) {
+			sl := item.(*pipeSlab)
+			result, err := connect.LabelCtx(ctx, connect.FromMask(sl.mask.D, sl.mask.H, sl.mask.W, sl.mask.Data), conn, spec.MinVoxels, nil)
+			if err != nil {
+				return nil, err
+			}
+			stats := connect.Summarize(result)
+			sl.mask = nil
+			sl.res.Objects = stats.Objects
+			sl.res.ObjectVoxels = stats.TotalVoxels
+			sl.res.MaxDuration = stats.MaxDuration
+			return sl, nil
+		}},
+	}
+
+	results, streamErr := workflow.RunStream(jc.Ctx(), stages, slabs, workflow.StreamOptions{
+		Sequential: spec.Sequential,
+		Buffer:     spec.Buffer,
+		OnAdvance:  prog.advance,
+	})
+
+	res := api.PipelineResult{Slabs: slabs, Sequential: spec.Sequential}
+	for _, item := range results {
+		if item == nil {
+			continue
+		}
+		sl := item.(*pipeSlab)
+		res.SlabsDone++
+		res.Steps += sl.res.Steps
+		res.IVTMean += sl.res.IVTMean * float64(sl.res.Steps)
+		if sl.res.IVTMax > res.IVTMax {
+			res.IVTMax = sl.res.IVTMax
+		}
+		res.SegSteps += sl.res.SegSteps
+		res.SegMoves += sl.res.SegMoves
+		res.SeedsUsed += sl.res.SeedsUsed
+		res.MaskVoxels += sl.res.MaskVoxels
+		res.VoxelsTotal += sl.res.Steps * hw
+		res.Objects += sl.res.Objects
+		res.ObjectVoxels += sl.res.ObjectVoxels
+		if sl.res.MaxDuration > res.MaxDuration {
+			res.MaxDuration = sl.res.MaxDuration
+		}
+		res.PerSlab = append(res.PerSlab, sl.res)
+	}
+	if res.Steps > 0 {
+		res.IVTMean /= float64(res.Steps)
+	}
+	return res, streamErr
+}

@@ -12,98 +12,16 @@ import (
 // thin allocating wrappers kept for convenience and for callers that do not
 // manage scratch.
 //
-// The forward kernel is restructured from the naive per-voxel tap loop into
-// per-row tap accumulation: for each output row the (ic, dz, dy) bounds
-// checks are hoisted out of the inner loop, and each kernel tap dx becomes a
-// bounds-check-free "interior" run over the valid x range (the sub-range of
-// the row where the tap stays in bounds — the border columns are exactly the
-// columns excluded from the run). Every output element still receives its
-// tap contributions in the scalar kernel's ic -> dz -> dy -> dx order with
-// the same skip conditions, so the result is bit-exact with the naive loop
-// at every worker count; parallel fan-out shards whole (oc, z) slices, each
-// written by exactly one worker.
+// The forward kernel is the batched engine in conv_batch.go: every output
+// element receives its tap contributions in the scalar kernel's
+// ic -> dz -> dy -> dx order with the same skip conditions (including the
+// register-accumulating 3x3 fast path), so the result is bit-exact with the
+// naive loop at every worker count; parallel fan-out shards whole (oc, z)
+// slices, each written by exactly one worker.
 
 // convGrainFlops is the approximate mul-add count one dispatch chunk should
 // amortize; below it the kernel stays serial.
 const convGrainFlops = 16384
-
-// convFwd is the pooled forward Task: one Run processes a range of
-// flattened (oc, z) output slices.
-type convFwd struct {
-	out, in, w, bias []float32
-	cin, d, h, wd    int // input geometry (wd = width)
-	kd, kh, kw       int
-	pd, ph, pw       int
-}
-
-var convFwdPool = sync.Pool{New: func() any { return new(convFwd) }}
-
-func (t *convFwd) Run(start, end int) {
-	cin, d, h, w := t.cin, t.d, t.h, t.wd
-	kd, kh, kw := t.kd, t.kh, t.kw
-	pd, ph, pw := t.pd, t.ph, t.pw
-	hw := h * w
-	for u := start; u < end; u++ {
-		oc, z := u/d, u%d
-		var b float32
-		if t.bias != nil {
-			b = t.bias[oc]
-		}
-		outPlane := t.out[(oc*d+z)*hw:][:hw]
-		for i := range outPlane {
-			outPlane[i] = b
-		}
-		for ic := 0; ic < cin; ic++ {
-			inCh := t.in[ic*d*hw:]
-			for dz := 0; dz < kd; dz++ {
-				iz := z + dz - pd
-				if iz < 0 || iz >= d {
-					continue
-				}
-				inPlane := inCh[iz*hw:][:hw]
-				for dy := 0; dy < kh; dy++ {
-					// Valid output rows for this tap: iy = y+dy-ph in [0,h).
-					yLo, yHi := ph-dy, h-1+ph-dy
-					if yLo < 0 {
-						yLo = 0
-					}
-					if yHi > h-1 {
-						yHi = h - 1
-					}
-					if yLo > yHi {
-						continue
-					}
-					wRow := t.w[(((oc*cin+ic)*kd+dz)*kh+dy)*kw:][:kw]
-					for dx := 0; dx < kw; dx++ {
-						wv := wRow[dx]
-						off := dx - pw
-						x0, x1 := 0, w
-						if off < 0 {
-							x0 = -off
-						} else {
-							x1 = w - off
-						}
-						if x0 >= x1 {
-							continue
-						}
-						runLen := x1 - x0
-						outBase := yLo*w + x0
-						inBase := (yLo+dy-ph)*w + x0 + off
-						for y := yLo; y <= yHi; y++ {
-							dst := outPlane[outBase:][:runLen]
-							src := inPlane[inBase:][:runLen]
-							for i, v := range src {
-								dst[i] += wv * v
-							}
-							outBase += w
-							inBase += w
-						}
-					}
-				}
-			}
-		}
-	}
-}
 
 func convCheck(in, weight *Tensor) (cin, d, h, w, cout, kd, kh, kw int) {
 	cin, d, h, w = in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
@@ -120,23 +38,14 @@ func convCheck(in, weight *Tensor) (cin, d, h, w, cout, kd, kh, kw int) {
 // allocation and its result is bit-exact with the scalar kernel at every
 // parallel.SetWorkers count.
 func Conv3DInto(out, in, weight *Tensor, bias []float32) {
-	cin, d, h, w, cout, kd, kh, kw := convCheck(in, weight)
+	_, d, h, w, cout, _, _, _ := convCheck(in, weight)
 	if out.Shape[0] != cout || out.Shape[1] != d || out.Shape[2] != h || out.Shape[3] != w {
 		panic(fmt.Sprintf("tensor: Conv3DInto out shape %v, want (%d,%d,%d,%d)", out.Shape, cout, d, h, w))
 	}
-	t := convFwdPool.Get().(*convFwd)
-	t.out, t.in, t.w, t.bias = out.Data, in.Data, weight.Data, bias
-	t.cin, t.d, t.h, t.wd = cin, d, h, w
-	t.kd, t.kh, t.kw = kd, kh, kw
-	t.pd, t.ph, t.pw = kd/2, kh/2, kw/2
-	unitWork := h * w * cin * kd * kh * kw
-	grain := 1
-	if unitWork < convGrainFlops {
-		grain = (convGrainFlops + unitWork - 1) / unitWork
-	}
-	parallel.InvokeGrain(cout*d, grain, t)
-	t.out, t.in, t.w, t.bias = nil, nil, nil, nil
-	convFwdPool.Put(t)
+	hdr := batch1Pool.Get().(*struct{ o, i, r Tensor })
+	convBatchDispatch(asBatch1(&hdr.o, out), asBatch1(&hdr.i, in), weight, bias, nil, epNone, 0)
+	hdr.o.Data, hdr.i.Data = nil, nil
+	batch1Pool.Put(hdr)
 }
 
 // Conv3D computes a 3-D convolution with stride 1 and symmetric zero

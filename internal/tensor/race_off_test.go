@@ -1,0 +1,6 @@
+//go:build !race
+
+package tensor
+
+// raceEnabled mirrors race_on_test.go for non-race builds.
+const raceEnabled = false

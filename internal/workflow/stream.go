@@ -1,0 +1,151 @@
+package workflow
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Streaming pipelines. Where the Workflow type executes a measured DAG in
+// virtual time, RunStream executes a real-compute stage pipeline over an
+// ordered sequence of items with bounded buffering: stage s of item i runs
+// concurrently with stage s-1 of item i+1 and stage s+1 of item i-1, which
+// is exactly the overlap the chased `pipeline` job kind uses to hide IVT
+// synthesis and CONNECT labelling behind FFN segmentation of adjacent time
+// slabs. Each stage runs on one goroutine and the connecting channels are
+// FIFO, so items traverse every stage in index order and per-stage effects
+// (progress callbacks, stage-owned state) need no further synchronization
+// against themselves — only against the other stages.
+
+// StreamStage is one stage of a streaming pipeline. Run receives the item's
+// index and the previous stage's output (nil for the first stage) and
+// returns the value handed to the next stage. Run must honor ctx promptly;
+// it is never called concurrently with itself.
+type StreamStage struct {
+	Name string
+	Run  func(ctx context.Context, index int, item any) (any, error)
+}
+
+// StreamOptions tunes RunStream.
+type StreamOptions struct {
+	// Sequential disables overlap: every item runs through all stages in a
+	// strict loop on the calling goroutine. Output and per-stage effects are
+	// identical to the overlapped mode (stages see items in the same order);
+	// only wall-clock differs. Used as the pipeline baseline in benchmarks.
+	Sequential bool
+	// Buffer is each inter-stage channel's capacity (<= 0 defaults to 1),
+	// bounding how far a stage may run ahead of its downstream.
+	Buffer int
+	// OnAdvance, if non-nil, is called after stage `stage` completes item
+	// `item`. In overlapped mode it fires concurrently from stage
+	// goroutines and must be safe for concurrent use.
+	OnAdvance func(stage, item int)
+}
+
+// streamMsg carries one item between stages.
+type streamMsg struct {
+	i int
+	v any
+}
+
+// RunStream pushes items 0..items-1 through the stages and returns the
+// final stage's outputs in index order. On error or cancellation the run
+// stops promptly (in-flight stages finish their current item), the partial
+// results gathered so far keep their slots, and unreached slots stay nil.
+func RunStream(ctx context.Context, stages []StreamStage, items int, opts StreamOptions) ([]any, error) {
+	results := make([]any, items)
+	if items == 0 || len(stages) == 0 {
+		return results, ctx.Err()
+	}
+	if opts.Sequential {
+		for i := 0; i < items; i++ {
+			var v any
+			for s, st := range stages {
+				if err := ctx.Err(); err != nil {
+					return results, err
+				}
+				var err error
+				v, err = st.Run(ctx, i, v)
+				if err != nil {
+					return results, fmt.Errorf("workflow: stream stage %q item %d: %w", st.Name, i, err)
+				}
+				if opts.OnAdvance != nil {
+					opts.OnAdvance(s, i)
+				}
+			}
+			results[i] = v
+		}
+		return results, ctx.Err()
+	}
+
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = 1
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	// Feeder: item indices enter the first stage's channel.
+	feed := make(chan streamMsg, buffer)
+	go func() {
+		defer close(feed)
+		for i := 0; i < items; i++ {
+			select {
+			case feed <- streamMsg{i: i}:
+			case <-cctx.Done():
+				return
+			}
+		}
+	}()
+
+	// One goroutine per stage, chained by bounded channels. After a failure
+	// every stage keeps draining its input without doing work, so upstream
+	// senders never block and all channels close in order.
+	var wg sync.WaitGroup
+	cur := feed
+	for s, st := range stages {
+		out := make(chan streamMsg, buffer)
+		wg.Add(1)
+		go func(s int, st StreamStage, in <-chan streamMsg, out chan<- streamMsg) {
+			defer wg.Done()
+			defer close(out)
+			for m := range in {
+				if cctx.Err() != nil {
+					continue // drain
+				}
+				v, err := st.Run(cctx, m.i, m.v)
+				if err != nil {
+					fail(fmt.Errorf("workflow: stream stage %q item %d: %w", st.Name, m.i, err))
+					continue
+				}
+				if opts.OnAdvance != nil {
+					opts.OnAdvance(s, m.i)
+				}
+				select {
+				case out <- streamMsg{i: m.i, v: v}:
+				case <-cctx.Done():
+				}
+			}
+		}(s, st, cur, out)
+		cur = out
+	}
+
+	for m := range cur {
+		results[m.i] = m.v
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return results, firstErr
+	}
+	return results, ctx.Err()
+}

@@ -1,0 +1,248 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// streamStages builds a simple two-stage arithmetic pipeline used by
+// several tests: stage 0 doubles the index, stage 1 adds one.
+func streamStages() []StreamStage {
+	return []StreamStage{
+		{Name: "double", Run: func(_ context.Context, i int, _ any) (any, error) {
+			return 2 * i, nil
+		}},
+		{Name: "inc", Run: func(_ context.Context, _ int, v any) (any, error) {
+			return v.(int) + 1, nil
+		}},
+	}
+}
+
+// TestRunStreamOrderAndResults checks that every item traverses every stage
+// in index order, in both modes, with identical results.
+func TestRunStreamOrderAndResults(t *testing.T) {
+	for _, seq := range []bool{false, true} {
+		var mu sync.Mutex
+		seen := map[int][]int{} // stage -> item order
+		got, err := RunStream(context.Background(), streamStages(), 9, StreamOptions{
+			Sequential: seq,
+			OnAdvance: func(stage, item int) {
+				mu.Lock()
+				seen[stage] = append(seen[stage], item)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatalf("sequential=%v: %v", seq, err)
+		}
+		for i, v := range got {
+			if v.(int) != 2*i+1 {
+				t.Fatalf("sequential=%v: item %d = %v, want %d", seq, i, v, 2*i+1)
+			}
+		}
+		for stage, order := range seen {
+			for i, item := range order {
+				if item != i {
+					t.Fatalf("sequential=%v: stage %d processed %v, want index order", seq, stage, order)
+				}
+			}
+		}
+	}
+}
+
+// TestRunStreamOverlaps proves stages actually overlap: stage 0 of item 1
+// blocks until stage 1 reports it started item 0, which can only resolve
+// when the two stages run concurrently.
+func TestRunStreamOverlaps(t *testing.T) {
+	stage1Started := make(chan struct{})
+	stages := []StreamStage{
+		{Name: "produce", Run: func(ctx context.Context, i int, _ any) (any, error) {
+			if i == 1 {
+				select {
+				case <-stage1Started:
+				case <-time.After(5 * time.Second):
+					return nil, errors.New("stages never overlapped")
+				}
+			}
+			return i, nil
+		}},
+		{Name: "consume", Run: func(_ context.Context, i int, v any) (any, error) {
+			if i == 0 {
+				close(stage1Started)
+			}
+			return v, nil
+		}},
+	}
+	if _, err := RunStream(context.Background(), stages, 3, StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunStreamSequentialNeverOverlaps pins the baseline mode: at most one
+// stage Run in flight at any moment.
+func TestRunStreamSequentialNeverOverlaps(t *testing.T) {
+	var inFlight, maxSeen atomic.Int32
+	mk := func(name string) StreamStage {
+		return StreamStage{Name: name, Run: func(_ context.Context, i int, _ any) (any, error) {
+			n := inFlight.Add(1)
+			for {
+				m := maxSeen.Load()
+				if n <= m || maxSeen.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			return nil, nil
+		}}
+	}
+	if _, err := RunStream(context.Background(), []StreamStage{mk("a"), mk("b"), mk("c")}, 5, StreamOptions{Sequential: true}); err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen.Load() != 1 {
+		t.Fatalf("sequential mode ran %d stages concurrently", maxSeen.Load())
+	}
+}
+
+// TestRunStreamBoundedBuffer verifies a stage cannot run more than
+// buffer+1 items ahead of its downstream.
+func TestRunStreamBoundedBuffer(t *testing.T) {
+	const items = 16
+	var produced, consumed atomic.Int32
+	var maxLead atomic.Int32
+	release := make(chan struct{})
+	stages := []StreamStage{
+		{Name: "fast", Run: func(_ context.Context, i int, _ any) (any, error) {
+			lead := produced.Add(1) - consumed.Load()
+			for {
+				m := maxLead.Load()
+				if lead <= m || maxLead.CompareAndSwap(m, lead) {
+					break
+				}
+			}
+			return i, nil
+		}},
+		{Name: "slow", Run: func(_ context.Context, i int, v any) (any, error) {
+			<-release
+			consumed.Add(1)
+			return v, nil
+		}},
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		for i := 0; i < items; i++ {
+			release <- struct{}{}
+		}
+	}()
+	if _, err := RunStream(context.Background(), stages, items, StreamOptions{Buffer: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// fast may be: in-flight (1) + buffered out (2) + one parked in send +
+	// slow's in-flight read (1) ahead of the consumed counter.
+	if lead := maxLead.Load(); lead > 5 {
+		t.Fatalf("stage ran %d items ahead with buffer 2", lead)
+	}
+}
+
+// TestRunStreamError requires a mid-stream failure to stop the run
+// promptly, name the stage and item, and keep earlier results.
+func TestRunStreamError(t *testing.T) {
+	for _, seq := range []bool{false, true} {
+		boom := errors.New("boom")
+		stages := []StreamStage{
+			{Name: "gen", Run: func(_ context.Context, i int, _ any) (any, error) { return i, nil }},
+			{Name: "explode", Run: func(_ context.Context, i int, v any) (any, error) {
+				if i == 3 {
+					return nil, boom
+				}
+				return v, nil
+			}},
+		}
+		results, err := RunStream(context.Background(), stages, 8, StreamOptions{Sequential: seq})
+		if !errors.Is(err, boom) {
+			t.Fatalf("sequential=%v: err = %v, want wrapped boom", seq, err)
+		}
+		if !strings.Contains(err.Error(), `"explode"`) || !strings.Contains(err.Error(), "item 3") {
+			t.Fatalf("sequential=%v: error %q does not name stage and item", seq, err)
+		}
+		for i := 0; i < 3; i++ {
+			if seq && results[i] == nil {
+				t.Fatalf("sequential=%v: result %d lost", seq, i)
+			}
+		}
+		for i := 3; i < 8; i++ {
+			if results[i] != nil {
+				t.Fatalf("sequential=%v: item %d completed after failure", seq, i)
+			}
+		}
+	}
+}
+
+// TestRunStreamCancel requires prompt teardown on context cancellation.
+func TestRunStreamCancel(t *testing.T) {
+	for _, seq := range []bool{false, true} {
+		ctx, cancel := context.WithCancel(context.Background())
+		stages := []StreamStage{
+			{Name: "gen", Run: func(ctx context.Context, i int, _ any) (any, error) {
+				if i == 2 {
+					cancel()
+					// Wait until the cancellation is observable so the
+					// sequential loop cannot race past it.
+					<-ctx.Done()
+				}
+				return i, nil
+			}},
+		}
+		done := make(chan struct{})
+		var err error
+		go func() {
+			_, err = RunStream(ctx, stages, 1000, StreamOptions{Sequential: seq})
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("sequential=%v: cancelled stream did not terminate", seq)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("sequential=%v: err = %v, want context.Canceled", seq, err)
+		}
+		cancel()
+	}
+}
+
+// TestRunStreamEmpty covers the degenerate inputs.
+func TestRunStreamEmpty(t *testing.T) {
+	if res, err := RunStream(context.Background(), streamStages(), 0, StreamOptions{}); err != nil || len(res) != 0 {
+		t.Fatalf("items=0: res=%v err=%v", res, err)
+	}
+	if res, err := RunStream(context.Background(), nil, 4, StreamOptions{}); err != nil || len(res) != 4 {
+		t.Fatalf("no stages: res=%v err=%v", res, err)
+	}
+}
+
+// TestRunStreamManyItems pushes enough items through a three-stage pipeline
+// to exercise channel reuse and ordering under real scheduling pressure.
+func TestRunStreamManyItems(t *testing.T) {
+	stages := []StreamStage{
+		{Name: "a", Run: func(_ context.Context, i int, _ any) (any, error) { return fmt.Sprintf("i%d", i), nil }},
+		{Name: "b", Run: func(_ context.Context, _ int, v any) (any, error) { return v.(string) + "b", nil }},
+		{Name: "c", Run: func(_ context.Context, _ int, v any) (any, error) { return v.(string) + "c", nil }},
+	}
+	const items = 500
+	res, err := RunStream(context.Background(), stages, items, StreamOptions{Buffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res {
+		if want := fmt.Sprintf("i%dbc", i); v.(string) != want {
+			t.Fatalf("item %d = %v, want %s", i, v, want)
+		}
+	}
+}
