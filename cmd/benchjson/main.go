@@ -15,10 +15,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
@@ -27,6 +31,7 @@ import (
 
 	"chaseci/internal/api"
 	"chaseci/internal/connect"
+	"chaseci/internal/dataset"
 	"chaseci/internal/ffn"
 	"chaseci/internal/merra"
 	"chaseci/internal/queue"
@@ -285,7 +290,90 @@ func benchCases() []benchCase {
 		{"pipeline_sequential", func(b *testing.B) {
 			benchPipeline(b, pipelineRequest(true))
 		}},
+		{"job_submit_inline_64cubed", func(b *testing.B) {
+			benchSubmit(b, false)
+		}},
+		{"job_submit_ref_64cubed", func(b *testing.B) {
+			benchSubmit(b, true)
+		}},
 	}
+}
+
+// benchSubmit measures the data plane's acceptance quantity: gateway bytes
+// per 64^3 segment job submitted inline versus by content-addressed ref
+// (the volume uploaded once, untimed). The wire-bytes/op metric is the
+// ratio BENCH_PR4.json tracks; the bar is >= 5x fewer for ref.
+func benchSubmit(b *testing.B, byRef bool) {
+	runner := service.NewRunner(service.DefaultRegistry(), queue.NewStore(), 2)
+	defer runner.Close()
+	gw := service.NewGateway(runner, service.GatewayOptions{AllowAnonymous: true, TokenSeed: 1})
+	srv := httptest.NewServer(gw)
+	defer srv.Close()
+
+	const n = 64
+	data := make([]float32, n*n*n)
+	for i := range data {
+		data[i] = float32(i%251) * 0.7
+	}
+	spec := &api.SegmentSpec{
+		Seeds:      [][3]int{{32, 32, 32}},
+		MaxSteps:   1,
+		ReturnMask: true,
+	}
+	req := &api.JobRequest{Kind: api.KindSegment, Segment: spec}
+	if byRef {
+		enc, err := dataset.EncodeVolume(n, n, n, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		info, err := runner.Datasets().Put(enc, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec.Source = api.VolumeSource{Ref: info.ID}
+		req.ResultMode = api.ResultModeRef
+	} else {
+		spec.Source = api.VolumeSource{D: n, H: n, W: n, Data: data}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var wire int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire = int64(len(body))
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ack, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		wire += int64(len(ack))
+		var sub api.SubmitResponse
+		if err := json.Unmarshal(ack, &sub); err != nil || sub.ID == "" {
+			b.Fatalf("submit failed: %s", ack)
+		}
+		st := waitTerminal(runner, sub.ID)
+		if st.State != api.StateSucceeded {
+			b.Fatalf("job %s: %s (%s)", sub.ID, st.State, st.Error)
+		}
+		resp, err = http.Get(srv.URL + "/v1/jobs/" + sub.ID + "/result")
+		if err != nil {
+			b.Fatal(err)
+		}
+		env, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		wire += int64(len(env))
+	}
+	b.ReportMetric(float64(wire), "wire-bytes/op")
 }
 
 // benchPipeline runs a pipeline job end to end per iteration through an

@@ -1,44 +1,78 @@
 // Command chased (CHASE-CI daemon) is the HTTP/JSON job gateway over the
-// repository's compute kernels: FFN segmentation, CONNECT labelling, MERRA
+// repository's compute kernels — FFN segmentation, CONNECT labelling, MERRA
 // IVT derivation, FFN training, measured PPoDS workflows, and streamed
-// IVT->segment->label pipelines all submit through one versioned Job API
-// (internal/api) and execute on a shared worker pool (internal/service)
-// with context cancellation, progress streaming, and job state persisted
-// in the simulated-Redis store.
+// IVT->segment->label pipelines — plus the client for its content-addressed
+// dataset plane: volumes upload once into the service's objstore-backed
+// dataset store and jobs submit 64-hex refs instead of megabytes of inline
+// JSON.
 //
-//	chased -addr localhost:8434            listen address
-//	chased -workers 4                      job worker pool size
-//	chased -anon=false                     require bearer tokens (see -providers)
-//	chased -providers ucsd.edu=UCSD,...    identity providers for /v1/login
-//	chased -ttl 12h                        token lifetime
+//	chased serve -addr localhost:8434      run the gateway (default command)
+//	chased dataset put  [-dims DxHxW] FILE upload a dataset, print its ref
+//	chased dataset get  -out FILE REF      download a dataset's encoded bytes
+//	chased dataset ls                      list visible datasets
+//	chased submit [-mode ref|inline] FILE  submit a job request (JSON file or
+//	                                       "-" for stdin); -wait polls it
+//
+// Client commands take -server (default http://localhost:8434) and -token
+// (bearer token from POST /v1/login). `submit` defaults result_mode to
+// "ref" — by-reference is the data plane's native mode; pass -mode inline
+// to embed bulk payloads in result JSON.
 //
 // See README.md for the endpoint walkthrough.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
+	"chaseci/internal/api"
+	"chaseci/internal/dataset"
 	"chaseci/internal/queue"
 	"chaseci/internal/service"
 )
 
 func main() {
+	args := os.Args[1:]
+	// Bare flags (or nothing) keep the original server invocation working.
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		serve(args)
+		return
+	}
+	switch args[0] {
+	case "serve":
+		serve(args[1:])
+	case "dataset":
+		datasetCmd(args[1:])
+	case "submit":
+		submitCmd(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "chased: unknown command %q (want serve, dataset, or submit)\n", args[0])
+		os.Exit(2)
+	}
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		addr      = flag.String("addr", "localhost:8434", "HTTP listen address")
-		workers   = flag.Int("workers", 4, "job worker pool size")
-		anon      = flag.Bool("anon", true, "allow unauthenticated requests")
-		providers = flag.String("providers", "ucsd.edu=UCSD,sdsc.edu=SDSC,example.edu=Example",
+		addr      = fs.String("addr", "localhost:8434", "HTTP listen address")
+		workers   = fs.Int("workers", 4, "job worker pool size")
+		anon      = fs.Bool("anon", true, "allow unauthenticated requests")
+		providers = fs.String("providers", "ucsd.edu=UCSD,sdsc.edu=SDSC,example.edu=Example",
 			"comma-separated domain=name identity providers")
-		ttl = flag.Duration("ttl", 12*time.Hour, "bearer token lifetime")
+		ttl = fs.Duration("ttl", 12*time.Hour, "bearer token lifetime")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
 	provMap := make(map[string]string)
 	for _, pair := range strings.Split(*providers, ",") {
@@ -70,9 +104,238 @@ func main() {
 	}()
 
 	fmt.Printf("chased: Job API v1 on http://%s (workers=%d anon=%v)\n", *addr, *workers, *anon)
-	fmt.Printf("chased: kinds: segment label ivt train workflow pipeline — POST /v1/jobs, GET /v1/jobs/{id}\n")
+	fmt.Printf("chased: kinds: segment label ivt train workflow pipeline — POST /v1/jobs, PUT/GET /v1/datasets/{id}\n")
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "chased:", err)
 		os.Exit(1)
+	}
+}
+
+// clientFlags adds the flags every client subcommand shares.
+func clientFlags(fs *flag.FlagSet) (server, token *string) {
+	server = fs.String("server", "http://localhost:8434", "gateway base URL")
+	token = fs.String("token", "", "bearer token (POST /v1/login)")
+	return
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chased: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// doRequest issues an authenticated request and fails the process on
+// transport errors or non-2xx replies (printing the gateway's error body).
+func doRequest(method, url, token string, body io.Reader) *http.Response {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		var e api.ErrorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			fatalf("%s %s: %s: %s", method, url, resp.Status, e.Error)
+		}
+		fatalf("%s %s: %s", method, url, resp.Status)
+	}
+	return resp
+}
+
+func datasetCmd(args []string) {
+	if len(args) == 0 {
+		fatalf("dataset needs a subcommand: put, get, or ls")
+	}
+	switch args[0] {
+	case "put":
+		datasetPut(args[1:])
+	case "get":
+		datasetGet(args[1:])
+	case "ls":
+		datasetLs(args[1:])
+	default:
+		fatalf("unknown dataset subcommand %q (want put, get, or ls)", args[0])
+	}
+}
+
+// parseDims parses "DxHxW".
+func parseDims(s string) (d, h, w int, err error) {
+	if _, err = fmt.Sscanf(s, "%dx%dx%d", &d, &h, &w); err != nil {
+		return 0, 0, 0, fmt.Errorf("bad -dims %q (want DxHxW)", s)
+	}
+	return d, h, w, nil
+}
+
+// datasetPut uploads FILE: CDS1-encoded bytes as-is, or — with -dims — a
+// raw little-endian float32 volume (or -mask, a 0/1 float32 field) that is
+// encoded client-side first.
+func datasetPut(args []string) {
+	fs := flag.NewFlagSet("dataset put", flag.ExitOnError)
+	server, token := clientFlags(fs)
+	dims := fs.String("dims", "", "DxHxW dims when FILE is raw little-endian float32 (not CDS1)")
+	mask := fs.Bool("mask", false, "with -dims: encode as a 1-bit mask instead of a float32 volume")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatalf("dataset put needs exactly one FILE argument")
+	}
+	raw, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	enc := raw
+	if *dims != "" {
+		d, h, w, err := parseDims(*dims)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if len(raw)%4 != 0 {
+			fatalf("raw float32 file length %d is not a multiple of 4", len(raw))
+		}
+		data := make([]float32, len(raw)/4)
+		for i := range data {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+		if *mask {
+			enc, err = dataset.EncodeMask(d, h, w, data)
+		} else {
+			enc, err = dataset.EncodeVolume(d, h, w, data)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else if _, _, _, _, err := dataset.DecodeHeader(raw); err != nil {
+		fatalf("%s is not a CDS1 dataset (pass -dims DxHxW for raw float32): %v", fs.Arg(0), err)
+	}
+
+	id := dataset.ID(enc)
+	resp := doRequest("PUT", *server+"/v1/datasets/"+id, *token, bytes.NewReader(enc))
+	defer resp.Body.Close()
+	var info dataset.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		fatalf("decode reply: %v", err)
+	}
+	fmt.Printf("%s  %s %dx%dx%d  %d bytes\n", info.ID, info.Kind, info.D, info.H, info.W, info.Bytes)
+}
+
+func datasetGet(args []string) {
+	fs := flag.NewFlagSet("dataset get", flag.ExitOnError)
+	server, token := clientFlags(fs)
+	out := fs.String("out", "", "write the encoded dataset to this file (required)")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *out == "" {
+		fatalf("dataset get needs -out FILE and exactly one REF argument")
+	}
+	resp := doRequest("GET", *server+"/v1/datasets/"+fs.Arg(0), *token, nil)
+	defer resp.Body.Close()
+	enc, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if got := dataset.ID(enc); got != fs.Arg(0) {
+		fatalf("downloaded bytes hash to %s, not the requested ref (corrupt transfer?)", got)
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	kind, d, h, w, _ := dataset.DecodeHeader(enc)
+	fmt.Printf("%s: %s %dx%dx%d, %d bytes -> %s\n", fs.Arg(0)[:12], kind, d, h, w, len(enc), *out)
+}
+
+func datasetLs(args []string) {
+	fs := flag.NewFlagSet("dataset ls", flag.ExitOnError)
+	server, token := clientFlags(fs)
+	fs.Parse(args)
+	resp := doRequest("GET", *server+"/v1/datasets", *token, nil)
+	defer resp.Body.Close()
+	var list []dataset.Info
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		fatalf("decode reply: %v", err)
+	}
+	for _, info := range list {
+		owner := info.Owner
+		if owner == "" {
+			owner = "-"
+		}
+		fmt.Printf("%s  %-6s %4dx%4dx%4d %12d  %s\n", info.ID, info.Kind, info.D, info.H, info.W, info.Bytes, owner)
+	}
+}
+
+// submitCmd posts a JobRequest read from a JSON file (or stdin with "-"),
+// defaulting result_mode to "ref".
+func submitCmd(args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	server, token := clientFlags(fs)
+	mode := fs.String("mode", "", "result_mode override: ref or inline (default ref unless the file sets one)")
+	wait := fs.Bool("wait", false, "poll until terminal and print the result envelope")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatalf("submit needs exactly one FILE argument (or - for stdin)")
+	}
+	var raw []byte
+	var err error
+	if fs.Arg(0) == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(fs.Arg(0))
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var req api.JobRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		fatalf("parse job request: %v", err)
+	}
+	switch {
+	case *mode != "":
+		req.ResultMode = api.ResultMode(*mode)
+	case req.ResultMode == "":
+		// By-reference results are the data plane's native mode.
+		req.ResultMode = api.ResultModeRef
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	resp := doRequest("POST", *server+"/v1/jobs", *token, bytes.NewReader(body))
+	var sub api.SubmitResponse
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil {
+		fatalf("decode reply: %v", err)
+	}
+	fmt.Printf("job %s %s\n", sub.ID, sub.State)
+	if !*wait {
+		return
+	}
+	for {
+		resp := doRequest("GET", *server+"/v1/jobs/"+sub.ID, *token, nil)
+		var st api.JobStatus
+		err := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			fatalf("decode status: %v", err)
+		}
+		if st.State.Terminal() {
+			resp := doRequest("GET", *server+"/v1/jobs/"+sub.ID+"/result", *token, nil)
+			env, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				fatalf("%v", err)
+			}
+			os.Stdout.Write(env)
+			fmt.Println()
+			if st.State != api.StateSucceeded {
+				os.Exit(1)
+			}
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }

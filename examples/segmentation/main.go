@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -62,7 +63,7 @@ func main() {
 	}
 	dl := &thredds.Downloader{Parallel: 4}
 	subsets := make(map[string][]byte)
-	results, total := dl.Fetch(urls, func(url string, body []byte) { subsets[url] = body })
+	results, total := dl.Fetch(context.Background(), urls, func(url string, body []byte) { subsets[url] = body })
 	for _, r := range results {
 		if r.Err != nil {
 			log.Fatalf("download %s: %v", r.URL, r.Err)

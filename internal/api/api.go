@@ -98,6 +98,17 @@ func volumeVoxels(a, b, c int) (int, bool) {
 	return ab * c, true
 }
 
+// ResultMode selects how a job returns its bulk payloads (masks, derived
+// volumes): inline in the result JSON, or offloaded to the content-addressed
+// dataset store with only the ref in the result.
+type ResultMode string
+
+// The result modes. Empty means ResultModeInline.
+const (
+	ResultModeInline ResultMode = "inline"
+	ResultModeRef    ResultMode = "ref"
+)
+
 // JobRequest is the submit envelope: a kind plus exactly one matching spec.
 type JobRequest struct {
 	// APIVersion must be empty or equal to Version.
@@ -105,6 +116,11 @@ type JobRequest struct {
 	Kind       Kind   `json:"kind"`
 	// Name is an optional human label echoed in status listings.
 	Name string `json:"name,omitempty"`
+	// ResultMode: "ref" offloads bulk result payloads (segment masks, the
+	// derived IVT volume, per-slab pipeline masks) to the dataset store and
+	// returns content-addressed refs; "" or "inline" embeds them in the
+	// result JSON (masks 1-bit packed).
+	ResultMode ResultMode `json:"result_mode,omitempty"`
 
 	Segment  *SegmentSpec  `json:"segment,omitempty"`
 	Label    *LabelSpec    `json:"label,omitempty"`
@@ -122,6 +138,9 @@ func (r *JobRequest) Validate() error {
 	}
 	if r.APIVersion != "" && r.APIVersion != Version {
 		return invalidf("unsupported api_version %q (want %q)", r.APIVersion, Version)
+	}
+	if r.ResultMode != "" && r.ResultMode != ResultModeInline && r.ResultMode != ResultModeRef {
+		return invalidf("result_mode must be %q or %q, got %q", ResultModeInline, ResultModeRef, r.ResultMode)
 	}
 	specs := 0
 	for _, set := range []bool{r.Segment != nil, r.Label != nil, r.IVT != nil, r.Train != nil, r.Workflow != nil, r.Pipeline != nil} {
@@ -170,6 +189,28 @@ func (r *JobRequest) Validate() error {
 	}
 }
 
+// Refs returns every dataset ref named by the request's specs, in a fixed
+// order — the service existence-checks them at submit time so a job with a
+// dangling ref fails fast at the gateway instead of minutes later on a
+// worker.
+func (r *JobRequest) Refs() []string {
+	var out []string
+	add := func(v *VolumeSource) {
+		if v.Ref != "" {
+			out = append(out, v.Ref)
+		}
+	}
+	switch {
+	case r.Segment != nil:
+		add(&r.Segment.Source)
+	case r.Label != nil:
+		add(&r.Label.Source)
+	case r.Train != nil:
+		add(&r.Train.Source)
+	}
+	return out
+}
+
 // SynthSpec asks the service to synthesize an IVT volume from the
 // deterministic MERRA-2 generator: Steps time slices on an NLon x NLat grid
 // integrated over NLev pressure levels, starting at generator step Start.
@@ -201,10 +242,31 @@ func (s *SynthSpec) validate(field string) error {
 	return nil
 }
 
-// VolumeSource names the input volume of a job: either inline row-major
-// (D, H, W) float32 data or a SynthSpec the service materializes. Exactly
-// one of the two forms must be used.
+// ValidRef reports whether s has the shape of a dataset content address
+// (64 lowercase hex chars — a SHA-256). The api package stays pure schema,
+// so this mirrors dataset.ValidID rather than importing the store; a
+// cross-package test pins the two against each other.
+func ValidRef(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// VolumeSource names the input volume of a job, in exactly one of three
+// forms: a content-addressed dataset ref (the data plane's preferred form —
+// upload once, submit many), inline row-major (D, H, W) float32 data, or a
+// SynthSpec the service materializes.
 type VolumeSource struct {
+	// Ref is a dataset id previously uploaded via PUT /v1/datasets/{id}
+	// (or produced by a prior job in ref result mode).
+	Ref   string     `json:"ref,omitempty"`
 	D     int        `json:"d,omitempty"`
 	H     int        `json:"h,omitempty"`
 	W     int        `json:"w,omitempty"`
@@ -213,6 +275,15 @@ type VolumeSource struct {
 }
 
 func (v *VolumeSource) validate(field string) error {
+	if v.Ref != "" {
+		if v.Synth != nil || v.D != 0 || v.H != 0 || v.W != 0 || len(v.Data) != 0 {
+			return invalidf("%s: ref is mutually exclusive with inline data and synth", field)
+		}
+		if !ValidRef(v.Ref) {
+			return invalidf("%s: ref %q is not a 64-hex content address", field, v.Ref)
+		}
+		return nil
+	}
 	if v.Synth != nil {
 		if v.D != 0 || v.H != 0 || v.W != 0 || len(v.Data) != 0 {
 			return invalidf("%s: synth and inline data are mutually exclusive", field)
@@ -336,7 +407,9 @@ type SegmentSpec struct {
 	SeedStride [3]int `json:"seed_stride,omitempty"`
 	// MaxSteps bounds network applications (0 = unbounded).
 	MaxSteps int `json:"max_steps,omitempty"`
-	// ReturnMask includes the full binary mask in the result payload.
+	// ReturnMask includes the full binary mask in the result: 1-bit packed
+	// inline (mask_bits), or as a dataset ref (mask_ref) when the job's
+	// result_mode is "ref".
 	ReturnMask bool `json:"return_mask,omitempty"`
 }
 
@@ -639,11 +712,16 @@ type SegmentResult struct {
 	TrainSteps    int     `json:"train_steps,omitempty"`
 	TrainLossHead float64 `json:"train_loss_head,omitempty"`
 	TrainLossTail float64 `json:"train_loss_tail,omitempty"`
-	// Mask is included only when return_mask was set.
-	D    int       `json:"d,omitempty"`
-	H    int       `json:"h,omitempty"`
-	W    int       `json:"w,omitempty"`
-	Mask []float32 `json:"mask,omitempty"`
+	// Mask payload, included only when return_mask was set. Inline mode
+	// carries MaskBits, the 1-bit-per-voxel LSB-first packing of the (D, H,
+	// W) row-major binary mask (dataset.PackBits — ~32x smaller than the
+	// float array it replaced); ref mode carries MaskRef, a dataset id
+	// fetchable via GET /v1/datasets/{id}.
+	D        int    `json:"d,omitempty"`
+	H        int    `json:"h,omitempty"`
+	W        int    `json:"w,omitempty"`
+	MaskBits []byte `json:"mask_bits,omitempty"`
+	MaskRef  string `json:"mask_ref,omitempty"`
 }
 
 // ObjectSummary is one tracked object in a label result.
@@ -679,6 +757,11 @@ type IVTResult struct {
 	PerStep []IVTStep `json:"per_step,omitempty"`
 	// Coverage is the fraction of voxels >= threshold (threshold > 0 only).
 	Coverage float64 `json:"coverage,omitempty"`
+	// VolumeRef is the derived (steps, nlat, nlon) IVT volume as a dataset
+	// ref, present when the job's result_mode is "ref" — downstream segment
+	// and label jobs can submit it by ref without the field ever leaving
+	// the fabric.
+	VolumeRef string `json:"volume_ref,omitempty"`
 }
 
 // TrainResult reports a training job. On cancellation Steps reflects the
@@ -725,6 +808,10 @@ type PipelineSlabResult struct {
 	Objects      int `json:"objects"`
 	ObjectVoxels int `json:"object_voxels"`
 	MaxDuration  int `json:"max_duration"`
+	// MaskRef is the slab's segmentation mask as a dataset ref, retained
+	// when the job's result_mode is "ref" (the pipeline's stages always
+	// chain by ref internally; inline mode releases the intermediates).
+	MaskRef string `json:"mask_ref,omitempty"`
 }
 
 // PipelineResult reports a streamed pipeline job. On cancellation the

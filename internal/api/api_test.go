@@ -294,3 +294,58 @@ func TestStateTerminal(t *testing.T) {
 		}
 	}
 }
+
+func TestValidRef(t *testing.T) {
+	good := strings.Repeat("0123456789abcdef", 4)
+	if !ValidRef(good) {
+		t.Fatalf("ValidRef(%q) = false", good)
+	}
+	for _, bad := range []string{"", "abc", good[:63], good + "0", "G" + good[1:], strings.ToUpper(good)} {
+		if ValidRef(bad) {
+			t.Errorf("ValidRef(%q) = true", bad)
+		}
+	}
+}
+
+func TestVolumeSourceRefValidation(t *testing.T) {
+	ref := strings.Repeat("ab", 32)
+	ok := JobRequest{Kind: KindLabel, Label: &LabelSpec{
+		Source: VolumeSource{Ref: ref}, Threshold: 0.5,
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("ref source rejected: %v", err)
+	}
+	cases := map[string]VolumeSource{
+		"ref+dims":  {Ref: ref, D: 1, H: 1, W: 1},
+		"ref+data":  {Ref: ref, Data: []float32{1}},
+		"ref+synth": {Ref: ref, Synth: &SynthSpec{NLon: 4, NLat: 4, NLev: 2, Steps: 1}},
+		"short ref": {Ref: "abc123"},
+		"upper ref": {Ref: strings.ToUpper(ref)},
+	}
+	for name, src := range cases {
+		req := JobRequest{Kind: KindLabel, Label: &LabelSpec{Source: src, Threshold: 0.5}}
+		if err := req.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", name, err)
+		}
+	}
+}
+
+func TestResultModeValidation(t *testing.T) {
+	base := func(mode ResultMode) JobRequest {
+		return JobRequest{
+			Kind:       KindIVT,
+			ResultMode: mode,
+			IVT:        &IVTSpec{Synth: SynthSpec{NLon: 8, NLat: 8, NLev: 3, Steps: 2}},
+		}
+	}
+	for _, mode := range []ResultMode{"", ResultModeInline, ResultModeRef} {
+		r := base(mode)
+		if err := r.Validate(); err != nil {
+			t.Errorf("result_mode %q rejected: %v", mode, err)
+		}
+	}
+	r := base("zip")
+	if err := r.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("result_mode zip: err = %v, want ErrInvalid", err)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"testing"
@@ -73,7 +74,7 @@ func TestRealSocketsEndToEnd(t *testing.T) {
 	}
 	dl := &thredds.Downloader{Parallel: 3}
 	fields := make([][]float32, 0, granules)
-	results, _ := dl.Fetch(urls, func(url string, body []byte) {
+	results, _ := dl.Fetch(context.Background(), urls, func(url string, body []byte) {
 		f, err := merra.DecodeBytes(body)
 		if err != nil {
 			t.Errorf("decode %s: %v", url, err)

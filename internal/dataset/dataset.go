@@ -1,0 +1,669 @@
+// Package dataset is the content-addressed data plane of the chased
+// service: volumes and masks live once in the community fabric (the
+// simulated Rook/Ceph objstore) and every layer above — the Job API, the
+// service handlers, the streamed pipeline, the CLI — moves 64-hex SHA-256
+// *references* instead of inline float payloads. This is the paper's core
+// bet made concrete: workflows ship refs to data held near the compute
+// ("data is moved to where it is needed"), so a 128^3 segment job submits a
+// ~70-byte ref where the inline path shipped ~8 MB of JSON text.
+//
+// The codec is deliberately compact and self-describing:
+//
+//	magic   "CDS1" (4 bytes)
+//	kind    uint8  (1 = float32 volume, 2 = 1-bit packed binary mask)
+//	pad     3 bytes (zero)
+//	d, h, w uint32 little-endian
+//	payload volume: d*h*w float32 LE; mask: ceil(d*h*w/8) bytes, LSB-first
+//
+// A dataset's ID is the lowercase hex SHA-256 of its full encoding, so IDs
+// are self-verifying: the gateway recomputes the hash on upload and a
+// corrupt or mislabeled blob can never resolve.
+package dataset
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"chaseci/internal/objstore"
+	"chaseci/internal/sim"
+)
+
+// Kind discriminates the payload encodings.
+type Kind uint8
+
+// The payload kinds.
+const (
+	// KindVolume is a dense row-major (d, h, w) float32 field.
+	KindVolume Kind = 1
+	// KindMask is a binary (d, h, w) field packed 1 bit per voxel —
+	// ~32x smaller than the float32 encoding for segmentation masks.
+	KindMask Kind = 2
+)
+
+// String names the kind for listings.
+func (k Kind) String() string {
+	switch k {
+	case KindVolume:
+		return "volume"
+	case KindMask:
+		return "mask"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Codec errors.
+var (
+	ErrBadEncoding = errors.New("dataset: bad encoding")
+	ErrNotFound    = errors.New("dataset: not found")
+	ErrBadID       = errors.New("dataset: malformed id")
+	ErrTooLarge    = errors.New("dataset: exceeds size limit")
+)
+
+var magic = [4]byte{'C', 'D', 'S', '1'}
+
+// HeaderSize is the fixed codec prefix before the payload.
+const HeaderSize = 20
+
+// maxVoxels mirrors the api package's inline-volume cap (64M voxels =
+// 256 MB f32), so a ref can never resolve to a volume the service would
+// have refused inline.
+const maxVoxels = 64 << 20
+
+// MaxEncodedBytes is the largest valid dataset encoding.
+const MaxEncodedBytes = HeaderSize + maxVoxels*4
+
+// voxels returns d*h*w when positive and within maxVoxels, division-checked
+// so the product cannot overflow.
+func voxels(d, h, w int) (int, bool) {
+	if d <= 0 || h <= 0 || w <= 0 {
+		return 0, false
+	}
+	if d > maxVoxels/h {
+		return 0, false
+	}
+	dh := d * h
+	if dh > maxVoxels/w {
+		return 0, false
+	}
+	return dh * w, true
+}
+
+// PackBits packs a float32 field into 1 bit per element, LSB-first: any
+// non-zero value becomes a set bit. It is the shared mask encoding of the
+// dataset codec and the Job API's inline mask_bits result field.
+func PackBits(data []float32) []byte {
+	out := make([]byte, (len(data)+7)/8)
+	for i, v := range data {
+		if v != 0 {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// UnpackBits expands n LSB-first packed bits into a 0/1 float32 field.
+// Stray set bits beyond n are rejected: one logical mask must have exactly
+// one encoding (and therefore one content address), like the zero header
+// padding the codec also enforces.
+func UnpackBits(bits []byte, n int) ([]float32, error) {
+	if n < 0 || len(bits) != (n+7)/8 {
+		return nil, fmt.Errorf("%w: %d packed bytes cannot hold %d bits", ErrBadEncoding, len(bits), n)
+	}
+	if rem := n % 8; rem != 0 && bits[len(bits)-1]>>rem != 0 {
+		return nil, fmt.Errorf("%w: non-zero padding bits past bit %d", ErrBadEncoding, n)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		if bits[i/8]&(1<<(i%8)) != 0 {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}
+
+func encodeHeader(kind Kind, d, h, w, payload int) []byte {
+	b := make([]byte, HeaderSize, HeaderSize+payload)
+	copy(b, magic[:])
+	b[4] = byte(kind)
+	binary.LittleEndian.PutUint32(b[8:], uint32(d))
+	binary.LittleEndian.PutUint32(b[12:], uint32(h))
+	binary.LittleEndian.PutUint32(b[16:], uint32(w))
+	return b
+}
+
+// EncodeVolume encodes a dense float32 volume.
+func EncodeVolume(d, h, w int, data []float32) ([]byte, error) {
+	n, ok := voxels(d, h, w)
+	if !ok || len(data) != n {
+		return nil, fmt.Errorf("%w: volume %dx%dx%d with %d values", ErrBadEncoding, d, h, w, len(data))
+	}
+	b := encodeHeader(KindVolume, d, h, w, 4*n)
+	for _, v := range data {
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(v))
+	}
+	return b, nil
+}
+
+// EncodeMask encodes a binary volume 1 bit per voxel; non-zero values are
+// set bits.
+func EncodeMask(d, h, w int, data []float32) ([]byte, error) {
+	n, ok := voxels(d, h, w)
+	if !ok || len(data) != n {
+		return nil, fmt.Errorf("%w: mask %dx%dx%d with %d values", ErrBadEncoding, d, h, w, len(data))
+	}
+	b := encodeHeader(KindMask, d, h, w, (n+7)/8)
+	return append(b, PackBits(data)...), nil
+}
+
+// Blob is a decoded dataset. Data is shared with the manager's resolve
+// cache — treat it as read-only and CloneData before mutating.
+type Blob struct {
+	Kind    Kind
+	D, H, W int
+	Data    []float32
+}
+
+// Voxels returns the element count.
+func (b *Blob) Voxels() int { return b.D * b.H * b.W }
+
+// CloneData returns a private copy of the payload, for callers (like the
+// FFN's in-place Normalize) that mutate it.
+func (b *Blob) CloneData() []float32 {
+	return append([]float32(nil), b.Data...)
+}
+
+// DecodeHeader reads just the codec prefix, validating magic, kind, dims,
+// and that the byte length matches the dims exactly.
+func DecodeHeader(enc []byte) (kind Kind, d, h, w int, err error) {
+	if len(enc) < HeaderSize || [4]byte(enc[:4]) != magic {
+		return 0, 0, 0, 0, fmt.Errorf("%w: missing CDS1 header", ErrBadEncoding)
+	}
+	kind = Kind(enc[4])
+	if enc[5] != 0 || enc[6] != 0 || enc[7] != 0 {
+		return 0, 0, 0, 0, fmt.Errorf("%w: non-zero header padding", ErrBadEncoding)
+	}
+	d = int(binary.LittleEndian.Uint32(enc[8:]))
+	h = int(binary.LittleEndian.Uint32(enc[12:]))
+	w = int(binary.LittleEndian.Uint32(enc[16:]))
+	n, ok := voxels(d, h, w)
+	if !ok {
+		return 0, 0, 0, 0, fmt.Errorf("%w: dims %dx%dx%d out of range", ErrBadEncoding, d, h, w)
+	}
+	var want int
+	switch kind {
+	case KindVolume:
+		want = 4 * n
+	case KindMask:
+		want = (n + 7) / 8
+	default:
+		return 0, 0, 0, 0, fmt.Errorf("%w: unknown kind %d", ErrBadEncoding, enc[4])
+	}
+	if len(enc) != HeaderSize+want {
+		return 0, 0, 0, 0, fmt.Errorf("%w: %d payload bytes, dims %dx%dx%d require %d",
+			ErrBadEncoding, len(enc)-HeaderSize, d, h, w, want)
+	}
+	// Canonical-form check for masks (the store validates uploads through
+	// this header path alone): stray set bits in the final byte would let
+	// one logical mask hash to many content addresses, defeating dedup.
+	if kind == KindMask {
+		if rem := n % 8; rem != 0 && enc[len(enc)-1]>>rem != 0 {
+			return 0, 0, 0, 0, fmt.Errorf("%w: non-zero padding bits past bit %d", ErrBadEncoding, n)
+		}
+	}
+	return kind, d, h, w, nil
+}
+
+// Decode parses a full encoding into a Blob. Masks are expanded to a 0/1
+// float32 field, so every dataset resolves to the same in-memory shape the
+// kernels consume.
+func Decode(enc []byte) (*Blob, error) {
+	kind, d, h, w, err := DecodeHeader(enc)
+	if err != nil {
+		return nil, err
+	}
+	n := d * h * w
+	b := &Blob{Kind: kind, D: d, H: h, W: w}
+	switch kind {
+	case KindVolume:
+		b.Data = make([]float32, n)
+		for i := range b.Data {
+			b.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(enc[HeaderSize+4*i:]))
+		}
+	case KindMask:
+		b.Data, err = UnpackBits(enc[HeaderSize:], n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// ID returns the dataset's content address: lowercase hex SHA-256 over the
+// full encoding.
+func ID(enc []byte) string {
+	sum := sha256.Sum256(enc)
+	return hex.EncodeToString(sum[:])
+}
+
+// ValidID reports whether s has the shape of a content address (64 lowercase
+// hex chars).
+func ValidID(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Info summarizes a stored dataset for listings.
+type Info struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	D     int    `json:"d"`
+	H     int    `json:"h"`
+	W     int    `json:"w"`
+	Bytes int    `json:"bytes"`
+	Owner string `json:"owner,omitempty"`
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// CacheBytes bounds the decoded-blob resolve cache (<= 0 = 128 MB).
+	CacheBytes int
+}
+
+// Manager is the content-addressed dataset store: encoded blobs persist in
+// an objstore bucket (replicated, heal-on-OSD-loss — the Ceph/Rook layer),
+// and an LRU-bounded cache keeps recently resolved volumes decoded so a
+// client that uploads once and submits many jobs pays the decode once.
+// All methods are safe for concurrent use; the underlying objstore.Store is
+// single-threaded, so every touch goes through the manager's mutex.
+type Manager struct {
+	mu     sync.Mutex
+	mount  *objstore.Mount
+	meta   map[string]Info
+	owners map[string]map[string]bool // id -> every identity that put it
+	pins   map[string]int
+	kept   map[string]bool
+	doomed map[string]bool
+
+	cacheBytes    int
+	cacheCapacity int
+	cache         map[string]*list.Element
+	lru           *list.List // front = most recent; values are *cacheEntry
+}
+
+type cacheEntry struct {
+	id    string
+	blob  *Blob
+	bytes int
+}
+
+// NewManager builds a manager over a mount (one bucket of a store).
+func NewManager(mount *objstore.Mount, cfg Config) *Manager {
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 128 << 20
+	}
+	return &Manager{
+		mount:         mount,
+		meta:          make(map[string]Info),
+		owners:        make(map[string]map[string]bool),
+		pins:          make(map[string]int),
+		kept:          make(map[string]bool),
+		doomed:        make(map[string]bool),
+		cacheCapacity: cfg.CacheBytes,
+		cache:         make(map[string]*list.Element),
+		lru:           list.New(),
+	}
+}
+
+// NewLocal builds a self-contained manager for in-process use (the default
+// the service Runner falls back to): a private virtual-time objstore with
+// three OSDs and 3-way replication, mounted at the "datasets" bucket.
+func NewLocal() *Manager {
+	clk := sim.NewClock()
+	store := objstore.NewStore(clk, nil, objstore.Config{Replicas: 3})
+	for i := 0; i < 3; i++ {
+		store.AddOSD(fmt.Sprintf("osd-%d", i), "local", 1e12, 1)
+	}
+	return NewManager(store.MountBucket("datasets"), Config{})
+}
+
+// Put validates and stores an encoded dataset, returning its Info. Putting
+// bytes that already exist is an idempotent no-op (content addressing:
+// same bytes, same id); every putter is registered as an owner — they
+// proved possession of the content, so a duplicate upload grants them the
+// same read/submit scope as the first. Put marks the dataset kept
+// (durable user data: uploads, result offloads, ingests) — Delete never
+// removes kept ids; producers of transient intermediates use PutNew.
+func (m *Manager) Put(enc []byte, owner string) (Info, error) {
+	info, _, err := m.put(enc, owner, true, false)
+	return info, err
+}
+
+// PutNew is Put without the kept mark, additionally reporting whether the
+// bytes were newly stored (false means the content was already present,
+// possibly owned by someone else). Producers of deletable intermediates
+// use it to know which ids are theirs to release — and promote an
+// intermediate to durable data with Keep when it becomes a result.
+func (m *Manager) PutNew(enc []byte, owner string) (Info, bool, error) {
+	return m.put(enc, owner, false, false)
+}
+
+// PutPinned is PutNew with a Pin taken under the same lock acquisition,
+// closing the window where a concurrent releaser could delete a
+// content-colliding id between the put and a separate Pin call. The
+// caller owes one Unpin.
+func (m *Manager) PutPinned(enc []byte, owner string) (Info, bool, error) {
+	return m.put(enc, owner, false, true)
+}
+
+// put stores (or re-registers) encoded bytes under one lock acquisition,
+// so the kept mark and/or pin land atomically with the write — a
+// concurrent intermediate release can never delete a just-Put dataset.
+// The returned Info carries the caller's own identity in Owner (never
+// another uploader's), so duplicate-upload replies leak nothing.
+func (m *Manager) put(enc []byte, owner string, keep, pin bool) (Info, bool, error) {
+	if len(enc) > MaxEncodedBytes {
+		return Info{}, false, fmt.Errorf("%w: %d bytes (max %d)", ErrTooLarge, len(enc), MaxEncodedBytes)
+	}
+	kind, d, h, w, err := DecodeHeader(enc)
+	if err != nil {
+		return Info{}, false, err
+	}
+	id := ID(enc)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Re-putting content revokes any pending deferred delete: the bytes
+	// are wanted again.
+	delete(m.doomed, id)
+	if info, ok := m.meta[id]; ok {
+		m.addOwnerLocked(id, owner)
+		if keep {
+			m.kept[id] = true
+		}
+		if pin {
+			m.pins[id]++
+		}
+		info.Owner = owner
+		return info, false, nil
+	}
+	if err := m.mount.WriteFile(id, enc); err != nil {
+		return Info{}, false, err
+	}
+	info := Info{ID: id, Kind: kind.String(), D: d, H: h, W: w, Bytes: len(enc), Owner: owner}
+	m.meta[id] = info
+	m.addOwnerLocked(id, owner)
+	if keep {
+		m.kept[id] = true
+	}
+	if pin {
+		m.pins[id]++
+	}
+	return info, true, nil
+}
+
+// addOwnerLocked registers an identity on the dataset. m.mu held.
+func (m *Manager) addOwnerLocked(id, owner string) {
+	set := m.owners[id]
+	if set == nil {
+		set = make(map[string]bool, 1)
+		m.owners[id] = set
+	}
+	set[owner] = true
+}
+
+// VisibleTo reports whether caller is in the dataset's ownership scope:
+// open datasets (any owner registered as "", "anonymous", or never
+// recorded) are visible to everyone; otherwise the caller must be a
+// registered owner. This single predicate backs both the gateway's
+// dataset endpoints and the service's submit-time ref check, so the two
+// can never drift.
+func (m *Manager) VisibleTo(id, caller string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.meta[id]; !ok {
+		return false
+	}
+	// Every live dataset has at least one registered owner (put always
+	// records one, "" included); an empty set means the last claim was
+	// dropped and only a pin is holding the bytes for a running job —
+	// nobody may see it anymore.
+	set := m.owners[id]
+	return set[""] || set["anonymous"] || set[caller]
+}
+
+// IsOwner reports whether caller personally put (or ingested) the dataset
+// — stricter than VisibleTo, which open markers satisfy too.
+func (m *Manager) IsOwner(id, caller string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.owners[id][caller]
+}
+
+// Drop removes caller's ownership claim on a dataset — the reclamation
+// path for kept data, bounding the store against upload-and-forget
+// growth. When the last claim drops, the kept mark is lifted and the
+// dataset deleted (deferred while pinned, as usual). An anonymous caller
+// may drop the open markers ("" / "anonymous"). Reports whether a claim
+// was removed.
+func (m *Manager) Drop(id, caller string) bool {
+	if !ValidID(id) {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set := m.owners[id]
+	who := caller
+	if !set[who] && caller == "anonymous" && set[""] {
+		who = ""
+	}
+	if !set[who] {
+		return false
+	}
+	delete(set, who)
+	if len(set) > 0 {
+		return true
+	}
+	delete(m.owners, id)
+	delete(m.kept, id)
+	if m.pins[id] > 0 {
+		m.doomed[id] = true
+		return true
+	}
+	m.deleteLocked(id)
+	return true
+}
+
+// Keep marks a dataset durable: Delete (including a deferred one pending
+// on its pins) will never remove it. Call while holding a Pin (or before
+// any concurrent deleter can see the id) to make promotion race-free.
+func (m *Manager) Keep(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.meta[id]; ok {
+		m.kept[id] = true
+		delete(m.doomed, id)
+	}
+}
+
+// PutVolume encodes and stores a float32 volume.
+func (m *Manager) PutVolume(d, h, w int, data []float32, owner string) (Info, error) {
+	enc, err := EncodeVolume(d, h, w, data)
+	if err != nil {
+		return Info{}, err
+	}
+	return m.Put(enc, owner)
+}
+
+// PutMask encodes and stores a binary mask (1 bit/voxel).
+func (m *Manager) PutMask(d, h, w int, data []float32, owner string) (Info, error) {
+	enc, err := EncodeMask(d, h, w, data)
+	if err != nil {
+		return Info{}, err
+	}
+	return m.Put(enc, owner)
+}
+
+// GetBytes returns the raw encoding of a dataset — the gateway's GET body.
+func (m *Manager) GetBytes(id string) ([]byte, error) {
+	if !ValidID(id) {
+		return nil, fmt.Errorf("%w: %q", ErrBadID, id)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	enc, err := m.mount.ReadFile(id)
+	if errors.Is(err, objstore.ErrNotFound) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return enc, err
+}
+
+// Resolve returns the decoded dataset, serving repeat resolves from the LRU
+// cache. The returned Blob is shared — read-only (see Blob.CloneData).
+func (m *Manager) Resolve(id string) (*Blob, error) {
+	if !ValidID(id) {
+		return nil, fmt.Errorf("%w: %q", ErrBadID, id)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.cache[id]; ok {
+		m.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).blob, nil
+	}
+	enc, err := m.mount.ReadFile(id)
+	if errors.Is(err, objstore.ErrNotFound) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if err != nil {
+		return nil, err
+	}
+	blob, err := Decode(enc)
+	if err != nil {
+		return nil, err
+	}
+	m.cacheLocked(id, blob)
+	return blob, nil
+}
+
+// cacheLocked inserts a decoded blob and evicts LRU entries past the byte
+// budget. m.mu held.
+func (m *Manager) cacheLocked(id string, blob *Blob) {
+	cost := 4 * len(blob.Data)
+	if cost > m.cacheCapacity {
+		return // larger than the whole cache; don't thrash it
+	}
+	m.cache[id] = m.lru.PushFront(&cacheEntry{id: id, blob: blob, bytes: cost})
+	m.cacheBytes += cost
+	for m.cacheBytes > m.cacheCapacity {
+		el := m.lru.Back()
+		if el == nil {
+			break
+		}
+		ent := m.lru.Remove(el).(*cacheEntry)
+		delete(m.cache, ent.id)
+		m.cacheBytes -= ent.bytes
+	}
+}
+
+// CachedBytes reports the resolve cache's current footprint (tests).
+func (m *Manager) CachedBytes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheBytes
+}
+
+// Stat returns a dataset's Info without touching its payload.
+func (m *Manager) Stat(id string) (Info, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info, ok := m.meta[id]
+	return info, ok
+}
+
+// List returns every stored dataset's Info, sorted by id.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Info, 0, len(m.meta))
+	for _, info := range m.meta {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Pin marks a dataset in-use: deleting a pinned id is deferred until its
+// last Unpin, so a producer releasing its intermediates cannot pull a blob
+// out from under a concurrent job that content-collided into the same id.
+func (m *Manager) Pin(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pins[id]++
+}
+
+// Unpin reverses one Pin, executing a deferred Delete when the last pin
+// drops and no Put has revived the content in the meantime.
+func (m *Manager) Unpin(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pins[id] > 1 {
+		m.pins[id]--
+		return
+	}
+	delete(m.pins, id)
+	if m.doomed[id] {
+		delete(m.doomed, id)
+		m.deleteLocked(id)
+	}
+}
+
+// Delete removes a dataset and its cache entry. Deleting a missing or
+// kept id is a no-op; deleting a pinned id is deferred until its last
+// Unpin (unless a Put or Keep revives the content first), so intent to
+// delete is neither lost nor able to destroy data another party claimed —
+// even across jobs sharing a content-collided id.
+func (m *Manager) Delete(id string) {
+	if !ValidID(id) {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.meta[id]; !ok || m.kept[id] {
+		return
+	}
+	if m.pins[id] > 0 {
+		m.doomed[id] = true
+		return
+	}
+	m.deleteLocked(id)
+}
+
+// deleteLocked drops the dataset, its metadata, and its cache entry. m.mu
+// held.
+func (m *Manager) deleteLocked(id string) {
+	if el, ok := m.cache[id]; ok {
+		ent := m.lru.Remove(el).(*cacheEntry)
+		delete(m.cache, ent.id)
+		m.cacheBytes -= ent.bytes
+	}
+	if _, ok := m.meta[id]; ok {
+		delete(m.meta, id)
+		delete(m.owners, id)
+		delete(m.kept, id)
+		_ = m.mount.Remove(id)
+	}
+}

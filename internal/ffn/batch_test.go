@@ -131,6 +131,9 @@ func TestFloodBatchScratchAllocFree(t *testing.T) {
 // TestSegmentReusesBatchScratch verifies repeated Segment calls recycle the
 // batched scratch through the network pool instead of rebuilding it.
 func TestSegmentReusesBatchScratch(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; reuse pins run in the non-race job")
+	}
 	net, img, seeds := batchScene(t, 8)
 	prev := parallel.SetWorkers(1)
 	defer parallel.SetWorkers(prev)

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Gateway is the RADOS-gateway stand-in: an S3-flavoured HTTP face over the
@@ -23,7 +24,12 @@ import (
 //
 // Objects written through the gateway carry real bytes; size-only simulated
 // objects report their modeled Content-Length on HEAD and return 204 on GET.
+//
+// The Store itself is single-threaded (simulation-side callers drive it
+// from one goroutine), but net/http serves each connection on its own
+// goroutine — so every store touch below is serialized behind mu.
 type Gateway struct {
+	mu      sync.Mutex
 	store   *Store
 	httpSrv *http.Server
 	ln      net.Listener
@@ -85,13 +91,18 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if _, err := g.store.Put(bucket, key, float64(len(body)), body); err != nil {
+		g.mu.Lock()
+		_, err = g.store.Put(bucket, key, float64(len(body)), body)
+		g.mu.Unlock()
+		if err != nil {
 			writeS3Error(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusOK)
 	case http.MethodGet:
+		g.mu.Lock()
 		obj, err := g.store.Get(bucket, key)
+		g.mu.Unlock()
 		if err != nil {
 			writeS3Error(w, err)
 			return
@@ -106,7 +117,9 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Length", strconv.Itoa(len(obj.Data)))
 		w.Write(obj.Data)
 	case http.MethodHead:
+		g.mu.Lock()
 		size, ok := g.store.Stat(bucket, key)
+		g.mu.Unlock()
 		if !ok {
 			w.WriteHeader(http.StatusNotFound)
 			return
@@ -114,7 +127,10 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Length", strconv.FormatInt(int64(size), 10))
 		w.WriteHeader(http.StatusOK)
 	case http.MethodDelete:
-		if err := g.store.Delete(bucket, key); err != nil {
+		g.mu.Lock()
+		err := g.store.Delete(bucket, key)
+		g.mu.Unlock()
+		if err != nil {
 			writeS3Error(w, err)
 			return
 		}
@@ -126,6 +142,7 @@ func (g *Gateway) handle(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) handleList(w http.ResponseWriter, bucket, prefix string) {
 	res := listBucketResult{Name: bucket}
+	g.mu.Lock()
 	for _, key := range g.store.List(bucket) {
 		if prefix != "" && !strings.HasPrefix(key, prefix) {
 			continue
@@ -133,6 +150,7 @@ func (g *Gateway) handleList(w http.ResponseWriter, bucket, prefix string) {
 		size, _ := g.store.Stat(bucket, key)
 		res.Contents = append(res.Contents, listContent{Key: key, Size: int64(size)})
 	}
+	g.mu.Unlock()
 	w.Header().Set("Content-Type", "application/xml")
 	fmt.Fprint(w, xml.Header)
 	xml.NewEncoder(w).Encode(res)

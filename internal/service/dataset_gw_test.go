@@ -1,0 +1,727 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"chaseci/internal/api"
+	"chaseci/internal/dataset"
+	"chaseci/internal/merra"
+	"chaseci/internal/queue"
+)
+
+// testIVTField materializes the deterministic synthetic IVT volume the
+// ref-vs-inline tests submit both ways.
+func testIVTField(steps int) (d, h, w int, data []float32) {
+	g := merra.Grid{NLon: 36, NLat: 24, NLev: 6}
+	gen := merra.NewGenerator(g, 11)
+	vol := merra.IVTVolume(gen, merra.PressureLevels(g.NLev), 0, steps)
+	return steps, g.NLat, g.NLon, vol.Data
+}
+
+// putDataset uploads encoded bytes through the gateway and returns the Info.
+func (f *gwFixture) putDataset(enc []byte) dataset.Info {
+	f.t.Helper()
+	id := dataset.ID(enc)
+	req, err := http.NewRequest("PUT", f.srv.URL+"/v1/datasets/"+id, bytes.NewReader(enc))
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	if f.token != "" {
+		req.Header.Set("Authorization", "Bearer "+f.token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		f.t.Fatalf("PUT dataset: status %d: %s", resp.StatusCode, body)
+	}
+	var info dataset.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		f.t.Fatal(err)
+	}
+	return info
+}
+
+// getDataset fetches a dataset's raw bytes through the gateway.
+func (f *gwFixture) getDataset(id string) []byte {
+	f.t.Helper()
+	req, err := http.NewRequest("GET", f.srv.URL+"/v1/datasets/"+id, nil)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	if f.token != "" {
+		req.Header.Set("Authorization", "Bearer "+f.token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		f.t.Fatalf("GET dataset %s: status %d: %s", id, resp.StatusCode, body)
+	}
+	enc, err := io.ReadAll(resp.Body)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return enc
+}
+
+func TestGatewayDatasetPutGetRoundTrip(t *testing.T) {
+	f := newGWFixture(t, true)
+	d, h, w, data := testIVTField(2)
+	enc, err := dataset.EncodeVolume(d, h, w, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info := f.putDataset(enc)
+	if info.ID != dataset.ID(enc) || info.Kind != "volume" || info.D != d {
+		t.Fatalf("info = %+v", info)
+	}
+	// Re-upload is idempotent.
+	if again := f.putDataset(enc); again.ID != info.ID {
+		t.Fatalf("re-upload changed id: %s vs %s", again.ID, info.ID)
+	}
+	back := f.getDataset(info.ID)
+	if !bytes.Equal(back, enc) {
+		t.Fatal("downloaded bytes differ from upload")
+	}
+	// Listing includes it.
+	var list []dataset.Info
+	if resp := f.do("GET", "/v1/datasets", nil, &list); resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: status %d", resp.StatusCode)
+	}
+	if len(list) != 1 || list[0].ID != info.ID {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestGatewayDatasetPutRejectsBadUploads(t *testing.T) {
+	f := newGWFixture(t, true)
+	d, h, w, data := testIVTField(1)
+	enc, _ := dataset.EncodeVolume(d, h, w, data)
+
+	// Path id that is not the content's hash -> 400.
+	wrong := strings.Repeat("ab", 32)
+	req, _ := http.NewRequest("PUT", f.srv.URL+"/v1/datasets/"+wrong, bytes.NewReader(enc))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("hash mismatch: status %d, want 400", resp.StatusCode)
+	}
+	// Malformed id -> 400.
+	req, _ = http.NewRequest("PUT", f.srv.URL+"/v1/datasets/not-hex", bytes.NewReader(enc))
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed id: status %d, want 400", resp.StatusCode)
+	}
+	// Corrupt body -> 400 (POST path: server computes the id).
+	req, _ = http.NewRequest("POST", f.srv.URL+"/v1/datasets", bytes.NewReader([]byte("junk")))
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt body: status %d, want 400", resp.StatusCode)
+	}
+	// Missing dataset -> 404.
+	req, _ = http.NewRequest("GET", f.srv.URL+"/v1/datasets/"+strings.Repeat("cd", 32), nil)
+	if resp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing dataset: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestGatewayDatasetOwnership(t *testing.T) {
+	f := newGWFixture(t, false)
+	login := func(user string) string {
+		var out struct {
+			Token string `json:"token"`
+		}
+		if resp := f.do("POST", "/v1/login", map[string]string{"user": user}, &out); resp.StatusCode != http.StatusOK {
+			t.Fatalf("login %s: status %d", user, resp.StatusCode)
+		}
+		return out.Token
+	}
+	alice, bob := login("alice@ucsd.edu"), login("bob@sdsc.edu")
+
+	d, h, w, data := testIVTField(1)
+	enc, _ := dataset.EncodeVolume(d, h, w, data)
+	f.token = alice
+	info := f.putDataset(enc)
+
+	// Bob cannot fetch Alice's dataset — and the reply is the same 404 a
+	// truly missing id gets, so GET is not an existence oracle for
+	// content hashes. His listing excludes it too.
+	f.token = bob
+	req, _ := http.NewRequest("GET", f.srv.URL+"/v1/datasets/"+info.ID, nil)
+	req.Header.Set("Authorization", "Bearer "+bob)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("bob GET: status %d, want 404 (indistinguishable from missing)", resp.StatusCode)
+	}
+	var list []dataset.Info
+	f.do("GET", "/v1/datasets", nil, &list)
+	if len(list) != 0 {
+		t.Fatalf("bob sees %d datasets, want 0", len(list))
+	}
+	// Bob also cannot compute over Alice's ref: submit enforces the same
+	// ownership scope, with the same reply as a missing ref so submit is
+	// not an existence oracle for private refs.
+	jobReq := &api.JobRequest{Kind: api.KindLabel, Label: &api.LabelSpec{
+		Source:    api.VolumeSource{Ref: info.ID},
+		Threshold: 0.5,
+	}}
+	resp = f.do("POST", "/v1/jobs", jobReq, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bob submit over alice's ref: status %d, want 400", resp.StatusCode)
+	}
+	f.token = alice
+	if got := f.getDataset(info.ID); !bytes.Equal(got, enc) {
+		t.Fatal("alice cannot read her own dataset")
+	}
+	// And alice can compute over it.
+	var sub api.SubmitResponse
+	if resp = f.do("POST", "/v1/jobs", jobReq, &sub); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("alice submit over her own ref: status %d, want 202", resp.StatusCode)
+	}
+
+	// If bob uploads the identical bytes he proves possession of the
+	// content: the dedup reply carries *his* identity (not alice's), and
+	// he gains the same read/submit scope as any owner.
+	f.token = bob
+	dup := f.putDataset(enc)
+	if dup.ID != info.ID {
+		t.Fatalf("duplicate upload changed id: %s vs %s", dup.ID, info.ID)
+	}
+	if dup.Owner != "bob@sdsc.edu" {
+		t.Fatalf("duplicate-upload reply leaks owner %q", dup.Owner)
+	}
+	if got := f.getDataset(info.ID); !bytes.Equal(got, enc) {
+		t.Fatal("co-owner bob cannot read the dataset he uploaded")
+	}
+	if resp = f.do("POST", "/v1/jobs", jobReq, &sub); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("co-owner bob submit: status %d, want 202", resp.StatusCode)
+	}
+	// His listing shows the entry under his own identity.
+	f.do("GET", "/v1/datasets", nil, &list)
+	if len(list) != 1 || list[0].Owner != "bob@sdsc.edu" {
+		t.Fatalf("bob's listing after co-upload = %+v", list)
+	}
+}
+
+func TestGatewaySubmitDanglingRef(t *testing.T) {
+	f := newGWFixture(t, true)
+	req := &api.JobRequest{Kind: api.KindLabel, Label: &api.LabelSpec{
+		Source:    api.VolumeSource{Ref: strings.Repeat("ef", 32)},
+		Threshold: 0.5,
+	}}
+	resp := f.do("POST", "/v1/jobs", req, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dangling ref: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestGatewayRefSubmitBitExactVsInline is the PR's acceptance check: a
+// segment job submitted by ref returns bit-identical mask and stats to the
+// same job submitted inline, end to end through the HTTP gateway.
+func TestGatewayRefSubmitBitExactVsInline(t *testing.T) {
+	f := newGWFixture(t, true)
+	d, h, w, data := testIVTField(4)
+	segSpec := func(src api.VolumeSource) *api.SegmentSpec {
+		return &api.SegmentSpec{
+			Source:     src,
+			Threshold:  120,
+			Net:        &api.NetConfig{FOV: [3]int{3, 7, 7}, Features: 6, MoveProb: 0.6},
+			SeedStride: [3]int{1, 4, 4},
+			ReturnMask: true,
+		}
+	}
+
+	// Inline submit: the whole volume rides the request, the mask rides
+	// the result (1-bit packed).
+	st, env := f.submitAndWait(&api.JobRequest{
+		Kind:    api.KindSegment,
+		Segment: segSpec(api.VolumeSource{D: d, H: h, W: w, Data: data}),
+	})
+	if st.State != api.StateSucceeded {
+		t.Fatalf("inline job: %s (%s)", st.State, st.Error)
+	}
+	var inline api.SegmentResult
+	if err := json.Unmarshal(env.Result, &inline); err != nil {
+		t.Fatal(err)
+	}
+	if inline.MaskBits == nil || inline.MaskRef != "" {
+		t.Fatalf("inline result carries wrong mask form: %+v", st)
+	}
+
+	// Ref submit: upload once, submit the 64-byte ref, get a mask ref back.
+	enc, err := dataset.EncodeVolume(d, h, w, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := f.putDataset(enc)
+	st, env = f.submitAndWait(&api.JobRequest{
+		Kind:       api.KindSegment,
+		ResultMode: api.ResultModeRef,
+		Segment:    segSpec(api.VolumeSource{Ref: info.ID}),
+	})
+	if st.State != api.StateSucceeded {
+		t.Fatalf("ref job: %s (%s)", st.State, st.Error)
+	}
+	var byRef api.SegmentResult
+	if err := json.Unmarshal(env.Result, &byRef); err != nil {
+		t.Fatal(err)
+	}
+	if byRef.MaskRef == "" || byRef.MaskBits != nil {
+		t.Fatalf("ref result carries wrong mask form: mask_ref=%q", byRef.MaskRef)
+	}
+
+	// Stats bit-identical.
+	if inline.Steps != byRef.Steps || inline.Moves != byRef.Moves ||
+		inline.SeedsUsed != byRef.SeedsUsed || inline.MaskVoxels != byRef.MaskVoxels ||
+		inline.VoxelsTotal != byRef.VoxelsTotal {
+		t.Fatalf("stats diverge: inline %+v vs ref %+v", inline, byRef)
+	}
+	// Masks bit-identical: unpack the inline bits, fetch + decode the ref.
+	inlineMask, err := dataset.UnpackBits(inline.MaskBits, d*h*w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := dataset.Decode(f.getDataset(byRef.MaskRef))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob.Kind != dataset.KindMask || blob.D != d || blob.H != h || blob.W != w {
+		t.Fatalf("mask dataset header: %+v", blob)
+	}
+	for i := range inlineMask {
+		if inlineMask[i] != blob.Data[i] {
+			t.Fatalf("mask voxel %d differs: inline %v, ref %v", i, inlineMask[i], blob.Data[i])
+		}
+	}
+}
+
+// TestIVTRefChainsIntoLabel: an IVT job in ref mode emits a volume ref a
+// label job can consume directly — the derived field never crosses the
+// gateway.
+func TestIVTRefChainsIntoLabel(t *testing.T) {
+	r := NewRunner(DefaultRegistry(), queue.NewStore(), 2)
+	defer r.Close()
+	synth := api.SynthSpec{NLon: 36, NLat: 24, NLev: 6, Steps: 3, Seed: 11}
+
+	st, err := r.Submit(&api.JobRequest{
+		Kind:       api.KindIVT,
+		ResultMode: api.ResultModeRef,
+		IVT:        &api.IVTSpec{Synth: synth},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r, st.ID, terminal)
+	raw, _, _ := r.Result(st.ID)
+	var ivtRes api.IVTResult
+	if err := json.Unmarshal(raw, &ivtRes); err != nil {
+		t.Fatal(err)
+	}
+	if ivtRes.VolumeRef == "" {
+		t.Fatal("ref-mode ivt job returned no volume_ref")
+	}
+	blob, err := r.Datasets().Resolve(ivtRes.VolumeRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob.D != synth.Steps || blob.H != synth.NLat || blob.W != synth.NLon {
+		t.Fatalf("volume_ref dims %dx%dx%d", blob.D, blob.H, blob.W)
+	}
+
+	labelSpec := func(src api.VolumeSource) *api.LabelSpec {
+		return &api.LabelSpec{Source: src, Threshold: 150, MinVoxels: 2}
+	}
+	st, err = r.Submit(&api.JobRequest{Kind: api.KindLabel, Label: labelSpec(api.VolumeSource{Ref: ivtRes.VolumeRef})}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r, st.ID, terminal)
+	raw, _, _ = r.Result(st.ID)
+	var byRef api.LabelResult
+	if err := json.Unmarshal(raw, &byRef); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = r.Submit(&api.JobRequest{Kind: api.KindLabel, Label: labelSpec(api.VolumeSource{
+		D: blob.D, H: blob.H, W: blob.W, Data: blob.CloneData(),
+	})}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r, st.ID, terminal)
+	raw, _, _ = r.Result(st.ID)
+	var inline api.LabelResult
+	if err := json.Unmarshal(raw, &inline); err != nil {
+		t.Fatal(err)
+	}
+	if inline.Objects != byRef.Objects || inline.TotalVoxels != byRef.TotalVoxels ||
+		inline.MaxDuration != byRef.MaxDuration {
+		t.Fatalf("label by ref %+v diverges from inline %+v", byRef, inline)
+	}
+}
+
+// TestPipelineRefLifecycle: ref-mode pipeline jobs keep per-slab mask refs
+// (resolvable, voxel counts matching); inline-mode jobs release every
+// intermediate dataset on completion.
+func TestPipelineRefLifecycle(t *testing.T) {
+	r := NewRunner(DefaultRegistry(), queue.NewStore(), 2)
+	defer r.Close()
+	req := pipelineRequest(2, true)
+
+	req.ResultMode = api.ResultModeRef
+	st, err := r.Submit(req, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r, st.ID, terminal)
+	raw, _, _ := r.Result(st.ID)
+	var refRes api.PipelineResult
+	if err := json.Unmarshal(raw, &refRes); err != nil {
+		t.Fatal(err)
+	}
+	if refRes.SlabsDone == 0 {
+		t.Fatal("no slabs completed")
+	}
+	for _, sl := range refRes.PerSlab {
+		if sl.MaskRef == "" {
+			t.Fatalf("slab %d has no mask_ref", sl.Slab)
+		}
+		blob, err := r.Datasets().Resolve(sl.MaskRef)
+		if err != nil {
+			t.Fatalf("slab %d mask: %v", sl.Slab, err)
+		}
+		voxels := 0
+		for _, v := range blob.Data {
+			if v != 0 {
+				voxels++
+			}
+		}
+		if voxels != sl.MaskVoxels {
+			t.Fatalf("slab %d mask has %d voxels, result says %d", sl.Slab, voxels, sl.MaskVoxels)
+		}
+	}
+	// Only the masks were kept: raw slab fields are gone. Identical masks
+	// dedup to one stored dataset, so count unique refs.
+	uniqueMasks := make(map[string]bool)
+	for _, sl := range refRes.PerSlab {
+		uniqueMasks[sl.MaskRef] = true
+	}
+	if got, want := len(r.Datasets().List()), len(uniqueMasks); got != want {
+		t.Fatalf("store holds %d datasets after ref-mode pipeline, want %d masks", got, want)
+	}
+
+	// Inline mode releases everything.
+	req2 := pipelineRequest(2, true)
+	st, err = r.Submit(req2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, r, st.ID, terminal)
+	raw, _, _ = r.Result(st.ID)
+	var inlineRes api.PipelineResult
+	if err := json.Unmarshal(raw, &inlineRes); err != nil {
+		t.Fatal(err)
+	}
+	for i := range inlineRes.PerSlab {
+		if inlineRes.PerSlab[i].MaskRef != "" {
+			t.Fatal("inline-mode pipeline leaked a mask_ref into the result")
+		}
+		// Identical analysis modulo the ref bookkeeping.
+		a, b := inlineRes.PerSlab[i], refRes.PerSlab[i]
+		a.MaskRef, b.MaskRef = "", ""
+		if a != b {
+			t.Fatalf("slab %d diverges between modes: %+v vs %+v", i, a, b)
+		}
+	}
+	if got, want := len(r.Datasets().List()), len(uniqueMasks); got != want {
+		t.Fatalf("store holds %d datasets after inline pipeline, want the %d kept masks only", got, want)
+	}
+}
+
+// bench64Volume builds the 64^3 volume the submit-path benchmarks ship.
+func bench64Volume() (int, int, int, []float32) {
+	const n = 64
+	data := make([]float32, n*n*n)
+	for i := range data {
+		data[i] = float32(i%251) * 0.7
+	}
+	return n, n, n, data
+}
+
+// benchSegmentSpec is a segmentation job tuned so the submit path, not the
+// kernel, dominates: one seed, one network application.
+func benchSegmentSpec(src api.VolumeSource) *api.SegmentSpec {
+	return &api.SegmentSpec{
+		Source:     src,
+		Seeds:      [][3]int{{32, 32, 32}},
+		MaxSteps:   1,
+		ReturnMask: true,
+	}
+}
+
+// submitAndMeasure posts a job, waits for it, fetches the result, and
+// returns the total bytes that crossed the gateway (request + both response
+// bodies) plus the decoded result.
+func submitAndMeasure(b testing.TB, srv string, runner *Runner, req *api.JobRequest) (int64, api.SegmentResult) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wire := int64(len(body))
+	resp, err := http.Post(srv+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ack, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wire += int64(len(ack))
+	var sub api.SubmitResponse
+	if err := json.Unmarshal(ack, &sub); err != nil || sub.ID == "" {
+		b.Fatalf("submit failed: %s", ack)
+	}
+	for {
+		st, ok := runner.Status(sub.ID)
+		if !ok {
+			b.Fatalf("job %s vanished", sub.ID)
+		}
+		if st.State.Terminal() {
+			if st.State != api.StateSucceeded {
+				b.Fatalf("job %s: %s (%s)", sub.ID, st.State, st.Error)
+			}
+			break
+		}
+	}
+	resp, err = http.Get(srv + "/v1/jobs/" + sub.ID + "/result")
+	if err != nil {
+		b.Fatal(err)
+	}
+	envRaw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	wire += int64(len(envRaw))
+	var env api.ResultEnvelope
+	if err := json.Unmarshal(envRaw, &env); err != nil {
+		b.Fatal(err)
+	}
+	var res api.SegmentResult
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		b.Fatal(err)
+	}
+	return wire, res
+}
+
+// BenchmarkJobSubmitInline is the old data plane: a 64^3 volume rides every
+// submit as JSON text and the mask rides the result. The wire-bytes metric
+// is the quantity BenchmarkJobSubmitRef divides.
+func BenchmarkJobSubmitInline(b *testing.B) {
+	runner := NewRunner(DefaultRegistry(), queue.NewStore(), 2)
+	defer runner.Close()
+	srv := httptest.NewServer(NewGateway(runner, GatewayOptions{AllowAnonymous: true, TokenSeed: 1}))
+	defer srv.Close()
+	d, h, w, data := bench64Volume()
+	req := &api.JobRequest{Kind: api.KindSegment, Segment: benchSegmentSpec(api.VolumeSource{D: d, H: h, W: w, Data: data})}
+	var wire int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire, _ = submitAndMeasure(b, srv.URL, runner, req)
+	}
+	b.ReportMetric(float64(wire), "wire-bytes/op")
+}
+
+// BenchmarkJobSubmitRef is the refactored data plane: the volume is
+// uploaded once (untimed), and every submit moves a 64-hex ref in and a
+// mask ref out. The acceptance bar is >= 5x fewer gateway bytes than
+// inline for the same 64^3 job; in practice it is orders of magnitude.
+func BenchmarkJobSubmitRef(b *testing.B) {
+	runner := NewRunner(DefaultRegistry(), queue.NewStore(), 2)
+	defer runner.Close()
+	srv := httptest.NewServer(NewGateway(runner, GatewayOptions{AllowAnonymous: true, TokenSeed: 1}))
+	defer srv.Close()
+	d, h, w, data := bench64Volume()
+	enc, err := dataset.EncodeVolume(d, h, w, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	info, err := runner.Datasets().Put(enc, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &api.JobRequest{
+		Kind:       api.KindSegment,
+		ResultMode: api.ResultModeRef,
+		Segment:    benchSegmentSpec(api.VolumeSource{Ref: info.ID}),
+	}
+	var wire int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire, _ = submitAndMeasure(b, srv.URL, runner, req)
+	}
+	b.ReportMetric(float64(wire), "wire-bytes/op")
+}
+
+// TestRefSubmitWireBytesRatio pins the acceptance criterion in plain `go
+// test`: for a 64^3 volume, submitting by ref moves >= 5x fewer bytes
+// through the HTTP gateway than submitting inline, with identical results.
+func TestRefSubmitWireBytesRatio(t *testing.T) {
+	runner := NewRunner(DefaultRegistry(), queue.NewStore(), 2)
+	defer runner.Close()
+	srv := httptest.NewServer(NewGateway(runner, GatewayOptions{AllowAnonymous: true, TokenSeed: 1}))
+	defer srv.Close()
+	d, h, w, data := bench64Volume()
+
+	inlineWire, inlineRes := submitAndMeasure(t, srv.URL, runner, &api.JobRequest{
+		Kind:    api.KindSegment,
+		Segment: benchSegmentSpec(api.VolumeSource{D: d, H: h, W: w, Data: data}),
+	})
+
+	enc, err := dataset.EncodeVolume(d, h, w, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := runner.Datasets().Put(enc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refWire, refRes := submitAndMeasure(t, srv.URL, runner, &api.JobRequest{
+		Kind:       api.KindSegment,
+		ResultMode: api.ResultModeRef,
+		Segment:    benchSegmentSpec(api.VolumeSource{Ref: info.ID}),
+	})
+
+	if inlineRes.Steps != refRes.Steps || inlineRes.MaskVoxels != refRes.MaskVoxels {
+		t.Fatalf("results diverge: inline %+v vs ref %+v", inlineRes, refRes)
+	}
+	ratio := float64(inlineWire) / float64(refWire)
+	t.Logf("wire bytes: inline %d, ref %d (%.0fx)", inlineWire, refWire, ratio)
+	if ratio < 5 {
+		t.Fatalf("ref submit moved only %.1fx fewer gateway bytes, want >= 5x", ratio)
+	}
+}
+
+// TestGatewayDatasetDeleteDropsClaims: DELETE removes the caller's claim;
+// the bytes go away when the last claim drops, and a running job's pin
+// defers (but does not lose) the reclamation.
+func TestGatewayDatasetDeleteDropsClaims(t *testing.T) {
+	f := newGWFixture(t, false)
+	login := func(user string) string {
+		var out struct {
+			Token string `json:"token"`
+		}
+		if resp := f.do("POST", "/v1/login", map[string]string{"user": user}, &out); resp.StatusCode != http.StatusOK {
+			t.Fatalf("login %s: status %d", user, resp.StatusCode)
+		}
+		return out.Token
+	}
+	alice, bob := login("alice@ucsd.edu"), login("bob@sdsc.edu")
+
+	d, h, w, data := testIVTField(1)
+	enc, _ := dataset.EncodeVolume(d, h, w, data)
+	f.token = alice
+	info := f.putDataset(enc)
+	f.token = bob
+	f.putDataset(enc) // bob becomes co-owner
+
+	// Alice drops her claim: dataset survives on bob's.
+	f.token = alice
+	var reply struct {
+		Deleted bool `json:"deleted"`
+	}
+	if resp := f.do("DELETE", "/v1/datasets/"+info.ID, nil, &reply); resp.StatusCode != http.StatusOK || reply.Deleted {
+		t.Fatalf("alice drop: status %d deleted=%v, want 200 + retained", resp.StatusCode, reply.Deleted)
+	}
+	// Alice no longer sees it (same 404 as missing).
+	if resp := f.do("GET", "/v1/datasets/"+info.ID, nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("alice GET after drop: status %d, want 404", resp.StatusCode)
+	}
+	f.token = bob
+	if got := f.getDataset(info.ID); !bytes.Equal(got, enc) {
+		t.Fatal("bob lost access when alice dropped her claim")
+	}
+	// Bob drops the last claim: bytes reclaimed.
+	if resp := f.do("DELETE", "/v1/datasets/"+info.ID, nil, &reply); resp.StatusCode != http.StatusOK || !reply.Deleted {
+		t.Fatalf("bob drop: status %d deleted=%v, want 200 + deleted", resp.StatusCode, reply.Deleted)
+	}
+	if _, ok := f.runner.Datasets().Stat(info.ID); ok {
+		t.Fatal("dataset bytes survive after the last claim dropped")
+	}
+	// Double-delete and foreign delete are the same 404.
+	if resp := f.do("DELETE", "/v1/datasets/"+info.ID, nil, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSubmitPinsSourceRefs: a ref accepted at submit stays resolvable
+// until the job runs, even if every ownership claim is dropped in between.
+func TestSubmitPinsSourceRefs(t *testing.T) {
+	reg := NewRegistry()
+	release := make(chan struct{})
+	reg.Register(api.KindLabel, func(jc *JobContext) (any, error) {
+		<-release
+		return LabelHandler(jc)
+	})
+	r := NewRunner(reg, queue.NewStore(), 1)
+	defer r.Close()
+
+	d, h, w, data := testIVTField(1)
+	enc, _ := dataset.EncodeVolume(d, h, w, data)
+	info, err := r.Datasets().Put(enc, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Submit(&api.JobRequest{Kind: api.KindLabel, Label: &api.LabelSpec{
+		Source: api.VolumeSource{Ref: info.ID}, Threshold: 120,
+	}}, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only claim is dropped while the job is queued/blocked; the
+	// submit-time pin defers the reclamation.
+	if !r.Datasets().Drop(info.ID, "alice") {
+		t.Fatal("drop failed")
+	}
+	close(release)
+	final := waitState(t, r, st.ID, terminal)
+	if final.State != api.StateSucceeded {
+		t.Fatalf("job %s: %s (%s)", st.ID, final.State, final.Error)
+	}
+	// With the job done, the deferred delete has fired.
+	if _, ok := r.Datasets().Stat(info.ID); ok {
+		t.Fatal("dropped dataset survives after its last pin released")
+	}
+}

@@ -6,12 +6,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
 
 	"chaseci/internal/api"
 	"chaseci/internal/auth"
+	"chaseci/internal/dataset"
 )
 
 // GatewayOptions configures the HTTP face of the service.
@@ -41,6 +43,10 @@ type GatewayOptions struct {
 //	GET  /v1/jobs/{id}/events NDJSON stream of api.JobStatus until terminal
 //	GET  /v1/jobs/{id}/result api.ResultEnvelope (409 until terminal)
 //	POST /v1/jobs/{id}/cancel {"id": ..., "cancelled": bool}
+//	POST /v1/datasets         raw CDS1 bytes -> 201 dataset.Info (server ids)
+//	PUT  /v1/datasets/{id}    raw CDS1 bytes -> 201 dataset.Info (id verified)
+//	GET  /v1/datasets         [dataset.Info, ...]
+//	GET  /v1/datasets/{id}    raw CDS1 bytes
 //	GET  /v1/kinds            [kind, ...]
 //	GET  /healthz             liveness + job count
 //	GET  /metricz             text metrics (internal/metrics counters)
@@ -101,6 +107,11 @@ func NewGateway(runner *Runner, opts GatewayOptions) *Gateway {
 	g.mux.HandleFunc("GET /v1/jobs/{id}/events", g.handleEvents)
 	g.mux.HandleFunc("GET /v1/jobs/{id}/result", g.handleResult)
 	g.mux.HandleFunc("POST /v1/jobs/{id}/cancel", g.handleCancel)
+	g.mux.HandleFunc("POST /v1/datasets", g.handleDatasetPost)
+	g.mux.HandleFunc("PUT /v1/datasets/{id}", g.handleDatasetPut)
+	g.mux.HandleFunc("GET /v1/datasets", g.handleDatasetList)
+	g.mux.HandleFunc("GET /v1/datasets/{id}", g.handleDatasetGet)
+	g.mux.HandleFunc("DELETE /v1/datasets/{id}", g.handleDatasetDelete)
 	g.mux.HandleFunc("GET /v1/kinds", g.handleKinds)
 	g.mux.HandleFunc("GET /healthz", g.handleHealth)
 	g.mux.HandleFunc("GET /metricz", g.handleMetrics)
@@ -320,6 +331,150 @@ func (g *Gateway) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	cancelled := g.runner.Cancel(st.ID)
 	writeJSON(w, http.StatusOK, map[string]any{"id": st.ID, "cancelled": cancelled})
+}
+
+// readDatasetBody slurps an upload capped at the codec's own maximum, so a
+// client cannot stream unbounded bytes at the gateway.
+func readDatasetBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, dataset.MaxEncodedBytes))
+}
+
+// storeDataset validates + stores an upload and writes the reply. wantID,
+// when non-empty, must match the content's actual hash (the PUT contract:
+// the path id is a claim the server verifies).
+func (g *Gateway) storeDataset(w http.ResponseWriter, r *http.Request, wantID string) {
+	owner, err := g.authenticate(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, "%v", err)
+		return
+	}
+	enc, err := readDatasetBody(w, r)
+	if err != nil {
+		// Only an actual cap overflow is 413; a short or broken body is
+		// the client's 400, not a size problem.
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeErr(w, code, "dataset body: %v", err)
+		return
+	}
+	if wantID != "" && dataset.ID(enc) != wantID {
+		writeErr(w, http.StatusBadRequest,
+			"content hashes to %s, not the id in the request path", dataset.ID(enc))
+		return
+	}
+	info, err := g.runner.Datasets().Put(enc, owner)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, dataset.ErrTooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleDatasetPost uploads a dataset; the server computes and returns its
+// content address.
+func (g *Gateway) handleDatasetPost(w http.ResponseWriter, r *http.Request) {
+	g.storeDataset(w, r, "")
+}
+
+// handleDatasetPut uploads a dataset at a claimed id, verified server-side.
+func (g *Gateway) handleDatasetPut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !dataset.ValidID(id) {
+		writeErr(w, http.StatusBadRequest, "malformed dataset id %q", id)
+		return
+	}
+	g.storeDataset(w, r, id)
+}
+
+// handleDatasetGet streams a dataset's raw encoding back to its owners
+// (everyone who put the content — dataset.Manager.VisibleTo is the single
+// ownership predicate, shared with the submit-time ref check).
+func (g *Gateway) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	caller, err := g.authenticate(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, "%v", err)
+		return
+	}
+	id := r.PathValue("id")
+	// Missing and forbidden collapse into one reply: ids are content
+	// hashes, so a distinguishable 403 would confirm to a non-owner that
+	// someone uploaded those exact bytes (the same non-oracle rule the
+	// submit-time ref check follows).
+	if !g.runner.Datasets().VisibleTo(id, caller) {
+		writeErr(w, http.StatusNotFound, "unknown dataset %q", id)
+		return
+	}
+	enc, err := g.runner.Datasets().GetBytes(id)
+	if errors.Is(err, dataset.ErrNotFound) {
+		// Deleted between the visibility check and the read: same 404 as
+		// never-existed, keeping the endpoint non-oracle.
+		writeErr(w, http.StatusNotFound, "unknown dataset %q", id)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(enc)))
+	w.Write(enc)
+}
+
+// handleDatasetDelete drops the caller's ownership claim — the
+// reclamation path that keeps upload-and-forget from growing the store
+// forever. The dataset's bytes are removed when the last claim drops
+// (deferred while a running job still pins them). Missing, forbidden, and
+// claim-free ids all produce the same 404 (non-oracle, as everywhere).
+func (g *Gateway) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	caller, err := g.authenticate(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, "%v", err)
+		return
+	}
+	id := r.PathValue("id")
+	if !g.runner.Datasets().VisibleTo(id, caller) || !g.runner.Datasets().Drop(id, caller) {
+		writeErr(w, http.StatusNotFound, "unknown dataset %q", id)
+		return
+	}
+	_, remains := g.runner.Datasets().Stat(id)
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": !remains})
+}
+
+// handleDatasetList lists the caller's visible datasets.
+func (g *Gateway) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	caller, err := g.authenticate(r)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, "%v", err)
+		return
+	}
+	ds := g.runner.Datasets()
+	all := ds.List()
+	mine := make([]dataset.Info, 0, len(all))
+	for _, info := range all {
+		if !ds.VisibleTo(info.ID, caller) {
+			continue
+		}
+		// A co-owner sees their own identity on the entry, not the first
+		// uploader's — content addressing must not leak who else has it.
+		// A caller who merely reaches an open dataset sees a neutral
+		// owner, not a fabricated claim.
+		if info.Owner != "" && info.Owner != anonOwner && info.Owner != caller {
+			if ds.IsOwner(info.ID, caller) {
+				info.Owner = caller
+			} else {
+				info.Owner = ""
+			}
+		}
+		mine = append(mine, info)
+	}
+	writeJSON(w, http.StatusOK, mine)
 }
 
 func (g *Gateway) handleKinds(w http.ResponseWriter, r *http.Request) {

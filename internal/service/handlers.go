@@ -8,6 +8,7 @@ import (
 
 	"chaseci/internal/api"
 	"chaseci/internal/connect"
+	"chaseci/internal/dataset"
 	"chaseci/internal/ffn"
 	"chaseci/internal/merra"
 	"chaseci/internal/sim"
@@ -38,9 +39,20 @@ func synthIVTVolume(ctx context.Context, jc *JobContext, sy *api.SynthSpec, stag
 		func(done, total int) { jc.Progress(int64(done), int64(total), stage) })
 }
 
-// sourceVolume materializes a job's input volume: a copy of the inline
-// data, or the synthetic IVT volume (time-major, like ffn.Volume).
+// sourceVolume materializes a job's input volume: a resolve of its dataset
+// ref, a copy of the inline data, or the synthetic IVT volume (time-major,
+// like ffn.Volume). Every form yields a private buffer the handler may
+// mutate (Normalize works in place).
 func sourceVolume(ctx context.Context, jc *JobContext, src *api.VolumeSource) (*ffn.Volume, error) {
+	if src.Ref != "" {
+		jc.Progress(0, 1, "resolve")
+		blob, err := jc.Datasets().Resolve(src.Ref)
+		if err != nil {
+			return nil, err
+		}
+		jc.Progress(1, 1, "resolve")
+		return &ffn.Volume{D: blob.D, H: blob.H, W: blob.W, Data: blob.CloneData()}, nil
+	}
 	if src.Synth != nil {
 		vol, err := synthIVTVolume(ctx, jc, src.Synth, "synthesize")
 		if err != nil {
@@ -152,7 +164,17 @@ func SegmentHandler(jc *JobContext) (any, error) {
 	res.VoxelsTotal = stats.VoxelsTotal
 	if spec.ReturnMask {
 		res.D, res.H, res.W = mask.D, mask.H, mask.W
-		res.Mask = mask.Data
+		if jc.RefMode() && segErr == nil {
+			info, err := jc.Datasets().PutMask(mask.D, mask.H, mask.W, mask.Data, jc.Owner())
+			if err != nil {
+				return res, err
+			}
+			res.MaskRef = info.ID
+		} else {
+			// Inline (and cancelled-partial) masks travel 1-bit packed:
+			// ~32x smaller on the wire than the float array they replace.
+			res.MaskBits = dataset.PackBits(mask.Data)
+		}
 	}
 	return res, segErr
 }
@@ -234,6 +256,15 @@ func IVTHandler(jc *JobContext) (any, error) {
 	res.Mean /= float64(sy.Steps)
 	if spec.Threshold > 0 {
 		res.Coverage = float64(above) / float64(sy.Steps*hw)
+	}
+	if jc.RefMode() {
+		// Offload the derived field: downstream segment/label jobs submit
+		// the ref and the volume never crosses the gateway.
+		info, err := jc.Datasets().PutVolume(sy.Steps, sy.NLat, sy.NLon, vol.Data, jc.Owner())
+		if err != nil {
+			return res, err
+		}
+		res.VolumeRef = info.ID
 	}
 	return res, nil
 }

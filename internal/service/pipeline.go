@@ -7,6 +7,7 @@ import (
 
 	"chaseci/internal/api"
 	"chaseci/internal/connect"
+	"chaseci/internal/dataset"
 	"chaseci/internal/ffn"
 	"chaseci/internal/merra"
 	"chaseci/internal/workflow"
@@ -21,14 +22,77 @@ import (
 // multi-core. Each slab is an independent analysis unit (its own
 // normalization, seeding, flood, and labelling), so the aggregate result is
 // identical in overlapped and sequential mode at every buffer size.
+//
+// Stage handoff is zero-copy in memory (the hot path PR 3 optimized):
+// each slab's field is dropped as soon as the next stage consumes it. In
+// ref result mode the segment stage additionally writes every mask into
+// the content-addressed store (pinned, then promoted with Keep by the
+// results loop), so each slab's mask is one GET /v1/datasets/{id} away in
+// the result — the data plane's move-the-ref-not-the-data discipline at
+// the job boundary, without re-encoding slabs the job itself consumes.
 
 // pipeSlab is the item flowing through the pipeline stages.
 type pipeSlab struct {
 	start, steps int         // generator step range
-	raw          *ffn.Volume // IVT output; normalized in place by segment
-	seeds        [][3]int    // grid seeds (from the raw field)
-	mask         *ffn.Volume // segment output
+	raw          *ffn.Volume // IVT output; released after segment
+	mask         *ffn.Volume // segment output; released after label
+	maskRef      string      // ref mode: the stored mask's dataset id
 	res          api.PipelineSlabResult
+}
+
+// pipeRefs tracks the mask datasets a ref-mode pipeline run stores. Each
+// track corresponds to one pin taken atomically inside PutPinned
+// (identical slabs content-collide into one id with a tracker count).
+// Completed slabs' masks are promoted with Keep and stay; whatever a
+// cancellation orphans is deleted by the final sweep — but only ids this
+// run actually created (created=true), and Manager-level Keep/pin
+// deferral ensures a content collision with a user upload, a kept result,
+// or a concurrent identical job never destroys data someone else wants.
+type refEntry struct {
+	count   int
+	created bool
+}
+
+type pipeRefs struct {
+	ds *dataset.Manager
+
+	mu    sync.Mutex
+	masks map[string]*refEntry
+}
+
+// track records a handoff id whose pin the producing stage already took
+// atomically inside PutPinned (a separate Pin here would leave a window
+// for a concurrent job's release to delete a content-colliding id first).
+// Each track is matched by one Unpin in releaseOne / the final sweep.
+func (p *pipeRefs) track(set map[string]*refEntry, id string, created bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := set[id]
+	if e == nil {
+		e = &refEntry{}
+		set[id] = e
+	}
+	e.count++
+	// created sticks: a later idempotent re-put must not demote it.
+	e.created = e.created || created
+}
+
+// release runs after the results loop has Keep-promoted every completed
+// slab's mask: remaining claims are unpinned and created-but-orphaned
+// masks (from cancelled slabs) are deleted — Delete no-ops on kept ids,
+// so promoted results survive.
+func (p *pipeRefs) release() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, e := range p.masks {
+		if e.created {
+			p.ds.Delete(id)
+		}
+		for ; e.count > 0; e.count-- {
+			p.ds.Unpin(id)
+		}
+		delete(p.masks, id)
+	}
 }
 
 // pipeProgress aggregates per-stage completion counts into the single
@@ -83,6 +147,10 @@ func PipelineHandler(jc *JobContext) (any, error) {
 	levels := merra.PressureLevels(g.NLev)
 	hw := g.NLon * g.NLat
 
+	ds := jc.Datasets()
+	owner := jc.Owner()
+	keepMasks := jc.RefMode()
+	refs := &pipeRefs{ds: ds, masks: make(map[string]*refEntry)}
 	prog := &pipeProgress{jc: jc, slabs: slabs}
 	prog.jc.Progress(0, int64(3*slabs), "pipeline")
 
@@ -99,7 +167,6 @@ func PipelineHandler(jc *JobContext) (any, error) {
 			if err != nil {
 				return nil, err
 			}
-			sl.raw = &ffn.Volume{D: steps, H: g.NLat, W: g.NLon, Data: vol.Data}
 			var sum float64
 			for _, v := range vol.Data {
 				sum += float64(v)
@@ -108,20 +175,36 @@ func PipelineHandler(jc *JobContext) (any, error) {
 				}
 			}
 			sl.res.IVTMean = sum / float64(steps*hw)
+			sl.raw = &ffn.Volume{D: steps, H: g.NLat, W: g.NLon, Data: vol.Data}
 			return sl, nil
 		}},
 		{Name: "segment", Run: func(ctx context.Context, _ int, item any) (any, error) {
 			sl := item.(*pipeSlab)
 			// Seeds come from the raw field, before normalization — the
 			// same order of operations as SegmentHandler.
-			sl.seeds = ffn.GridSeeds(sl.raw, cfg.FOV, stride, spec.Threshold)
+			seeds := ffn.GridSeeds(sl.raw, cfg.FOV, stride, spec.Threshold)
 			image := sl.raw.Normalize()
-			mask, stats, err := net.SegmentCtx(ctx, image, sl.seeds, 0, nil)
+			mask, stats, err := net.SegmentCtx(ctx, image, seeds, 0, nil)
 			if err != nil {
 				return nil, err
 			}
 			sl.mask = mask
 			sl.raw = nil // the slab's image is dead weight past this stage
+			if keepMasks {
+				// Ref mode publishes every slab's mask content-addressed;
+				// the pin lands atomically inside the put, and the results
+				// loop promotes completed slabs with Keep.
+				enc, err := dataset.EncodeMask(mask.D, mask.H, mask.W, mask.Data)
+				if err != nil {
+					return nil, err
+				}
+				info, created, err := ds.PutPinned(enc, owner)
+				if err != nil {
+					return nil, err
+				}
+				sl.maskRef = info.ID
+				refs.track(refs.masks, info.ID, created)
+			}
 			sl.res.SegSteps = stats.Steps
 			sl.res.SegMoves = stats.Moves
 			sl.res.SeedsUsed = stats.SeedsUsed
@@ -155,6 +238,12 @@ func PipelineHandler(jc *JobContext) (any, error) {
 			continue
 		}
 		sl := item.(*pipeSlab)
+		if keepMasks {
+			// Promote while still pinned, so no concurrent deleter can
+			// race the mask away between label and here.
+			ds.Keep(sl.maskRef)
+			sl.res.MaskRef = sl.maskRef
+		}
 		res.SlabsDone++
 		res.Steps += sl.res.Steps
 		res.IVTMean += sl.res.IVTMean * float64(sl.res.Steps)
@@ -176,5 +265,6 @@ func PipelineHandler(jc *JobContext) (any, error) {
 	if res.Steps > 0 {
 		res.IVTMean /= float64(res.Steps)
 	}
+	refs.release()
 	return res, streamErr
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"chaseci/internal/api"
+	"chaseci/internal/dataset"
 	"chaseci/internal/ffn"
 )
 
@@ -107,9 +108,14 @@ func TestPipelineMatchesSequentialJobs(t *testing.T) {
 		t.Fatalf("pipeline segment stats %+v diverge from segment job %+v", pres, segRes)
 	}
 
-	// Stage 3 reference: the label job over the segment job's mask.
+	// Stage 3 reference: the label job over the segment job's mask
+	// (unpacked from the 1-bit inline encoding).
+	segMask, err := dataset.UnpackBits(segRes.MaskBits, segRes.D*segRes.H*segRes.W)
+	if err != nil {
+		t.Fatal(err)
+	}
 	st, err = r.Submit(&api.JobRequest{Kind: api.KindLabel, Label: &api.LabelSpec{
-		Source:    api.VolumeSource{D: segRes.D, H: segRes.H, W: segRes.W, Data: segRes.Mask},
+		Source:    api.VolumeSource{D: segRes.D, H: segRes.H, W: segRes.W, Data: segMask},
 		Threshold: 0.5,
 		MinVoxels: 2,
 	}}, "")

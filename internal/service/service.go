@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"chaseci/internal/api"
+	"chaseci/internal/dataset"
 	"chaseci/internal/metrics"
 	"chaseci/internal/queue"
 	"chaseci/internal/sim"
@@ -156,6 +157,9 @@ type job struct {
 	name  string
 	owner string
 	req   *api.JobRequest
+	// refs are the source datasets pinned at submit; released (by exactly
+	// one of the terminal transitions) when the job can no longer run.
+	refs []string
 
 	state                        atomic.Int32
 	done, total                  atomic.Int64
@@ -168,10 +172,11 @@ type job struct {
 }
 
 // JobContext is a running handler's view of its job: the cancellation
-// context plus progress reporting.
+// context, progress reporting, and the data plane.
 type JobContext struct {
-	ctx context.Context
-	job *job
+	ctx      context.Context
+	job      *job
+	datasets *dataset.Manager
 }
 
 // Ctx returns the job's cancellation context. Handlers must pass it to the
@@ -180,6 +185,17 @@ func (jc *JobContext) Ctx() context.Context { return jc.ctx }
 
 // Request returns the validated job request.
 func (jc *JobContext) Request() *api.JobRequest { return jc.job.req }
+
+// Datasets returns the runner's content-addressed dataset manager, against
+// which handlers resolve source refs and offload ref-mode results.
+func (jc *JobContext) Datasets() *dataset.Manager { return jc.datasets }
+
+// Owner returns the authenticated identity the job was submitted under,
+// recorded on datasets the job stores.
+func (jc *JobContext) Owner() string { return jc.job.owner }
+
+// RefMode reports whether the job asked for ref-mode results.
+func (jc *JobContext) RefMode() bool { return jc.job.req.ResultMode == api.ResultModeRef }
 
 // Progress records kernel progress (total 0 = unknown) and the current
 // stage. It is cheap (three atomic stores) and safe to call from multiple
@@ -192,9 +208,10 @@ func (jc *JobContext) Progress(done, total int64, stage string) {
 
 // Runner executes submitted jobs on a fixed worker pool.
 type Runner struct {
-	reg     *Registry
-	store   *queue.Store
-	workers int
+	reg      *Registry
+	store    *queue.Store
+	workers  int
+	datasets *dataset.Manager
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -220,9 +237,21 @@ type Runner struct {
 // NewRunner builds and starts a Runner with the given worker pool size
 // (<= 0 defaults to 4). Jobs persist into store; pass a fresh store or one
 // shared with a queue.Server to expose job records over the line protocol.
+// The runner gets a private local dataset store; use NewRunnerWithDatasets
+// to share one (e.g. with an ingestion path or across runner generations).
 func NewRunner(reg *Registry, store *queue.Store, workers int) *Runner {
+	return NewRunnerWithDatasets(reg, store, workers, dataset.NewLocal())
+}
+
+// NewRunnerWithDatasets is NewRunner over a caller-provided content-
+// addressed dataset manager — the data plane every ref in requests and
+// results resolves against.
+func NewRunnerWithDatasets(reg *Registry, store *queue.Store, workers int, ds *dataset.Manager) *Runner {
 	if workers <= 0 {
 		workers = 4
+	}
+	if ds == nil {
+		ds = dataset.NewLocal()
 	}
 	baseCtx, stop := context.WithCancel(context.Background())
 	mclk := newWallClock()
@@ -230,6 +259,7 @@ func NewRunner(reg *Registry, store *queue.Store, workers int) *Runner {
 		reg:      reg,
 		store:    store,
 		workers:  workers,
+		datasets: ds,
 		jobs:     make(map[string]*job),
 		cancels:  make(map[string]context.CancelFunc),
 		retain:   maxRetainedJobs,
@@ -309,8 +339,20 @@ func (r *Runner) Close() {
 		msg := ErrClosed.Error()
 		j.errMsg.Store(&msg)
 		j.finished.Store(time.Now().UnixNano())
+		r.releaseJobRefs(j)
 		r.persist(j)
 	}
+}
+
+// releaseJobRefs unpins the job's source datasets. Exactly one terminal
+// transition calls it per job — execute's completion, Cancel's
+// queued→cancelled CAS, or Close's pending drain — so each submit-time
+// Pin is matched by one Unpin.
+func (r *Runner) releaseJobRefs(j *job) {
+	for _, ref := range j.refs {
+		r.datasets.Unpin(ref)
+	}
+	j.refs = nil
 }
 
 // Submit validates req, persists it as a queued job, and wakes the worker
@@ -325,12 +367,33 @@ func (r *Runner) Submit(req *api.JobRequest, owner string) (api.JobStatus, error
 	if _, ok := r.reg.Handler(req.Kind); !ok {
 		return api.JobStatus{}, fmt.Errorf("service: no handler registered for kind %q", req.Kind)
 	}
+	// Dangling refs fail fast at submit (same ErrInvalid surface as schema
+	// problems) instead of minutes later on a worker. VisibleTo also
+	// enforces the gateway's dataset ownership scope — otherwise a caller
+	// who learned another identity's ref could compute over (and read
+	// derivatives of) data GET /v1/datasets/{id} would refuse them. Missing
+	// and forbidden refs produce the same message, so submit is not an
+	// existence oracle for private refs. Each ref is pinned (before the
+	// check, so a concurrent delete cannot slip between the two) until the
+	// job reaches a terminal state — a ref accepted here is still
+	// resolvable when a worker finally runs the job.
+	refs := req.Refs()
+	for i, ref := range refs {
+		r.datasets.Pin(ref)
+		if !r.datasets.VisibleTo(ref, owner) {
+			for _, p := range refs[:i+1] {
+				r.datasets.Unpin(p)
+			}
+			return api.JobStatus{}, fmt.Errorf("%w: source ref %s is not in the dataset store", api.ErrInvalid, ref)
+		}
+	}
 	j := &job{
 		id:    fmt.Sprintf("job-%06d", r.store.Incr(seqKey, 1)),
 		kind:  req.Kind,
 		name:  req.Name,
 		owner: owner,
 		req:   req,
+		refs:  refs,
 	}
 	j.state.Store(codeQueued)
 	j.submitted.Store(time.Now().UnixNano())
@@ -341,6 +404,12 @@ func (r *Runner) Submit(req *api.JobRequest, owner string) (api.JobStatus, error
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
+		// The refusal path owes the same compensation as a visibility
+		// failure — without it the submit-time pins would outlive any job
+		// and make the refs permanently undeletable.
+		for _, ref := range refs {
+			r.datasets.Unpin(ref)
+		}
 		return api.JobStatus{}, ErrClosed
 	}
 	r.jobs[j.id] = j
@@ -389,6 +458,10 @@ func (r *Runner) Lookup(id string) (api.JobStatus, bool) {
 	}
 	return st, true
 }
+
+// Datasets returns the runner's content-addressed dataset manager — the
+// gateway serves PUT/GET /v1/datasets against it.
+func (r *Runner) Datasets() *dataset.Manager { return r.datasets }
 
 // Count returns the number of jobs this runner knows about.
 func (r *Runner) Count() int {
@@ -443,6 +516,7 @@ func (r *Runner) Cancel(id string) bool {
 		msg := "cancelled before start"
 		j.errMsg.Store(&msg)
 		j.finished.Store(time.Now().UnixNano())
+		r.releaseJobRefs(j)
 		r.count("jobs_cancelled", j.kind)
 		r.persist(j)
 		return true
@@ -540,7 +614,7 @@ func (r *Runner) execute(id string) {
 	r.persist(j)
 
 	h, _ := r.reg.Handler(j.kind)
-	res, err := runHandler(h, &JobContext{ctx: ctx, job: j})
+	res, err := runHandler(h, &JobContext{ctx: ctx, job: j, datasets: r.datasets})
 	cancel()
 	r.mu.Lock()
 	delete(r.cancels, id)
@@ -571,6 +645,7 @@ func (r *Runner) execute(id string) {
 	}
 	j.state.Store(final)
 	j.finished.Store(time.Now().UnixNano())
+	r.releaseJobRefs(j)
 	r.gaugeAdd("jobs_running", j.kind, -1)
 	r.count(metric, j.kind)
 	r.observeDuration(j)

@@ -1,6 +1,7 @@
 package thredds
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -28,8 +29,13 @@ type Result struct {
 // Fetch downloads every URL, calling sink (which may be nil) with each body
 // as it completes. Sink calls are serialized; bodies are discarded after the
 // sink returns. Fetch returns per-URL results in input order and the total
-// payload bytes moved.
-func (d *Downloader) Fetch(urls []string, sink func(url string, body []byte)) ([]Result, int64) {
+// payload bytes moved. Cancelling ctx aborts in-flight requests and skips
+// URLs not yet started (their results carry ctx.Err()), so dataset ingestion
+// honors job cancellation like every other kernel.
+func (d *Downloader) Fetch(ctx context.Context, urls []string, sink func(url string, body []byte)) ([]Result, int64) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	parallel := d.Parallel
 	if parallel <= 0 {
 		parallel = 20
@@ -49,9 +55,14 @@ func (d *Downloader) Fetch(urls []string, sink func(url string, body []byte)) ([
 		wg.Add(1)
 		go func(i int, u string) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				results[i] = Result{URL: u, Err: ctx.Err()}
+				return
+			}
 			defer func() { <-sem }()
-			body, err := fetchOne(client, u)
+			body, err := fetchOne(ctx, client, u)
 			results[i] = Result{URL: u, Bytes: int64(len(body)), Err: err}
 			if err != nil {
 				return
@@ -70,8 +81,12 @@ func (d *Downloader) Fetch(urls []string, sink func(url string, body []byte)) ([
 	return results, total
 }
 
-func fetchOne(client *http.Client, url string) ([]byte, error) {
-	resp, err := client.Get(url)
+func fetchOne(ctx context.Context, client *http.Client, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
 	}

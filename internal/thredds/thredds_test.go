@@ -1,6 +1,7 @@
 package thredds
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"strings"
@@ -71,11 +72,11 @@ func TestSubsetSmallerThanFull(t *testing.T) {
 	srv := newTestServer(t, 1)
 	name := srv.Catalog.Spec.FileName(0)
 
-	full, err := fetchOne(http.DefaultClient, srv.FileURL(name))
+	full, err := fetchOne(context.Background(), http.DefaultClient, srv.FileURL(name))
 	if err != nil {
 		t.Fatal(err)
 	}
-	subset, err := fetchOne(http.DefaultClient, srv.SubsetURL(name, "IVT"))
+	subset, err := fetchOne(context.Background(), http.DefaultClient, srv.SubsetURL(name, "IVT"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestDownloaderFetchesAll(t *testing.T) {
 	}
 	got := make(map[string]int)
 	dl := &Downloader{Parallel: 4}
-	results, total := dl.Fetch(urls, func(url string, body []byte) {
+	results, total := dl.Fetch(context.Background(), urls, func(url string, body []byte) {
 		got[url] = len(body)
 	})
 	if len(results) != 12 {
@@ -194,7 +195,7 @@ func TestDownloaderReportsErrors(t *testing.T) {
 		srv.FileURL("missing.nc4"),
 	}
 	dl := &Downloader{Parallel: 2}
-	results, _ := dl.Fetch(urls, nil)
+	results, _ := dl.Fetch(context.Background(), urls, nil)
 	if results[0].Err != nil {
 		t.Fatalf("good url errored: %v", results[0].Err)
 	}
@@ -210,7 +211,7 @@ func TestDownloaderDefaultParallelism(t *testing.T) {
 		urls = append(urls, srv.FileURL(srv.Catalog.Spec.FileName(i)))
 	}
 	dl := &Downloader{} // default 20 streams
-	results, total := dl.Fetch(urls, nil)
+	results, total := dl.Fetch(context.Background(), urls, nil)
 	if total <= 0 {
 		t.Fatal("no bytes fetched")
 	}
@@ -227,8 +228,8 @@ func TestSubsetRatioApproximatesPaper(t *testing.T) {
 	// (subset strictly under half the full size for the 4-variable granule).
 	srv := newTestServer(t, 1)
 	name := srv.Catalog.Spec.FileName(0)
-	full, _ := fetchOne(http.DefaultClient, srv.FileURL(name))
-	subset, _ := fetchOne(http.DefaultClient, srv.SubsetURL(name, "IVT"))
+	full, _ := fetchOne(context.Background(), http.DefaultClient, srv.FileURL(name))
+	subset, _ := fetchOne(context.Background(), http.DefaultClient, srv.SubsetURL(name, "IVT"))
 	ratio := float64(len(subset)) / float64(len(full))
 	if ratio >= 0.5 {
 		t.Fatalf("subset ratio = %.2f, want < 0.5", ratio)
@@ -237,5 +238,27 @@ func TestSubsetRatioApproximatesPaper(t *testing.T) {
 	modelRatio := spec.TotalBytes(true) / spec.TotalBytes(false)
 	if modelRatio < 0.5 || modelRatio > 0.6 {
 		t.Fatalf("modeled ratio = %.3f, want ~0.54 (246/455)", modelRatio)
+	}
+}
+
+func TestDownloaderHonorsCancellation(t *testing.T) {
+	srv := newTestServer(t, 6)
+	var urls []string
+	for i := 0; i < 6; i++ {
+		urls = append(urls, srv.SubsetURL(srv.Catalog.Spec.FileName(i), "IVT"))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dl := &Downloader{Parallel: 2}
+	results, total := dl.Fetch(ctx, urls, func(url string, body []byte) {
+		t.Errorf("sink called for %s after cancellation", url)
+	})
+	if total != 0 {
+		t.Fatalf("cancelled fetch moved %d bytes", total)
+	}
+	for _, r := range results {
+		if r.Err == nil {
+			t.Fatalf("cancelled fetch of %s reported no error", r.URL)
+		}
 	}
 }
