@@ -1,0 +1,173 @@
+// Command benchgate compares a fresh benchjson report against a checked-in
+// baseline (BENCH_PR*.json) and fails when the performance trajectory
+// regresses — CI's guard against quietly losing the kernel wins each PR
+// records.
+//
+//	benchgate -baseline BENCH_PR6.json -current bench.json
+//
+// Two checks run:
+//
+//   - Time: every pinned series (see -pinned) must stay within -max-slowdown
+//     (default 1.25x) of the baseline's ns/op. Pinned series that depend on
+//     a CPU capability (SIMD span kernels, int8 VNNI) are skipped when the
+//     baseline and the current machine disagree on that capability — a
+//     scalar-only runner can't hold a SIMD machine's numbers.
+//   - Allocations: every series present in both reports must not allocate
+//     more per op than the baseline. Alloc counts are deterministic, so this
+//     check has no tolerance and no capability exemption.
+//
+// Exit status 0 when every check passes or is skipped, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Result and Report mirror cmd/benchjson's output document.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type Report struct {
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	SpanKernels bool     `json:"span_kernels"`
+	Int8VNNI    bool     `json:"int8_vnni"`
+	Timestamp   string   `json:"timestamp"`
+	Results     []Result `json:"results"`
+}
+
+// defaultPinned is the series list whose ns/op trajectory the gate holds.
+// Service-level series (pipelines, HTTP submit) stay unpinned: their times
+// are dominated by scheduling noise on shared CI runners.
+const defaultPinned = "conv3d_into,conv3d_span,conv3d_scalar,conv3d_int8," +
+	"conv3d_batch8_into,conv3d_batch8_relu_into,ffn_train_step," +
+	"segment_batch8,segment_int8,ivt_computation"
+
+// capability names a CPU feature a series needs before its baseline time is
+// comparable across machines.
+var capability = map[string]string{
+	"conv3d_span":  "span_kernels",
+	"conv3d_int8":  "int8_vnni",
+	"segment_int8": "int8_vnni",
+}
+
+func load(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func (r *Report) index() map[string]Result {
+	m := make(map[string]Result, len(r.Results))
+	for _, res := range r.Results {
+		m[res.Name] = res
+	}
+	return m
+}
+
+func (r *Report) hasCapability(name string) bool {
+	switch name {
+	case "span_kernels":
+		return r.SpanKernels
+	case "int8_vnni":
+		return r.Int8VNNI
+	}
+	return false
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "checked-in benchjson baseline (required)")
+		currentPath  = flag.String("current", "", "fresh benchjson report (required)")
+		maxSlowdown  = flag.Float64("max-slowdown", 1.25, "fail a pinned series when current ns/op exceeds baseline by this factor")
+		pinned       = flag.String("pinned", defaultPinned, "comma-separated series whose ns/op is gated")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	baseIdx, curIdx := base.index(), cur.index()
+
+	failed := false
+	fail := func(format string, args ...any) {
+		failed = true
+		fmt.Printf("FAIL  "+format+"\n", args...)
+	}
+
+	for _, name := range strings.Split(*pinned, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if capName, ok := capability[name]; ok {
+			if !base.hasCapability(capName) || !cur.hasCapability(capName) {
+				fmt.Printf("skip  %-28s needs %s (baseline %v, current %v)\n",
+					name, capName, base.hasCapability(capName), cur.hasCapability(capName))
+				continue
+			}
+		}
+		b, okB := baseIdx[name]
+		c, okC := curIdx[name]
+		if !okB {
+			fmt.Printf("skip  %-28s not in baseline\n", name)
+			continue
+		}
+		if !okC {
+			fail("%-28s missing from current report", name)
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		status := "ok  "
+		if ratio > *maxSlowdown {
+			failed = true
+			status = "FAIL"
+		}
+		fmt.Printf("%s  %-28s %12.0f -> %12.0f ns/op  (%.2fx, limit %.2fx)\n",
+			status, name, b.NsPerOp, c.NsPerOp, ratio, *maxSlowdown)
+	}
+
+	for _, c := range cur.Results {
+		b, ok := baseIdx[c.Name]
+		if !ok {
+			continue
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			fail("%-28s allocs/op regressed: %d -> %d", c.Name, b.AllocsPerOp, c.AllocsPerOp)
+		}
+	}
+
+	if failed {
+		fmt.Println("benchgate: regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: trajectory holds")
+}

@@ -52,12 +52,16 @@ type Result struct {
 
 // Report is the full output document.
 type Report struct {
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Timestamp  string   `json:"timestamp"`
-	Results    []Result `json:"results"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CPU capability flags for the SIMD kernel series: benchgate skips
+	// SIMD-dependent comparisons when baseline and current machine disagree.
+	SpanKernels bool     `json:"span_kernels"`
+	Int8VNNI    bool     `json:"int8_vnni"`
+	Timestamp   string   `json:"timestamp"`
+	Results     []Result `json:"results"`
 }
 
 type benchCase struct {
@@ -82,11 +86,13 @@ func main() {
 	}
 
 	rep := Report{
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		SpanKernels: tensor.SpanKernelsActive(),
+		Int8VNNI:    tensor.QuantAsmActive(),
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, c := range cases {
 		if *filter != "" && !strings.Contains(c.name, *filter) {
@@ -124,6 +130,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// benchConvBatch8 is the shared batch-8 f32 conv workload behind the
+// conv3d_span / conv3d_scalar pair.
+func benchConvBatch8(b *testing.B) {
+	rng := sim.NewRNG(1)
+	in := tensor.New(8, 6, 3, 7, 7)
+	in.Randomize(rng, 27)
+	w := tensor.New(6, 6, 3, 3, 3)
+	w.Randomize(rng, 6*27)
+	bias := make([]float32, 6)
+	out := tensor.New(8, 6, 3, 7, 7)
+	tensor.Conv3DBatchInto(out, in, w, bias, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Conv3DBatchInto(out, in, w, bias, 0)
+	}
+}
+
+// segmentSceneInt8 is segmentScene with quantized inference enabled.
+func segmentSceneInt8(floodBatch int) (*ffn.Network, *ffn.Volume, [][3]int) {
+	net, img, seeds := segmentScene(floodBatch)
+	cfg := net.Config()
+	cfg.Precision = ffn.PrecisionInt8
+	qnet, err := ffn.NewNetwork(cfg, 3)
+	if err != nil {
+		panic(err)
+	}
+	return qnet, img, seeds
 }
 
 // segmentScene builds the shared flood-fill benchmark scene (the same
@@ -206,6 +242,40 @@ func benchCases() []benchCase {
 				tensor.Conv3DBatchReLUInto(out, in, w, bias, 0)
 			}
 		}},
+		{"conv3d_span", func(b *testing.B) {
+			// The batch8 workload with the SIMD span kernels pinned on: the
+			// series PR 6's >=1.5x span-vs-scalar bar is measured against.
+			if !tensor.SpanKernelsActive() {
+				b.Skip("span kernels unavailable on this CPU")
+			}
+			benchConvBatch8(b)
+		}},
+		{"conv3d_scalar", func(b *testing.B) {
+			// The same workload through the bit-exact scalar fallback — the
+			// denominator of the span speedup, runnable on any machine.
+			prev := tensor.SetSpanKernels(false)
+			defer tensor.SetSpanKernels(prev)
+			benchConvBatch8(b)
+		}},
+		{"conv3d_int8", func(b *testing.B) {
+			if !tensor.QuantAsmActive() {
+				b.Skip("int8 VNNI kernel unavailable on this CPU")
+			}
+			rng := sim.NewRNG(1)
+			in := tensor.New(8, 6, 3, 7, 7)
+			in.Randomize(rng, 27)
+			w := tensor.New(6, 6, 3, 3, 3)
+			w.Randomize(rng, 6*27)
+			qw := tensor.QuantizeWeights(w)
+			bias := make([]float32, 6)
+			out := tensor.New(8, 6, 3, 7, 7)
+			tensor.Conv3DBatchQInto(out, in, qw, bias, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.Conv3DBatchQInto(out, in, qw, bias, 0)
+			}
+		}},
 		{"ffn_train_step", func(b *testing.B) {
 			cfg := ffn.DefaultConfig()
 			cfg.FOV = [3]int{3, 7, 7}
@@ -234,6 +304,19 @@ func benchCases() []benchCase {
 		}},
 		{"segment_batch8", func(b *testing.B) {
 			net, img, seeds := segmentScene(8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Segment(img, seeds, 0)
+			}
+		}},
+		{"segment_int8", func(b *testing.B) {
+			// The same flood as segment_batch8 with Precision int8: PR 6's
+			// >=1.3x quantized-vs-f32 bar is segment_batch8 / segment_int8.
+			if !tensor.QuantAsmActive() {
+				b.Skip("int8 VNNI kernel unavailable on this CPU")
+			}
+			net, img, seeds := segmentSceneInt8(8)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -316,6 +316,12 @@ type NetConfig struct {
 	// FloodBatch is the flood-fill inference batch size (0 = kernel
 	// default; 1 = per-FOV). Results are bit-exact at every batch size.
 	FloodBatch int `json:"flood_batch,omitempty"`
+	// Precision selects the inference arithmetic: "" or "f32" is the
+	// reference float32 path; "int8" runs quantized inference (int8
+	// weights, uint8 activations, int32 accumulation). int8 masks are
+	// bit-identical at every batch size and worker count but differ from
+	// f32 within documented error bounds. Training always runs f32.
+	Precision string `json:"precision,omitempty"`
 }
 
 // Network geometry caps: a request cannot ask for a network whose scratch
@@ -359,6 +365,11 @@ func (n *NetConfig) validate(field string) error {
 	}
 	if n.FloodBatch < 0 || n.FloodBatch > maxFloodBatch {
 		return invalidf("%s: flood_batch must be in [0,%d]", field, maxFloodBatch)
+	}
+	switch n.Precision {
+	case "", "f32", "int8":
+	default:
+		return invalidf("%s: precision must be \"f32\" or \"int8\", got %q", field, n.Precision)
 	}
 	// Combined batched-scratch budget: the flood scratch holds a few
 	// (FloodBatch, Features, D, H, W) activation tensors, so the three

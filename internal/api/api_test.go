@@ -349,3 +349,23 @@ func TestResultModeValidation(t *testing.T) {
 		t.Errorf("result_mode zip: err = %v, want ErrInvalid", err)
 	}
 }
+
+func TestNetConfigPrecisionValidation(t *testing.T) {
+	mk := func(p string) *JobRequest {
+		return &JobRequest{Kind: KindSegment, Segment: &SegmentSpec{
+			Source: tinyVolume(), Seeds: [][3]int{{1, 1, 1}}, MaxSteps: 1,
+			Net: &NetConfig{Precision: p},
+		}}
+	}
+	for _, p := range []string{"", "f32", "int8"} {
+		if err := mk(p).Validate(); err != nil {
+			t.Errorf("precision %q rejected: %v", p, err)
+		}
+	}
+	for _, p := range []string{"fp16", "INT8", "bf16"} {
+		err := mk(p).Validate()
+		if !errors.Is(err, ErrInvalid) || !strings.Contains(err.Error(), "precision") {
+			t.Errorf("precision %q: err = %v, want ErrInvalid mentioning precision", p, err)
+		}
+	}
+}

@@ -44,6 +44,10 @@ type Config struct {
 	// per-FOV applications). Masks and statistics are bit-exact at every
 	// batch size.
 	FloodBatch int
+	// Precision selects the Segment inference arithmetic: "" or "f32" is
+	// the reference float32 path; "int8" runs quantized inference (see
+	// quant.go). Training always stays f32.
+	Precision Precision
 }
 
 // DefaultConfig returns an experiment-scale configuration.
@@ -75,6 +79,11 @@ func (c *Config) validate() error {
 	if c.FloodBatch < 0 {
 		return fmt.Errorf("ffn: FloodBatch must be non-negative, got %d", c.FloodBatch)
 	}
+	switch c.Precision {
+	case "", PrecisionF32, PrecisionInt8:
+	default:
+		return fmt.Errorf("ffn: Precision must be %q or %q, got %q", PrecisionF32, PrecisionInt8, c.Precision)
+	}
 	return nil
 }
 
@@ -99,8 +108,10 @@ type Network struct {
 	wOut *tensor.Tensor // (1, F, 1, 1, 1)
 	bOut []float32
 
-	ts     *trainScratch // lazily built per-network training buffers
-	bsPool sync.Pool     // *batchScratch, reused across batched floods
+	ts     *trainScratch   // lazily built per-network training buffers
+	bsMu   sync.Mutex      // guards bsFree
+	bsFree []*batchScratch // bounded LIFO of idle batched-flood scratches
+	qn     *quantNet       // lazily built quantized weights (nil after training)
 }
 
 // NewNetwork initializes a model with He-initialized weights from seed.
@@ -372,6 +383,7 @@ func (n *Network) TrainStep(opt *tensor.SGD, image, label *tensor.Tensor) float6
 	loss := tensor.LogitBCEInto(ts.gradLogits, ts.delta, label, nil)
 	n.backwardInto(ts, ts.gradLogits)
 	n.applySGD(opt, ts.g)
+	n.qn = nil // weights changed; quantized cache is stale
 	return loss
 }
 

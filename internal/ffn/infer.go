@@ -241,6 +241,12 @@ func (n *Network) SegmentCtx(ctx context.Context, image *Volume, seeds [][3]int,
 	padLogit := logit(cfg.PadProb)
 	seedLogit := logit(cfg.SeedProb)
 
+	// Build the quantized weight cache before any fan-out: flood workers
+	// share it read-only.
+	if n.int8Inference() {
+		n.quantized()
+	}
+
 	canvas := NewVolume(image.D, image.H, image.W)
 	for i := range canvas.Data {
 		canvas.Data[i] = padLogit
@@ -327,7 +333,8 @@ func (cfg *Config) moveOffsets() [6][3]int {
 // before every application.
 func (n *Network) floodSerial(ctx context.Context, image *Volume, seeds []fovPos, claimed []int32, canvas []float32, moveLogit float32, maxSteps int, stats *InferenceStats, prog *floodProgress) {
 	cfg := n.cfg
-	s := n.newInferScratch()
+	ap := n.newFOVApplier()
+	defer ap.release()
 	offsets := cfg.moveOffsets()
 	queue := append([]fovPos(nil), seeds...)
 	for len(queue) > 0 {
@@ -339,8 +346,8 @@ func (n *Network) floodSerial(ctx context.Context, image *Volume, seeds []fovPos
 		}
 		p := queue[0]
 		queue = queue[1:]
-		out := n.applyFOV(s, image, p.z, p.y, p.x)
-		mergeCore(canvas, image.H, image.W, cfg.FOV, out.Data, p.z, p.y, p.x)
+		out := ap.apply(image, p)
+		mergeCore(canvas, image.H, image.W, cfg.FOV, out, p.z, p.y, p.x)
 		stats.Steps++
 		prog.bump()
 
@@ -348,7 +355,7 @@ func (n *Network) floodSerial(ctx context.Context, image *Volume, seeds []fovPos
 			fz := cfg.FOV[0]/2 + off[0]
 			fy := cfg.FOV[1]/2 + off[1]
 			fx := cfg.FOV[2]/2 + off[2]
-			v := out.Data[(fz*cfg.FOV[1]+fy)*cfg.FOV[2]+fx]
+			v := out[(fz*cfg.FOV[1]+fy)*cfg.FOV[2]+fx]
 			if v < moveLogit {
 				continue
 			}
@@ -372,7 +379,8 @@ func (n *Network) floodSerial(ctx context.Context, image *Volume, seeds []fovPos
 // Cancellation is checked before every application, as in floodSerial.
 func (n *Network) floodShard(ctx context.Context, image *Volume, seeds []fovPos, claimed []int32, canvas []float32, moveLogit float32, stats *InferenceStats, prog *floodProgress) {
 	cfg := n.cfg
-	s := n.newInferScratch()
+	ap := n.newFOVApplier()
+	defer ap.release()
 	offsets := cfg.moveOffsets()
 	queue := append([]fovPos(nil), seeds...)
 	for len(queue) > 0 {
@@ -381,8 +389,8 @@ func (n *Network) floodShard(ctx context.Context, image *Volume, seeds []fovPos,
 		}
 		p := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		out := n.applyFOV(s, image, p.z, p.y, p.x)
-		mergeCore(canvas, image.H, image.W, cfg.FOV, out.Data, p.z, p.y, p.x)
+		out := ap.apply(image, p)
+		mergeCore(canvas, image.H, image.W, cfg.FOV, out, p.z, p.y, p.x)
 		stats.Steps++
 		prog.bump()
 
@@ -390,7 +398,7 @@ func (n *Network) floodShard(ctx context.Context, image *Volume, seeds []fovPos,
 			fz := cfg.FOV[0]/2 + off[0]
 			fy := cfg.FOV[1]/2 + off[1]
 			fx := cfg.FOV[2]/2 + off[2]
-			v := out.Data[(fz*cfg.FOV[1]+fy)*cfg.FOV[2]+fx]
+			v := out[(fz*cfg.FOV[1]+fy)*cfg.FOV[2]+fx]
 			if v < moveLogit {
 				continue
 			}

@@ -73,15 +73,36 @@ func (n *Network) newBatchScratch() *batchScratch {
 	return s
 }
 
-// getBatchScratch borrows a scratch from the network's pool.
+// maxIdleBatchScratch bounds the network's idle scratch list: enough for a
+// fully fanned-out flood (one scratch per worker, and worker counts beyond
+// the machine add nothing), without pinning unbounded memory after a burst.
+const maxIdleBatchScratch = 64
+
+// getBatchScratch borrows a scratch from the network's free list. The list
+// is a mutex-guarded LIFO rather than a sync.Pool: scratches must survive
+// between floods deterministically (the runtime may drop pool entries at
+// any GC, and the race detector drops them eagerly), and a flood borrows at
+// most once per worker, so the lock is nowhere near any hot path.
 func (n *Network) getBatchScratch() *batchScratch {
-	if s, _ := n.bsPool.Get().(*batchScratch); s != nil {
+	n.bsMu.Lock()
+	if k := len(n.bsFree); k > 0 {
+		s := n.bsFree[k-1]
+		n.bsFree[k-1] = nil
+		n.bsFree = n.bsFree[:k-1]
+		n.bsMu.Unlock()
 		return s
 	}
+	n.bsMu.Unlock()
 	return n.newBatchScratch()
 }
 
-func (n *Network) putBatchScratch(s *batchScratch) { n.bsPool.Put(s) }
+func (n *Network) putBatchScratch(s *batchScratch) {
+	n.bsMu.Lock()
+	if len(n.bsFree) < maxIdleBatchScratch {
+		n.bsFree = append(n.bsFree, s)
+	}
+	n.bsMu.Unlock()
+}
 
 // forwardBatchInto runs the inference-only forward pass over the first k
 // batch slots with fused activations: conv+ReLU for the input layer and
@@ -127,7 +148,11 @@ func (n *Network) floodShardBatch(ctx context.Context, image *Volume, seeds []fo
 		for i, p := range s.pos {
 			extractFOVIntoSlice(s.in.Data[2*i*fovN:][:fovN], image, fov, p.z, p.y, p.x)
 		}
-		n.forwardBatchInto(s, k)
+		if n.int8Inference() {
+			n.forwardBatchQInto(s, k)
+		} else {
+			n.forwardBatchInto(s, k)
+		}
 		for i, p := range s.pos {
 			out := s.out.Data[i*fovN:][:fovN]
 			mergeCore(canvas, image.H, image.W, fov, out, p.z, p.y, p.x)

@@ -1,0 +1,117 @@
+package ffn
+
+import (
+	"chaseci/internal/tensor"
+)
+
+// Int8 quantized inference. Config.Precision == PrecisionInt8 routes every
+// Segment flood path (serial FIFO, sharded LIFO, batched) through
+// tensor's quantized conv kernels: 3x3x3 weights are quantized once per
+// weight state (per-output-channel symmetric int8), activations are
+// quantized dynamically per FOV slot, and the 1x1x1 logit head stays f32.
+// Because activation quantization is per slot, the int8 mask is
+// bit-identical at every batch size and worker count, exactly like the f32
+// path. Accuracy versus f32 is error-bounded rather than exact: quant_test.go
+// pins the max-abs logit error and the mask disagreement rate.
+
+// Precision selects the inference arithmetic for Segment.
+type Precision string
+
+const (
+	// PrecisionF32 (or empty) runs the reference float32 kernels.
+	PrecisionF32 Precision = "f32"
+	// PrecisionInt8 runs quantized inference: int8 weights and uint8
+	// activations with int32 accumulation, requantized to f32 between
+	// layers. Training always stays f32.
+	PrecisionInt8 Precision = "int8"
+)
+
+// quantNet caches the quantized form of the network's 3x3x3 conv weights.
+// It is rebuilt lazily after every training step (weights changed).
+type quantNet struct {
+	wIn  *tensor.QuantizedWeights
+	mods []*quantModule
+}
+
+type quantModule struct {
+	q1, q2 *tensor.QuantizedWeights
+}
+
+// int8Inference reports whether Segment should run the quantized path.
+func (n *Network) int8Inference() bool { return n.cfg.Precision == PrecisionInt8 }
+
+// quantized returns the cached quantized weights, building them on first
+// use. Not safe for concurrent first call — SegmentCtx builds it before
+// fanning out flood workers.
+func (n *Network) quantized() *quantNet {
+	if n.qn == nil {
+		qn := &quantNet{wIn: tensor.QuantizeWeights(n.wIn)}
+		for _, m := range n.mods {
+			qn.mods = append(qn.mods, &quantModule{
+				q1: tensor.QuantizeWeights(m.w1),
+				q2: tensor.QuantizeWeights(m.w2),
+			})
+		}
+		n.qn = qn
+	}
+	return n.qn
+}
+
+// forwardBatchQInto is the int8 counterpart of forwardBatchInto: quantized
+// conv+ReLU for the input layer and module hidden, quantized
+// conv+residual+ReLU for the module tail, and the f32 1x1x1 logit head.
+// Results land in s.out; per-slot activation quantization makes them
+// bit-identical per slot at every batch size and worker count.
+func (n *Network) forwardBatchQInto(s *batchScratch, k int) {
+	qn := n.quantized()
+	tensor.Conv3DBatchQReLUInto(s.x0, s.in, qn.wIn, n.bIn, k)
+	cur, nxt := s.x0, s.x1
+	for i, m := range n.mods {
+		qm := qn.mods[i]
+		tensor.Conv3DBatchQReLUInto(s.hid, cur, qm.q1, m.b1, k)
+		tensor.Conv3DBatchQResReLUInto(nxt, s.hid, qm.q2, m.b2, cur, k)
+		cur, nxt = nxt, cur
+	}
+	tensor.Conv3DBatchInto(s.out, cur, n.wOut, n.bOut, k)
+}
+
+// fovApplier abstracts one-FOV network application over the active
+// precision: the f32 path uses the per-worker inferScratch, the int8 path
+// drives the first slot of a pooled batchScratch through the quantized
+// batched forward. One applier serves one goroutine.
+type fovApplier struct {
+	n  *Network
+	s  *inferScratch // f32 path
+	bs *batchScratch // int8 path (slot 0)
+}
+
+func (n *Network) newFOVApplier() *fovApplier {
+	a := &fovApplier{n: n}
+	if n.int8Inference() {
+		a.bs = n.getBatchScratch()
+	} else {
+		a.s = n.newInferScratch()
+	}
+	return a
+}
+
+// apply runs the network on the FOV centered at p and returns the logit
+// FOV, valid until the next apply call.
+func (a *fovApplier) apply(image *Volume, p fovPos) []float32 {
+	if a.bs != nil {
+		fov := a.n.cfg.FOV
+		fovN := fov[0] * fov[1] * fov[2]
+		extractFOVIntoSlice(a.bs.in.Data[:fovN], image, fov, p.z, p.y, p.x)
+		a.n.forwardBatchQInto(a.bs, 1)
+		return a.bs.out.Data[:fovN]
+	}
+	return a.n.applyFOV(a.s, image, p.z, p.y, p.x).Data
+}
+
+// release returns pooled resources (the int8 path's batch scratch).
+func (a *fovApplier) release() {
+	if a.bs != nil {
+		a.n.putBatchScratch(a.bs)
+		a.bs = nil
+	}
+}

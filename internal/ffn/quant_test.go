@@ -1,0 +1,194 @@
+package ffn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"chaseci/internal/parallel"
+	"chaseci/internal/tensor"
+)
+
+// int8Scene is batchScene with quantized inference enabled.
+func int8Scene(t testing.TB, floodBatch int) (*Network, *Volume, [][3]int) {
+	t.Helper()
+	img := synthVolume(42, 6, 20, 22)
+	img.Normalize()
+	cfg := DefaultConfig()
+	cfg.FOV = [3]int{3, 7, 7}
+	cfg.Features = 4
+	cfg.MoveStep = [3]int{1, 2, 2}
+	cfg.MoveProb = 0.55
+	cfg.FloodBatch = floodBatch
+	cfg.Precision = PrecisionInt8
+	net, err := NewNetwork(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := GridSeeds(img, cfg.FOV, [3]int{1, 3, 3}, -10)
+	if len(seeds) < 4 {
+		t.Fatalf("want several seeds, got %d", len(seeds))
+	}
+	return net, img, seeds
+}
+
+// TestSegmentInt8Invariance requires the int8 flood to produce bit-identical
+// masks and statistics across batch sizes 1/2/8 and worker counts 1/2/8:
+// activations quantize per FOV slot, so the quantized forward — like the f32
+// one — depends only on the image and the center.
+func TestSegmentInt8Invariance(t *testing.T) {
+	refNet, img, seeds := int8Scene(t, 1)
+	prev := parallel.SetWorkers(1)
+	refMask, refStats := refNet.Segment(img, seeds, 0)
+	parallel.SetWorkers(prev)
+	if refStats.Steps == 0 || refStats.MaskVoxels == 0 {
+		t.Fatalf("degenerate int8 reference run: %+v", refStats)
+	}
+
+	for _, batch := range []int{1, 2, 8} {
+		net, _, _ := int8Scene(t, batch)
+		for _, workers := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("batch=%d/workers=%d", batch, workers), func(t *testing.T) {
+				prev := parallel.SetWorkers(workers)
+				defer parallel.SetWorkers(prev)
+				mask, stats := net.Segment(img, seeds, 0)
+				if stats != refStats {
+					t.Fatalf("stats diverge: %+v, want %+v", stats, refStats)
+				}
+				for i := range refMask.Data {
+					if mask.Data[i] != refMask.Data[i] {
+						t.Fatalf("mask voxel %d diverges", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSegmentInt8MaxStepsMatchesUnbounded pins the bounded-step int8 flood
+// (the serial FIFO path) against the same positions the unbounded flood
+// would visit first — i.e. the budget is honored and the quantized applier
+// runs under it too.
+func TestSegmentInt8MaxSteps(t *testing.T) {
+	net, img, seeds := int8Scene(t, 8)
+	_, stats := net.Segment(img, seeds, 7)
+	if stats.Steps != 7 {
+		t.Fatalf("bounded int8 flood ran %d steps, want 7", stats.Steps)
+	}
+}
+
+// TestForwardBatchQLogitError bounds the max-abs logit error of the int8
+// forward against the f32 forward over a batch of FOVs. The bound is
+// empirical (measured ~0.09 for this scene) with ~3x headroom; a regression
+// past it means the quantization pipeline broke, not that the model drifted.
+const maxAbsLogitErr = 0.25
+
+func TestForwardBatchQLogitError(t *testing.T) {
+	net, img, seeds := int8Scene(t, 8)
+	s := net.getBatchScratch()
+	defer net.putBatchScratch(s)
+	fov := net.cfg.FOV
+	fovN := fov[0] * fov[1] * fov[2]
+	k := cap(s.pos)
+	if k > len(seeds) {
+		k = len(seeds)
+	}
+	for i := 0; i < k; i++ {
+		p := seeds[i]
+		extractFOVIntoSlice(s.in.Data[2*i*fovN:][:fovN], img, fov, p[0], p[1], p[2])
+	}
+	f32out := tensor.New(k, 1, fov[0], fov[1], fov[2])
+	net.forwardBatchInto(s, k)
+	copy(f32out.Data, s.out.Data[:k*fovN])
+	net.forwardBatchQInto(s, k)
+
+	var maxErr float64
+	for i := 0; i < k*fovN; i++ {
+		if d := math.Abs(float64(s.out.Data[i]) - float64(f32out.Data[i])); d > maxErr {
+			maxErr = d
+		}
+	}
+	t.Logf("int8 max-abs logit error over %d FOVs: %.4f", k, maxErr)
+	if maxErr > maxAbsLogitErr {
+		t.Fatalf("int8 max-abs logit error %.4f exceeds bound %.2f", maxErr, maxAbsLogitErr)
+	}
+	if maxErr == 0 {
+		t.Fatal("int8 forward identical to f32 — quantization is not active")
+	}
+}
+
+// TestSegmentInt8ErrorBounded bounds the end-to-end mask disagreement
+// between int8 and f32 segmentation on the same scene. The bound is
+// empirical (measured 0% here) with wide headroom; logit errors only
+// flip mask voxels whose f32 logit sits within the error band of the
+// threshold.
+const maxMaskDisagreeRate = 0.02
+
+func TestSegmentInt8ErrorBounded(t *testing.T) {
+	f32net, img, seeds := batchScene(t, 8)
+	i8net, _, _ := int8Scene(t, 8)
+	f32mask, f32stats := f32net.Segment(img, seeds, 0)
+	i8mask, i8stats := i8net.Segment(img, seeds, 0)
+	if i8stats.Steps == 0 || i8stats.MaskVoxels == 0 {
+		t.Fatalf("degenerate int8 run: %+v", i8stats)
+	}
+	var diff int
+	for i := range f32mask.Data {
+		if f32mask.Data[i] != i8mask.Data[i] {
+			diff++
+		}
+	}
+	rate := float64(diff) / float64(len(f32mask.Data))
+	t.Logf("int8 vs f32: %d/%d mask voxels disagree (%.4f%%), steps %d vs %d",
+		diff, len(f32mask.Data), 100*rate, i8stats.Steps, f32stats.Steps)
+	if rate > maxMaskDisagreeRate {
+		t.Fatalf("mask disagreement rate %.4f exceeds bound %.3f", rate, maxMaskDisagreeRate)
+	}
+}
+
+// TestInt8QuantCacheInvalidation: training must invalidate the quantized
+// weight cache so the next Segment re-quantizes the updated weights.
+func TestInt8QuantCacheInvalidation(t *testing.T) {
+	net, img, seeds := int8Scene(t, 8)
+	before, _ := net.Segment(img, seeds, 0)
+	if net.qn == nil {
+		t.Fatal("segment did not build the quantized cache")
+	}
+	opt := tensor.NewSGD(0.05, 0.9)
+	fov := net.cfg.FOV
+	image := extractFOV(img, fov, fov[0]/2, fov[1]/2, fov[2]/2)
+	label := tensor.New(1, fov[0], fov[1], fov[2])
+	for i := 0; i < 8; i++ {
+		net.TrainStep(opt, image, label)
+	}
+	if net.qn != nil {
+		t.Fatal("TrainStep left a stale quantized cache")
+	}
+	after, _ := net.Segment(img, seeds, 0)
+	same := true
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("mask unchanged after training — quantized weights look stale")
+	}
+}
+
+// TestPrecisionValidation rejects unknown precisions and accepts the two
+// documented ones.
+func TestPrecisionValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Precision = "fp16"
+	if _, err := NewNetwork(cfg, 1); err == nil {
+		t.Fatal("want error for unknown precision")
+	}
+	for _, p := range []Precision{"", PrecisionF32, PrecisionInt8} {
+		cfg.Precision = p
+		if _, err := NewNetwork(cfg, 1); err != nil {
+			t.Fatalf("precision %q rejected: %v", p, err)
+		}
+	}
+}

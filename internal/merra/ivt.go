@@ -126,26 +126,48 @@ func (t *ivtTask) Run(j0, j1 int) {
 // bit-exactly IVT's. It panics on a level-count mismatch, like IVT.
 // Beyond the output field itself (one Field2D: two allocations), the
 // integration allocates nothing in steady state — the dispatch task and
-// per-shard row buffers recycle through pools.
+// per-shard row buffers recycle through pools; see IVTInto for the
+// fully allocation-free variant.
 func IVTCtx(ctx context.Context, st *State, levels []float64) (*Field2D, error) {
+	g := st.Q.Grid
+	out := NewField2D(g.NLon, g.NLat)
+	if err := ivtIntoCtx(ctx, out.Data, st, levels); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IVTInto computes the transport magnitude field into dst, which must match
+// the state's horizontal grid (a mismatch panics — a wiring bug, like a bad
+// level count). Steady-state derivation through IVTInto allocates nothing:
+// the dispatch task and per-shard row buffers recycle through pools and the
+// output lives in the caller's buffer.
+func IVTInto(dst *Field2D, st *State, levels []float64) {
+	g := st.Q.Grid
+	if dst.NLon != g.NLon || dst.NLat != g.NLat {
+		panic("merra: IVTInto destination grid mismatch")
+	}
+	_ = ivtIntoCtx(context.Background(), dst.Data, st, levels)
+}
+
+// ivtIntoCtx is the shared integration core: it shards the trapezoidal
+// integration over latitude rows into out (length NLon*NLat, fully
+// overwritten) and reports ctx's error if the run was cancelled.
+func ivtIntoCtx(ctx context.Context, out []float32, st *State, levels []float64) error {
 	g := st.Q.Grid
 	if len(levels) != g.NLev {
 		panic("merra: IVT level count mismatch")
 	}
-	out := NewField2D(g.NLon, g.NLat)
 	t := ivtTaskPool.Get().(*ivtTask)
 	t.ctx = ctx
-	t.out = out.Data
+	t.out = out
 	t.q, t.u, t.v = st.Q.Data, st.U.Data, st.V.Data
 	t.levels = levels
 	t.nlon, t.nlev, t.hw = g.NLon, g.NLev, g.NLon*g.NLat
 	parallel.InvokeGrain(g.NLat, 8, t)
 	t.ctx, t.out, t.q, t.u, t.v, t.levels = nil, nil, nil, nil, nil, nil
 	ivtTaskPool.Put(t)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return ctx.Err()
 }
 
 // LabelMask thresholds an IVT field into the binary representation used for
@@ -173,16 +195,16 @@ func IVTVolume(gen *Generator, levels []float64, startStep, steps int) *Field3D 
 // IVTVolumeCtx is the context-aware IVTVolume: each time step is
 // synthesized and integrated under ctx, and a cancelled context returns
 // (nil, ctx.Err()). progress (may be nil) is called with
-// (stepsDone, steps) after each completed time step.
+// (stepsDone, steps) after each completed time step. Each step integrates
+// directly into the volume's slab — no per-step field or copy.
 func IVTVolumeCtx(ctx context.Context, gen *Generator, levels []float64, startStep, steps int, progress func(done, total int)) (*Field3D, error) {
 	g := gen.Grid
 	vol := NewField3D(Grid{NLon: g.NLon, NLat: g.NLat, NLev: steps})
+	hw := g.NLon * g.NLat
 	for t := 0; t < steps; t++ {
-		f, err := IVTCtx(ctx, gen.State(startStep+t), levels)
-		if err != nil {
+		if err := ivtIntoCtx(ctx, vol.Data[t*hw:(t+1)*hw], gen.State(startStep+t), levels); err != nil {
 			return nil, err
 		}
-		copy(vol.Data[t*g.NLon*g.NLat:(t+1)*g.NLon*g.NLat], f.Data)
 		if progress != nil {
 			progress(t+1, steps)
 		}

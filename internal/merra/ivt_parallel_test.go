@@ -45,6 +45,7 @@ func TestIVTAllocBound(t *testing.T) {
 	gen := NewGenerator(g, 3)
 	st := gen.State(0)
 	levels := PressureLevels(g.NLev)
+	dst := NewField2D(g.NLon, g.NLat)
 	for _, workers := range []int{1, 2, 4} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			prev := parallel.SetWorkers(workers)
@@ -56,8 +57,40 @@ func TestIVTAllocBound(t *testing.T) {
 			if allocs > 2 {
 				t.Fatalf("IVT steady-state allocs/op = %v, want <= 2 (output Field2D only)", allocs)
 			}
+			allocs = testing.AllocsPerRun(20, func() {
+				IVTInto(dst, st, levels)
+			})
+			if allocs != 0 {
+				t.Fatalf("IVTInto steady-state allocs/op = %v, want 0", allocs)
+			}
 		})
 	}
+}
+
+// TestIVTIntoMatchesIVT: the into-variant writes the same field IVT
+// returns, fully overwriting stale destination contents.
+func TestIVTIntoMatchesIVT(t *testing.T) {
+	g := Grid{NLon: 24, NLat: 17, NLev: 8}
+	gen := NewGenerator(g, 9)
+	st := gen.State(3)
+	levels := PressureLevels(g.NLev)
+	want := IVT(st, levels)
+	dst := NewField2D(g.NLon, g.NLat)
+	for i := range dst.Data {
+		dst.Data[i] = -1 // stale garbage IVTInto must overwrite
+	}
+	IVTInto(dst, st, levels)
+	for i := range want.Data {
+		if dst.Data[i] != want.Data[i] {
+			t.Fatalf("element %d: got %v, want %v", i, dst.Data[i], want.Data[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("grid-mismatched destination did not panic")
+		}
+	}()
+	IVTInto(NewField2D(g.NLon+1, g.NLat), st, levels)
 }
 
 // TestIVTParallelMatchesScalar requires the sharded row-walking kernel to be

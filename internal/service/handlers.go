@@ -103,6 +103,9 @@ func netConfig(nc *api.NetConfig) ffn.Config {
 	if nc.FloodBatch > 0 {
 		cfg.FloodBatch = nc.FloodBatch
 	}
+	if nc.Precision != "" {
+		cfg.Precision = ffn.Precision(nc.Precision)
+	}
 	return cfg
 }
 

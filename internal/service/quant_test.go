@@ -1,0 +1,76 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"chaseci/internal/api"
+)
+
+// int8SegmentRequest is a mid-size segment job with the mask inlined, so a
+// test can compare the exact voxels an f32 and an int8 run produce.
+func int8SegmentRequest(precision string) *api.JobRequest {
+	return &api.JobRequest{
+		Kind: api.KindSegment,
+		Segment: &api.SegmentSpec{
+			Source:     api.VolumeSource{Synth: &api.SynthSpec{NLon: 36, NLat: 24, NLev: 4, Steps: 8, Seed: 11}},
+			Threshold:  130,
+			SeedStride: [3]int{1, 4, 4},
+			MaxSteps:   400,
+			ReturnMask: true,
+			Net:        &api.NetConfig{MoveProb: 0.55, Precision: precision},
+		},
+	}
+}
+
+// TestGatewaySegmentInt8EndToEnd runs the same segment job through the HTTP
+// gateway at f32 and int8 precision and holds the int8 mask to the
+// documented error bound: at most 2% of voxels may disagree with f32 (the
+// same bound TestSegmentInt8ErrorBounded enforces at the ffn layer).
+func TestGatewaySegmentInt8EndToEnd(t *testing.T) {
+	f := newGWFixture(t, true)
+
+	run := func(precision string) api.SegmentResult {
+		st, env := f.submitAndWait(int8SegmentRequest(precision))
+		if st.State != api.StateSucceeded {
+			t.Fatalf("precision %q: state = %s (%s)", precision, st.State, st.Error)
+		}
+		var res api.SegmentResult
+		if err := json.Unmarshal(env.Result, &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Steps == 0 || res.MaskVoxels == 0 || len(res.MaskBits) == 0 {
+			t.Fatalf("precision %q: degenerate result %+v", precision, res)
+		}
+		return res
+	}
+	f32 := run("f32")
+	i8 := run("int8")
+
+	if f32.VoxelsTotal != i8.VoxelsTotal || len(f32.MaskBits) != len(i8.MaskBits) {
+		t.Fatalf("shape mismatch: f32 %+v vs int8 %+v", f32, i8)
+	}
+	var diff int
+	for i := range f32.MaskBits {
+		for x := f32.MaskBits[i] ^ i8.MaskBits[i]; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	rate := float64(diff) / float64(f32.VoxelsTotal)
+	t.Logf("gateway int8 vs f32: %d/%d mask voxels disagree (%.4f%%), mask voxels %d vs %d",
+		diff, f32.VoxelsTotal, 100*rate, i8.MaskVoxels, f32.MaskVoxels)
+	if rate > 0.02 {
+		t.Fatalf("mask disagreement rate %.4f exceeds the documented 2%% bound", rate)
+	}
+}
+
+// TestGatewayRejectsUnknownPrecision: validation errors surface as HTTP 400
+// before a job is enqueued.
+func TestGatewayRejectsUnknownPrecision(t *testing.T) {
+	f := newGWFixture(t, true)
+	resp := f.do("POST", "/v1/jobs", int8SegmentRequest("fp16"), nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("submit with precision fp16: status %d, want 400", resp.StatusCode)
+	}
+}

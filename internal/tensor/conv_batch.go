@@ -40,6 +40,8 @@ const (
 type convBatch struct {
 	out, in, w, bias []float32
 	res              []float32 // residual input (epResReLU), same shape as out
+	pad              []float32 // zero-padded input (span path only)
+	span             bool      // route Run through the SIMD span kernel
 	ep               convEpilogue
 	cout             int
 	cin, d, h, wd    int
@@ -50,6 +52,10 @@ type convBatch struct {
 var convBatchPool = sync.Pool{New: func() any { return new(convBatch) }}
 
 func (t *convBatch) Run(start, end int) {
+	if t.span {
+		t.runSpan(start, end)
+		return
+	}
 	cin, d, h, w := t.cin, t.d, t.h, t.wd
 	kd, kh, kw := t.kd, t.kh, t.kw
 	pd := t.pd
@@ -285,12 +291,26 @@ func convBatchDispatch(out, in, weight *Tensor, bias []float32, res []float32, e
 	t.cin, t.d, t.h, t.wd = cin, d, h, w
 	t.kd, t.kh, t.kw = kd, kh, kw
 	t.pd, t.ph, t.pw = kd/2, kh/2, kw/2
+	var sc *Scratch
+	if spanActive(kd, kh, kw) {
+		// Span path: stage the live batch into a zero-padded scratch copy so
+		// the vector kernel runs border-free (see conv_span.go).
+		sc = GetScratch()
+		t.pad = sc.Floats(spanPadLen(batch*cin, d, h, w))
+		fillPadded(t.pad, in.Data, batch*cin, d, h, w)
+		t.span = true
+	}
 	unitWork := h * w * cin * kd * kh * kw
 	grain := 1
 	if unitWork < convGrainFlops {
 		grain = (convGrainFlops + unitWork - 1) / unitWork
 	}
 	parallel.InvokeGrain(batch*cout*d, grain, t)
+	if sc != nil {
+		sc.Put(t.pad)
+		sc.Release()
+		t.pad, t.span = nil, false
+	}
 	t.out, t.in, t.w, t.bias, t.res = nil, nil, nil, nil, nil
 	convBatchPool.Put(t)
 }

@@ -1,0 +1,154 @@
+package tensor
+
+// SIMD-shaped span path for the dominant 3x3x3 conv geometry.
+//
+// The scalar batched engine (conv_batch.go) is already at the scalar FP
+// throughput floor: each output element needs cin*27 multiply-accumulates and
+// the plane walk issues exactly one MULSS+ADDSS per tap. Going faster
+// requires wider issue, so the span path restructures the kernel around
+// contiguous x-runs that map onto 8-wide vector registers:
+//
+//   - The input is copied once per dispatch into a zero-padded
+//     (B*Cin, D+2, H+2, W+2) scratch buffer. Padding removes every border
+//     conditional: all cin*27 taps are applied to every output element, with
+//     out-of-image taps reading exact zeros. IEEE-754 guarantees x + w*0 == x
+//     for every finite x (the only representational wiggle is the sign of an
+//     exact zero, and -0.0 == +0.0), so the padded accumulation is
+//     value-exact with the skip-based scalar walk. The copy is O(input),
+//     ~1/(cin*27) of the kernel's FLOPs.
+//   - conv33Span (conv_span_amd64.s) computes a 4-row x 8-column output
+//     block: four 8-lane accumulators live in registers across the entire
+//     ic -> dz -> dy tap loop, each tap-row hoisting its three coefficients
+//     into broadcast registers and issuing three VMULPS+VADDPS per row. Every
+//     lane accumulates its taps in the scalar kernel's ic -> dz -> dy -> dx
+//     order with separate multiply and add (no FMA contraction), so each
+//     element's float operation sequence — and therefore its rounding — is
+//     identical to the scalar engine's.
+//   - Column tails store through a lane mask (VMASKMOVPS); row tails skip
+//     trailing accumulator stores. Loads may overrun into neighboring padded
+//     rows or the buffer's slack tail; those lanes are never stored.
+//
+// The scalar engine remains the fallback: non-amd64 builds, CPUs without
+// AVX2, the `nosimd` build tag, and SetSpanKernels(false) all route through
+// it, and the equivalence sweeps in conv_span_test.go pin the two paths to
+// exact equality.
+
+// spanEnabled gates the span path at runtime; spanDefault comes from the
+// span_on/span_off build-tag pair (`nosimd` selects the scalar engine).
+var spanEnabled = spanDefault
+
+// SetSpanKernels enables or disables the SIMD span conv path, returning the
+// previous setting. It exists for fallback configuration and equivalence
+// tests; it must not be called concurrently with conv dispatches.
+func SetSpanKernels(on bool) bool {
+	prev := spanEnabled
+	spanEnabled = on
+	return prev
+}
+
+// SpanKernelsActive reports whether conv dispatches with 3x3x3 weights will
+// take the SIMD span path (enabled and supported by the CPU).
+func SpanKernelsActive() bool { return spanEnabled && hasAVX2 }
+
+// spanActive reports whether one dispatch with the given kernel geometry
+// takes the span path.
+func spanActive(kd, kh, kw int) bool {
+	return spanEnabled && hasAVX2 && kd == 3 && kh == 3 && kw == 3
+}
+
+// spanMasks[k] has the first k of 8 store lanes enabled.
+var spanMasks = func() (m [9][8]int32) {
+	for k := 1; k <= 8; k++ {
+		for l := 0; l < k; l++ {
+			m[k][l] = -1
+		}
+	}
+	return
+}()
+
+// spanPadLen sizes the padded scratch for nch = B*Cin channels, plus slack
+// covering the widest out-of-block read the 4x8 kernel can issue (three rows
+// beyond the last padded plane, eight lanes plus two taps beyond a row).
+func spanPadLen(nch, d, h, w int) int {
+	pw, ph := w+2, h+2
+	return nch*(d+2)*ph*pw + 4*pw + 16
+}
+
+// fillPadded copies nch (d,h,w) channels into the interior of the zeroed
+// padded buffer.
+func fillPadded(pad, in []float32, nch, d, h, w int) {
+	pw, ph := w+2, h+2
+	pplane := ph * pw
+	pch := (d + 2) * pplane
+	hw := h * w
+	for c := 0; c < nch; c++ {
+		src := in[c*d*hw:]
+		dst := pad[c*pch+pplane+pw+1:]
+		for z := 0; z < d; z++ {
+			sp := src[z*hw:]
+			dp := dst[z*pplane:]
+			for y := 0; y < h; y++ {
+				copy(dp[y*pw:y*pw+w], sp[y*w:y*w+w])
+			}
+		}
+	}
+}
+
+// runSpan processes flattened (b, oc, z) output slices through the asm span
+// kernel. Slice decomposition, bias init, and the fused epilogues match
+// convBatch.Run exactly; only the tap accumulation is restructured.
+func (t *convBatch) runSpan(start, end int) {
+	cin, d, h, w := t.cin, t.d, t.h, t.wd
+	hw := h * w
+	chSize := d * hw
+	pw, ph := w+2, h+2
+	pplane := ph * pw
+	pch := (d + 2) * pplane
+	for u := start; u < end; u++ {
+		b, rem := u/(t.cout*d), u%(t.cout*d)
+		oc, z := rem/d, rem%d
+		var bv float32
+		if t.bias != nil {
+			bv = t.bias[oc]
+		}
+		sliceBase := (b*t.cout + oc) * chSize
+		outPlane := t.out[sliceBase+z*hw:][:hw]
+		padCh := t.pad[b*cin*pch:]
+		wOC := &t.w[oc*cin*27]
+		for yb := 0; yb < h; yb += 4 {
+			nrows := h - yb
+			if nrows > 4 {
+				nrows = 4
+			}
+			for xb := 0; xb < w; xb += 8 {
+				k := w - xb
+				if k > 8 {
+					k = 8
+				}
+				conv33Span(
+					&outPlane[yb*w+xb],
+					&padCh[z*pplane+yb*pw+xb],
+					wOC,
+					int64(cin), int64(pch), int64(pplane), int64(pw), int64(w),
+					int64(nrows), &spanMasks[k][0], bv)
+			}
+		}
+		switch t.ep {
+		case epReLU:
+			for i, v := range outPlane {
+				if v < 0 {
+					outPlane[i] = 0
+				}
+			}
+		case epResReLU:
+			resPlane := t.res[sliceBase+z*hw:][:hw]
+			for i := range outPlane {
+				v := outPlane[i] + resPlane[i]
+				if v < 0 {
+					v = 0
+				}
+				outPlane[i] = v
+			}
+		}
+	}
+}

@@ -1,0 +1,15 @@
+//go:build amd64
+
+package tensor
+
+// conv33Span computes a 4-row x 8-column block of one (b, oc, z) output
+// slice over zero-padded input (conv_span_amd64.s). out points at the
+// block's first output element; pin points at the padded input element that
+// is the block's (ic=0, dz=0, dy=0, dx=0) tap; w points at the oc's cin*27
+// weights. Strides are in elements. nrows in [1,4] limits stored rows; mask
+// points at the 8-lane column store mask. Loads may overrun into adjacent
+// padded rows/planes and the buffer slack; masked/skipped lanes are never
+// stored. Requires AVX2.
+//
+//go:noescape
+func conv33Span(out, pin, w *float32, cin, pch, pplane, pw, ow, nrows int64, mask *int32, bias float32)

@@ -1,0 +1,128 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func conv33Span(out, pin, w *float32, cin, pch, pplane, pw, ow, nrows int64, mask *int32, bias float32)
+//
+// 4-row x 8-lane span block over zero-padded input. Accumulators Y0-Y3 hold
+// four consecutive output rows; the full ic -> dz -> dy tap loop runs with
+// them live, each tap-row broadcasting its three coefficients (Y4-Y6) and
+// issuing separate VMULPS+VADDPS per row so every lane's float operation
+// sequence matches the scalar kernel (ic -> dz -> dy -> dx, no FMA).
+// Stores are column-masked (VMASKMOVPS) and row-limited by nrows.
+TEXT ·conv33Span(SB), NOSPLIT, $0-84
+	MOVQ out+0(FP), DI
+	MOVQ pin+8(FP), BX
+	MOVQ w+16(FP), DX
+	MOVQ pch+32(FP), R13
+	SHLQ $2, R13
+	MOVQ pplane+40(FP), R12
+	SHLQ $2, R12
+	MOVQ pw+48(FP), R11
+	SHLQ $2, R11
+
+	VBROADCASTSS bias+80(FP), Y0
+	VMOVAPS      Y0, Y1
+	VMOVAPS      Y0, Y2
+	VMOVAPS      Y0, Y3
+
+	MOVQ cin+24(FP), R8
+
+ic_loop:
+	MOVQ BX, AX
+	MOVQ $3, R9
+
+dz_loop:
+	MOVQ AX, SI
+	MOVQ $3, R10
+
+dy_loop:
+	VBROADCASTSS (DX), Y4
+	VBROADCASTSS 4(DX), Y5
+	VBROADCASTSS 8(DX), Y6
+	ADDQ         $12, DX
+	MOVQ         SI, CX
+
+	// row 0 -> Y0
+	VMOVUPS (CX), Y7
+	VMULPS  Y7, Y4, Y8
+	VADDPS  Y8, Y0, Y0
+	VMOVUPS 4(CX), Y7
+	VMULPS  Y7, Y5, Y8
+	VADDPS  Y8, Y0, Y0
+	VMOVUPS 8(CX), Y7
+	VMULPS  Y7, Y6, Y8
+	VADDPS  Y8, Y0, Y0
+	ADDQ    R11, CX
+
+	// row 1 -> Y1
+	VMOVUPS (CX), Y7
+	VMULPS  Y7, Y4, Y8
+	VADDPS  Y8, Y1, Y1
+	VMOVUPS 4(CX), Y7
+	VMULPS  Y7, Y5, Y8
+	VADDPS  Y8, Y1, Y1
+	VMOVUPS 8(CX), Y7
+	VMULPS  Y7, Y6, Y8
+	VADDPS  Y8, Y1, Y1
+	ADDQ    R11, CX
+
+	// row 2 -> Y2
+	VMOVUPS (CX), Y7
+	VMULPS  Y7, Y4, Y8
+	VADDPS  Y8, Y2, Y2
+	VMOVUPS 4(CX), Y7
+	VMULPS  Y7, Y5, Y8
+	VADDPS  Y8, Y2, Y2
+	VMOVUPS 8(CX), Y7
+	VMULPS  Y7, Y6, Y8
+	VADDPS  Y8, Y2, Y2
+	ADDQ    R11, CX
+
+	// row 3 -> Y3
+	VMOVUPS (CX), Y7
+	VMULPS  Y7, Y4, Y8
+	VADDPS  Y8, Y3, Y3
+	VMOVUPS 4(CX), Y7
+	VMULPS  Y7, Y5, Y8
+	VADDPS  Y8, Y3, Y3
+	VMOVUPS 8(CX), Y7
+	VMULPS  Y7, Y6, Y8
+	VADDPS  Y8, Y3, Y3
+
+	ADDQ R11, SI
+	DECQ R10
+	JNZ  dy_loop
+
+	ADDQ R12, AX
+	DECQ R9
+	JNZ  dz_loop
+
+	ADDQ R13, BX
+	DECQ R8
+	JNZ  ic_loop
+
+	// Masked stores for nrows rows.
+	MOVQ    mask+72(FP), CX
+	VMOVDQU (CX), Y9
+	MOVQ    ow+56(FP), R8
+	SHLQ    $2, R8
+	MOVQ    nrows+64(FP), CX
+
+	VMASKMOVPS Y0, Y9, (DI)
+	DECQ       CX
+	JZ         done
+	ADDQ       R8, DI
+	VMASKMOVPS Y1, Y9, (DI)
+	DECQ       CX
+	JZ         done
+	ADDQ       R8, DI
+	VMASKMOVPS Y2, Y9, (DI)
+	DECQ       CX
+	JZ         done
+	ADDQ       R8, DI
+	VMASKMOVPS Y3, Y9, (DI)
+
+done:
+	VZEROUPPER
+	RET

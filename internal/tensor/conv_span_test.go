@@ -1,0 +1,167 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"chaseci/internal/parallel"
+	"chaseci/internal/sim"
+)
+
+// The span path must be exactly equal to the scalar engine — same bits in,
+// same bits out — across geometries that exercise every block shape: column
+// tails (w%8), row tails (h%4), single-plane depths, and channel counts on
+// both sides of the grain policy. Sweeps run at several worker counts since
+// slices shard across workers.
+
+type spanShape struct{ b, cin, cout, d, h, w int }
+
+var spanShapes = []spanShape{
+	{1, 1, 1, 1, 1, 1},
+	{1, 1, 1, 1, 1, 7},
+	{1, 2, 3, 2, 3, 5},
+	{1, 2, 2, 3, 7, 7}, // FFN FOV geometry
+	{2, 3, 4, 3, 4, 8},
+	{3, 2, 3, 2, 5, 9},
+	{1, 2, 2, 4, 6, 17},
+	{2, 8, 8, 5, 9, 9}, // default-config module geometry
+}
+
+func runBothConvPaths(t *testing.T, sh spanShape, ep convEpilogue, maxBatch int) (span, scalar *Tensor) {
+	t.Helper()
+	rng := sim.NewRNG(uint64(31*sh.b + 7*sh.cin + sh.d + sh.h + sh.w))
+	in := randTensor(rng, sh.b, sh.cin, sh.d, sh.h, sh.w)
+	w := randTensor(rng, sh.cout, sh.cin, 3, 3, 3)
+	res := randTensor(rng, sh.b, sh.cout, sh.d, sh.h, sh.w)
+	bias := make([]float32, sh.cout)
+	for i := range bias {
+		bias[i] = float32(rng.NormFloat64())
+	}
+	span = New(sh.b, sh.cout, sh.d, sh.h, sh.w)
+	scalar = New(sh.b, sh.cout, sh.d, sh.h, sh.w)
+	run := func(out *Tensor) {
+		switch ep {
+		case epReLU:
+			Conv3DBatchReLUInto(out, in, w, bias, maxBatch)
+		case epResReLU:
+			Conv3DBatchResReLUInto(out, in, w, bias, res, maxBatch)
+		default:
+			Conv3DBatchInto(out, in, w, bias, maxBatch)
+		}
+	}
+	prev := SetSpanKernels(true)
+	run(span)
+	SetSpanKernels(false)
+	run(scalar)
+	SetSpanKernels(prev)
+	return span, scalar
+}
+
+func TestSpanMatchesScalarSweep(t *testing.T) {
+	if !SpanKernelsActive() {
+		t.Skip("SIMD span kernels unavailable on this CPU/build")
+	}
+	defer parallel.SetWorkers(parallel.SetWorkers(1))
+	for _, workers := range []int{1, 2, 8} {
+		parallel.SetWorkers(workers)
+		for _, sh := range spanShapes {
+			for _, ep := range []convEpilogue{epNone, epReLU, epResReLU} {
+				name := fmt.Sprintf("w%d/%v/ep%d", workers, sh, ep)
+				span, scalar := runBothConvPaths(t, sh, ep, 0)
+				for i := range span.Data {
+					if span.Data[i] != scalar.Data[i] {
+						t.Fatalf("%s: span[%d]=%g scalar[%d]=%g", name, i, span.Data[i], i, scalar.Data[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Partial batches (maxBatch < B) must only touch the live slots on both
+// paths; dead slots keep their previous contents.
+func TestSpanPartialBatch(t *testing.T) {
+	if !SpanKernelsActive() {
+		t.Skip("SIMD span kernels unavailable on this CPU/build")
+	}
+	sh := spanShape{4, 2, 3, 2, 5, 7}
+	span, scalar := runBothConvPaths(t, sh, epReLU, 2)
+	live := 2 * sh.cout * sh.d * sh.h * sh.w
+	for i := 0; i < live; i++ {
+		if span.Data[i] != scalar.Data[i] {
+			t.Fatalf("live slot diverges at %d: span=%g scalar=%g", i, span.Data[i], scalar.Data[i])
+		}
+	}
+	for i := live; i < len(span.Data); i++ {
+		if span.Data[i] != 0 {
+			t.Fatalf("dead slot written at %d: %g", i, span.Data[i])
+		}
+	}
+}
+
+// The 4-d single-input wrappers route through the same dispatch; pin the
+// span path against the naive reference conv as well as the scalar engine.
+func TestSpanConv3DIntoMatchesScalar(t *testing.T) {
+	if !SpanKernelsActive() {
+		t.Skip("SIMD span kernels unavailable on this CPU/build")
+	}
+	rng := sim.NewRNG(11)
+	in := randTensor(rng, 3, 4, 6, 11)
+	w := randTensor(rng, 2, 3, 3, 3, 3)
+	bias := []float32{0.3, -0.7}
+	span := New(2, 4, 6, 11)
+	scalar := New(2, 4, 6, 11)
+	prev := SetSpanKernels(true)
+	Conv3DInto(span, in, w, bias)
+	SetSpanKernels(false)
+	Conv3DInto(scalar, in, w, bias)
+	SetSpanKernels(prev)
+	for i := range span.Data {
+		if span.Data[i] != scalar.Data[i] {
+			t.Fatalf("Conv3DInto diverges at %d: span=%g scalar=%g", i, span.Data[i], scalar.Data[i])
+		}
+	}
+}
+
+// Non-3x3x3 kernels must keep taking the scalar engine untouched (the span
+// path only claims the 3x3x3 geometry).
+func TestSpanLeavesGenericKernelsAlone(t *testing.T) {
+	rng := sim.NewRNG(13)
+	in := randTensor(rng, 1, 2, 3, 5, 7)
+	w := randTensor(rng, 2, 2, 1, 1, 1)
+	out := New(1, 2, 3, 5, 7)
+	ref := New(1, 2, 3, 5, 7)
+	prev := SetSpanKernels(true)
+	Conv3DBatchInto(out, in, w, nil, 0)
+	SetSpanKernels(false)
+	Conv3DBatchInto(ref, in, w, nil, 0)
+	SetSpanKernels(prev)
+	for i := range out.Data {
+		if out.Data[i] != ref.Data[i] {
+			t.Fatalf("1x1x1 conv diverges at %d", i)
+		}
+	}
+}
+
+// The span path must stay allocation-free in steady state: the padded copy
+// comes from the pooled scratch arena.
+func TestSpanAllocFree(t *testing.T) {
+	if !SpanKernelsActive() {
+		t.Skip("SIMD span kernels unavailable on this CPU/build")
+	}
+	if raceEnabled {
+		t.Skip("alloc bounds are meaningless under -race")
+	}
+	rng := sim.NewRNG(17)
+	in := randTensor(rng, 8, 6, 3, 7, 7)
+	w := randTensor(rng, 6, 6, 3, 3, 3)
+	bias := make([]float32, 6)
+	out := New(8, 6, 3, 7, 7)
+	Conv3DBatchReLUInto(out, in, w, bias, 0) // warm pools
+	allocs := testing.AllocsPerRun(50, func() {
+		Conv3DBatchReLUInto(out, in, w, bias, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("span conv allocates %.1f/op, want 0", allocs)
+	}
+}

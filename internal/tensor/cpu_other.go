@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds have no SIMD kernels; every dispatch takes the portable
+// scalar engine.
+var hasAVX2, hasVNNI = false, false

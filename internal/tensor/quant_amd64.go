@@ -1,0 +1,36 @@
+//go:build amd64
+
+package tensor
+
+// qconv33Span4 computes a 4-row x 8-column block of one (b, oc, z) output
+// slice of the int8 conv, requantized to f32 (quant_amd64.s): each int32
+// accumulator acc becomes scale*float32(acc) + offs before the masked
+// store. p32 points at the padded 3-byte-window dword for the block's
+// (ic=0, dz=0, dy=0) tap; wp at the oc's cin*9 packed tap-row weights.
+// Strides are in elements. nrows in [1,4] limits stored rows; mask points
+// at the 8-lane store mask. Loads may overrun into adjacent padded
+// rows/planes and the buffer slack; masked/skipped lanes are never stored.
+// Requires AVX-512 VNNI (+VL).
+//
+//go:noescape
+func qconv33Span4(out *float32, p32, wp *uint32, cin, pch, pplane, pw, ow, nrows int64, mask *int32, scale, offs float32)
+
+// minMaxF32 folds n floats (positive multiple of 8, no NaNs) into running
+// min/max accumulators that start at zero, matching the scalar scan's
+// zero-initialized lo/hi.
+//
+//go:noescape
+func minMaxF32(src *float32, n int64) (lo, hi float32)
+
+// quantU8 quantizes n floats (positive multiple of 32) to uint8 codes:
+// clamp(0, 255, roundNearestEven(src[i]*inv + zf)). Bit-identical to the
+// Go tail in quantCodes.
+//
+//go:noescape
+func quantU8(dst *uint8, src *float32, n int64, inv, zf float32)
+
+// pack24 cuts 8 packed 3-byte x-windows per iteration from src into dst
+// dwords; the caller guarantees the last 16-byte read is in bounds.
+//
+//go:noescape
+func pack24(dst *uint32, src *uint8, iters int64)

@@ -1,0 +1,268 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func qconv33Span4(out *float32, p32, wp *uint32, cin, pch, pplane, pw, ow, nrows int64, mask *int32, scale, offs float32)
+//
+// 4-row x 8-lane int8 dot-product block over packed activation windows, with
+// the requantization (out = scale*float32(acc) + offs) fused into the store.
+// Each p32 dword holds one padded cell's 3-byte x-window; each wp dword one
+// tap-row's three weight codes, so one VPDPBUSD accumulates a whole tap-row
+// for 8 outputs. VPDPBUSD has multi-cycle latency, so each output row keeps
+// three accumulators — one per dy tap (sets A=Y0-3, B=Y4-7, C=Y8-11) —
+// giving every chain a three-tap-row reuse distance; the sets merge with
+// exact integer VPADDD before requantization. Integer accumulation is
+// order-free, so the merged result is bit-identical to the scalar int32
+// engine, and CVTDQ2PS/VMULPS/VADDPS round exactly like the Go requant
+// expression. Stores are column-masked (VMASKMOVPS) and row-limited by
+// nrows.
+TEXT ·qconv33Span4(SB), NOSPLIT, $0-88
+	MOVQ out+0(FP), DI
+	MOVQ p32+8(FP), BX
+	MOVQ wp+16(FP), DX
+	MOVQ pch+32(FP), R13
+	SHLQ $2, R13
+	MOVQ pplane+40(FP), R12
+	SHLQ $2, R12
+	MOVQ pw+48(FP), R11
+	SHLQ $2, R11
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+	VPXOR Y8, Y8, Y8
+	VPXOR Y9, Y9, Y9
+	VPXOR Y10, Y10, Y10
+	VPXOR Y11, Y11, Y11
+
+	MOVQ cin+24(FP), R8
+
+ic_loop:
+	MOVQ BX, AX
+	MOVQ $3, R9
+
+dz_loop:
+	// dy = 0 -> set A (Y0-Y3). Rows r = 0..3 read base + r*pw; each block
+	// leaves CX at base + pw, which is the next dy's base.
+	MOVQ         AX, CX
+	VPBROADCASTD (DX), Y12
+	VMOVDQU      (CX), Y13
+	VPDPBUSD     Y12, Y13, Y0
+	VMOVDQU      (CX)(R11*1), Y14
+	VPDPBUSD     Y12, Y14, Y1
+	VMOVDQU      (CX)(R11*2), Y13
+	VPDPBUSD     Y12, Y13, Y2
+	LEAQ         (CX)(R11*2), CX
+	VMOVDQU      (CX)(R11*1), Y14
+	VPDPBUSD     Y12, Y14, Y3
+	SUBQ         R11, CX
+
+	// dy = 1 -> set B (Y4-Y7).
+	VPBROADCASTD 4(DX), Y12
+	VMOVDQU      (CX), Y13
+	VPDPBUSD     Y12, Y13, Y4
+	VMOVDQU      (CX)(R11*1), Y14
+	VPDPBUSD     Y12, Y14, Y5
+	VMOVDQU      (CX)(R11*2), Y13
+	VPDPBUSD     Y12, Y13, Y6
+	LEAQ         (CX)(R11*2), CX
+	VMOVDQU      (CX)(R11*1), Y14
+	VPDPBUSD     Y12, Y14, Y7
+	SUBQ         R11, CX
+
+	// dy = 2 -> set C (Y8-Y11).
+	VPBROADCASTD 8(DX), Y12
+	VMOVDQU      (CX), Y13
+	VPDPBUSD     Y12, Y13, Y8
+	VMOVDQU      (CX)(R11*1), Y14
+	VPDPBUSD     Y12, Y14, Y9
+	VMOVDQU      (CX)(R11*2), Y13
+	VPDPBUSD     Y12, Y13, Y10
+	LEAQ         (CX)(R11*2), CX
+	VMOVDQU      (CX)(R11*1), Y14
+	VPDPBUSD     Y12, Y14, Y11
+
+	ADDQ $12, DX
+	ADDQ R12, AX
+	DECQ R9
+	JNZ  dz_loop
+
+	ADDQ R13, BX
+	DECQ R8
+	JNZ  ic_loop
+
+	// Merge the three dy sets (exact integer adds) and requantize.
+	VPADDD Y4, Y0, Y0
+	VPADDD Y8, Y0, Y0
+	VPADDD Y5, Y1, Y1
+	VPADDD Y9, Y1, Y1
+	VPADDD Y6, Y2, Y2
+	VPADDD Y10, Y2, Y2
+	VPADDD Y7, Y3, Y3
+	VPADDD Y11, Y3, Y3
+
+	VCVTDQ2PS Y0, Y0
+	VCVTDQ2PS Y1, Y1
+	VCVTDQ2PS Y2, Y2
+	VCVTDQ2PS Y3, Y3
+
+	VBROADCASTSS scale+80(FP), Y12
+	VBROADCASTSS offs+84(FP), Y13
+	VMULPS       Y12, Y0, Y0
+	VADDPS       Y13, Y0, Y0
+	VMULPS       Y12, Y1, Y1
+	VADDPS       Y13, Y1, Y1
+	VMULPS       Y12, Y2, Y2
+	VADDPS       Y13, Y2, Y2
+	VMULPS       Y12, Y3, Y3
+	VADDPS       Y13, Y3, Y3
+
+	// Masked stores for nrows rows.
+	MOVQ    mask+72(FP), CX
+	VMOVDQU (CX), Y14
+	MOVQ    ow+56(FP), R8
+	SHLQ    $2, R8
+	MOVQ    nrows+64(FP), CX
+
+	VMASKMOVPS Y0, Y14, (DI)
+	DECQ       CX
+	JZ         done
+	ADDQ       R8, DI
+	VMASKMOVPS Y1, Y14, (DI)
+	DECQ       CX
+	JZ         done
+	ADDQ       R8, DI
+	VMASKMOVPS Y2, Y14, (DI)
+	DECQ       CX
+	JZ         done
+	ADDQ       R8, DI
+	VMASKMOVPS Y3, Y14, (DI)
+
+done:
+	VZEROUPPER
+	RET
+
+// Dword permutation fixing the lane interleave of VPACKSSDW+VPACKUSWB.
+DATA qpermIdx<>+0(SB)/4, $0
+DATA qpermIdx<>+4(SB)/4, $4
+DATA qpermIdx<>+8(SB)/4, $1
+DATA qpermIdx<>+12(SB)/4, $5
+DATA qpermIdx<>+16(SB)/4, $2
+DATA qpermIdx<>+20(SB)/4, $6
+DATA qpermIdx<>+24(SB)/4, $3
+DATA qpermIdx<>+28(SB)/4, $7
+GLOBL qpermIdx<>(SB), RODATA|NOPTR, $32
+
+// In-lane shuffle cutting eight overlapping 3-byte x-windows (zero-extended
+// to dwords) from a 16-byte block replicated to both lanes: lane 0 emits
+// windows at offsets 0-3, lane 1 at offsets 4-7.
+DATA qshuf24<>+0(SB)/8, $0xff030201ff020100
+DATA qshuf24<>+8(SB)/8, $0xff050403ff040302
+DATA qshuf24<>+16(SB)/8, $0xff070605ff060504
+DATA qshuf24<>+24(SB)/8, $0xff090807ff080706
+GLOBL qshuf24<>(SB), RODATA|NOPTR, $32
+
+// func minMaxF32(src *float32, n int64) (lo, hi float32)
+//
+// Running min/max of n floats folded together with 0 (the accumulators start
+// at zero, matching the scalar loop's zero-initialized lo/hi). n must be a
+// positive multiple of 8. No NaNs.
+TEXT ·minMaxF32(SB), NOSPLIT, $0-24
+	MOVQ src+0(FP), SI
+	MOVQ n+8(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+mmLoop:
+	VMOVUPS (SI), Y2
+	VMINPS Y2, Y0, Y0
+	VMAXPS Y2, Y1, Y1
+	ADDQ $32, SI
+	SUBQ $8, CX
+	JNE mmLoop
+	VEXTRACTF128 $1, Y0, X2
+	VMINPS X2, X0, X0
+	VEXTRACTF128 $1, Y1, X3
+	VMAXPS X3, X1, X1
+	VPERMILPS $0x4e, X0, X2
+	VMINPS X2, X0, X0
+	VPERMILPS $0xb1, X0, X2
+	VMINPS X2, X0, X0
+	VPERMILPS $0x4e, X1, X3
+	VMAXPS X3, X1, X1
+	VPERMILPS $0xb1, X1, X3
+	VMAXPS X3, X1, X1
+	VMOVSS X0, lo+16(FP)
+	VMOVSS X1, hi+20(FP)
+	VZEROUPPER
+	RET
+
+// func quantU8(dst *uint8, src *float32, n int64, inv, zf float32)
+//
+// dst[i] = clamp(0, 255, roundNearestEven(src[i]*inv + zf)) for n floats.
+// n must be a positive multiple of 32. The separate VMULPS+VADDPS (no FMA)
+// and VCVTPS2DQ match the Go tail's float32 mul/add + math.RoundToEven
+// exactly; VPACKSSDW+VPACKUSWB saturate int32 through int16 to the uint8
+// clamp (in-range by construction: inv/zf come from the slot's own range,
+// so v*inv+zf lands near [0, 255] and never overflows int32).
+TEXT ·quantU8(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSS inv+24(FP), Y14
+	VBROADCASTSS zf+28(FP), Y15
+	VMOVDQU qpermIdx<>(SB), Y13
+quLoop:
+	VMOVUPS (SI), Y0
+	VMOVUPS 32(SI), Y1
+	VMOVUPS 64(SI), Y2
+	VMOVUPS 96(SI), Y3
+	VMULPS Y14, Y0, Y0
+	VMULPS Y14, Y1, Y1
+	VMULPS Y14, Y2, Y2
+	VMULPS Y14, Y3, Y3
+	VADDPS Y15, Y0, Y0
+	VADDPS Y15, Y1, Y1
+	VADDPS Y15, Y2, Y2
+	VADDPS Y15, Y3, Y3
+	VCVTPS2DQ Y0, Y0
+	VCVTPS2DQ Y1, Y1
+	VCVTPS2DQ Y2, Y2
+	VCVTPS2DQ Y3, Y3
+	VPACKSSDW Y1, Y0, Y4
+	VPACKSSDW Y3, Y2, Y5
+	VPACKUSWB Y5, Y4, Y6
+	VPERMD Y6, Y13, Y6
+	VMOVDQU Y6, (DI)
+	ADDQ $128, SI
+	ADDQ $32, DI
+	SUBQ $32, CX
+	JNE quLoop
+	VZEROUPPER
+	RET
+
+// func pack24(dst *uint32, src *uint8, iters int64)
+//
+// iters iterations, each reading 16 bytes at src+8k and storing 8 packed
+// 3-byte windows (dwords) at dst+8k: dst[i] = src[i] | src[i+1]<<8 |
+// src[i+2]<<16. iters must be positive and the last read (8*(iters-1)+16
+// bytes) in bounds.
+TEXT ·pack24(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ iters+16(FP), CX
+	VMOVDQU qshuf24<>(SB), Y15
+p24Loop:
+	VBROADCASTI128 (SI), Y0
+	VPSHUFB Y15, Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ $8, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNE p24Loop
+	VZEROUPPER
+	RET

@@ -1,0 +1,23 @@
+//go:build !amd64
+
+package tensor
+
+// Stub so the quantized dispatch compiles on non-amd64; QuantAsmActive is
+// always false there, so this is unreachable.
+func qconv33Span4(out *float32, p32, wp *uint32, cin, pch, pplane, pw, ow, nrows int64, mask *int32, scale, offs float32) {
+	panic("tensor: qconv33Span4 called without VNNI support")
+}
+
+// Quantization helper stubs: hasAVX2 is false on non-amd64 builds, so the
+// pure-Go paths in quantCodes / minMaxSpan / buildP32 always run instead.
+func minMaxF32(src *float32, n int64) (lo, hi float32) {
+	panic("tensor: minMaxF32 called without AVX2 support")
+}
+
+func quantU8(dst *uint8, src *float32, n int64, inv, zf float32) {
+	panic("tensor: quantU8 called without AVX2 support")
+}
+
+func pack24(dst *uint32, src *uint8, iters int64) {
+	panic("tensor: pack24 called without AVX2 support")
+}

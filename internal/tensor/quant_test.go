@@ -1,0 +1,319 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"chaseci/internal/parallel"
+	"chaseci/internal/sim"
+)
+
+// Weight round-trip: dequantized codes must sit within half a quantization
+// step of the originals, per output channel.
+func TestQuantizeWeightsRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(3)
+	w := randTensor(rng, 4, 3, 3, 3, 3)
+	q := QuantizeWeights(w)
+	deq := q.Dequantize()
+	per := 3 * 27
+	for oc := 0; oc < 4; oc++ {
+		var maxAbs float64
+		for _, v := range w.Data[oc*per:][:per] {
+			if a := math.Abs(float64(v)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		step := maxAbs / 127
+		for i, v := range w.Data[oc*per:][:per] {
+			got := float64(deq.Data[oc*per+i])
+			if diff := math.Abs(got - float64(v)); diff > step/2+1e-12 {
+				t.Fatalf("oc %d idx %d: |%g - %g| = %g exceeds half-step %g", oc, i, got, v, diff, step/2)
+			}
+		}
+	}
+}
+
+// Degenerate channels: all-zero, denormal-magnitude, and extreme-magnitude
+// weights must quantize without NaN/Inf and round-trip within bounds.
+func TestQuantizeWeightsEdgeChannels(t *testing.T) {
+	w := New(4, 1, 3, 3, 3)
+	// oc 0: all zeros (stays zero).
+	// oc 1: denormal magnitudes.
+	for i := 0; i < 27; i++ {
+		w.Data[27+i] = float32(math.Float32frombits(uint32(i + 1))) // tiny denormals
+	}
+	// oc 2: extreme magnitudes near f32 max.
+	for i := 0; i < 27; i++ {
+		w.Data[54+i] = float32(3e38) * float32(1-2*(i%2))
+	}
+	// oc 3: one dominant weight drowning the rest.
+	w.Data[81] = 1000
+	w.Data[82] = 1e-3
+	q := QuantizeWeights(w)
+	if q.Scales[0] != 0 || q.SumQ[0] != 0 {
+		t.Fatalf("all-zero channel: scale %g sumq %d, want 0, 0", q.Scales[0], q.SumQ[0])
+	}
+	deq := q.Dequantize()
+	for i, v := range deq.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("dequantized weight %d is %g", i, v)
+		}
+	}
+	for i := 0; i < 27; i++ {
+		if deq.Data[i] != 0 {
+			t.Fatalf("zero channel dequantizes to %g at %d", deq.Data[i], i)
+		}
+	}
+	// The dominant weight must survive at full precision relative to scale.
+	step := float64(1000) / 127
+	if diff := math.Abs(float64(deq.Data[81]) - 1000); diff > step/2 {
+		t.Fatalf("dominant weight round-trips to %g", deq.Data[81])
+	}
+	// The drowned weight quantizes to 0 — that is the documented tradeoff.
+	if deq.Data[82] != 0 {
+		t.Fatalf("drowned weight should quantize to 0, got %g", deq.Data[82])
+	}
+	// Packed windows must agree with raw codes.
+	for oc := 0; oc < 4; oc++ {
+		for r := 0; r < 9; r++ {
+			p := q.Packed[oc*9+r]
+			for j := 0; j < 3; j++ {
+				if int8(p>>(8*j)) != q.W[oc*27+r*3+j] {
+					t.Fatalf("packed window oc %d row %d byte %d mismatch", oc, r, j)
+				}
+			}
+			if p>>24 != 0 {
+				t.Fatalf("packed window oc %d row %d byte 3 not zero", oc, r)
+			}
+		}
+	}
+}
+
+func runBothQuantEngines(t *testing.T, sh spanShape, ep convEpilogue) (asm, scalar *Tensor) {
+	t.Helper()
+	rng := sim.NewRNG(uint64(17*sh.b + 5*sh.cin + sh.d + sh.h + sh.w))
+	in := randTensor(rng, sh.b, sh.cin, sh.d, sh.h, sh.w)
+	w := randTensor(rng, sh.cout, sh.cin, 3, 3, 3)
+	res := randTensor(rng, sh.b, sh.cout, sh.d, sh.h, sh.w)
+	bias := make([]float32, sh.cout)
+	for i := range bias {
+		bias[i] = float32(rng.NormFloat64())
+	}
+	qw := QuantizeWeights(w)
+	asm = New(sh.b, sh.cout, sh.d, sh.h, sh.w)
+	scalar = New(sh.b, sh.cout, sh.d, sh.h, sh.w)
+	run := func(out *Tensor) {
+		switch ep {
+		case epReLU:
+			Conv3DBatchQReLUInto(out, in, qw, bias, 0)
+		case epResReLU:
+			Conv3DBatchQResReLUInto(out, in, qw, bias, res, 0)
+		default:
+			Conv3DBatchQInto(out, in, qw, bias, 0)
+		}
+	}
+	prev := SetQuantAsm(true)
+	run(asm)
+	SetQuantAsm(false)
+	run(scalar)
+	SetQuantAsm(prev)
+	return asm, scalar
+}
+
+// The VNNI kernel and the scalar int32 engine accumulate the same integers,
+// so their requantized outputs must be bit-identical across geometries,
+// worker counts, and epilogues.
+func TestQuantAsmMatchesScalar(t *testing.T) {
+	if !QuantAsmActive() {
+		t.Skip("VNNI int8 kernels unavailable on this CPU/build")
+	}
+	defer parallel.SetWorkers(parallel.SetWorkers(1))
+	for _, workers := range []int{1, 2, 8} {
+		parallel.SetWorkers(workers)
+		for _, sh := range spanShapes {
+			for _, ep := range []convEpilogue{epNone, epReLU, epResReLU} {
+				asm, scalar := runBothQuantEngines(t, sh, ep)
+				for i := range asm.Data {
+					if asm.Data[i] != scalar.Data[i] {
+						t.Fatalf("w%d %v ep%d: asm[%d]=%g scalar[%d]=%g",
+							workers, sh, ep, i, asm.Data[i], i, scalar.Data[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Per-slot activation quantization makes each item's int8 result independent
+// of batch grouping: slicing the same inputs into batches of 1 must
+// reproduce the batched result bit-for-bit.
+func TestQuantBatchInvariance(t *testing.T) {
+	rng := sim.NewRNG(23)
+	const B, cin, cout, d, h, w = 5, 2, 3, 3, 7, 7
+	in := randTensor(rng, B, cin, d, h, w)
+	wt := randTensor(rng, cout, cin, 3, 3, 3)
+	bias := []float32{0.1, -0.2, 0.3}
+	qw := QuantizeWeights(wt)
+	batched := New(B, cout, d, h, w)
+	Conv3DBatchQReLUInto(batched, in, qw, bias, 0)
+	chIn, chOut := cin*d*h*w, cout*d*h*w
+	for b := 0; b < B; b++ {
+		one := &Tensor{Shape: []int{1, cin, d, h, w}, Data: in.Data[b*chIn:][:chIn]}
+		out1 := New(1, cout, d, h, w)
+		Conv3DBatchQReLUInto(out1, one, qw, bias, 0)
+		for i := range out1.Data {
+			if out1.Data[i] != batched.Data[b*chOut+i] {
+				t.Fatalf("slot %d idx %d: batch1 %g batched %g", b, i, out1.Data[i], batched.Data[b*chOut+i])
+			}
+		}
+	}
+}
+
+// End-to-end error bound of the int8 conv against the f32 reference: each
+// output must sit within the analytic bound from the two quantization steps.
+func TestQuantConvErrorBound(t *testing.T) {
+	rng := sim.NewRNG(29)
+	for _, sh := range []spanShape{{1, 2, 2, 3, 7, 7}, {2, 8, 8, 5, 9, 9}} {
+		in := randTensor(rng, sh.b, sh.cin, sh.d, sh.h, sh.w)
+		w := randTensor(rng, sh.cout, sh.cin, 3, 3, 3)
+		bias := make([]float32, sh.cout)
+		qw := QuantizeWeights(w)
+		ref := New(sh.b, sh.cout, sh.d, sh.h, sh.w)
+		got := New(sh.b, sh.cout, sh.d, sh.h, sh.w)
+		Conv3DBatchInto(ref, in, w, bias, 0)
+		Conv3DBatchQInto(got, in, qw, bias, 0)
+		// Bound: cin*27 taps, each with error <= |w|max*saIn/2 + |a|max*stepW/2
+		// plus cross terms; use a conservative analytic envelope.
+		var aMax, wMax float64
+		for _, v := range in.Data {
+			if a := math.Abs(float64(v)); a > aMax {
+				aMax = a
+			}
+		}
+		for _, v := range w.Data {
+			if a := math.Abs(float64(v)); a > wMax {
+				wMax = a
+			}
+		}
+		saMax := 2 * aMax / 255 // widest per-slot step
+		stepW := wMax / 127
+		taps := float64(sh.cin * 27)
+		bound := taps * (wMax*saMax/2 + aMax*stepW/2 + saMax*stepW/4)
+		bound += 1e-4 // float accumulation slack
+		for i := range ref.Data {
+			if diff := math.Abs(float64(got.Data[i]) - float64(ref.Data[i])); diff > bound {
+				t.Fatalf("%v idx %d: int8 %g vs f32 %g, |diff| %g > bound %g",
+					sh, i, got.Data[i], ref.Data[i], diff, bound)
+			}
+		}
+	}
+}
+
+// Steady-state quantized dispatches must not allocate.
+func TestQuantConvAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc bounds are meaningless under -race")
+	}
+	rng := sim.NewRNG(31)
+	in := randTensor(rng, 8, 6, 3, 7, 7)
+	w := randTensor(rng, 6, 6, 3, 3, 3)
+	bias := make([]float32, 6)
+	qw := QuantizeWeights(w)
+	out := New(8, 6, 3, 7, 7)
+	Conv3DBatchQReLUInto(out, in, qw, bias, 0) // warm pools
+	allocs := testing.AllocsPerRun(50, func() {
+		Conv3DBatchQReLUInto(out, in, qw, bias, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("quantized conv allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func BenchmarkConv3DBatchQInto(b *testing.B) {
+	rng := sim.NewRNG(37)
+	in := randTensor(rng, 8, 6, 3, 7, 7)
+	w := randTensor(rng, 6, 6, 3, 3, 3)
+	bias := make([]float32, 6)
+	qw := QuantizeWeights(w)
+	out := New(8, 6, 3, 7, 7)
+	Conv3DBatchQInto(out, in, qw, bias, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv3DBatchQInto(out, in, qw, bias, 0)
+	}
+}
+
+// TestQuantHelpersMatchReference pins the AVX2 quantization helpers
+// (minMaxSpan, quantCodes, buildP32) against straightforward scalar
+// references across sizes that exercise both the vector main loops and the
+// tails, including negative, huge, and tiny values.
+func TestQuantHelpersMatchReference(t *testing.T) {
+	rng := sim.NewRNG(77)
+	for _, n := range []int{1, 2, 7, 8, 9, 31, 32, 33, 63, 64, 100, 257, 1024} {
+		src := make([]float32, n)
+		for i := range src {
+			switch i % 7 {
+			case 0:
+				src[i] = float32(rng.NormFloat64())
+			case 3:
+				src[i] = -float32(rng.Float64()) * 100
+			case 5:
+				src[i] = float32(rng.Float64()) * 1e-5
+			default:
+				src[i] = float32(rng.Float64()) * 50
+			}
+		}
+
+		lo, hi := minMaxSpan(src)
+		var wlo, whi float32
+		for _, v := range src {
+			if v < wlo {
+				wlo = v
+			}
+			if v > whi {
+				whi = v
+			}
+		}
+		if lo != wlo || hi != whi {
+			t.Fatalf("n=%d: minMaxSpan = (%v, %v), want (%v, %v)", n, lo, hi, wlo, whi)
+		}
+
+		span := float64(hi) - float64(lo)
+		sa := span / 255
+		if span == 0 {
+			sa = 1
+		}
+		zu := int32(math.Round(-float64(lo) / sa))
+		inv, zf := float32(1/sa), float32(zu)
+		got := make([]uint8, n)
+		quantCodes(got, src, inv, zf)
+		for i, v := range src {
+			u := int32(math.RoundToEven(float64(v*inv + zf)))
+			if u < 0 {
+				u = 0
+			} else if u > 255 {
+				u = 255
+			}
+			if got[i] != uint8(u) {
+				t.Fatalf("n=%d: quantCodes[%d] = %d, want %d (v=%v)", n, i, got[i], u, v)
+			}
+		}
+
+		u8 := make([]uint8, n)
+		for i := range u8 {
+			u8[i] = uint8(rng.Uint64())
+		}
+		p32 := make([]uint32, n)
+		buildP32(p32, u8)
+		for i := range p32 {
+			var want uint32
+			if i < n-2 {
+				want = uint32(u8[i]) | uint32(u8[i+1])<<8 | uint32(u8[i+2])<<16
+			}
+			if p32[i] != want {
+				t.Fatalf("n=%d: buildP32[%d] = %#x, want %#x", n, i, p32[i], want)
+			}
+		}
+	}
+}

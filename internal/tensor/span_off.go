@@ -1,0 +1,6 @@
+//go:build nosimd
+
+package tensor
+
+// The nosimd build tag pins every conv dispatch to the scalar engine.
+const spanDefault = false

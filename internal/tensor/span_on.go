@@ -1,0 +1,7 @@
+//go:build !nosimd
+
+package tensor
+
+// spanDefault enables the SIMD span conv path on capable CPUs; build with
+// `-tags nosimd` to pin the bit-exact scalar engine instead.
+const spanDefault = true
