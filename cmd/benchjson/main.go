@@ -30,11 +30,15 @@ import (
 	"time"
 
 	"chaseci/internal/api"
+	"chaseci/internal/cluster"
 	"chaseci/internal/connect"
 	"chaseci/internal/dataset"
 	"chaseci/internal/ffn"
+	"chaseci/internal/gpusim"
 	"chaseci/internal/merra"
+	"chaseci/internal/netsim"
 	"chaseci/internal/queue"
+	"chaseci/internal/sched"
 	"chaseci/internal/service"
 	"chaseci/internal/sim"
 	"chaseci/internal/tensor"
@@ -379,6 +383,106 @@ func benchCases() []benchCase {
 		{"job_submit_ref_64cubed", func(b *testing.B) {
 			benchSubmit(b, true)
 		}},
+		{"sched_place_64cubed", benchSchedPlace},
+		{"sched_requeue_nodeloss", benchSchedRequeue},
+	}
+}
+
+// benchFabric builds the two-site/two-OSD fabric the scheduler benchmarks
+// score against and uploads one 64^3 volume (replicated on both OSDs).
+func benchFabric(b *testing.B) (*sched.Fabric, string) {
+	b.Helper()
+	f := sched.NewFabric(sched.FabricConfig{Replicas: 2})
+	f.AddSite("ucsd")
+	f.AddSite("sdsu")
+	f.AddLink("ucsd", "sdsu", netsim.Gbps(40), 2*time.Millisecond)
+	for i, site := range []string{"ucsd", "sdsu"} {
+		err := f.AddNode(sched.NodeSpec{
+			Name:     fmt.Sprintf("fiona-%d", i),
+			Site:     site,
+			Capacity: cluster.FIONA8Capacity(),
+			Model:    gpusim.Powered1080Ti(),
+			OSD:      "osd-" + site,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	const n = 64
+	data := make([]float32, n*n*n)
+	for i := range data {
+		data[i] = float32(i%251) * 0.7
+	}
+	enc, err := dataset.EncodeVolume(n, n, n, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	info, err := f.Datasets.Put(enc, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, info.ID
+}
+
+// benchSchedPlace measures one data-gravity placement decision for a 64^3
+// ref-mode segment job: resolve replicas, score both nodes, claim, release.
+// locality-hits/op pins that every decision stays replica-local.
+func benchSchedPlace(b *testing.B) {
+	f, ref := benchFabric(b)
+	s := sched.New(f)
+	w := &sched.Workload{
+		JobID: "bench", Kind: api.KindSegment, Owner: "bench",
+		Refs: []string{ref}, Voxels: 64 * 64 * 64,
+	}
+	var hits float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl, err := s.Place(w)
+		if err != nil || pl == nil {
+			b.Fatalf("place: %v %v", pl, err)
+		}
+		if pl.Locality == api.LocalityReplicaLocal {
+			hits = 1
+		}
+		s.Release(w.JobID)
+	}
+	b.ReportMetric(hits, "locality-hits/op")
+}
+
+// benchSchedRequeue measures the full node-loss cycle: the bound node (and
+// its OSD) fails, the job re-places against the surviving replica holder,
+// and the dead node returns. ns/op is the requeue latency the EXPERIMENTS
+// table tracks.
+func benchSchedRequeue(b *testing.B) {
+	f, ref := benchFabric(b)
+	s := sched.New(f)
+	s.OnDrain(func(string, []string) {}) // service-layer requeue is the Place below
+	w := &sched.Workload{
+		JobID: "bench", Kind: api.KindSegment, Owner: "bench",
+		Refs: []string{ref}, Voxels: 64 * 64 * 64,
+	}
+	pl, err := s.Place(w)
+	if err != nil || pl == nil {
+		b.Fatalf("place: %v %v", pl, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := pl.Node
+		if err := s.KillNode(victim); err != nil {
+			b.Fatal(err)
+		}
+		pl, err = s.Place(w)
+		if err != nil || pl == nil {
+			b.Fatalf("requeue place: %v %v", pl, err)
+		}
+		if pl.Node == victim {
+			b.Fatalf("requeued onto the dead node %s", victim)
+		}
+		if err := s.RestoreNode(victim); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

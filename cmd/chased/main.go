@@ -7,11 +7,15 @@
 // JSON.
 //
 //	chased serve -addr localhost:8434      run the gateway (default command)
+//	chased serve -cluster                  run it over the simulated CHASE-CI
+//	                                       fabric: jobs place by data gravity
 //	chased dataset put  [-dims DxHxW] FILE upload a dataset, print its ref
 //	chased dataset get  -out FILE REF      download a dataset's encoded bytes
 //	chased dataset ls                      list visible datasets
 //	chased submit [-mode ref|inline] FILE  submit a job request (JSON file or
 //	                                       "-" for stdin); -wait polls it
+//	chased nodes [ls]                      list fabric nodes (cluster mode)
+//	chased nodes drain|restore NODE        kill / restore a fabric node
 //
 // Client commands take -server (default http://localhost:8434) and -token
 // (bearer token from POST /v1/login). `submit` defaults result_mode to
@@ -39,6 +43,7 @@ import (
 	"chaseci/internal/api"
 	"chaseci/internal/dataset"
 	"chaseci/internal/queue"
+	"chaseci/internal/sched"
 	"chaseci/internal/service"
 )
 
@@ -56,8 +61,10 @@ func main() {
 		datasetCmd(args[1:])
 	case "submit":
 		submitCmd(args[1:])
+	case "nodes":
+		nodesCmd(args[1:])
 	default:
-		fmt.Fprintf(os.Stderr, "chased: unknown command %q (want serve, dataset, or submit)\n", args[0])
+		fmt.Fprintf(os.Stderr, "chased: unknown command %q (want serve, dataset, submit, or nodes)\n", args[0])
 		os.Exit(2)
 	}
 }
@@ -66,7 +73,8 @@ func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
 		addr      = fs.String("addr", "localhost:8434", "HTTP listen address")
-		workers   = fs.Int("workers", 4, "job worker pool size")
+		clusterOn = fs.Bool("cluster", false, "place jobs on the simulated CHASE-CI fabric by data gravity")
+		workers   = fs.Int("workers", 4, "job worker pool size (per node with -cluster)")
 		anon      = fs.Bool("anon", true, "allow unauthenticated requests")
 		providers = fs.String("providers", "ucsd.edu=UCSD,sdsc.edu=SDSC,example.edu=Example",
 			"comma-separated domain=name identity providers")
@@ -85,7 +93,13 @@ func serve(args []string) {
 	}
 
 	store := queue.NewStore()
-	runner := service.NewRunner(service.DefaultRegistry(), store, *workers)
+	var runner *service.Runner
+	if *clusterOn {
+		fab := sched.DefaultFabric()
+		runner = service.NewClusterRunner(service.DefaultRegistry(), store, *workers, fab)
+	} else {
+		runner = service.NewRunner(service.DefaultRegistry(), store, *workers)
+	}
 	defer runner.Close()
 	gw := service.NewGateway(runner, service.GatewayOptions{
 		Providers:      provMap,
@@ -105,6 +119,9 @@ func serve(args []string) {
 
 	fmt.Printf("chased: Job API v1 on http://%s (workers=%d anon=%v)\n", *addr, *workers, *anon)
 	fmt.Printf("chased: kinds: segment label ivt train workflow pipeline — POST /v1/jobs, PUT/GET /v1/datasets/{id}\n")
+	if *clusterOn {
+		fmt.Printf("chased: cluster mode — %d fabric nodes, jobs place by data gravity (GET /v1/nodes)\n", len(runner.Nodes()))
+	}
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "chased:", err)
 		os.Exit(1)
@@ -338,4 +355,77 @@ func submitCmd(args []string) {
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+}
+
+// nodesCmd talks to the cluster-mode node endpoints: `nodes` / `nodes ls`
+// lists the fabric inventory, `nodes drain NODE` simulates losing a node
+// (its OSD fails and its jobs requeue onto surviving replicas), and
+// `nodes restore NODE` brings it back.
+func nodesCmd(args []string) {
+	sub, rest := "ls", args
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub, rest = args[0], args[1:]
+	}
+	switch sub {
+	case "ls":
+		nodesLs(rest)
+	case "drain", "restore":
+		nodesLifecycle(sub, rest)
+	default:
+		fatalf("unknown nodes subcommand %q (want ls, drain, or restore)", sub)
+	}
+}
+
+func nodesLs(args []string) {
+	fs := flag.NewFlagSet("nodes ls", flag.ExitOnError)
+	server, token := clientFlags(fs)
+	fs.Parse(args)
+	resp := doRequest("GET", *server+"/v1/nodes", *token, nil)
+	defer resp.Body.Close()
+	var nodes []api.NodeStatus
+	if err := json.NewDecoder(resp.Body).Decode(&nodes); err != nil {
+		fatalf("decode reply: %v", err)
+	}
+	fmt.Printf("%-14s %-6s %-8s %-24s %-16s %s\n",
+		"NODE", "SITE", "READY", "ALLOC CPU/MEM/GPU", "OSD", "JOBS")
+	for _, n := range nodes {
+		ready := "ready"
+		if !n.Ready {
+			ready = "down"
+		}
+		osd := "-"
+		if n.OSD != "" {
+			osd = n.OSD
+			if !n.OSDUp {
+				osd += "(down)"
+			}
+		}
+		fmt.Printf("%-14s %-6s %-8s %2d/%2d %4s/%4s %d/%d GPU  %-16s %d\n",
+			n.Name, n.Site, ready,
+			n.AllocCPU, n.CPU, gbString(n.AllocMemoryBytes), gbString(n.MemoryBytes),
+			n.AllocGPUs, n.GPUs, osd, n.BoundJobs)
+	}
+}
+
+func gbString(b int64) string {
+	return fmt.Sprintf("%dG", b/(1<<30))
+}
+
+func nodesLifecycle(verb string, args []string) {
+	fs := flag.NewFlagSet("nodes "+verb, flag.ExitOnError)
+	server, token := clientFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatalf("nodes %s needs exactly one NODE argument", verb)
+	}
+	resp := doRequest("POST", *server+"/v1/nodes/"+fs.Arg(0)+"/"+verb, *token, nil)
+	defer resp.Body.Close()
+	var out struct {
+		Node string `json:"node"`
+		OK   bool   `json:"ok"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fatalf("decode reply: %v", err)
+	}
+	fmt.Printf("node %s: %s ok\n", out.Node, verb)
 }

@@ -121,6 +121,9 @@ type JobRequest struct {
 	// returns content-addressed refs; "" or "inline" embeds them in the
 	// result JSON (masks 1-bit packed).
 	ResultMode ResultMode `json:"result_mode,omitempty"`
+	// Placement optionally constrains where a cluster-mode deployment may
+	// run the job. Single-node runners ignore it.
+	Placement *PlacementSpec `json:"placement,omitempty"`
 
 	Segment  *SegmentSpec  `json:"segment,omitempty"`
 	Label    *LabelSpec    `json:"label,omitempty"`
@@ -141,6 +144,9 @@ func (r *JobRequest) Validate() error {
 	}
 	if r.ResultMode != "" && r.ResultMode != ResultModeInline && r.ResultMode != ResultModeRef {
 		return invalidf("result_mode must be %q or %q, got %q", ResultModeInline, ResultModeRef, r.ResultMode)
+	}
+	if err := r.Placement.validate(); err != nil {
+		return err
 	}
 	specs := 0
 	for _, set := range []bool{r.Segment != nil, r.Label != nil, r.IVT != nil, r.Train != nil, r.Workflow != nil, r.Pipeline != nil} {
@@ -209,6 +215,36 @@ func (r *JobRequest) Refs() []string {
 		add(&r.Train.Source)
 	}
 	return out
+}
+
+// PlacementSpec constrains scheduling in cluster mode. All fields are
+// optional; an empty spec means "anywhere the data gravity points".
+type PlacementSpec struct {
+	// Node pins the job to one named node.
+	Node string `json:"node,omitempty"`
+	// Site restricts the job to nodes at one PRP site.
+	Site string `json:"site,omitempty"`
+	// Tolerations allow placement onto tainted nodes: key -> value
+	// ("" tolerates any value of the key).
+	Tolerations map[string]string `json:"tolerations,omitempty"`
+}
+
+func (p *PlacementSpec) validate() error {
+	if p == nil {
+		return nil
+	}
+	if len(p.Node) > 256 || len(p.Site) > 256 {
+		return invalidf("placement: node/site names capped at 256 bytes")
+	}
+	if len(p.Tolerations) > 64 {
+		return invalidf("placement: at most 64 tolerations, got %d", len(p.Tolerations))
+	}
+	for k, v := range p.Tolerations {
+		if len(k) > 256 || len(v) > 256 {
+			return invalidf("placement: toleration keys/values capped at 256 bytes")
+		}
+	}
+	return nil
 }
 
 // SynthSpec asks the service to synthesize an IVT volume from the
@@ -698,6 +734,65 @@ type JobStatus struct {
 	FinishedAt  int64 `json:"finished_at,omitempty"`
 	// Error is set for failed and cancelled jobs.
 	Error string `json:"error,omitempty"`
+	// Placement is the cluster-mode scheduling decision; nil on single-node
+	// deployments. The pointer keeps JobStatus a comparable value type: the
+	// scheduler publishes a fresh immutable Placement on every (re)bind, so
+	// status watchers see requeues as a status change.
+	Placement *Placement `json:"placement,omitempty"`
+}
+
+// Locality classes for a placement decision, ordered best to worst.
+const (
+	LocalityReplicaLocal = "replica-local" // node hosts an up OSD replica of every input ref
+	LocalitySameSite     = "same-site"     // all input refs have an up replica at the node's site
+	LocalityRemote       = "remote"        // at least one input ref must cross the WAN
+	LocalityAny          = "any"           // job has no dataset inputs; no gravity
+)
+
+// Placement reports where the cluster scheduler bound a job and why. It is a
+// flat value type; JobStatus holds it by pointer.
+type Placement struct {
+	// Node and Site name the binding.
+	Node string `json:"node"`
+	Site string `json:"site"`
+	// Locality is the data-gravity class of the decision (see Locality*).
+	Locality string `json:"locality"`
+	// Score is the scheduler's score for the chosen node (higher is better;
+	// 0 is a free local hit).
+	Score float64 `json:"score"`
+	// TransferMS is the simulated time to stage the job's input refs onto
+	// the node over the netsim fabric, in milliseconds.
+	TransferMS float64 `json:"transfer_ms"`
+	// EstJoules is the estimated board energy for the job on this node's
+	// device model.
+	EstJoules float64 `json:"est_joules,omitempty"`
+	// Requeues counts how many times the job was drained off a lost node
+	// and re-placed.
+	Requeues int `json:"requeues,omitempty"`
+}
+
+// NodeStatus is one row of the cluster-mode node inventory (GET /v1/nodes
+// and `chased nodes`). Alloc* mirror the node's committed resources including
+// scheduler claims; BoundJobs counts jobs currently bound to the node's pool.
+type NodeStatus struct {
+	Name  string `json:"name"`
+	Site  string `json:"site"`
+	Ready bool   `json:"ready"`
+
+	CPU         int   `json:"cpu"`
+	MemoryBytes int64 `json:"memory_bytes"`
+	GPUs        int   `json:"gpus"`
+
+	AllocCPU         int   `json:"alloc_cpu"`
+	AllocMemoryBytes int64 `json:"alloc_memory_bytes"`
+	AllocGPUs        int   `json:"alloc_gpus"`
+
+	BoundJobs int `json:"bound_jobs"`
+
+	// OSD names the storage daemon co-located on this node, if any; OSDUp
+	// reports whether it is serving.
+	OSD   string `json:"osd,omitempty"`
+	OSDUp bool   `json:"osd_up,omitempty"`
 }
 
 // SubmitResponse acknowledges a submitted job.

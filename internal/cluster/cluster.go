@@ -15,6 +15,8 @@ var (
 	ErrNamespaceUnknown = errors.New("cluster: unknown namespace")
 	ErrNodeUnknown      = errors.New("cluster: unknown node")
 	ErrDuplicate        = errors.New("cluster: object already exists")
+	ErrNodeNotReady     = errors.New("cluster: node not ready")
+	ErrInsufficient     = errors.New("cluster: insufficient capacity")
 )
 
 // Node is a cluster member: a FIONA appliance at some PRP site.
@@ -28,6 +30,7 @@ type Node struct {
 	allocated Resources
 	pods      map[uint64]*Pod
 	taints    []Taint
+	claims    map[string]Resources
 }
 
 // Allocated returns resources currently bound to pods on the node.
@@ -49,6 +52,18 @@ type Namespace struct {
 
 // Used returns requests consumed by non-terminal pods in the namespace.
 func (ns *Namespace) Used() Resources { return ns.used }
+
+// NodeEvent describes a node lifecycle transition for external observers
+// (e.g. the placement scheduler in internal/sched).
+type NodeEvent struct {
+	Node  string
+	Site  string
+	Ready bool
+	// DroppedClaims lists the ids of external claims the node held when it
+	// was lost. Their resources are already released; the ids let observers
+	// requeue the work they backed without racing a second release.
+	DroppedClaims []string
+}
 
 // Event is an entry in the cluster's event log.
 type Event struct {
@@ -76,6 +91,7 @@ type Cluster struct {
 	schedDelay    time.Duration
 	schedPending  bool
 	phaseWatchers []func(*Pod)
+	nodeWatchers  []func(NodeEvent)
 	daemonSets    []*DaemonSet
 
 	podsRunning *metrics.Gauge
@@ -127,6 +143,15 @@ func (c *Cluster) Events() []Event { return c.events }
 // OnPodPhase registers a watcher invoked on every pod phase transition.
 func (c *Cluster) OnPodPhase(fn func(*Pod)) { c.phaseWatchers = append(c.phaseWatchers, fn) }
 
+// OnNodeEvent registers a watcher invoked on every node join/loss/restore.
+func (c *Cluster) OnNodeEvent(fn func(NodeEvent)) { c.nodeWatchers = append(c.nodeWatchers, fn) }
+
+func (c *Cluster) notifyNode(ev NodeEvent) {
+	for _, w := range c.nodeWatchers {
+		w(ev)
+	}
+}
+
 // --- Namespaces -----------------------------------------------------------
 
 // CreateNamespace registers a virtual cluster. quota may be nil (unlimited).
@@ -162,7 +187,8 @@ func (c *Cluster) AddNode(name, site string, capacity Resources, labels map[stri
 	n := &Node{
 		Name: name, Site: site, Capacity: capacity,
 		Labels: labels, Ready: true,
-		pods: make(map[uint64]*Pod),
+		pods:   make(map[uint64]*Pod),
+		claims: make(map[string]Resources),
 	}
 	c.nodes[name] = n
 	c.nodeNames = append(c.nodeNames, name)
@@ -170,6 +196,7 @@ func (c *Cluster) AddNode(name, site string, capacity Resources, labels map[stri
 	c.logEvent("NodeReady", name, "site=%s capacity=%v", site, capacity)
 	c.kickScheduler()
 	c.reconcileDaemonSets()
+	c.notifyNode(NodeEvent{Node: name, Site: site, Ready: true})
 	return n, nil
 }
 
@@ -197,6 +224,18 @@ func (c *Cluster) KillNode(name string) error {
 	}
 	n.Ready = false
 	c.logEvent("NodeLost", name, "node taken offline")
+	// Drop external claims before failing pods: each claim releases its
+	// allocation exactly once here, and the ids travel in the NodeEvent so
+	// observers requeue without issuing a second ReleaseClaim.
+	dropped := make([]string, 0, len(n.claims))
+	for id := range n.claims {
+		dropped = append(dropped, id)
+	}
+	sort.Strings(dropped)
+	for _, id := range dropped {
+		n.allocated = n.allocated.Sub(n.claims[id])
+		delete(n.claims, id)
+	}
 	// Fail pods on the node. Copy first: finishPod mutates n.pods.
 	var victims []*Pod
 	for _, p := range n.pods {
@@ -206,6 +245,7 @@ func (c *Cluster) KillNode(name string) error {
 	for _, p := range victims {
 		c.finishPod(p, PodFailed, "NodeLost")
 	}
+	c.notifyNode(NodeEvent{Node: name, Site: n.Site, Ready: false, DroppedClaims: dropped})
 	return nil
 }
 
@@ -215,11 +255,75 @@ func (c *Cluster) RestoreNode(name string) error {
 	if !ok {
 		return ErrNodeUnknown
 	}
+	if n.Ready {
+		return nil
+	}
 	n.Ready = true
 	c.logEvent("NodeReady", name, "node restored")
 	c.kickScheduler()
 	c.reconcileDaemonSets()
+	c.notifyNode(NodeEvent{Node: name, Site: n.Site, Ready: true})
 	return nil
+}
+
+// --- External claims --------------------------------------------------------
+
+// Claim reserves resources on a node under a caller-chosen id, outside the
+// pod lifecycle. The placement scheduler uses claims to pin a job's requests
+// to a node while the job executes in the service layer rather than as a
+// simulated pod. A claim is released by ReleaseClaim or, exactly once, when
+// the node is lost (the id is then reported via OnNodeEvent).
+func (c *Cluster) Claim(node, id string, req Resources) error {
+	n, ok := c.nodes[node]
+	if !ok {
+		return ErrNodeUnknown
+	}
+	if !n.Ready {
+		return ErrNodeNotReady
+	}
+	if _, dup := n.claims[id]; dup {
+		return ErrDuplicate
+	}
+	if !req.Fits(n.Available()) {
+		return ErrInsufficient
+	}
+	n.claims[id] = req
+	n.allocated = n.allocated.Add(req)
+	c.publishUsage()
+	return nil
+}
+
+// ReleaseClaim frees a claim. It returns false when the claim no longer
+// exists — already released, or dropped by KillNode — so double releases
+// (the historical double-drain bug) are inert.
+func (c *Cluster) ReleaseClaim(node, id string) bool {
+	n, ok := c.nodes[node]
+	if !ok {
+		return false
+	}
+	req, ok := n.claims[id]
+	if !ok {
+		return false
+	}
+	n.allocated = n.allocated.Sub(req)
+	delete(n.claims, id)
+	c.publishUsage()
+	c.kickScheduler()
+	return true
+}
+
+// Claims returns the ids of live external claims on a node, sorted.
+func (c *Cluster) Claims(node string) []string {
+	n, ok := c.nodes[node]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(n.claims))
+	for id := range n.claims {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // TotalCapacity sums capacity over ready nodes.
@@ -373,7 +477,10 @@ func (c *Cluster) finishPod(p *Pod, phase PodPhase, reason string) {
 	if p.ctx != nil {
 		p.ctx.alive = false
 	}
-	if wasRunning {
+	if wasRunning && !p.released {
+		// One-shot guard: a pod's node/namespace accounting must be returned
+		// exactly once no matter how many drain paths reach it.
+		p.released = true
 		n := c.nodes[p.Node]
 		if n != nil {
 			n.allocated = n.allocated.Sub(p.Spec.Requests)
@@ -392,13 +499,11 @@ func (c *Cluster) finishPod(p *Pod, phase PodPhase, reason string) {
 	c.kickScheduler()
 }
 
-// DeletePod force-terminates a pod (kubectl delete pod).
+// DeletePod force-terminates a pod (kubectl delete pod). Pending pods go
+// through the same terminal path as running ones so owning controllers hear
+// about the termination; previously they were marked Failed in place and
+// lingered in controller active sets forever.
 func (c *Cluster) DeletePod(p *Pod) {
-	if p.Phase == PodPending {
-		p.Phase = PodFailed
-		p.Reason = "Deleted"
-		return
-	}
 	c.finishPod(p, PodFailed, "Deleted")
 }
 

@@ -74,6 +74,9 @@ type Pod struct {
 	cluster *Cluster
 	ctx     *PodCtx
 	owner   podOwner
+	// released latches once node/namespace accounting has been returned, so
+	// overlapping drain paths cannot double-subtract (see finishPod).
+	released bool
 }
 
 // podOwner is implemented by controllers that need pod phase notifications.

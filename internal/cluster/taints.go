@@ -52,6 +52,14 @@ func (c *Cluster) UntaintNode(name, key string) error {
 // Taints returns the node's taints.
 func (n *Node) Taints() []Taint { return append([]Taint(nil), n.taints...) }
 
+// Tolerates reports whether a set of tolerations covers all of the given
+// taints, using the same matching rule as pod scheduling. Exported for
+// placement backends (the sched package) that filter nodes before ever
+// creating a pod.
+func Tolerates(tolerations map[string]string, taints []Taint) bool {
+	return tolerates(tolerations, taints)
+}
+
 // tolerates reports whether a pod's tolerations cover all of a node's
 // taints. A toleration matches a taint when the key matches and the value
 // matches or the toleration value is empty (tolerate-any-value).

@@ -594,6 +594,35 @@ func (m *Manager) Stat(id string) (Info, bool) {
 	return info, ok
 }
 
+// Placement resolves the objstore replica set currently holding a dataset's
+// bytes — which OSDs, at which sites, and whether each daemon is up. The
+// placement scheduler scores node candidates against it (data gravity). The
+// underlying store is single-threaded, so the query runs under the
+// manager's lock like every other store touch.
+func (m *Manager) Placement(id string) []objstore.Replica {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mount.ReplicaPlacement(id)
+}
+
+// FailOSD marks a storage daemon down, immediately remapping its placement
+// groups to surviving OSDs — after it returns, Placement only names
+// survivors. RecoverOSD reverses it. Both run under the manager's lock so
+// fault injection cannot race a concurrent Resolve.
+func (m *Manager) FailOSD(osd string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, err := m.mount.FailOSD(osd)
+	return err
+}
+
+// RecoverOSD brings a failed daemon back into placement.
+func (m *Manager) RecoverOSD(osd string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mount.RecoverOSD(osd)
+}
+
 // List returns every stored dataset's Info, sorted by id.
 func (m *Manager) List() []Info {
 	m.mu.Lock()
@@ -613,6 +642,15 @@ func (m *Manager) Pin(id string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.pins[id]++
+}
+
+// PinCount returns the dataset's live pin count. Lifecycle tests use it to
+// assert pins balance (every submit-time Pin matched by exactly one Unpin,
+// including across cluster-mode drain/requeue cycles).
+func (m *Manager) PinCount(id string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pins[id]
 }
 
 // Unpin reverses one Pin, executing a deferred Delete when the last pin

@@ -51,6 +51,20 @@ func (m *Mount) Stat(path string) (float64, bool) {
 	return m.store.Stat(m.bucket, cleanPath(path))
 }
 
+// ReplicaPlacement resolves the replica set currently holding the file at
+// path (see Store.ReplicaPlacement).
+func (m *Mount) ReplicaPlacement(path string) []Replica {
+	return m.store.ReplicaPlacement(m.bucket, cleanPath(path))
+}
+
+// FailOSD and RecoverOSD forward the storage fault model to the mount's
+// store, so a component holding only the mount (the dataset manager) can
+// drive OSD loss without a second reference to the store.
+func (m *Mount) FailOSD(id string) (float64, error) { return m.store.FailOSD(id) }
+
+// RecoverOSD forwards to Store.RecoverOSD.
+func (m *Mount) RecoverOSD(id string) error { return m.store.RecoverOSD(id) }
+
 // Remove deletes the file at path.
 func (m *Mount) Remove(path string) error {
 	return m.store.Delete(m.bucket, cleanPath(path))

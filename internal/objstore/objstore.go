@@ -344,6 +344,33 @@ func (s *Store) Locations(bucket, key string) []string {
 	return append([]string(nil), s.pgMap[obj.pg]...)
 }
 
+// Replica describes one replica placement of an object: which OSD holds it,
+// the site that OSD lives at, and whether the daemon is currently up.
+type Replica struct {
+	OSD  string
+	Site string
+	Up   bool
+}
+
+// ReplicaPlacement resolves an object's current replica set with site and
+// liveness detail — the data-gravity query the placement scheduler scores
+// nodes against. Returns nil when the object does not exist.
+func (s *Store) ReplicaPlacement(bucket, key string) []Replica {
+	locs := s.Locations(bucket, key)
+	if locs == nil {
+		return nil
+	}
+	out := make([]Replica, 0, len(locs))
+	for _, id := range locs {
+		r := Replica{OSD: id}
+		if o := s.osds[id]; o != nil {
+			r.Site, r.Up = o.Site, o.Up
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
 // PrimarySite returns the site of the object's primary replica, used by the
 // workflow layer to source reads over the WAN.
 func (s *Store) PrimarySite(bucket, key string) (string, bool) {

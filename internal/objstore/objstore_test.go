@@ -379,3 +379,43 @@ func TestPropertyUsageConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReplicaPlacement(t *testing.T) {
+	clk, s := newTestStore(6, Config{Replicas: 3})
+	if got := s.ReplicaPlacement("b", "missing"); got != nil {
+		t.Fatalf("placement of missing object = %v, want nil", got)
+	}
+	if _, err := s.Put("b", "vol", 1e6, nil); err != nil {
+		t.Fatal(err)
+	}
+	reps := s.ReplicaPlacement("b", "vol")
+	if len(reps) != 3 {
+		t.Fatalf("replicas = %d, want 3", len(reps))
+	}
+	locs := s.Locations("b", "vol")
+	for i, r := range reps {
+		if r.OSD != locs[i] {
+			t.Fatalf("replica %d OSD = %s, want %s", i, r.OSD, locs[i])
+		}
+		if !r.Up {
+			t.Fatalf("replica %d on %s reported down on a healthy store", i, r.OSD)
+		}
+		if want := s.OSD(r.OSD).Site; r.Site != want {
+			t.Fatalf("replica %d site = %s, want %s", i, r.Site, want)
+		}
+	}
+	// Failing an OSD remaps immediately: the placement must only name
+	// surviving daemons afterwards (the requeue path depends on this).
+	if _, err := s.FailOSD(reps[0].OSD); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range s.ReplicaPlacement("b", "vol") {
+		if r.OSD == reps[0].OSD {
+			t.Fatalf("placement still names failed OSD %s", r.OSD)
+		}
+		if !r.Up {
+			t.Fatalf("remapped placement names down OSD %s", r.OSD)
+		}
+	}
+	clk.Run()
+}

@@ -1,0 +1,321 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"chaseci/internal/api"
+	"chaseci/internal/cluster"
+	"chaseci/internal/dataset"
+	"chaseci/internal/gpusim"
+	"chaseci/internal/netsim"
+)
+
+// testFabric builds a 3-site topology with a known replica layout:
+// site-a holds nodes a0 (osd-a) and a1, site-b holds b0 (osd-b), site-c
+// holds c0 with no storage. Replication factor 2 puts every dataset on
+// osd-a and osd-b, so a0 and b0 are the replica-local nodes.
+func testFabric(t *testing.T, cfg FabricConfig) *Fabric {
+	t.Helper()
+	cfg.Replicas = 2
+	f := NewFabric(cfg)
+	for _, s := range []string{"site-a", "site-b", "site-c"} {
+		f.AddSite(s)
+	}
+	f.AddLink("site-a", "site-b", netsim.Gbps(40), 2*time.Millisecond)
+	f.AddLink("site-b", "site-c", netsim.Gbps(10), 3*time.Millisecond)
+	f.AddLink("site-a", "site-c", netsim.Gbps(10), 5*time.Millisecond)
+	add := func(name, site, osd string) {
+		t.Helper()
+		err := f.AddNode(NodeSpec{
+			Name: name, Site: site, Capacity: cluster.FIONA8Capacity(),
+			Model: gpusim.Powered1080Ti(), OSD: osd,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("a0", "site-a", "osd-a")
+	add("a1", "site-a", "")
+	add("b0", "site-b", "osd-b")
+	add("c0", "site-c", "")
+	return f
+}
+
+func putVolume(t *testing.T, f *Fabric, fill float32) string {
+	t.Helper()
+	data := make([]float32, 4*4*4)
+	for i := range data {
+		data[i] = fill
+	}
+	enc, err := dataset.EncodeVolume(4, 4, 4, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := f.Datasets.Put(enc, "tester")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.ID
+}
+
+func segJob(id, ref string) *Workload {
+	w := &Workload{JobID: id, Kind: api.KindSegment, Owner: "tester", Voxels: 64}
+	if ref != "" {
+		w.Refs = []string{ref}
+	}
+	return w
+}
+
+func TestPlacementPrefersReplicaLocal(t *testing.T) {
+	f := testFabric(t, FabricConfig{})
+	s := New(f)
+	ref := putVolume(t, f, 1)
+
+	pl, err := s.Place(segJob("j1", ref))
+	if err != nil || pl == nil {
+		t.Fatalf("Place: pl=%v err=%v", pl, err)
+	}
+	if pl.Node != "a0" || pl.Locality != api.LocalityReplicaLocal {
+		t.Fatalf("want a0/replica-local, got %s/%s", pl.Node, pl.Locality)
+	}
+	if pl.TransferMS != 0 || pl.Score != 0 {
+		t.Fatalf("replica-local placement should be free, got transfer=%v score=%v", pl.TransferMS, pl.Score)
+	}
+	if pl.EstJoules <= 0 {
+		t.Fatalf("segment on a powered GPU should have an energy estimate, got %v", pl.EstJoules)
+	}
+	// Second identical job: a0 now carries load, so the other replica holder
+	// b0 wins on the load tiebreak at equal (zero) cost.
+	pl2, err := s.Place(segJob("j2", ref))
+	if err != nil || pl2 == nil {
+		t.Fatalf("Place j2: %v %v", pl2, err)
+	}
+	if pl2.Node != "b0" || pl2.Locality != api.LocalityReplicaLocal {
+		t.Fatalf("want b0/replica-local, got %s/%s", pl2.Node, pl2.Locality)
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	f := testFabric(t, FabricConfig{})
+	s := New(f)
+	ref := putVolume(t, f, 2)
+	var first *api.Placement
+	for i := 0; i < 25; i++ {
+		pl, err := s.Place(segJob("job", ref))
+		if err != nil || pl == nil {
+			t.Fatalf("iter %d: pl=%v err=%v", i, pl, err)
+		}
+		if first == nil {
+			first = pl
+		} else if *pl != *first {
+			t.Fatalf("iter %d: placement drifted: %+v vs %+v", i, *pl, *first)
+		}
+		s.Release("job")
+	}
+}
+
+func TestLocalityDegradesUnderLoad(t *testing.T) {
+	f := testFabric(t, FabricConfig{})
+	s := New(f)
+	ref := putVolume(t, f, 3)
+	whole := cluster.FIONA8Capacity()
+
+	// Saturate both replica-local nodes: next job must fall back to a1
+	// (same site as the osd-a replica).
+	for _, n := range []string{"a0", "b0"} {
+		if err := f.Cluster.Claim(n, "block-"+n, whole); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pl, err := s.Place(segJob("j-site", ref))
+	if err != nil || pl == nil {
+		t.Fatalf("Place: %v %v", pl, err)
+	}
+	if pl.Node != "a1" || pl.Locality != api.LocalitySameSite {
+		t.Fatalf("want a1/same-site, got %s/%s", pl.Node, pl.Locality)
+	}
+	if pl.TransferMS <= 0 {
+		t.Fatal("same-site staging should cost LAN time")
+	}
+
+	// Saturate a1 too: only c0 remains, and it must pay the WAN.
+	if err := f.Cluster.Claim("a1", "block-a1", whole.Sub(RequestFor(api.KindSegment, 64))); err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := s.Place(segJob("j-remote", ref))
+	if err != nil || pl2 == nil {
+		t.Fatalf("Place remote: %v %v", pl2, err)
+	}
+	if pl2.Node != "c0" || pl2.Locality != api.LocalityRemote {
+		t.Fatalf("want c0/remote, got %s/%s", pl2.Node, pl2.Locality)
+	}
+	if pl2.TransferMS < 3 {
+		t.Fatalf("remote staging should include WAN latency, got %vms", pl2.TransferMS)
+	}
+}
+
+func TestTaintsRejectAndTolerate(t *testing.T) {
+	f := testFabric(t, FabricConfig{})
+	s := New(f)
+	for _, n := range f.NodeNames() {
+		if err := f.Cluster.TaintNode(n, cluster.Taint{Key: "reserved", Value: "viz"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Place(segJob("j1", "")); !errors.Is(err, ErrUnschedulable) {
+		t.Fatalf("tainted fleet should be unschedulable, got %v", err)
+	}
+	w := segJob("j2", "")
+	w.Spec = &api.PlacementSpec{Tolerations: map[string]string{"reserved": "viz"}}
+	if pl, err := s.Place(w); err != nil || pl == nil {
+		t.Fatalf("tolerating job should place: %v %v", pl, err)
+	}
+	// A pin to a node that doesn't exist is statically impossible.
+	w3 := segJob("j3", "")
+	w3.Spec = &api.PlacementSpec{Node: "nope"}
+	if _, err := s.Place(w3); !errors.Is(err, ErrUnschedulable) {
+		t.Fatalf("bad pin should be unschedulable, got %v", err)
+	}
+}
+
+func TestOwnerQuota(t *testing.T) {
+	f := testFabric(t, FabricConfig{
+		OwnerQuota: &cluster.Resources{CPU: 4, Memory: cluster.GB(8), GPUs: 1},
+	})
+	s := New(f)
+	if pl, err := s.Place(segJob("j1", "")); err != nil || pl == nil {
+		t.Fatalf("first job within quota should place: %v %v", pl, err)
+	}
+	if _, err := s.Place(segJob("j2", "")); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("second GPU job should bust the 1-GPU quota, got %v", err)
+	}
+	other := segJob("j3", "")
+	other.Owner = "someone-else"
+	if pl, err := s.Place(other); err != nil || pl == nil {
+		t.Fatalf("quota is per-owner; other owner should place: %v %v", pl, err)
+	}
+	// Releasing frees the quota.
+	s.Release("j1")
+	if pl, err := s.Place(segJob("j4", "")); err != nil || pl == nil {
+		t.Fatalf("after release, owner should place again: %v %v", pl, err)
+	}
+}
+
+func TestParkAndBindOnRelease(t *testing.T) {
+	f := NewFabric(FabricConfig{Replicas: 1})
+	f.AddSite("s")
+	if err := f.AddNode(NodeSpec{
+		Name: "only", Site: "s", Capacity: cluster.FIONA8Capacity(),
+		Model: gpusim.Powered1080Ti(), OSD: "osd-0",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(f)
+	var boundID string
+	var boundPl *api.Placement
+	s.OnBind(func(id string, pl *api.Placement) { boundID, boundPl = id, pl })
+
+	whole := segJob("big", "")
+	whole.Req = cluster.FIONA8Capacity()
+	if pl, err := s.Place(whole); err != nil || pl == nil {
+		t.Fatalf("big job should place: %v %v", pl, err)
+	}
+	pl, err := s.Place(segJob("waiter", ""))
+	if err != nil || pl != nil {
+		t.Fatalf("full node: want parked (nil, nil), got %v %v", pl, err)
+	}
+	if boundID != "" {
+		t.Fatal("bind fired early")
+	}
+	s.Release("big")
+	if boundID != "waiter" || boundPl == nil || boundPl.Node != "only" {
+		t.Fatalf("parked job should bind on release: id=%q pl=%+v", boundID, boundPl)
+	}
+}
+
+func TestKillNodeDrainsAndRequeuesReplicaLocal(t *testing.T) {
+	f := testFabric(t, FabricConfig{})
+	s := New(f)
+	ref := putVolume(t, f, 4)
+
+	var drainedNode string
+	var drainedIDs []string
+	s.OnDrain(func(node string, ids []string) { drainedNode, drainedIDs = node, ids })
+
+	pl, err := s.Place(segJob("j1", ref))
+	if err != nil || pl == nil || pl.Node != "a0" {
+		t.Fatalf("setup: %v %v", pl, err)
+	}
+	if err := s.KillNode("a0"); err != nil {
+		t.Fatal(err)
+	}
+	if drainedNode != "a0" || len(drainedIDs) != 1 || drainedIDs[0] != "j1" {
+		t.Fatalf("drain callback: node=%q ids=%v", drainedNode, drainedIDs)
+	}
+	if got := s.Requeues("j1"); got != 1 {
+		t.Fatalf("requeues = %d, want 1", got)
+	}
+	// Re-place, as the service layer would: osd-a is down, so the surviving
+	// replica holder b0 must win — and still as replica-local, because the
+	// objstore remapped placement to survivors.
+	pl2, err := s.Place(segJob("j1", ref))
+	if err != nil || pl2 == nil {
+		t.Fatalf("re-place: %v %v", pl2, err)
+	}
+	if pl2.Node != "b0" || pl2.Locality != api.LocalityReplicaLocal {
+		t.Fatalf("want b0/replica-local after failover, got %s/%s", pl2.Node, pl2.Locality)
+	}
+	if pl2.Requeues != 1 {
+		t.Fatalf("placement should carry the requeue count, got %d", pl2.Requeues)
+	}
+
+	// Restore: a0 is schedulable again and its OSD rejoins placement.
+	var restored string
+	s.OnRestore(func(node string) { restored = node })
+	if err := s.RestoreNode("a0"); err != nil {
+		t.Fatal(err)
+	}
+	if restored != "a0" {
+		t.Fatalf("restore callback got %q", restored)
+	}
+	for _, st := range s.Nodes() {
+		if st.Name == "a0" && (!st.Ready || !st.OSDUp) {
+			t.Fatalf("a0 should be ready with OSD up: %+v", st)
+		}
+	}
+}
+
+func TestNodesInventoryAndMetrics(t *testing.T) {
+	f := testFabric(t, FabricConfig{})
+	s := New(f)
+	ref := putVolume(t, f, 5)
+	if _, err := s.Place(segJob("j1", ref)); err != nil {
+		t.Fatal(err)
+	}
+	var a0 *api.NodeStatus
+	for _, st := range s.Nodes() {
+		if st.Name == "a0" {
+			cp := st
+			a0 = &cp
+		}
+	}
+	if a0 == nil {
+		t.Fatal("a0 missing from inventory")
+	}
+	if a0.BoundJobs != 1 || a0.AllocGPUs != 1 || a0.OSD != "osd-a" || !a0.OSDUp {
+		t.Fatalf("a0 inventory wrong: %+v", *a0)
+	}
+	text := s.MetricsText()
+	for _, want := range []string{
+		`sched_placements{locality="replica-local"} 1`,
+		`sched_jobs_bound{node="a0"} 1`,
+		`sched_node_alloc_gpus{node="a0"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}

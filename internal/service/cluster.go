@@ -1,0 +1,396 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"chaseci/internal/api"
+	"chaseci/internal/metrics"
+	"chaseci/internal/queue"
+	"chaseci/internal/sched"
+)
+
+// Cluster mode: instead of one global pending list drained by an anonymous
+// pool, each fabric node runs its own worker pool over a node-scoped pending
+// list, and the sched.Scheduler decides which list a job lands on by data
+// gravity. Node loss drains the node's pool and requeues its jobs through
+// placement against the surviving replicas.
+
+// NodePendingKey is the store list a node's pool drains.
+func NodePendingKey(node string) string { return "jobs:pending:" + node }
+
+// nodePool is one node's worker pool. Its context is a child of the
+// runner's, so Close stops every pool; DrainNode stops just this one.
+type nodePool struct {
+	node string
+	wake chan struct{}
+	ctx  context.Context
+	stop context.CancelFunc
+}
+
+// NewClusterRunner builds a Runner that places jobs on the fabric instead of
+// a global queue. workersPerNode <= 0 defaults to 2. The fabric's dataset
+// manager becomes the runner's data plane, so submitted refs and OSD
+// replica placement live in the same store the scheduler scores against.
+func NewClusterRunner(reg *Registry, store *queue.Store, workersPerNode int, fab *sched.Fabric) *Runner {
+	if workersPerNode <= 0 {
+		workersPerNode = 2
+	}
+	baseCtx, stop := context.WithCancel(context.Background())
+	mclk := newWallClock()
+	r := &Runner{
+		reg:         reg,
+		store:       store,
+		workers:     0, // no global pool; per-node pools below
+		datasets:    fab.Datasets,
+		sched:       sched.New(fab),
+		poolWorkers: workersPerNode,
+		jobs:        make(map[string]*job),
+		cancels:     make(map[string]context.CancelFunc),
+		pools:       make(map[string]*nodePool),
+		drains:      make(map[string]bool),
+		retain:      maxRetainedJobs,
+		mclk:        mclk,
+		metrics:     metrics.NewRegistry(mclk.clock),
+		counters:    make(map[string]*metrics.Counter),
+		gauges:      make(map[string]*metrics.Gauge),
+		wake:        make(chan struct{}, 1),
+		baseCtx:     baseCtx,
+		stop:        stop,
+	}
+	r.sched.OnBind(r.onBind)
+	r.sched.OnDrain(r.onDrain)
+	r.sched.OnRestore(r.onRestore)
+	r.drainOrphans()
+	for _, node := range fab.NodeNames() {
+		r.drainNodeOrphans(node)
+		r.pools[node] = r.startPool(node)
+	}
+	return r
+}
+
+// drainNodeOrphans applies drainOrphans' logic to one node-scoped list.
+func (r *Runner) drainNodeOrphans(node string) {
+	for {
+		id, ok := r.store.RPop(NodePendingKey(node))
+		if !ok {
+			return
+		}
+		rec, ok := r.store.Get(JobKey(id))
+		if !ok {
+			continue
+		}
+		var st api.JobStatus
+		if json.Unmarshal([]byte(rec), &st) != nil || st.State.Terminal() {
+			continue
+		}
+		st.State = api.StateFailed
+		st.Error = "orphaned: runner restarted before execution"
+		st.FinishedAt = time.Now().UnixNano()
+		if raw, err := json.Marshal(st); err == nil {
+			r.store.Set(JobKey(id), string(raw))
+		}
+	}
+}
+
+// startPool launches a node's workers. r.mu may be held by the caller; the
+// workers themselves take it only inside execute.
+func (r *Runner) startPool(node string) *nodePool {
+	ctx, stop := context.WithCancel(r.baseCtx)
+	p := &nodePool{
+		node: node,
+		wake: make(chan struct{}, r.poolWorkers),
+		ctx:  ctx,
+		stop: stop,
+	}
+	r.wg.Add(r.poolWorkers)
+	for i := 0; i < r.poolWorkers; i++ {
+		go r.poolLoop(p)
+	}
+	return p
+}
+
+func (r *Runner) poolLoop(p *nodePool) {
+	defer r.wg.Done()
+	for {
+		for {
+			id, ok := r.store.RPop(NodePendingKey(p.node))
+			if !ok {
+				break
+			}
+			r.execute(id)
+			if p.ctx.Err() != nil {
+				return
+			}
+		}
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-p.wake:
+		}
+	}
+}
+
+// workloadFor builds the scheduler's view of a job: its pinned refs, an
+// input-size estimate for the energy model, and the caller's constraints.
+func (r *Runner) workloadFor(j *job) *sched.Workload {
+	return &sched.Workload{
+		JobID:  j.id,
+		Kind:   j.kind,
+		Owner:  j.owner,
+		Refs:   append([]string(nil), j.refs...),
+		Voxels: r.jobVoxels(j.req),
+		Spec:   j.req.Placement,
+	}
+}
+
+// jobVoxels estimates the job's input volume for the placement energy
+// estimate (0 = unknown).
+func (r *Runner) jobVoxels(req *api.JobRequest) float64 {
+	src := func(v *api.VolumeSource) float64 {
+		switch {
+		case v.Ref != "":
+			if info, ok := r.datasets.Stat(v.Ref); ok {
+				return float64(info.D) * float64(info.H) * float64(info.W)
+			}
+			return 0
+		case v.Synth != nil:
+			return float64(v.Synth.NLon) * float64(v.Synth.NLat) * float64(v.Synth.Steps)
+		default:
+			return float64(v.D) * float64(v.H) * float64(v.W)
+		}
+	}
+	switch {
+	case req.Segment != nil:
+		return src(&req.Segment.Source)
+	case req.Label != nil:
+		return src(&req.Label.Source)
+	case req.Train != nil:
+		return src(&req.Train.Source)
+	case req.IVT != nil:
+		s := req.IVT.Synth
+		return float64(s.NLon) * float64(s.NLat) * float64(s.Steps)
+	case req.Pipeline != nil:
+		s := req.Pipeline.Synth
+		return float64(s.NLon) * float64(s.NLat) * float64(s.Steps)
+	default:
+		return 0
+	}
+}
+
+// bindJob publishes a placement decision and hands the job to the chosen
+// node's pool. If the node died between the decision and the enqueue, the
+// job is sent back through placement instead of stranding on a dead list.
+func (r *Runner) bindJob(j *job, pl *api.Placement) {
+	j.placement.Store(pl)
+	r.persist(j)
+	r.mu.Lock()
+	pool := r.pools[pl.Node]
+	if pool != nil {
+		// Push under r.mu: the drain path deletes the pool and empties the
+		// list under the same mutex, so an id pushed here is either popped
+		// by a live pool or reclaimed by the drain's sweep — never stranded.
+		r.store.LPush(NodePendingKey(pl.Node), j.id)
+	}
+	r.mu.Unlock()
+	if pool == nil {
+		// The scheduler already unbound the job when the node died; the
+		// drain marker tells us whether this path owns the requeue.
+		if r.takeDrain(j.id) {
+			r.rePlace(j)
+		}
+		return
+	}
+	select {
+	case pool.wake <- struct{}{}:
+	default:
+	}
+}
+
+// takeDrain consumes the job's drain marker (set when its node was lost).
+// Exactly one caller sees true per drain, making the requeue exactly-once.
+func (r *Runner) takeDrain(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.drains[id] {
+		return false
+	}
+	delete(r.drains, id)
+	return true
+}
+
+// requeueJob resets a drained job to queued and runs placement again. The
+// job's refs stay pinned across the requeue — re-placement resolves them
+// against the surviving replicas.
+func (r *Runner) requeueJob(j *job) {
+	if !j.state.CompareAndSwap(codeRunning, codeQueued) {
+		return
+	}
+	j.started.Store(0)
+	j.done.Store(0)
+	j.total.Store(0)
+	empty := ""
+	j.stage.Store(&empty)
+	r.gaugeAdd("jobs_running", j.kind, -1)
+	r.pendingAdd(j.kind, +1)
+	r.count("jobs_requeued", j.kind)
+	r.persist(j)
+	r.rePlace(j)
+}
+
+// rePlace runs placement for an already-admitted queued job (after a drain
+// or a late bind race). Placement failure is terminal: the cluster shrank
+// below the job's static needs.
+func (r *Runner) rePlace(j *job) {
+	pl, err := r.sched.Place(j.wl)
+	if err != nil {
+		if j.state.CompareAndSwap(codeQueued, codeFailed) {
+			msg := fmt.Sprintf("placement lost after node failure: %v", err)
+			j.errMsg.Store(&msg)
+			j.finished.Store(time.Now().UnixNano())
+			r.releaseJobRefs(j)
+			r.pendingAdd(j.kind, -1)
+			r.count("jobs_failed", j.kind)
+			r.persist(j)
+		}
+		return
+	}
+	if pl == nil {
+		return // parked; OnBind delivers it when capacity frees
+	}
+	r.bindJob(j, pl)
+}
+
+// onBind delivers a parked job's placement (fires outside sched's lock).
+func (r *Runner) onBind(id string, pl *api.Placement) {
+	r.mu.Lock()
+	j := r.jobs[id]
+	closed := r.closed
+	r.mu.Unlock()
+	if j == nil || closed || j.state.Load() != codeQueued {
+		r.sched.Release(id)
+		return
+	}
+	r.bindJob(j, pl)
+}
+
+// onDrain tears down a lost node's pool and requeues everything that was
+// bound there: running jobs via their context cancellation (execute's
+// requeue path), queued jobs via the list sweep below.
+func (r *Runner) onDrain(node string, ids []string) {
+	r.mu.Lock()
+	pool := r.pools[node]
+	delete(r.pools, node)
+	var cancels []context.CancelFunc
+	for _, id := range ids {
+		r.drains[id] = true
+		if c := r.cancels[id]; c != nil {
+			cancels = append(cancels, c)
+		}
+	}
+	r.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	if pool != nil {
+		pool.stop()
+		select {
+		case pool.wake <- struct{}{}:
+		default:
+		}
+	}
+	// Sweep the dead node's pending list. Jobs a pool worker popped before
+	// the stop requeue themselves through execute's drain check; everything
+	// still on the list is reclaimed here.
+	r.mu.Lock()
+	var sweep []string
+	for {
+		id, ok := r.store.RPop(NodePendingKey(node))
+		if !ok {
+			break
+		}
+		sweep = append(sweep, id)
+	}
+	r.mu.Unlock()
+	for _, id := range sweep {
+		r.mu.Lock()
+		j := r.jobs[id]
+		r.mu.Unlock()
+		if j == nil || j.state.Load() != codeQueued {
+			continue
+		}
+		if r.takeDrain(id) {
+			r.rePlace(j)
+		}
+	}
+}
+
+// onRestore restarts a returned node's pool.
+func (r *Runner) onRestore(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	if _, live := r.pools[node]; !live {
+		r.pools[node] = r.startPool(node)
+	}
+}
+
+// closeClusterJobs cancels every still-queued job (on node lists or parked)
+// during Close, after all pools have exited.
+func (r *Runner) closeClusterJobs() {
+	r.mu.Lock()
+	snapshot := make([]*job, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		snapshot = append(snapshot, j)
+	}
+	r.mu.Unlock()
+	for _, j := range snapshot {
+		if !j.state.CompareAndSwap(codeQueued, codeCancelled) {
+			continue
+		}
+		msg := ErrClosed.Error()
+		j.errMsg.Store(&msg)
+		j.finished.Store(time.Now().UnixNano())
+		r.releaseJobRefs(j)
+		r.pendingAdd(j.kind, -1)
+		r.persist(j)
+		r.sched.Release(j.id)
+	}
+}
+
+// --- Cluster-mode accessors (gateway / CLI surface) -------------------------
+
+// ClusterMode reports whether this runner places jobs on a fabric.
+func (r *Runner) ClusterMode() bool { return r.sched != nil }
+
+// Scheduler returns the placement scheduler (nil on single-node runners).
+func (r *Runner) Scheduler() *sched.Scheduler { return r.sched }
+
+// Nodes returns the fabric inventory (nil on single-node runners).
+func (r *Runner) Nodes() []api.NodeStatus {
+	if r.sched == nil {
+		return nil
+	}
+	return r.sched.Nodes()
+}
+
+// DrainNode simulates losing a fabric node: its OSD fails, its pool stops,
+// and its jobs requeue through placement.
+func (r *Runner) DrainNode(name string) error {
+	if r.sched == nil {
+		return fmt.Errorf("service: not a cluster runner")
+	}
+	return r.sched.KillNode(name)
+}
+
+// RestoreNode brings a drained node (and its OSD) back.
+func (r *Runner) RestoreNode(name string) error {
+	if r.sched == nil {
+		return fmt.Errorf("service: not a cluster runner")
+	}
+	return r.sched.RestoreNode(name)
+}

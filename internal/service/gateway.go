@@ -14,6 +14,7 @@ import (
 	"chaseci/internal/api"
 	"chaseci/internal/auth"
 	"chaseci/internal/dataset"
+	"chaseci/internal/sched"
 )
 
 // GatewayOptions configures the HTTP face of the service.
@@ -113,6 +114,9 @@ func NewGateway(runner *Runner, opts GatewayOptions) *Gateway {
 	g.mux.HandleFunc("GET /v1/datasets/{id}", g.handleDatasetGet)
 	g.mux.HandleFunc("DELETE /v1/datasets/{id}", g.handleDatasetDelete)
 	g.mux.HandleFunc("GET /v1/kinds", g.handleKinds)
+	g.mux.HandleFunc("GET /v1/nodes", g.handleNodes)
+	g.mux.HandleFunc("POST /v1/nodes/{name}/drain", g.handleNodeDrain)
+	g.mux.HandleFunc("POST /v1/nodes/{name}/restore", g.handleNodeRestore)
 	g.mux.HandleFunc("GET /healthz", g.handleHealth)
 	g.mux.HandleFunc("GET /metricz", g.handleMetrics)
 	return g
@@ -204,6 +208,9 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusBadRequest
 		} else if errors.Is(err, ErrClosed) {
 			code = http.StatusServiceUnavailable
+		} else if errors.Is(err, sched.ErrUnschedulable) || errors.Is(err, sched.ErrQuotaExceeded) {
+			// The request is well-formed but the fabric cannot admit it.
+			code = http.StatusConflict
 		}
 		writeErr(w, code, "%v", err)
 		return
@@ -488,4 +495,43 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, g.runner.MetricsText())
+}
+
+// --- Cluster-mode node endpoints -------------------------------------------
+
+func (g *Gateway) handleNodes(w http.ResponseWriter, r *http.Request) {
+	if _, err := g.authenticate(r); err != nil {
+		writeErr(w, http.StatusUnauthorized, "%v", err)
+		return
+	}
+	if !g.runner.ClusterMode() {
+		writeErr(w, http.StatusConflict, "not a cluster deployment")
+		return
+	}
+	writeJSON(w, http.StatusOK, g.runner.Nodes())
+}
+
+func (g *Gateway) handleNodeDrain(w http.ResponseWriter, r *http.Request) {
+	g.nodeLifecycle(w, r, g.runner.DrainNode, "draining")
+}
+
+func (g *Gateway) handleNodeRestore(w http.ResponseWriter, r *http.Request) {
+	g.nodeLifecycle(w, r, g.runner.RestoreNode, "restoring")
+}
+
+func (g *Gateway) nodeLifecycle(w http.ResponseWriter, r *http.Request, op func(string) error, verb string) {
+	if _, err := g.authenticate(r); err != nil {
+		writeErr(w, http.StatusUnauthorized, "%v", err)
+		return
+	}
+	if !g.runner.ClusterMode() {
+		writeErr(w, http.StatusConflict, "not a cluster deployment")
+		return
+	}
+	name := r.PathValue("name")
+	if err := op(name); err != nil {
+		writeErr(w, http.StatusNotFound, "%s node %q: %v", verb, name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": name, "ok": true})
 }

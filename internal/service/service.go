@@ -29,6 +29,7 @@ import (
 	"chaseci/internal/dataset"
 	"chaseci/internal/metrics"
 	"chaseci/internal/queue"
+	"chaseci/internal/sched"
 	"chaseci/internal/sim"
 )
 
@@ -167,6 +168,14 @@ type job struct {
 	submitted, started, finished atomic.Int64 // wall clock, UnixNano
 	errMsg                       atomic.Pointer[string]
 
+	// Cluster-mode fields. wl is the scheduler's view of the job, built once
+	// at submit and reused on every re-placement; placement holds the latest
+	// (immutable) decision; userCancel distinguishes a caller's Cancel from a
+	// drain-induced context cancellation so only the former is terminal.
+	wl         *sched.Workload
+	placement  atomic.Pointer[api.Placement]
+	userCancel atomic.Bool
+
 	mu     sync.Mutex
 	result json.RawMessage
 }
@@ -213,10 +222,18 @@ type Runner struct {
 	workers  int
 	datasets *dataset.Manager
 
+	// Cluster mode (nil/empty on single-node runners): sched places jobs on
+	// fabric nodes, pools holds one worker pool per live node, and drains
+	// marks jobs knocked off a lost node so exactly one path requeues each.
+	sched       *sched.Scheduler
+	poolWorkers int
+
 	mu      sync.Mutex
 	jobs    map[string]*job
 	order   []string
 	cancels map[string]context.CancelFunc
+	pools   map[string]*nodePool
+	drains  map[string]bool
 	retain  int      // in-memory cap on job records (maxRetainedJobs)
 	evicted []string // ids evicted from memory whose store records remain
 	closed  bool     // set by Close under mu; Submit refuses afterwards
@@ -317,18 +334,20 @@ func (r *Runner) drainOrphans() {
 // "queued" forever — specs are not persisted, so no later generation
 // could execute them. Close blocks until every worker has exited.
 func (r *Runner) Close() {
-	r.stop()
-	r.wg.Wait()
 	// Flip the closed flag under the same mutex Submit inserts under:
 	// every Submit either observes closed (and refuses) or completed its
-	// insert+LPush beforehand, in which case the drain below sees it.
+	// insert+enqueue beforehand, in which case the drain below sees it.
+	// (Flipped before the stop so node pools cannot be recreated by a racing
+	// restore while the wait group is draining.)
 	r.mu.Lock()
 	r.closed = true
 	r.mu.Unlock()
+	r.stop()
+	r.wg.Wait()
 	for {
 		id, ok := r.store.RPop(PendingKey)
 		if !ok {
-			return
+			break
 		}
 		r.mu.Lock()
 		j := r.jobs[id]
@@ -340,7 +359,11 @@ func (r *Runner) Close() {
 		j.errMsg.Store(&msg)
 		j.finished.Store(time.Now().UnixNano())
 		r.releaseJobRefs(j)
+		r.pendingAdd(j.kind, -1)
 		r.persist(j)
+	}
+	if r.sched != nil {
+		r.closeClusterJobs()
 	}
 }
 
@@ -415,13 +438,44 @@ func (r *Runner) Submit(req *api.JobRequest, owner string) (api.JobStatus, error
 	r.jobs[j.id] = j
 	r.order = append(r.order, j.id)
 	r.persist(j)
-	r.store.LPush(PendingKey, j.id)
+	var pl *api.Placement
+	if r.sched != nil {
+		// Place while holding r.mu: Place never dispatches callbacks on this
+		// path, and the lock serializes against Close's closed flip so a
+		// placed job is always visible to Close's sched-mode drain.
+		j.wl = r.workloadFor(j)
+		var perr error
+		pl, perr = r.sched.Place(j.wl)
+		if perr != nil {
+			// Rejected (unschedulable / over quota): undo the insert so the
+			// job never existed, and repay the submit-time pins.
+			delete(r.jobs, j.id)
+			r.order = r.order[:len(r.order)-1]
+			r.store.Del(JobKey(j.id))
+			r.mu.Unlock()
+			for _, ref := range refs {
+				r.datasets.Unpin(ref)
+			}
+			return api.JobStatus{}, perr
+		}
+	} else {
+		r.store.LPush(PendingKey, j.id)
+	}
 	r.mu.Unlock()
 
 	r.count("jobs_submitted", j.kind)
-	select {
-	case r.wake <- struct{}{}:
-	default:
+	r.pendingAdd(j.kind, +1)
+	if r.sched != nil {
+		if pl != nil {
+			r.bindJob(j, pl)
+		}
+		// pl == nil: parked — the scheduler's OnBind callback delivers it to
+		// a node pool once capacity frees up.
+	} else {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
 	}
 	return r.statusOf(j), nil
 }
@@ -512,13 +566,21 @@ func (r *Runner) Cancel(id string) bool {
 	if j == nil {
 		return false
 	}
+	// Mark the caller's intent before touching state: the cluster-mode
+	// requeue path must not resurrect a job whose context died because the
+	// user cancelled it (vs. because its node drained).
+	j.userCancel.Store(true)
 	if j.state.CompareAndSwap(codeQueued, codeCancelled) {
 		msg := "cancelled before start"
 		j.errMsg.Store(&msg)
 		j.finished.Store(time.Now().UnixNano())
 		r.releaseJobRefs(j)
+		r.pendingAdd(j.kind, -1)
 		r.count("jobs_cancelled", j.kind)
 		r.persist(j)
+		if r.sched != nil {
+			r.sched.Release(id)
+		}
 		return true
 	}
 	// Not queued, so execute() already registered the cancel func (it does
@@ -553,6 +615,7 @@ func (r *Runner) statusOf(j *job) api.JobStatus {
 	if p := j.errMsg.Load(); p != nil {
 		st.Error = *p
 	}
+	st.Placement = j.placement.Load()
 	return st
 }
 
@@ -607,11 +670,27 @@ func (r *Runner) execute(id string) {
 		r.mu.Lock()
 		delete(r.cancels, id)
 		r.mu.Unlock()
+		if r.sched != nil {
+			r.sched.Release(id) // free any claim a late bind left behind
+		}
 		return
 	}
 	j.started.Store(time.Now().UnixNano())
 	r.gaugeAdd("jobs_running", j.kind, +1)
+	r.pendingAdd(j.kind, -1)
 	r.persist(j)
+
+	// The node may have died between this job's pop and now (the drain
+	// routine empties the node's pending list, but a pool worker can beat it
+	// to an id); send it straight back through placement without running.
+	if r.sched != nil && r.takeDrain(id) {
+		cancel()
+		r.mu.Lock()
+		delete(r.cancels, id)
+		r.mu.Unlock()
+		r.requeueJob(j)
+		return
+	}
 
 	h, _ := r.reg.Handler(j.kind)
 	res, err := runHandler(h, &JobContext{ctx: ctx, job: j, datasets: r.datasets})
@@ -619,6 +698,17 @@ func (r *Runner) execute(id string) {
 	r.mu.Lock()
 	delete(r.cancels, id)
 	r.mu.Unlock()
+
+	// A context cancellation caused by node loss — not by the user, not by
+	// shutdown — requeues the job instead of finishing it: refs stay
+	// pinned, progress resets, and placement runs again against the
+	// surviving replicas.
+	if r.sched != nil && err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) &&
+		r.baseCtx.Err() == nil && !j.userCancel.Load() && r.takeDrain(id) {
+		r.requeueJob(j)
+		return
+	}
 
 	if res != nil {
 		if raw, mErr := json.Marshal(res); mErr == nil {
@@ -650,6 +740,9 @@ func (r *Runner) execute(id string) {
 	r.count(metric, j.kind)
 	r.observeDuration(j)
 	r.persist(j)
+	if r.sched != nil {
+		r.sched.Release(id)
+	}
 
 	// The spec (which may hold a large inline volume) is dead weight once
 	// the job is terminal; only the executor touches req, so the plain
@@ -750,10 +843,28 @@ func (r *Runner) observeDuration(j *job) {
 // one-line-per-series text form for the gateway's /metricz endpoint.
 func (r *Runner) MetricsText() string {
 	r.mclk.Lock()
-	defer r.mclk.Unlock()
 	var b strings.Builder
 	for _, s := range r.metrics.Select("", nil) {
 		fmt.Fprintf(&b, "%s%s %g\n", s.Name, s.Labels, s.Last().Value)
 	}
+	r.mclk.Unlock()
+	if r.sched != nil {
+		b.WriteString(r.sched.MetricsText())
+	}
 	return b.String()
+}
+
+// pendingAdd moves the per-kind pending gauge and the aggregate queue_depth
+// gauge together: +1 on admission, -1 when a job starts running or reaches a
+// terminal state without running.
+func (r *Runner) pendingAdd(kind api.Kind, d float64) {
+	r.mclk.Lock()
+	defer r.mclk.Unlock()
+	r.gaugeLocked("jobs_pending", kind).Add(d)
+	g := r.gauges["queue_depth"]
+	if g == nil {
+		g = r.metrics.Gauge("queue_depth", nil)
+		r.gauges["queue_depth"] = g
+	}
+	g.Add(d)
 }
