@@ -38,6 +38,7 @@ import (
 	"chaseci/internal/merra"
 	"chaseci/internal/netsim"
 	"chaseci/internal/queue"
+	"chaseci/internal/scenario"
 	"chaseci/internal/sched"
 	"chaseci/internal/service"
 	"chaseci/internal/sim"
@@ -385,7 +386,36 @@ func benchCases() []benchCase {
 		}},
 		{"sched_place_64cubed", benchSchedPlace},
 		{"sched_requeue_nodeloss", benchSchedRequeue},
+		{"scenario_nodeloss_pipeline", benchScenarioNodeLoss},
 	}
+}
+
+// benchScenarioNodeLoss runs a full chaos replay per iteration: a pipeline
+// job is held mid-execution, its node is killed and restored, and the engine
+// verifies bit-exactness against an undisturbed baseline world. ns/op is the
+// end-to-end recover-and-verify latency; violations/op must stay 0.
+func benchScenarioNodeLoss(b *testing.B) {
+	sc := scenario.Script{
+		Name: "nodeloss_pipeline",
+		Jobs: []scenario.JobSpec{{Kind: "pipeline", Deferred: true}},
+		Events: []scenario.Action{
+			{Kind: scenario.ActHoldNext, Count: 1},
+			{Kind: scenario.ActSubmit, Job: 0},
+			{Kind: scenario.ActAwaitHold},
+			{Kind: scenario.ActKillNode, Job: 0},
+			{Kind: scenario.ActRestoreNode},
+		},
+	}
+	var violations float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(sc, scenario.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		violations += float64(len(res.Violations))
+	}
+	b.ReportMetric(violations, "violations")
 }
 
 // benchFabric builds the two-site/two-OSD fabric the scheduler benchmarks

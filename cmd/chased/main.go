@@ -16,6 +16,9 @@
 //	                                       "-" for stdin); -wait polls it
 //	chased nodes [ls]                      list fabric nodes (cluster mode)
 //	chased nodes drain|restore NODE        kill / restore a fabric node
+//	chased scenario ls                     list the builtin chaos scripts
+//	chased scenario run [-seed N] [NAME]   replay chaos scenarios, checking
+//	                                       bit-exactness and leak invariants
 //
 // Client commands take -server (default http://localhost:8434) and -token
 // (bearer token from POST /v1/login). `submit` defaults result_mode to
@@ -43,6 +46,7 @@ import (
 	"chaseci/internal/api"
 	"chaseci/internal/dataset"
 	"chaseci/internal/queue"
+	"chaseci/internal/scenario"
 	"chaseci/internal/sched"
 	"chaseci/internal/service"
 )
@@ -63,9 +67,73 @@ func main() {
 		submitCmd(args[1:])
 	case "nodes":
 		nodesCmd(args[1:])
+	case "scenario":
+		scenarioCmd(args[1:])
 	default:
-		fmt.Fprintf(os.Stderr, "chased: unknown command %q (want serve, dataset, submit, or nodes)\n", args[0])
+		fmt.Fprintf(os.Stderr, "chased: unknown command %q (want serve, dataset, submit, nodes, or scenario)\n", args[0])
 		os.Exit(2)
+	}
+}
+
+// scenarioCmd runs the chaos-replay engine locally: `scenario ls` lists the
+// builtin fault matrix, `scenario run [-seed N] [NAME ...]` executes scripts
+// (all of them by default) and exits non-zero on any invariant violation.
+func scenarioCmd(args []string) {
+	if len(args) == 0 {
+		fatalf("usage: chased scenario ls | chased scenario run [-seed N] [-v] [NAME ...]")
+	}
+	switch args[0] {
+	case "ls":
+		for _, sc := range scenario.Builtin() {
+			fmt.Printf("%-22s %d jobs, %d events  %s\n", sc.Name, len(sc.Jobs), len(sc.Events), sc.Description)
+		}
+	case "run":
+		scenarioRun(args[1:])
+	default:
+		fatalf("chased scenario: unknown subcommand %q (want ls or run)", args[0])
+	}
+}
+
+func scenarioRun(args []string) {
+	fs := flag.NewFlagSet("scenario run", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "RNG seed; a failure reproduces exactly from its seed")
+	verbose := fs.Bool("v", false, "log each scripted event as it applies")
+	fs.Parse(args)
+	var scripts []scenario.Script
+	if fs.NArg() == 0 {
+		scripts = scenario.Builtin()
+	} else {
+		for _, name := range fs.Args() {
+			sc, err := scenario.Lookup(name)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			scripts = append(scripts, sc)
+		}
+	}
+	failed := 0
+	for _, sc := range scripts {
+		opt := scenario.Options{Seed: *seed}
+		if *verbose {
+			opt.Log = func(format string, a ...any) { fmt.Printf(format+"\n", a...) }
+		}
+		res, err := scenario.Run(sc, opt)
+		if err != nil {
+			fatalf("scenario %s (seed %d): %v", sc.Name, *seed, err)
+		}
+		status := "ok"
+		if !res.Passed() {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%-22s %-4s seed=%d jobs=%d wall=%v fp=%s\n",
+			sc.Name, status, *seed, len(res.Jobs), res.Wall.Round(time.Millisecond), res.Fingerprint[:12])
+		for _, v := range res.Violations {
+			fmt.Printf("  violation: %s\n", v)
+		}
+	}
+	if failed > 0 {
+		fatalf("%d of %d scenarios violated invariants (seed %d)", failed, len(scripts), *seed)
 	}
 }
 

@@ -653,6 +653,19 @@ func (m *Manager) PinCount(id string) int {
 	return m.pins[id]
 }
 
+// Pinned snapshots every live pin count, keyed by dataset id. Leak checks
+// assert it is empty once all jobs are terminal: each submit-time or
+// producer-side Pin must have been matched by exactly one Unpin.
+func (m *Manager) Pinned() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.pins))
+	for id, n := range m.pins {
+		out[id] = n
+	}
+	return out
+}
+
 // Unpin reverses one Pin, executing a deferred Delete when the last pin
 // drops and no Put has revived the content in the meantime.
 func (m *Manager) Unpin(id string) {

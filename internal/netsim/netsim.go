@@ -45,15 +45,33 @@ type Site struct {
 // bytes/second and a propagation latency. Capacity is shared by flows in
 // both directions, matching a full-duplex fiber's per-direction limit being
 // dominated by the DTN NIC in the paper's deployments.
+//
+// Loss and Down model hostile wide-area conditions: Loss is the fraction of
+// capacity eaten by retransmission on a lossy path (the fluid-model view of
+// packet loss under a loss-tolerant transport), and a Down link carries
+// nothing and is excluded from routing until it comes back. Both are mutated
+// at runtime through Network.SetLink / ApplyTrace.
 type Link struct {
 	A, B     string
 	Capacity float64 // bytes per second
 	Latency  time.Duration
+	Loss     float64 // fraction of capacity lost to retransmission [0, 1)
+	Down     bool    // a down link carries no traffic and routes nothing
 
 	util *metrics.Gauge
 }
 
 func (l *Link) String() string { return fmt.Sprintf("%s<->%s", l.A, l.B) }
+
+// EffectiveCapacity is the goodput ceiling under the link's current
+// condition: zero when down, capacity degraded by the loss fraction
+// otherwise.
+func (l *Link) EffectiveCapacity() float64 {
+	if l.Down {
+		return 0
+	}
+	return l.Capacity * (1 - l.Loss)
+}
 
 // Flow is one in-flight transfer.
 type Flow struct {
@@ -131,6 +149,97 @@ func (n *Network) AddLink(a, b string, capacity float64, latency time.Duration) 
 
 // ActiveFlows returns the number of in-flight transfers.
 func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// Links returns the topology's links. The slice is shared — callers mutate
+// link state only through SetLink.
+func (n *Network) Links() []*Link { return n.links }
+
+// Link returns the link joining two sites (in either direction), or nil.
+func (n *Network) Link(a, b string) *Link {
+	for _, l := range n.links {
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			return l
+		}
+	}
+	return nil
+}
+
+// LinkChange is a partial update to a link's condition: nil fields keep the
+// current value. It is the unit of both one-shot SetLink calls and
+// trace-driven schedules.
+type LinkChange struct {
+	Capacity *float64
+	Latency  *time.Duration
+	Loss     *float64
+	Down     *bool
+}
+
+// Change builders for declarative scripts.
+
+// CapacityBps returns a LinkChange setting only the capacity.
+func CapacityBps(bps float64) LinkChange { return LinkChange{Capacity: &bps} }
+
+// LossFrac returns a LinkChange setting only the loss fraction.
+func LossFrac(f float64) LinkChange { return LinkChange{Loss: &f} }
+
+// LinkDown returns a LinkChange taking the link down or up.
+func LinkDown(down bool) LinkChange { return LinkChange{Down: &down} }
+
+// SetLink applies a condition change to the link between a and b: active
+// flows are settled at their old rates first, then fair shares are
+// recomputed under the new condition. Taking a link down stalls flows routed
+// over it (rate zero) until it comes back; routing (Path) excludes it
+// immediately.
+func (n *Network) SetLink(a, b string, ch LinkChange) error {
+	l := n.Link(a, b)
+	if l == nil {
+		return fmt.Errorf("netsim: no link %s<->%s", a, b)
+	}
+	n.settle()
+	if ch.Capacity != nil {
+		if *ch.Capacity <= 0 {
+			return fmt.Errorf("netsim: non-positive capacity for %s", l)
+		}
+		l.Capacity = *ch.Capacity
+	}
+	if ch.Latency != nil {
+		l.Latency = *ch.Latency
+	}
+	if ch.Loss != nil {
+		if *ch.Loss < 0 || *ch.Loss >= 1 {
+			return fmt.Errorf("netsim: loss %g out of [0,1) for %s", *ch.Loss, l)
+		}
+		l.Loss = *ch.Loss
+	}
+	if ch.Down != nil {
+		l.Down = *ch.Down
+	}
+	n.pathCache = make(map[[2]string][]*Link) // routing may have changed
+	n.reallocate()
+	return nil
+}
+
+// TracePoint is one step of a recorded network-condition trace.
+type TracePoint struct {
+	At     time.Duration // virtual time the change takes effect
+	Change LinkChange
+}
+
+// ApplyTrace schedules a sequence of condition changes on the link between a
+// and b at absolute virtual times — the replay mechanism for measured WAN
+// traces (congestion collapse, loss storms, maintenance windows). The trace
+// is validated against the topology up front; each point fires on the shared
+// clock.
+func (n *Network) ApplyTrace(a, b string, trace []TracePoint) error {
+	if n.Link(a, b) == nil {
+		return fmt.Errorf("netsim: no link %s<->%s", a, b)
+	}
+	for _, p := range trace {
+		ch := p.Change
+		n.clock.At(p.At, func() { n.SetLink(a, b, ch) })
+	}
+	return nil
+}
 
 // Transfer starts moving size bytes from src to dst and returns the flow.
 // onComplete (may be nil) fires in virtual time when the last byte lands.
@@ -232,6 +341,9 @@ func (n *Network) Path(src, dst string) []*Link {
 			return path
 		}
 		for _, l := range adj[cur.site] {
+			if l.Down {
+				continue
+			}
 			next := l.A
 			if next == cur.site {
 				next = l.B
@@ -331,7 +443,7 @@ func (n *Network) reallocate() {
 func (n *Network) assignFairShares() {
 	remainingCap := make(map[*Link]float64, len(n.links))
 	for _, l := range n.links {
-		remainingCap[l] = l.Capacity
+		remainingCap[l] = l.EffectiveCapacity()
 	}
 	unfrozen := make(map[*Flow]struct{}, len(n.flows))
 	for f := range n.flows {

@@ -310,3 +310,94 @@ func near(got, want time.Duration) bool {
 	}
 	return diff <= want/100+time.Millisecond
 }
+
+func TestLossDegradesEffectiveCapacity(t *testing.T) {
+	c, n := twoSiteNet(100)
+	if err := n.SetLink("ucsd", "sdsc", LossFrac(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	var doneAt time.Duration
+	n.Transfer("ucsd", "sdsc", 1000, func() { doneAt = c.Now() })
+	c.Run()
+	// 50% loss halves the goodput: 1000 B at 50 B/s = 20s.
+	if !near(doneAt, 20*time.Second) {
+		t.Fatalf("lossy transfer finished at %v, want ~20s", doneAt)
+	}
+}
+
+func TestLinkDownStallsAndRestoreResumes(t *testing.T) {
+	c, n := twoSiteNet(100)
+	var doneAt time.Duration
+	f := n.Transfer("ucsd", "sdsc", 1000, func() { doneAt = c.Now() })
+	// Halfway through, the link dies for 10 virtual seconds.
+	c.At(5*time.Second, func() { n.SetLink("ucsd", "sdsc", LinkDown(true)) })
+	c.At(15*time.Second, func() { n.SetLink("ucsd", "sdsc", LinkDown(false)) })
+	c.Run()
+	if !f.Done() {
+		t.Fatalf("flow never completed (remaining %.0f)", f.Remaining())
+	}
+	// 5s at 100 B/s, 10s stalled, then 500 B at 100 B/s: done at t=20.
+	if !near(doneAt, 20*time.Second) {
+		t.Fatalf("transfer finished at %v, want ~20s", doneAt)
+	}
+}
+
+func TestDownLinkExcludedFromRouting(t *testing.T) {
+	c := sim.NewClock()
+	n := NewNetwork(c, nil)
+	for _, s := range []string{"a", "b", "c"} {
+		n.AddSite(s)
+	}
+	n.AddLink("a", "b", 100, 0)
+	n.AddLink("a", "c", 100, 0)
+	n.AddLink("c", "b", 100, 0)
+	if got := len(n.Path("a", "b")); got != 1 {
+		t.Fatalf("direct path = %d hops, want 1", got)
+	}
+	if err := n.SetLink("a", "b", LinkDown(true)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Path("a", "b")); got != 2 {
+		t.Fatalf("path with direct link down = %d hops, want 2 (via c)", got)
+	}
+	if err := n.SetLink("a", "b", LinkDown(false)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Path("a", "b")); got != 1 {
+		t.Fatalf("path after restore = %d hops, want 1", got)
+	}
+}
+
+func TestApplyTraceBandwidthCollapse(t *testing.T) {
+	c, n := twoSiteNet(100)
+	err := n.ApplyTrace("ucsd", "sdsc", []TracePoint{
+		{At: 5 * time.Second, Change: CapacityBps(10)},
+		{At: 10 * time.Second, Change: CapacityBps(100)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt time.Duration
+	n.Transfer("ucsd", "sdsc", 1000, func() { doneAt = c.Now() })
+	c.Run()
+	// 5s at 100 B/s (500 B) + 5s at 10 B/s (50 B) + 4.5s at 100 B/s (450 B).
+	if !near(doneAt, 14*time.Second+500*time.Millisecond) {
+		t.Fatalf("traced transfer finished at %v, want ~14.5s", doneAt)
+	}
+}
+
+func TestSetLinkValidation(t *testing.T) {
+	_, n := twoSiteNet(100)
+	if err := n.SetLink("ucsd", "nowhere", LinkDown(true)); err == nil {
+		t.Fatal("SetLink on unknown link succeeded")
+	}
+	if err := n.SetLink("ucsd", "sdsc", LossFrac(1.5)); err == nil {
+		t.Fatal("SetLink accepted loss >= 1")
+	}
+	if err := n.SetLink("ucsd", "sdsc", CapacityBps(-1)); err == nil {
+		t.Fatal("SetLink accepted negative capacity")
+	}
+	if err := n.ApplyTrace("ucsd", "nowhere", nil); err == nil {
+		t.Fatal("ApplyTrace on unknown link succeeded")
+	}
+}

@@ -26,6 +26,10 @@ var (
 	ErrNoOSDs       = errors.New("objstore: not enough OSDs up for requested replication")
 	ErrOSDUnknown   = errors.New("objstore: unknown OSD")
 	ErrBucketExists = errors.New("objstore: bucket already exists")
+	// ErrAllReplicasDown is a *transient* read failure: the object exists
+	// but every replica sits on a down OSD. Unlike ErrNotFound, a retry
+	// after OSD recovery can succeed, so callers may back off and retry.
+	ErrAllReplicasDown = errors.New("objstore: all replicas down")
 )
 
 // OSD is one object storage daemon (a disk on a FIONA node).
@@ -291,7 +295,7 @@ func (s *Store) Get(bucket, key string) (*Object, error) {
 			return obj, nil
 		}
 	}
-	return nil, fmt.Errorf("objstore: all replicas of %s/%s are down", bucket, key)
+	return nil, fmt.Errorf("%w: %s/%s", ErrAllReplicasDown, bucket, key)
 }
 
 // Stat reports whether the object exists and its size.

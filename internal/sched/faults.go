@@ -1,0 +1,190 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"chaseci/internal/netsim"
+)
+
+// ErrNoReplicas means some required dataset ref has no up replica anywhere
+// in the fabric — no amount of waiting for capacity can place the job, and
+// unlike ErrUnschedulable the condition is data loss, not geometry. The
+// service layer turns it into a terminal failure instead of requeueing
+// forever.
+var ErrNoReplicas = errors.New("sched: no up replica holds a required dataset")
+
+// The fault-injection surface. Every entrypoint takes s.mu so scripted
+// adversity serializes against placement exactly like node lifecycle does:
+// a scenario can never observe (or create) a half-applied fault.
+
+// FailOSD fails a storage daemon without touching its host node — the
+// "disk died, machine fine" case. Placement groups remap to survivors
+// immediately; placement scoring sees only up replicas afterwards.
+func (s *Scheduler) FailOSD(osd string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.downOSDs[osd] {
+		return nil
+	}
+	if err := s.fab.Datasets.FailOSD(osd); err != nil {
+		return err
+	}
+	s.downOSDs[osd] = true
+	return nil
+}
+
+// RecoverOSD brings a failed daemon back and retries parked work (replicas
+// that were unreachable may be resolvable again).
+func (s *Scheduler) RecoverOSD(osd string) error {
+	s.mu.Lock()
+	if !s.downOSDs[osd] {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.fab.Datasets.RecoverOSD(osd)
+	if err == nil {
+		delete(s.downOSDs, osd)
+		s.tryParkedLocked()
+	}
+	cbs := s.takeCallbacks()
+	s.mu.Unlock()
+	dispatch(cbs)
+	return err
+}
+
+// SetLink applies a condition change (capacity, latency, loss, down) to a
+// WAN link. Restoring a link retries parked work: a replica that was
+// unreachable across a dead path may be reachable now.
+func (s *Scheduler) SetLink(a, b string, ch netsim.LinkChange) error {
+	s.mu.Lock()
+	err := s.fab.Net.SetLink(a, b, ch)
+	if err == nil {
+		s.tryParkedLocked()
+	}
+	cbs := s.takeCallbacks()
+	s.mu.Unlock()
+	dispatch(cbs)
+	return err
+}
+
+// ApplyLinkTrace schedules a recorded condition trace on a link; points fire
+// when the fabric's control clock reaches their virtual times (RunTransfer
+// advances it).
+func (s *Scheduler) ApplyLinkTrace(a, b string, trace []netsim.TracePoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fab.Net.ApplyTrace(a, b, trace)
+}
+
+// PartitionSite takes down every WAN link touching the site, isolating it
+// from the rest of the fabric: remote replicas there become unreachable for
+// placement, and new jobs that can only run against them park until HealSite.
+// Jobs already bound at the site keep running — their data is local.
+// Returns the partitioned link pairs (sorted) so the caller can heal exactly
+// what it cut.
+func (s *Scheduler) PartitionSite(site string) [][2]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cut [][2]string
+	for _, l := range s.fab.Net.Links() {
+		if (l.A == site || l.B == site) && !l.Down {
+			s.fab.Net.SetLink(l.A, l.B, netsim.LinkDown(true))
+			cut = append(cut, [2]string{l.A, l.B})
+		}
+	}
+	sort.Slice(cut, func(i, j int) bool {
+		return cut[i][0]+cut[i][1] < cut[j][0]+cut[j][1]
+	})
+	return cut
+}
+
+// HealSite restores every down link touching the site and retries parked
+// work — the partition's other half.
+func (s *Scheduler) HealSite(site string) {
+	s.mu.Lock()
+	healed := false
+	for _, l := range s.fab.Net.Links() {
+		if (l.A == site || l.B == site) && l.Down {
+			s.fab.Net.SetLink(l.A, l.B, netsim.LinkDown(false))
+			healed = true
+		}
+	}
+	if healed {
+		s.tryParkedLocked()
+	}
+	cbs := s.takeCallbacks()
+	s.mu.Unlock()
+	dispatch(cbs)
+}
+
+// LiveClaims snapshots outstanding resource claims per node (node -> claim
+// ids, only nodes with live claims). Once every job is terminal this must be
+// empty — anything left is a leaked reservation.
+func (s *Scheduler) LiveClaims() map[string][]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]string)
+	for _, n := range s.fab.Cluster.Nodes() {
+		if ids := s.fab.Cluster.Claims(n.Name); len(ids) > 0 {
+			out[n.Name] = ids
+		}
+	}
+	return out
+}
+
+// TransferReport describes one simulated bulk transfer (RunTransfer).
+type TransferReport struct {
+	Src, Dst string
+	Bytes    float64
+	// Elapsed is the transfer's virtual duration. When Stalled, it covers
+	// only the progress made before the fabric went quiet.
+	Elapsed time.Duration
+	// Transferred is the bytes actually moved (== Bytes unless Stalled).
+	Transferred float64
+	// Stalled reports that the flow could make no further progress (e.g. a
+	// link went down with no scheduled heal) and was abandoned.
+	Stalled bool
+}
+
+// RunTransfer moves size bytes between two sites through the netsim
+// fluid-flow model, advancing the fabric's control clock until the flow
+// completes — scheduled link traces fire along the way, so the report's
+// virtual elapsed time reflects collapses, loss storms, and heals exactly as
+// scripted. Deterministic: same topology + same traces = same elapsed, to
+// the nanosecond.
+func (s *Scheduler) RunTransfer(src, dst string, size float64) (TransferReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := TransferReport{Src: src, Dst: dst, Bytes: size}
+	net := s.fab.Net
+	if src != dst && net.Path(src, dst) == nil {
+		return rep, fmt.Errorf("sched: no path %s -> %s", src, dst)
+	}
+	clk := s.fab.Cluster.Clock()
+	start := clk.Now()
+	done := false
+	f := net.Transfer(src, dst, size, func() { done = true })
+	// A generous runaway bound: a real transfer over any scripted trace
+	// settles in far fewer events.
+	for steps := 0; !done; steps++ {
+		if steps > 1<<22 {
+			f.Cancel()
+			return rep, fmt.Errorf("sched: transfer %s -> %s did not settle", src, dst)
+		}
+		if !clk.Step() {
+			// Event queue drained with bytes still pending: the flow is
+			// stalled (down link, no heal scheduled). Abandon it.
+			rep.Stalled = true
+			rep.Elapsed = clk.Now() - start
+			rep.Transferred = f.Transferred()
+			f.Cancel()
+			return rep, nil
+		}
+	}
+	rep.Elapsed = clk.Now() - start
+	rep.Transferred = size
+	return rep, nil
+}

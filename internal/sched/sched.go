@@ -346,7 +346,9 @@ func (s *Scheduler) placeLocked(w *Workload, firstTry bool) (*api.Placement, err
 		return nil, errRetry
 	}
 
-	// Resolve each ref's size and replica set once per pass.
+	// Resolve each ref's size and replica set once per pass. A ref with no
+	// up replica anywhere is data loss, not congestion: fail fast so the
+	// service layer can go terminal instead of parking the job forever.
 	refs := make([]refInfo, 0, len(w.Refs))
 	for _, id := range w.Refs {
 		ri := refInfo{id: id}
@@ -354,6 +356,19 @@ func (s *Scheduler) placeLocked(w *Workload, firstTry bool) (*api.Placement, err
 			ri.bytes = float64(info.Bytes)
 		}
 		ri.reps = s.fab.Datasets.Placement(id)
+		up := false
+		for _, rep := range ri.reps {
+			if rep.Up {
+				up = true
+				break
+			}
+		}
+		if !up {
+			if firstTry {
+				return nil, fmt.Errorf("%w: ref %s has %d replicas, none up", ErrNoReplicas, id, len(ri.reps))
+			}
+			return nil, errRetry
+		}
 		refs = append(refs, ri)
 	}
 
@@ -477,13 +492,16 @@ func (s *Scheduler) refGravityLocked(ri refInfo, node, site string) (costMS floa
 		bottleneck := -1.0
 		for _, l := range path {
 			ms += float64(l.Latency) / float64(time.Millisecond)
-			if bottleneck < 0 || l.Capacity < bottleneck {
-				bottleneck = l.Capacity
+			if cap := l.EffectiveCapacity(); bottleneck < 0 || cap < bottleneck {
+				bottleneck = cap
 			}
 		}
-		if bottleneck > 0 {
-			ms += ri.bytes / bottleneck * 1000
+		if bottleneck <= 0 {
+			// Path exists but is fully degraded (down or 100% loss): the
+			// replica is unreachable for staging purposes.
+			continue
 		}
+		ms += ri.bytes / bottleneck * 1000
 		if bestRemote < 0 || ms < bestRemote {
 			bestRemote = ms
 		}
@@ -520,11 +538,15 @@ func (s *Scheduler) estJoules(w *Workload, spec *NodeSpec) float64 {
 // Cluster calls made by this scheduler, so s.mu is already held.
 func (s *Scheduler) onNodeEvent(ev cluster.NodeEvent) {
 	if ev.Ready {
-		s.tryParkedLocked()
+		// Restore callback first, parked retries second: observers recreate
+		// the node's worker pool in the restore callback, and a bind
+		// delivered ahead of it would land on a node with no pool and
+		// strand the job.
 		if s.restoreFn != nil {
 			fn, node := s.restoreFn, ev.Node
 			s.cbs = append(s.cbs, func() { fn(node) })
 		}
+		s.tryParkedLocked()
 		return
 	}
 	var drained []string

@@ -319,3 +319,108 @@ func TestNodesInventoryAndMetrics(t *testing.T) {
 		}
 	}
 }
+
+func TestFailOSDNoReplicasTerminal(t *testing.T) {
+	f := testFabric(t, FabricConfig{})
+	s := New(f)
+	ref := putVolume(t, f, 6)
+
+	// Both replica holders die: placement must fail fast with ErrNoReplicas
+	// (data loss), not park the job forever.
+	if err := s.FailOSD("osd-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailOSD("osd-b"); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := s.Place(segJob("j1", ref))
+	if !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("want ErrNoReplicas, got pl=%v err=%v", pl, err)
+	}
+	if !strings.Contains(err.Error(), ref) {
+		t.Fatalf("error should name the ref: %v", err)
+	}
+
+	// One replica comes back: the job places replica-local on the survivor.
+	if err := s.RecoverOSD("osd-b"); err != nil {
+		t.Fatal(err)
+	}
+	pl, err = s.Place(segJob("j1", ref))
+	if err != nil || pl == nil || pl.Node != "b0" || pl.Locality != api.LocalityReplicaLocal {
+		t.Fatalf("after recover want b0/replica-local, got pl=%+v err=%v", pl, err)
+	}
+}
+
+func TestPartitionParksAndHealBinds(t *testing.T) {
+	f := testFabric(t, FabricConfig{})
+	s := New(f)
+	ref := putVolume(t, f, 7)
+
+	// Saturate every node that holds or can reach data locally, so the only
+	// free capacity is c0 — which needs the WAN to stage the ref.
+	for _, n := range []string{"a0", "a1", "b0"} {
+		w := segJob("fill-"+n, "")
+		w.Req = cluster.FIONA8Capacity()
+		pl, err := s.Place(w)
+		if err != nil || pl == nil {
+			t.Fatalf("fill %s: %v %v", n, pl, err)
+		}
+	}
+
+	cut := s.PartitionSite("site-c")
+	if len(cut) != 2 {
+		t.Fatalf("site-c touches 2 links, cut %v", cut)
+	}
+	var boundID string
+	s.OnBind(func(id string, pl *api.Placement) { boundID = id })
+	pl, err := s.Place(segJob("j1", ref))
+	if err != nil || pl != nil {
+		t.Fatalf("partitioned: want parked (nil, nil), got %v %v", pl, err)
+	}
+
+	// Heal: the parked job binds onto c0 across the restored WAN.
+	s.HealSite("site-c")
+	if boundID != "j1" {
+		t.Fatalf("heal should bind parked job, bound=%q", boundID)
+	}
+}
+
+func TestRunTransferTraceAndStall(t *testing.T) {
+	f := testFabric(t, FabricConfig{})
+	s := New(f)
+
+	// 40 Gbps a<->b link collapses to 1/100th for 2s mid-transfer.
+	cap := netsim.Gbps(40)
+	err := s.ApplyLinkTrace("site-a", "site-b", []netsim.TracePoint{
+		{At: 1 * time.Second, Change: netsim.CapacityBps(cap / 100)},
+		{At: 3 * time.Second, Change: netsim.CapacityBps(cap)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2s of full rate, of which 2s ran at 1% — the collapse stretches the
+	// transfer by ~1.98s beyond the undisturbed 2s.
+	rep, err := s.RunTransfer("site-a", "site-b", 2*cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stalled || rep.Transferred != 2*cap {
+		t.Fatalf("transfer should complete: %+v", rep)
+	}
+	want := 3982 * time.Millisecond // 1s full + 2s at 1% + 0.98s full + 2ms path latency
+	if rep.Elapsed < want-time.Millisecond || rep.Elapsed > want+time.Millisecond {
+		t.Fatalf("elapsed = %v, want ~%v", rep.Elapsed, want)
+	}
+
+	// A link that dies with no heal scheduled stalls the flow; RunTransfer
+	// reports partial progress instead of spinning.
+	if err := s.SetLink("site-a", "site-b", netsim.LinkDown(true)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetLink("site-a", "site-c", netsim.LinkDown(true)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunTransfer("site-a", "site-b", cap); err == nil {
+		t.Fatal("no path: want error")
+	}
+}

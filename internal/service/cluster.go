@@ -49,6 +49,7 @@ func NewClusterRunner(reg *Registry, store *queue.Store, workersPerNode int, fab
 		poolWorkers: workersPerNode,
 		jobs:        make(map[string]*job),
 		cancels:     make(map[string]context.CancelFunc),
+		retries:     newRetryState(),
 		pools:       make(map[string]*nodePool),
 		drains:      make(map[string]bool),
 		retain:      maxRetainedJobs,
@@ -240,11 +241,25 @@ func (r *Runner) requeueJob(j *job) {
 	r.rePlace(j)
 }
 
+// maxPlacementRetries caps how many drain-requeue cycles a single job may
+// survive before it goes terminal failed. Without the budget, a fault
+// pattern that keeps killing whichever node a job lands on would bounce the
+// job (and its pinned refs) through placement forever.
+const maxPlacementRetries = 5
+
 // rePlace runs placement for an already-admitted queued job (after a drain
 // or a late bind race). Placement failure is terminal: the cluster shrank
-// below the job's static needs.
+// below the job's static needs. A job over its requeue budget is failed
+// rather than re-placed.
 func (r *Runner) rePlace(j *job) {
-	pl, err := r.sched.Place(j.wl)
+	var pl *api.Placement
+	var err error
+	if n := r.sched.Requeues(j.id); n > maxPlacementRetries {
+		err = fmt.Errorf("placement retry budget exhausted (%d requeues > %d allowed)",
+			n, maxPlacementRetries)
+	} else {
+		pl, err = r.sched.Place(j.wl)
+	}
 	if err != nil {
 		if j.state.CompareAndSwap(codeQueued, codeFailed) {
 			msg := fmt.Sprintf("placement lost after node failure: %v", err)
@@ -254,6 +269,7 @@ func (r *Runner) rePlace(j *job) {
 			r.pendingAdd(j.kind, -1)
 			r.count("jobs_failed", j.kind)
 			r.persist(j)
+			r.sched.Release(j.id)
 		}
 		return
 	}

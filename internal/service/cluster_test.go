@@ -144,6 +144,7 @@ func TestClusterReplicaLocalPlacementE2E(t *testing.T) {
 	if n := f.runner.Datasets().PinCount(info.ID); n != 0 {
 		t.Fatalf("source ref still pinned %d times after terminal job", n)
 	}
+	assertNoLeaks(t, f.runner)
 }
 
 // TestClusterDrainRequeuesBitExact kills the bound node mid-run: the job
@@ -226,6 +227,7 @@ func TestClusterDrainRequeuesBitExact(t *testing.T) {
 	if n := f.runner.Datasets().PinCount(info.ID); n != 0 {
 		t.Fatalf("source ref still pinned %d times after drain/requeue", n)
 	}
+	assertNoLeaks(t, f.runner)
 	// Node inventory reflects the drain.
 	var nodes []api.NodeStatus
 	f.do("GET", "/v1/nodes", nil, &nodes)

@@ -208,7 +208,8 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusBadRequest
 		} else if errors.Is(err, ErrClosed) {
 			code = http.StatusServiceUnavailable
-		} else if errors.Is(err, sched.ErrUnschedulable) || errors.Is(err, sched.ErrQuotaExceeded) {
+		} else if errors.Is(err, sched.ErrUnschedulable) || errors.Is(err, sched.ErrQuotaExceeded) ||
+			errors.Is(err, sched.ErrNoReplicas) {
 			// The request is well-formed but the fabric cannot admit it.
 			code = http.StatusConflict
 		}

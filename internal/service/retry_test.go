@@ -1,0 +1,289 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chaseci/internal/api"
+	"chaseci/internal/cluster"
+	"chaseci/internal/gpusim"
+	"chaseci/internal/netsim"
+	"chaseci/internal/queue"
+	"chaseci/internal/sched"
+)
+
+// assertNoLeaks polls LeakCheck until it passes: terminal state lands just
+// before ref release in execute, so the last Unpin can trail a Status read
+// by a scheduler tick.
+func assertNoLeaks(t *testing.T, r *Runner) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := r.LeakCheck()
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leak check: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func tightRetries(r *Runner, attempts int) {
+	r.SetRetryPolicy(RetryPolicy{
+		MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond,
+	})
+}
+
+func TestTransientErrorRetriesToSuccess(t *testing.T) {
+	var calls atomic.Int32
+	reg := NewRegistry()
+	reg.Register(api.KindWorkflow, func(jc *JobContext) (any, error) {
+		if calls.Add(1) < 3 {
+			return nil, fmt.Errorf("store briefly unavailable: %w", ErrTransient)
+		}
+		return map[string]int{"ok": 1}, nil
+	})
+	r, _ := newTestRunner(t, reg, 1)
+	tightRetries(r, 4)
+	st, err := r.Submit(blockingWorkflowRequest(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, r, st.ID, terminal)
+	if final.State != api.StateSucceeded {
+		t.Fatalf("want succeeded after retries, got %s (%s)", final.State, final.Error)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("handler ran %d times, want 3", got)
+	}
+	if !strings.Contains(r.MetricsText(), `jobs_retried{kind="workflow"} 2`) {
+		t.Fatalf("jobs_retried metric missing:\n%s", r.MetricsText())
+	}
+	assertNoLeaks(t, r)
+}
+
+func TestTransientErrorExhaustsAttempts(t *testing.T) {
+	var calls atomic.Int32
+	reg := NewRegistry()
+	reg.Register(api.KindWorkflow, func(jc *JobContext) (any, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("always flaky: %w", ErrTransient)
+	})
+	r, _ := newTestRunner(t, reg, 1)
+	tightRetries(r, 3)
+	st, err := r.Submit(blockingWorkflowRequest(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, r, st.ID, terminal)
+	if final.State != api.StateFailed {
+		t.Fatalf("want failed, got %s", final.State)
+	}
+	if !strings.Contains(final.Error, "gave up after 3 attempts") {
+		t.Fatalf("error should report exhaustion: %q", final.Error)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("handler ran %d times, want 3", got)
+	}
+	assertNoLeaks(t, r)
+}
+
+func TestNonTransientErrorFailsFirstAttempt(t *testing.T) {
+	var calls atomic.Int32
+	reg := NewRegistry()
+	reg.Register(api.KindWorkflow, func(jc *JobContext) (any, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("bad input, retrying cannot help")
+	})
+	r, _ := newTestRunner(t, reg, 1)
+	tightRetries(r, 5)
+	st, err := r.Submit(blockingWorkflowRequest(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitState(t, r, st.ID, terminal)
+	if final.State != api.StateFailed || calls.Load() != 1 {
+		t.Fatalf("want 1 failed attempt, got state=%s calls=%d", final.State, calls.Load())
+	}
+	assertNoLeaks(t, r)
+}
+
+func TestRetryBackoffInterruptedByCancel(t *testing.T) {
+	started := make(chan struct{}, 16)
+	reg := NewRegistry()
+	reg.Register(api.KindWorkflow, func(jc *JobContext) (any, error) {
+		started <- struct{}{}
+		if jc.Ctx().Err() != nil {
+			return nil, jc.Ctx().Err()
+		}
+		return nil, fmt.Errorf("flaky: %w", ErrTransient)
+	})
+	r, _ := newTestRunner(t, reg, 1)
+	// Long delays: without the context-aware sleep the cancel below would
+	// stall behind a multi-second backoff.
+	r.SetRetryPolicy(RetryPolicy{MaxAttempts: 50, BaseDelay: 10 * time.Second, MaxDelay: 30 * time.Second})
+	st, err := r.Submit(blockingWorkflowRequest(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if !r.Cancel(st.ID) {
+		t.Fatal("cancel refused")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cur, _ := r.Status(st.ID)
+		if cur.State.Terminal() {
+			if cur.State != api.StateCancelled {
+				t.Fatalf("want cancelled, got %s (%s)", cur.State, cur.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancel did not interrupt retry backoff")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	assertNoLeaks(t, r)
+}
+
+// threeNodeFabric is twoNodeFabric plus a storage-less third site: when both
+// OSD-bearing nodes die, node-2 still has compute but no replica of anything
+// — the ErrNoReplicas geometry.
+func threeNodeFabric(t *testing.T) *sched.Fabric {
+	t.Helper()
+	f := sched.NewFabric(sched.FabricConfig{Replicas: 2})
+	f.AddSite("ucsd")
+	f.AddSite("sdsu")
+	f.AddSite("uci")
+	f.AddLink("ucsd", "sdsu", netsim.Gbps(40), 2*time.Millisecond)
+	f.AddLink("ucsd", "uci", netsim.Gbps(10), 3*time.Millisecond)
+	f.AddLink("sdsu", "uci", netsim.Gbps(10), 3*time.Millisecond)
+	for i, site := range []string{"ucsd", "sdsu"} {
+		err := f.AddNode(sched.NodeSpec{
+			Name:     fmt.Sprintf("node-%d", i),
+			Site:     site,
+			Capacity: cluster.FIONA8Capacity(),
+			Model:    gpusim.Powered1080Ti(),
+			OSD:      "osd-" + site,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.AddNode(sched.NodeSpec{
+		Name: "node-2", Site: "uci", Capacity: cluster.FIONA8Capacity(),
+		Model: gpusim.Powered1080Ti(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestPlacementFailsTerminalWhenAllReplicasLost drains every node holding a
+// replica of the job's input while the job runs: re-placement must reach
+// terminal failed with a descriptive ErrNoReplicas message, not requeue
+// forever against data that no longer exists.
+func TestPlacementFailsTerminalWhenAllReplicasLost(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(api.KindSegment, func(jc *JobContext) (any, error) {
+		<-jc.Ctx().Done()
+		return nil, jc.Ctx().Err()
+	})
+	fab := threeNodeFabric(t)
+	r := NewClusterRunner(reg, queue.NewStore(), 2, fab)
+	defer r.Close()
+	tightRetries(r, 2)
+
+	d, h, w, data := clusterSegmentVolume()
+	info, err := r.Datasets().PutVolume(d, h, w, data, "anonymous")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.Submit(refSegmentRequest(info.ID), "anonymous")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill whichever OSD-bearing node the job is on, twice: the second kill
+	// leaves no up replica anywhere, so re-placement goes terminal.
+	for kills := 0; kills < 2; kills++ {
+		var node string
+		waitFor(t, func() bool {
+			node = r.Scheduler().BoundNode(st.ID)
+			return node == "node-0" || node == "node-1"
+		}, "job bound to a replica holder")
+		if err := r.DrainNode(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final := waitState(t, r, st.ID, terminal)
+	if final.State != api.StateFailed {
+		t.Fatalf("want terminal failed, got %s (%s)", final.State, final.Error)
+	}
+	if !strings.Contains(final.Error, "none up") {
+		t.Fatalf("error should describe the replica loss: %q", final.Error)
+	}
+	assertNoLeaks(t, r)
+}
+
+// TestPlacementRetryBudgetExhausted bounces one node-pinned job through six
+// kill/restore cycles: requeue 6 exceeds the budget of 5 and the job goes
+// terminal failed instead of looping forever.
+func TestPlacementRetryBudgetExhausted(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(api.KindSegment, func(jc *JobContext) (any, error) {
+		<-jc.Ctx().Done()
+		return nil, jc.Ctx().Err()
+	})
+	fab := twoNodeFabric(t)
+	r := NewClusterRunner(reg, queue.NewStore(), 2, fab)
+	defer r.Close()
+
+	d, h, w, data := clusterSegmentVolume()
+	info, err := r.Datasets().PutVolume(d, h, w, data, "anonymous")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := refSegmentRequest(info.ID)
+	req.Placement = &api.PlacementSpec{Node: "node-0"}
+	st, err := r.Submit(req, "anonymous")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 1; cycle <= maxPlacementRetries+1; cycle++ {
+		waitFor(t, func() bool {
+			return r.Scheduler().BoundNode(st.ID) == "node-0"
+		}, "job bound to node-0")
+		if err := r.DrainNode("node-0"); err != nil {
+			t.Fatal(err)
+		}
+		if cycle > maxPlacementRetries {
+			break // over budget: no restore needed, the job must fail now
+		}
+		// The pinned job parks while its only eligible node is down.
+		waitFor(t, func() bool {
+			cur, _ := r.Status(st.ID)
+			return cur.State == api.StateQueued && r.Scheduler().BoundNode(st.ID) == ""
+		}, "job parked during outage")
+		if err := r.RestoreNode("node-0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final := waitState(t, r, st.ID, terminal)
+	if final.State != api.StateFailed {
+		t.Fatalf("want terminal failed, got %s (%s)", final.State, final.Error)
+	}
+	if !strings.Contains(final.Error, "placement retry budget exhausted") {
+		t.Fatalf("error should name the budget: %q", final.Error)
+	}
+	if got := r.Scheduler().Requeues(st.ID); got != 0 {
+		t.Fatalf("requeue accounting should clear at terminal, got %d", got)
+	}
+	assertNoLeaks(t, r)
+}

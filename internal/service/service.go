@@ -228,6 +228,9 @@ type Runner struct {
 	sched       *sched.Scheduler
 	poolWorkers int
 
+	// retries is the transient-error retry loop's policy + jitter stream.
+	retries *retryState
+
 	mu      sync.Mutex
 	jobs    map[string]*job
 	order   []string
@@ -279,6 +282,7 @@ func NewRunnerWithDatasets(reg *Registry, store *queue.Store, workers int, ds *d
 		datasets: ds,
 		jobs:     make(map[string]*job),
 		cancels:  make(map[string]context.CancelFunc),
+		retries:  newRetryState(),
 		retain:   maxRetainedJobs,
 		mclk:     mclk,
 		metrics:  metrics.NewRegistry(mclk.clock),
@@ -693,7 +697,7 @@ func (r *Runner) execute(id string) {
 	}
 
 	h, _ := r.reg.Handler(j.kind)
-	res, err := runHandler(h, &JobContext{ctx: ctx, job: j, datasets: r.datasets})
+	res, err := r.runWithRetry(h, &JobContext{ctx: ctx, job: j, datasets: r.datasets})
 	cancel()
 	r.mu.Lock()
 	delete(r.cancels, id)
@@ -786,11 +790,13 @@ func (r *Runner) pruneLocked() {
 }
 
 // runHandler isolates handler panics: a gateway must not die because one
-// job kind hit a bug.
+// job kind hit a bug. A panic is classified transient — a crashed worker is
+// exactly the fault the retry loop exists for — so the job re-runs under the
+// retry budget before going terminal failed.
 func runHandler(h Handler, jc *JobContext) (res any, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			res, err = nil, fmt.Errorf("service: handler panicked: %v", p)
+			res, err = nil, fmt.Errorf("service: handler panicked: %v (%w)", p, ErrTransient)
 		}
 	}()
 	return h(jc)

@@ -112,6 +112,7 @@ func TestSubmitRunsSegmentJob(t *testing.T) {
 	if got := r.MetricsText(); !strings.Contains(got, `jobs_succeeded{kind="segment"} 1`) {
 		t.Fatalf("metrics missing success counter:\n%s", got)
 	}
+	assertNoLeaks(t, r)
 }
 
 func TestSubmitValidatesRequest(t *testing.T) {
@@ -327,6 +328,7 @@ func TestAllKindsEndToEndInProcess(t *testing.T) {
 	if wres.TotalMS != 343*60*1000 || wres.Failed {
 		t.Fatalf("workflow result = %+v", wres)
 	}
+	assertNoLeaks(t, r)
 }
 
 // TestRunnerRestartOnSharedStore: a new runner generation over a reused

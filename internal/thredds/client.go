@@ -6,6 +6,9 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
+
+	"chaseci/internal/sim"
 )
 
 // Downloader is the aria2 stand-in: it fetches a list of URLs with a bounded
@@ -17,6 +20,17 @@ type Downloader struct {
 	Parallel int
 	// Client is the HTTP client; nil uses http.DefaultClient.
 	Client *http.Client
+	// MaxAttempts bounds tries per URL including the first (<= 0 means 3).
+	// Transport errors, 5xx, and 429 retry with full-jitter exponential
+	// backoff; other 4xx fail immediately (re-requesting a 404 just burns
+	// the archive's bandwidth).
+	MaxAttempts int
+	// BaseDelay/MaxDelay shape the backoff (defaults 100ms / 5s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+
+	rngMu sync.Mutex
+	rng   *sim.RNG
 }
 
 // Result describes one fetched URL.
@@ -62,7 +76,7 @@ func (d *Downloader) Fetch(ctx context.Context, urls []string, sink func(url str
 				return
 			}
 			defer func() { <-sem }()
-			body, err := fetchOne(ctx, client, u)
+			body, err := d.fetchRetry(ctx, client, u)
 			results[i] = Result{URL: u, Bytes: int64(len(body)), Err: err}
 			if err != nil {
 				return
@@ -81,19 +95,66 @@ func (d *Downloader) Fetch(ctx context.Context, urls []string, sink func(url str
 	return results, total
 }
 
-func fetchOne(ctx context.Context, client *http.Client, url string) ([]byte, error) {
+// fetchRetry wraps fetchOne with jittered exponential backoff on transient
+// failures. Context cancellation interrupts the backoff sleep immediately.
+func (d *Downloader) fetchRetry(ctx context.Context, client *http.Client, url string) ([]byte, error) {
+	attempts := d.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	base, maxd := d.BaseDelay, d.MaxDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		var body []byte
+		var retryable bool
+		body, retryable, err = fetchOne(ctx, client, url)
+		if err == nil {
+			return body, nil
+		}
+		if !retryable || attempt >= attempts || ctx.Err() != nil {
+			return nil, err
+		}
+		// Full jitter: uniform in (0, base*2^(attempt-1)], capped at maxd.
+		ceil := min(base<<(attempt-1), maxd)
+		d.rngMu.Lock()
+		if d.rng == nil {
+			d.rng = sim.NewRNG(0x7468726564647321) // "thredds!"
+		}
+		delay := time.Duration(d.rng.Float64() * float64(ceil))
+		d.rngMu.Unlock()
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("%v (retry interrupted: %w)", err, ctx.Err())
+		}
+	}
+}
+
+// fetchOne performs a single GET. retryable reports whether the failure is
+// transient: transport errors, 5xx, and 429 retry; other statuses do not.
+func fetchOne(ctx context.Context, client *http.Client, url string) (body []byte, retryable bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, ctx.Err() == nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return nil, fmt.Errorf("thredds: GET %s: %s", url, resp.Status)
+		retryable = resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+		return nil, retryable, fmt.Errorf("thredds: GET %s: %s", url, resp.Status)
 	}
-	return io.ReadAll(resp.Body)
+	body, err = io.ReadAll(resp.Body)
+	return body, err != nil, err
 }

@@ -3,9 +3,13 @@ package thredds
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"chaseci/internal/merra"
 )
@@ -72,11 +76,11 @@ func TestSubsetSmallerThanFull(t *testing.T) {
 	srv := newTestServer(t, 1)
 	name := srv.Catalog.Spec.FileName(0)
 
-	full, err := fetchOne(context.Background(), http.DefaultClient, srv.FileURL(name))
+	full, _, err := fetchOne(context.Background(), http.DefaultClient, srv.FileURL(name))
 	if err != nil {
 		t.Fatal(err)
 	}
-	subset, err := fetchOne(context.Background(), http.DefaultClient, srv.SubsetURL(name, "IVT"))
+	subset, _, err := fetchOne(context.Background(), http.DefaultClient, srv.SubsetURL(name, "IVT"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,8 +232,8 @@ func TestSubsetRatioApproximatesPaper(t *testing.T) {
 	// (subset strictly under half the full size for the 4-variable granule).
 	srv := newTestServer(t, 1)
 	name := srv.Catalog.Spec.FileName(0)
-	full, _ := fetchOne(context.Background(), http.DefaultClient, srv.FileURL(name))
-	subset, _ := fetchOne(context.Background(), http.DefaultClient, srv.SubsetURL(name, "IVT"))
+	full, _, _ := fetchOne(context.Background(), http.DefaultClient, srv.FileURL(name))
+	subset, _, _ := fetchOne(context.Background(), http.DefaultClient, srv.SubsetURL(name, "IVT"))
 	ratio := float64(len(subset)) / float64(len(full))
 	if ratio >= 0.5 {
 		t.Fatalf("subset ratio = %.2f, want < 0.5", ratio)
@@ -238,6 +242,127 @@ func TestSubsetRatioApproximatesPaper(t *testing.T) {
 	modelRatio := spec.TotalBytes(true) / spec.TotalBytes(false)
 	if modelRatio < 0.5 || modelRatio > 0.6 {
 		t.Fatalf("modeled ratio = %.3f, want ~0.54 (246/455)", modelRatio)
+	}
+}
+
+// flakyHandler fails the first n requests per URL with the given status,
+// then defers to next.
+type flakyHandler struct {
+	mu    sync.Mutex
+	fails map[string]int
+	n     int
+	code  int
+	next  http.Handler
+	hits  map[string]int
+}
+
+func newFlaky(n, code int, next http.Handler) *flakyHandler {
+	return &flakyHandler{fails: map[string]int{}, hits: map[string]int{}, n: n, code: code, next: next}
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.hits[r.URL.Path]++
+	fail := f.fails[r.URL.Path] < f.n
+	if fail {
+		f.fails[r.URL.Path]++
+	}
+	f.mu.Unlock()
+	if fail {
+		http.Error(w, "injected flake", f.code)
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+func (f *flakyHandler) hitCount(path string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.hits[path]
+}
+
+func TestDownloaderRetriesTransient(t *testing.T) {
+	srv := newTestServer(t, 1)
+	flaky := newFlaky(2, http.StatusServiceUnavailable, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp, err := http.Get(srv.BaseURL() + r.URL.String())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	front := httptest.NewServer(flaky)
+	defer front.Close()
+
+	name := srv.Catalog.Spec.FileName(0)
+	url := front.URL + "/thredds/ncss/" + name + "?var=IVT"
+	dl := &Downloader{Parallel: 1, MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}
+	results, total := dl.Fetch(context.Background(), []string{url}, nil)
+	if results[0].Err != nil {
+		t.Fatalf("fetch after two 503s failed: %v", results[0].Err)
+	}
+	if total <= 0 {
+		t.Fatal("no bytes fetched")
+	}
+	if got := flaky.hitCount("/thredds/ncss/" + name); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (two 503s + success)", got)
+	}
+}
+
+func TestDownloaderGivesUpAfterMaxAttempts(t *testing.T) {
+	flaky := newFlaky(100, http.StatusInternalServerError, nil)
+	front := httptest.NewServer(flaky)
+	defer front.Close()
+	dl := &Downloader{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	results, _ := dl.Fetch(context.Background(), []string{front.URL + "/x"}, nil)
+	if results[0].Err == nil {
+		t.Fatal("persistent 500 did not error")
+	}
+	if got := flaky.hitCount("/x"); got != 3 {
+		t.Fatalf("server saw %d attempts, want exactly 3", got)
+	}
+}
+
+func TestDownloaderDoesNotRetryNotFound(t *testing.T) {
+	flaky := newFlaky(100, http.StatusNotFound, nil)
+	front := httptest.NewServer(flaky)
+	defer front.Close()
+	dl := &Downloader{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	results, _ := dl.Fetch(context.Background(), []string{front.URL + "/gone"}, nil)
+	if results[0].Err == nil {
+		t.Fatal("404 did not error")
+	}
+	if got := flaky.hitCount("/gone"); got != 1 {
+		t.Fatalf("404 was retried: %d attempts, want 1", got)
+	}
+}
+
+func TestDownloaderRetryBackoffInterruptedByCancel(t *testing.T) {
+	flaky := newFlaky(100, http.StatusServiceUnavailable, nil)
+	front := httptest.NewServer(flaky)
+	defer front.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	// Long backoff so cancellation must cut the sleep short.
+	dl := &Downloader{MaxAttempts: 5, BaseDelay: 30 * time.Second, MaxDelay: 60 * time.Second}
+	done := make(chan []Result, 1)
+	go func() {
+		results, _ := dl.Fetch(ctx, []string{front.URL + "/y"}, nil)
+		done <- results
+	}()
+	time.Sleep(50 * time.Millisecond) // let the first attempt fail and park in backoff
+	cancel()
+	select {
+	case results := <-done:
+		if results[0].Err == nil {
+			t.Fatal("cancelled retry reported no error")
+		}
+		if !strings.Contains(results[0].Err.Error(), "retry interrupted") {
+			t.Fatalf("err = %v, want retry-interrupted wrap", results[0].Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not interrupt the backoff sleep")
 	}
 }
 
