@@ -35,6 +35,7 @@ import (
 	"chaseci/internal/dataset"
 	"chaseci/internal/ffn"
 	"chaseci/internal/gpusim"
+	"chaseci/internal/loadtest"
 	"chaseci/internal/merra"
 	"chaseci/internal/netsim"
 	"chaseci/internal/queue"
@@ -387,7 +388,169 @@ func benchCases() []benchCase {
 		{"sched_place_64cubed", benchSchedPlace},
 		{"sched_requeue_nodeloss", benchSchedRequeue},
 		{"scenario_nodeloss_pipeline", benchScenarioNodeLoss},
+		{"serve_sustained_200rps", benchServeSustained},
+		{"serve_overload_shed", benchServeOverload},
+		{"registry_poll_parallel_sharded", func(b *testing.B) {
+			benchRegistryPollParallel(b, 32)
+		}},
+		{"registry_poll_parallel_single", func(b *testing.B) {
+			benchRegistryPollParallel(b, 1)
+		}},
 	}
+}
+
+// tinyWorkflowBody is the cheapest valid job the registry accepts — the
+// sustained-serving payload (1ms of virtual step time).
+func tinyWorkflowBody() []byte {
+	body, _ := json.Marshal(&api.JobRequest{
+		Kind: api.KindWorkflow,
+		Name: "sustained",
+		Workflow: &api.WorkflowSpec{
+			Name:  "sustained",
+			Steps: []api.WorkflowStep{{Name: "s", DurationMS: 1}},
+		},
+	})
+	return body
+}
+
+// reportServe publishes a loadtest report as benchjson metrics. violations
+// is the gate: a sustained run must never fail a request or lose an
+// accepted job, and an overload run must actually shed.
+func reportServe(b *testing.B, rep *loadtest.Report, violations float64) {
+	b.ReportMetric(rep.AcceptedRPS, "accepted-rps")
+	b.ReportMetric(float64(rep.Shed), "shed")
+	b.ReportMetric(float64(rep.SubmitP50.Microseconds()), "submit-p50-us")
+	b.ReportMetric(float64(rep.SubmitP99.Microseconds()), "submit-p99-us")
+	b.ReportMetric(float64(rep.E2EP50.Microseconds()), "e2e-p50-us")
+	b.ReportMetric(float64(rep.E2EP99.Microseconds()), "e2e-p99-us")
+	b.ReportMetric(violations, "violations")
+}
+
+// benchServeSustained is the serving headline: an open-loop 200 RPS run
+// with 4 tenant identities against the full in-process gateway, every
+// accepted job polled to terminal. Its ns/op is just the window length;
+// the payload is the latency-quantile metrics, and the violations metric
+// pins "nothing failed, everything accepted completed".
+func benchServeSustained(b *testing.B) {
+	runner := service.NewRunner(service.DefaultRegistry(), queue.NewStore(), 4)
+	defer runner.Close()
+	srv := httptest.NewServer(service.NewGateway(runner, service.GatewayOptions{
+		Providers:    map[string]string{"ucsd.edu": "UCSD", "sdsc.edu": "SDSC"},
+		TokenTTL:     time.Hour,
+		PollInterval: 2 * time.Millisecond,
+		TokenSeed:    1,
+	}))
+	defer srv.Close()
+	tenants, err := loadtest.Login(srv.URL, nil,
+		"a@ucsd.edu", "b@ucsd.edu", "c@sdsc.edu", "d@sdsc.edu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := tinyWorkflowBody()
+
+	var rep *loadtest.Report
+	var violations float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = loadtest.Run(context.Background(), loadtest.Config{
+			BaseURL:      srv.URL,
+			RPS:          200,
+			Duration:     300 * time.Millisecond,
+			Tenants:      tenants,
+			Body:         body,
+			WaitTerminal: true,
+			PollInterval: 2 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		violations += float64(rep.Failed) + float64(rep.Accepted-rep.Completed)
+	}
+	b.StopTimer()
+	reportServe(b, rep, violations)
+}
+
+// benchServeOverload floods a deliberately tiny deployment (1 worker, 8/16
+// pending bounds, 5ms wall-time jobs) far past capacity: the gateway must
+// shed with 429 while the pending queue stays at its bound. violations
+// counts runs that failed a request, didn't shed, or let the queue grow
+// past the bound.
+func benchServeOverload(b *testing.B) {
+	var rep *loadtest.Report
+	var violations float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh stack per iteration: leftover backlog must not leak into
+		// the next window's shed profile.
+		reg := service.NewRegistry()
+		reg.Register(api.KindWorkflow, func(jc *service.JobContext) (any, error) {
+			select {
+			case <-time.After(5 * time.Millisecond):
+				return nil, nil
+			case <-jc.Ctx().Done():
+				return nil, jc.Ctx().Err()
+			}
+		})
+		runner := service.NewRunnerConfigured(reg, queue.NewStore(), service.RunnerConfig{
+			Workers: 1, MaxPendingPerTenant: 8, MaxPending: 16,
+		})
+		srv := httptest.NewServer(service.NewGateway(runner, service.GatewayOptions{
+			AllowAnonymous: true,
+			PollInterval:   2 * time.Millisecond,
+			TokenSeed:      1,
+		}))
+		var err error
+		rep, err = loadtest.Run(context.Background(), loadtest.Config{
+			BaseURL:  srv.URL,
+			RPS:      500,
+			Duration: 300 * time.Millisecond,
+			Body:     tinyWorkflowBody(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed > 0 || rep.Shed == 0 || runner.PendingTotal() > 16 {
+			violations++
+		}
+		srv.Close()
+		runner.Close()
+	}
+	b.StopTimer()
+	reportServe(b, rep, violations)
+}
+
+// benchRegistryPollParallel measures the status-poll fast path under
+// parallel load (8 goroutines per GOMAXPROCS) for a given registry stripe
+// count: the sharded/single pair quantifies the lock-striping win, and
+// allocs/op pins the poll path at zero allocations even under contention.
+func benchRegistryPollParallel(b *testing.B, shardCount int) {
+	r := service.NewRunnerConfigured(service.DefaultRegistry(), queue.NewStore(), service.RunnerConfig{
+		Workers: 2, Shards: shardCount,
+	})
+	defer r.Close()
+	ids := make([]string, 256)
+	for i := range ids {
+		st, err := r.Submit(&api.JobRequest{Kind: api.KindWorkflow, Workflow: &api.WorkflowSpec{
+			Name:  "seed",
+			Steps: []api.WorkflowStep{{Name: "s", DurationMS: 1}},
+		}}, "bench@ucsd.edu")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			if _, ok := r.Status(ids[(i*7)&255]); !ok {
+				b.Fatal("job disappeared")
+			}
+		}
+	})
 }
 
 // benchScenarioNodeLoss runs a full chaos replay per iteration: a pipeline

@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -147,6 +148,14 @@ func serve(args []string) {
 		providers = fs.String("providers", "ucsd.edu=UCSD,sdsc.edu=SDSC,example.edu=Example",
 			"comma-separated domain=name identity providers")
 		ttl = fs.Duration("ttl", 12*time.Hour, "bearer token lifetime")
+		// Serving-hardening knobs: registry sharding, admission bounds,
+		// weighted-fair tenant shares, and the per-tenant submit rate limit.
+		shards           = fs.Int("shards", 0, "job registry lock stripes, rounded up to a power of two (0 = default)")
+		maxPending       = fs.Int("max-pending", 0, "global pending-job bound; submits past it shed with 429 (0 = default, -1 = unlimited)")
+		maxPendingTenant = fs.Int("max-pending-tenant", 0, "per-tenant pending-job bound (0 = default, -1 = unlimited)")
+		tenantWeights    = fs.String("tenant-weights", "", "comma-separated tenant=weight fair-dispatch shares (unlisted tenants weigh 1)")
+		rateLimit        = fs.Float64("rate-limit", 0, "per-tenant submit rate limit in requests/second (0 = off)")
+		rateBurst        = fs.Int("rate-burst", 0, "per-tenant submit burst on top of -rate-limit (0 = 2x the rate)")
 	)
 	fs.Parse(args)
 
@@ -159,20 +168,41 @@ func serve(args []string) {
 		}
 		provMap[domain] = name
 	}
+	weights := make(map[string]int)
+	if *tenantWeights != "" {
+		for _, pair := range strings.Split(*tenantWeights, ",") {
+			tenant, w, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			n, err := strconv.Atoi(w)
+			if !ok || tenant == "" || err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "chased: bad -tenant-weights entry %q (want tenant=positive-int)\n", pair)
+				os.Exit(2)
+			}
+			weights[tenant] = n
+		}
+	}
 
+	cfg := service.RunnerConfig{
+		Workers:             *workers,
+		Shards:              *shards,
+		MaxPending:          *maxPending,
+		MaxPendingPerTenant: *maxPendingTenant,
+		TenantWeights:       weights,
+	}
 	store := queue.NewStore()
 	var runner *service.Runner
 	if *clusterOn {
 		fab := sched.DefaultFabric()
-		runner = service.NewClusterRunner(service.DefaultRegistry(), store, *workers, fab)
+		runner = service.NewClusterRunnerConfigured(service.DefaultRegistry(), store, fab, cfg)
 	} else {
-		runner = service.NewRunner(service.DefaultRegistry(), store, *workers)
+		runner = service.NewRunnerConfigured(service.DefaultRegistry(), store, cfg)
 	}
 	defer runner.Close()
 	gw := service.NewGateway(runner, service.GatewayOptions{
 		Providers:      provMap,
 		TokenTTL:       *ttl,
 		AllowAnonymous: *anon,
+		RateLimit:      *rateLimit,
+		RateBurst:      *rateBurst,
 	})
 
 	srv := &http.Server{Addr: *addr, Handler: gw}

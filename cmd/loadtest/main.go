@@ -1,0 +1,144 @@
+// Command loadtest drives a chased gateway at a sustained open-loop RPS
+// and reports submit/end-to-end latency quantiles and the
+// accepted/shed/failed split — the million-user serving harness behind the
+// serve_sustained_* benchjson series and the CI smoke.
+//
+//	loadtest -url http://localhost:8434 -rps 500 -duration 10s -tenants 4
+//	loadtest -selfserve -rps 200 -duration 2s -wait
+//
+// -selfserve starts an in-process gateway (with the full kernel registry)
+// on a loopback listener, so the harness exercises the real HTTP serving
+// stack without an external daemon — that is what CI runs. The job body
+// defaults to a 1ms one-step workflow; pass -body FILE for any JSON
+// api.JobRequest.
+//
+// Exit status is non-zero when any request failed outright (transport
+// error or an unexpected status); 429 sheds are expected under overload
+// and only reported.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"time"
+
+	"chaseci/internal/api"
+	"chaseci/internal/loadtest"
+	"chaseci/internal/queue"
+	"chaseci/internal/service"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "", "gateway base URL (empty with -selfserve)")
+		rps      = flag.Float64("rps", 200, "open-loop arrival rate across all tenants")
+		duration = flag.Duration("duration", 5*time.Second, "arrival window")
+		tenants  = flag.Int("tenants", 0, "tenant identities logging in as loadN@ucsd.edu (0 = anonymous)")
+		wait     = flag.Bool("wait", false, "poll each accepted job to terminal and record end-to-end latency")
+		inflight = flag.Int("max-inflight", 0, "bound on outstanding requests (0 = 4096)")
+		bodyPath = flag.String("body", "", "JSON api.JobRequest file (default: 1ms one-step workflow)")
+
+		selfserve = flag.Bool("selfserve", false, "run an in-process gateway instead of targeting -url")
+		workers   = flag.Int("workers", 4, "selfserve worker pool size")
+		shards    = flag.Int("shards", 0, "selfserve registry lock stripes (0 = default)")
+		maxPend   = flag.Int("max-pending", 0, "selfserve global pending bound (0 = default, -1 = unlimited)")
+		maxPendT  = flag.Int("max-pending-tenant", 0, "selfserve per-tenant pending bound (0 = default, -1 = unlimited)")
+		rateLimit = flag.Float64("rate-limit", 0, "selfserve per-tenant submit rate limit (0 = off)")
+		rateBurst = flag.Int("rate-burst", 0, "selfserve rate-limit burst (0 = 2x the rate)")
+	)
+	flag.Parse()
+
+	base := *url
+	if *selfserve {
+		runner := service.NewRunnerConfigured(service.DefaultRegistry(), queue.NewStore(), service.RunnerConfig{
+			Workers:             *workers,
+			Shards:              *shards,
+			MaxPending:          *maxPend,
+			MaxPendingPerTenant: *maxPendT,
+		})
+		defer runner.Close()
+		srv := httptest.NewServer(service.NewGateway(runner, service.GatewayOptions{
+			Providers:      map[string]string{"ucsd.edu": "UCSD", "sdsc.edu": "SDSC"},
+			TokenTTL:       time.Hour,
+			AllowAnonymous: true,
+			PollInterval:   2 * time.Millisecond,
+			RateLimit:      *rateLimit,
+			RateBurst:      *rateBurst,
+		}))
+		defer srv.Close()
+		base = srv.URL
+		fmt.Fprintf(os.Stderr, "loadtest: selfserve gateway on %s (workers=%d shards=%d)\n",
+			base, *workers, *shards)
+	}
+	if base == "" {
+		fmt.Fprintln(os.Stderr, "loadtest: -url or -selfserve required")
+		os.Exit(2)
+	}
+
+	body := []byte(nil)
+	if *bodyPath != "" {
+		raw, err := os.ReadFile(*bodyPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadtest:", err)
+			os.Exit(2)
+		}
+		body = raw
+	} else {
+		body, _ = json.Marshal(&api.JobRequest{
+			Kind: api.KindWorkflow,
+			Name: "loadtest",
+			Workflow: &api.WorkflowSpec{
+				Name:  "loadtest",
+				Steps: []api.WorkflowStep{{Name: "s", DurationMS: 1}},
+			},
+		})
+	}
+
+	var ids []loadtest.Tenant
+	if *tenants > 0 {
+		users := make([]string, *tenants)
+		for i := range users {
+			users[i] = fmt.Sprintf("load%d@ucsd.edu", i)
+		}
+		var err error
+		ids, err = loadtest.Login(base, nil, users...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadtest:", err)
+			os.Exit(2)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := loadtest.Run(ctx, loadtest.Config{
+		BaseURL:      base,
+		RPS:          *rps,
+		Duration:     *duration,
+		Tenants:      ids,
+		Body:         body,
+		WaitTerminal: *wait,
+		MaxInFlight:  *inflight,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadtest:", err)
+		os.Exit(2)
+	}
+	fmt.Print(rep)
+	for name, ts := range rep.Tenants {
+		fmt.Printf("tenant %-20s sent %d  accepted %d  shed %d  failed %d\n",
+			name, ts.Sent, ts.Accepted, ts.Shed, ts.Failed)
+	}
+	if rep.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "loadtest: %d requests failed\n", rep.Failed)
+		os.Exit(1)
+	}
+	if *wait && rep.Completed != rep.Accepted {
+		fmt.Fprintf(os.Stderr, "loadtest: %d accepted jobs never reached terminal\n", rep.Accepted-rep.Completed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,353 @@
+// Package loadtest is an open-loop sustained-RPS load generator for the
+// chased gateway: arrivals are scheduled on a fixed clock (request i fires
+// at start + i/RPS) regardless of how fast earlier requests complete, so
+// the measured latencies reflect what real independent clients would see —
+// a slow server faces a growing backlog instead of a politely slowing
+// generator (the coordinated-omission trap closed-loop harnesses fall
+// into).
+//
+// N tenant identities round-robin over the arrival stream; per-request
+// submit latency, end-to-end (submit→terminal) latency, and the
+// accepted/shed/failed split are recorded into metrics.Histogram and
+// summarized as p50/p95/p99 in the Report — the numbers the
+// serve_sustained_* benchjson series and the CI smoke publish.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chaseci/internal/api"
+	"chaseci/internal/metrics"
+)
+
+// Tenant is one load-generating identity: requests carry its bearer token
+// (empty Token = anonymous).
+type Tenant struct {
+	Name  string
+	Token string
+}
+
+// Config drives one Run.
+type Config struct {
+	// BaseURL is the gateway root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// RPS is the open-loop arrival rate across all tenants (> 0).
+	RPS float64
+	// Duration bounds the arrival window (> 0). In-flight requests get a
+	// grace period to finish after the last arrival.
+	Duration time.Duration
+	// Tenants round-robin over arrivals; empty means one anonymous tenant.
+	Tenants []Tenant
+	// Body is the JSON job request every arrival submits (api.JobRequest).
+	Body []byte
+	// WaitTerminal polls each accepted job to a terminal state and records
+	// end-to-end latency; off, only submit latency is measured.
+	WaitTerminal bool
+	// PollInterval is the WaitTerminal poll cadence (<= 0 = 10ms).
+	PollInterval time.Duration
+	// MaxInFlight bounds concurrently outstanding requests (<= 0 = 4096).
+	// Arrivals past the bound are counted Dropped, not silently skipped —
+	// an open-loop generator must not block the clock.
+	MaxInFlight int
+	// Client overrides the HTTP client (nil = a dedicated one with a
+	// generous connection pool).
+	Client *http.Client
+}
+
+// TenantStats is one tenant's accepted/shed split.
+type TenantStats struct {
+	Sent     int64
+	Accepted int64
+	Shed     int64 // 429s: rate limit or admission backpressure
+	Failed   int64 // transport errors and non-2xx, non-429 replies
+}
+
+// Report is a Run's measured outcome.
+type Report struct {
+	Sent     int64
+	Accepted int64
+	Shed     int64
+	Failed   int64
+	Dropped  int64 // arrivals skipped at the MaxInFlight bound
+	// Completed counts WaitTerminal jobs that reached a terminal state.
+	Completed int64
+	Duration  time.Duration
+	// AcceptedRPS is accepted submits per second of arrival window.
+	AcceptedRPS float64
+
+	SubmitP50, SubmitP95, SubmitP99, SubmitMax time.Duration
+	// E2E quantiles are zero unless WaitTerminal was set.
+	E2EP50, E2EP95, E2EP99, E2EMax time.Duration
+
+	Tenants map[string]*TenantStats
+}
+
+// Login obtains bearer tokens for users against the gateway's /v1/login
+// (each user's domain must have a registered provider).
+func Login(baseURL string, client *http.Client, users ...string) ([]Tenant, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	tenants := make([]Tenant, 0, len(users))
+	for _, user := range users {
+		body, _ := json.Marshal(map[string]string{"user": user})
+		resp, err := client.Post(baseURL+"/v1/login", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("loadtest: login %s: %w", user, err)
+		}
+		var out struct {
+			Token string `json:"token"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK || out.Token == "" {
+			return nil, fmt.Errorf("loadtest: login %s: status %d %s", user, resp.StatusCode, out.Error)
+		}
+		tenants = append(tenants, Tenant{Name: user, Token: out.Token})
+	}
+	return tenants, nil
+}
+
+// run is one Run's shared state.
+type run struct {
+	cfg    Config
+	client *http.Client
+
+	submitH *metrics.Histogram // seconds
+	e2eH    *metrics.Histogram // seconds
+
+	sent, accepted, shed, failed atomic.Int64
+	dropped, completed           atomic.Int64
+
+	mu      sync.Mutex
+	tenants map[string]*TenantStats
+}
+
+// Run drives the gateway at cfg.RPS for cfg.Duration and reports the
+// measured latency and shed profile. ctx cancellation stops new arrivals
+// and abandons in-flight waits.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("loadtest: BaseURL required")
+	}
+	if cfg.RPS <= 0 || cfg.Duration <= 0 {
+		return nil, errors.New("loadtest: RPS and Duration must be positive")
+	}
+	if len(cfg.Tenants) == 0 {
+		cfg.Tenants = []Tenant{{Name: "anonymous"}}
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 10 * time.Millisecond
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 4096
+	}
+	client := cfg.Client
+	if client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = 256
+		client = &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	}
+
+	r := &run{
+		cfg:    cfg,
+		client: client,
+		// 10µs .. 10s covers in-process submits through heavily-backlogged
+		// end-to-end waits at ~8% relative bucket error.
+		submitH: metrics.NewHistogram(10e-6, 10, 30),
+		e2eH:    metrics.NewHistogram(10e-6, 10, 30),
+		tenants: make(map[string]*TenantStats),
+	}
+	for _, t := range cfg.Tenants {
+		r.tenants[t.Name] = &TenantStats{}
+	}
+
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+arrivals:
+	for i := 0; ; i++ {
+		target := start.Add(time.Duration(i) * interval)
+		if target.Sub(start) >= cfg.Duration {
+			break
+		}
+		if d := time.Until(target); d > 0 {
+			select {
+			case <-ctx.Done():
+				break arrivals
+			case <-time.After(d):
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		tenant := cfg.Tenants[i%len(cfg.Tenants)]
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Open-loop discipline: never block the arrival clock. The drop
+			// is reported, so a saturating run shows up as drops + shed, not
+			// as a silently lowered offered rate.
+			r.dropped.Add(1)
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r.one(ctx, tenant)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Sent:      r.sent.Load(),
+		Accepted:  r.accepted.Load(),
+		Shed:      r.shed.Load(),
+		Failed:    r.failed.Load(),
+		Dropped:   r.dropped.Load(),
+		Completed: r.completed.Load(),
+		Duration:  elapsed,
+		SubmitP50: secs(r.submitH.Quantile(0.50)),
+		SubmitP95: secs(r.submitH.Quantile(0.95)),
+		SubmitP99: secs(r.submitH.Quantile(0.99)),
+		SubmitMax: secs(r.submitH.Max()),
+		E2EP50:    secs(r.e2eH.Quantile(0.50)),
+		E2EP95:    secs(r.e2eH.Quantile(0.95)),
+		E2EP99:    secs(r.e2eH.Quantile(0.99)),
+		E2EMax:    secs(r.e2eH.Max()),
+		Tenants:   r.tenants,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		rep.AcceptedRPS = float64(rep.Accepted) / s
+	}
+	return rep, nil
+}
+
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// one submits a single arrival and (optionally) waits it to terminal.
+func (r *run) one(ctx context.Context, tenant Tenant) {
+	r.sent.Add(1)
+	ts := r.stats(tenant.Name)
+	atomic.AddInt64(&ts.Sent, 1)
+
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		r.cfg.BaseURL+"/v1/jobs", bytes.NewReader(r.cfg.Body))
+	if err != nil {
+		r.failed.Add(1)
+		atomic.AddInt64(&ts.Failed, 1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+tenant.Token)
+	}
+	resp, err := r.client.Do(req)
+	submitLat := time.Since(t0)
+	if err != nil {
+		r.failed.Add(1)
+		atomic.AddInt64(&ts.Failed, 1)
+		return
+	}
+	var sub api.SubmitResponse
+	decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&sub)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	r.submitH.Observe(submitLat.Seconds())
+
+	switch {
+	case resp.StatusCode == http.StatusAccepted && decErr == nil && sub.ID != "":
+		r.accepted.Add(1)
+		atomic.AddInt64(&ts.Accepted, 1)
+	case resp.StatusCode == http.StatusTooManyRequests:
+		r.shed.Add(1)
+		atomic.AddInt64(&ts.Shed, 1)
+		return
+	default:
+		r.failed.Add(1)
+		atomic.AddInt64(&ts.Failed, 1)
+		return
+	}
+	if !r.cfg.WaitTerminal {
+		return
+	}
+	if r.waitTerminal(ctx, tenant, sub.ID) {
+		r.completed.Add(1)
+		r.e2eH.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// waitTerminal polls the job until a terminal state or ctx death.
+func (r *run) waitTerminal(ctx context.Context, tenant Tenant, id string) bool {
+	url := r.cfg.BaseURL + "/v1/jobs/" + id
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return false
+		}
+		if tenant.Token != "" {
+			req.Header.Set("Authorization", "Bearer "+tenant.Token)
+		}
+		resp, err := r.client.Do(req)
+		if err != nil {
+			return false
+		}
+		var st api.JobStatus
+		decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decErr != nil {
+			return false
+		}
+		if st.State.Terminal() {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(r.cfg.PollInterval):
+		}
+	}
+}
+
+func (r *run) stats(name string) *TenantStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts := r.tenants[name]
+	if ts == nil {
+		ts = &TenantStats{}
+		r.tenants[name] = ts
+	}
+	return ts
+}
+
+// String renders the report as a one-screen human summary.
+func (rep *Report) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "sent %d  accepted %d (%.1f/s)  shed %d  failed %d  dropped %d  in %v\n",
+		rep.Sent, rep.Accepted, rep.AcceptedRPS, rep.Shed, rep.Failed, rep.Dropped,
+		rep.Duration.Round(time.Millisecond))
+	fmt.Fprintf(&b, "submit latency  p50 %v  p95 %v  p99 %v  max %v\n",
+		rep.SubmitP50.Round(time.Microsecond), rep.SubmitP95.Round(time.Microsecond),
+		rep.SubmitP99.Round(time.Microsecond), rep.SubmitMax.Round(time.Microsecond))
+	if rep.Completed > 0 {
+		fmt.Fprintf(&b, "e2e latency     p50 %v  p95 %v  p99 %v  max %v  (%d completed)\n",
+			rep.E2EP50.Round(time.Microsecond), rep.E2EP95.Round(time.Microsecond),
+			rep.E2EP99.Round(time.Microsecond), rep.E2EMax.Round(time.Microsecond), rep.Completed)
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// 1..10000 uniformly: quantiles are known exactly; log buckets at 30
+	// per decade bound relative error by the bucket ratio (~8%).
+	h := NewHistogram(1, 10000, 30)
+	for i := 1; i <= 10000; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 5000}, {0.95, 9500}, {0.99, 9900},
+	} {
+		got := h.Quantile(tc.q)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 0.10 {
+			t.Errorf("Quantile(%v) = %v, want ~%v (rel err %.1f%%)", tc.q, got, tc.want, rel*100)
+		}
+	}
+	if h.Max() != 10000 {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	if mean := h.Mean(); math.Abs(mean-5000.5) > 1 {
+		t.Fatalf("Mean = %v, want ~5000.5", mean)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := NewHistogram(0.001, 10, 10)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.Observe(1e-9) // underflow
+	h.Observe(1e9)  // overflow
+	if q := h.Quantile(0); q < 0 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); q != 1e9 {
+		t.Fatalf("q1 = %v, want clamped to observed max 1e9", q)
+	}
+	// Out-of-range q values clamp instead of panicking.
+	_ = h.Quantile(-3)
+	_ = h.Quantile(7)
+	// Degenerate constructor args are clamped, not fatal.
+	bad := NewHistogram(-1, -2, 0)
+	bad.Observe(0.5)
+	if bad.Count() != 1 {
+		t.Fatal("clamped histogram dropped an observation")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(1e-6, 10, 20)
+	var wg sync.WaitGroup
+	const gs, per = 8, 5000
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100+1) / 1000)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != gs*per {
+		t.Fatalf("Count = %d, want %d (lost updates)", h.Count(), gs*per)
+	}
+	if q := h.Quantile(0.5); q < 0.02 || q > 0.09 {
+		t.Fatalf("median = %v, want ~0.05", q)
+	}
+}

@@ -1,22 +1,32 @@
 package netsim
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // LoadGen keeps a fixed number of background flows alive between two sites,
 // modeling other tenants' traffic on the shared PRP. The Science DMZ
 // argument of Section II is that overprovisioned research links keep
 // foreground science flows fast even under such load; the ablation bench
 // measures exactly that.
+//
+// The generator is safe for concurrent use: completion callbacks fire on
+// whichever goroutine advances the network clock, which in the serving
+// stack is not the goroutine that calls Stop or reads the totals, so all
+// mutable state lives behind one mutex. The active set is a map, making
+// per-completion removal O(1) instead of the O(n) slice scan that used to
+// run on every finished flow.
 type LoadGen struct {
 	net       *Network
 	src, dst  string
 	flowBytes float64
 	parallel  int
-	stopped   bool
-	active    []*Flow
 
-	// BytesMoved totals the background traffic delivered.
-	BytesMoved float64
+	mu         sync.Mutex
+	stopped    bool
+	active     map[*Flow]struct{}
+	bytesMoved float64
 }
 
 // StartLoad launches parallel continuous flows of flowBytes each from src to
@@ -28,7 +38,11 @@ func (n *Network) StartLoad(src, dst string, parallel int, flowBytes float64) *L
 	if flowBytes <= 0 {
 		flowBytes = 1e9
 	}
-	lg := &LoadGen{net: n, src: src, dst: dst, flowBytes: flowBytes, parallel: parallel}
+	lg := &LoadGen{
+		net: n, src: src, dst: dst,
+		flowBytes: flowBytes, parallel: parallel,
+		active: make(map[*Flow]struct{}, parallel),
+	}
 	for i := 0; i < parallel; i++ {
 		lg.launch()
 	}
@@ -36,43 +50,63 @@ func (n *Network) StartLoad(src, dst string, parallel int, flowBytes float64) *L
 }
 
 func (lg *LoadGen) launch() {
+	lg.mu.Lock()
 	if lg.stopped {
+		lg.mu.Unlock()
 		return
 	}
 	var f *Flow
 	f = lg.net.Transfer(lg.src, lg.dst, lg.flowBytes, func() {
-		lg.BytesMoved += lg.flowBytes
-		lg.prune(f)
+		lg.mu.Lock()
+		lg.bytesMoved += lg.flowBytes
+		delete(lg.active, f)
+		lg.mu.Unlock()
 		lg.launch()
 	})
-	lg.active = append(lg.active, f)
+	lg.active[f] = struct{}{}
+	lg.mu.Unlock()
 }
 
-func (lg *LoadGen) prune(done *Flow) {
-	for i, f := range lg.active {
-		if f == done {
-			lg.active = append(lg.active[:i], lg.active[i+1:]...)
-			return
-		}
-	}
-}
-
-// Stop cancels all background flows; no replacements start.
+// Stop cancels all background flows; no replacements start. A flow that
+// completes concurrently with Stop may still count its bytes, but nothing
+// new launches afterwards.
 func (lg *LoadGen) Stop() {
+	lg.mu.Lock()
 	lg.stopped = true
-	for _, f := range lg.active {
+	flows := make([]*Flow, 0, len(lg.active))
+	for f := range lg.active {
+		flows = append(flows, f)
+	}
+	lg.active = make(map[*Flow]struct{})
+	lg.mu.Unlock()
+	// Cancel outside the mutex: a cancelled flow's callback never fires,
+	// but the network's own bookkeeping runs under its clock and must not
+	// nest inside lg.mu.
+	for _, f := range flows {
 		f.Cancel()
 	}
-	lg.active = nil
+}
+
+// BytesMoved totals the background traffic delivered so far.
+func (lg *LoadGen) BytesMoved() float64 {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	return lg.bytesMoved
 }
 
 // ActiveFlows returns the number of live background flows.
-func (lg *LoadGen) ActiveFlows() int { return len(lg.active) }
+func (lg *LoadGen) ActiveFlows() int {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	return len(lg.active)
+}
 
 // Rate returns the current aggregate background bytes/second.
 func (lg *LoadGen) Rate() float64 {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
 	sum := 0.0
-	for _, f := range lg.active {
+	for f := range lg.active {
 		sum += f.Rate()
 	}
 	return sum

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -17,7 +18,7 @@ func TestLoadGenMaintainsParallelism(t *testing.T) {
 	if lg.ActiveFlows() != 5 {
 		t.Fatalf("active after churn = %d, want 5", lg.ActiveFlows())
 	}
-	if lg.BytesMoved <= 0 {
+	if lg.BytesMoved() <= 0 {
 		t.Fatal("no background bytes moved")
 	}
 	lg.Stop()
@@ -31,9 +32,9 @@ func TestLoadGenStopsReplacing(t *testing.T) {
 	c, n := twoSiteNet(1000)
 	lg := n.StartLoad("ucsd", "sdsc", 2, 100)
 	lg.Stop()
-	before := lg.BytesMoved
+	before := lg.BytesMoved()
 	c.RunFor(time.Minute)
-	if lg.BytesMoved != before {
+	if lg.BytesMoved() != before {
 		t.Fatal("stopped load generator kept moving bytes")
 	}
 	if c.Pending() != 0 {
@@ -58,6 +59,51 @@ func TestLoadGenRate(t *testing.T) {
 	lg := n.StartLoad("ucsd", "sdsc", 4, 1e9)
 	if r := lg.Rate(); r < 999 || r > 1001 {
 		t.Fatalf("background aggregate rate = %v, want ~1000", r)
+	}
+}
+
+// TestLoadGenStopMidFlight stops the generator while flows are completing
+// on another goroutine — the serving stack's actual shape, where the
+// fabric clock advances on worker goroutines while a scenario script stops
+// the background load. Clock advancement and Stop serialize on an external
+// mutex (the network itself is a single-threaded simulation; callers lock
+// around it), but the LoadGen accessors race freely against the completion
+// callbacks, so -race pins the generator's internal synchronization.
+// Functionally: a mid-flight Stop leaves no active flows, and nothing
+// relaunches afterwards.
+func TestLoadGenStopMidFlight(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		c, n := twoSiteNet(1000)
+		lg := n.StartLoad("ucsd", "sdsc", 8, 50) // tiny flows: constant churn
+		var clockMu sync.Mutex
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			// Drive completions (and so LoadGen callbacks) while the main
+			// goroutine reads the totals and stops the generator.
+			for i := 0; i < 200; i++ {
+				clockMu.Lock()
+				c.RunFor(10 * time.Millisecond)
+				clockMu.Unlock()
+			}
+		}()
+		for i := 0; i < 100; i++ {
+			_ = lg.ActiveFlows()
+			_ = lg.BytesMoved()
+		}
+		clockMu.Lock()
+		lg.Stop()
+		clockMu.Unlock()
+		<-done
+		if got := lg.ActiveFlows(); got != 0 {
+			t.Fatalf("trial %d: %d flows still active after mid-flight Stop", trial, got)
+		}
+		moved := lg.BytesMoved()
+		c.RunFor(time.Minute)
+		if lg.ActiveFlows() != 0 || lg.BytesMoved() != moved {
+			t.Fatalf("trial %d: stopped loadgen kept running (active=%d moved %v -> %v)",
+				trial, lg.ActiveFlows(), moved, lg.BytesMoved())
+		}
 	}
 }
 

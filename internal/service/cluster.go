@@ -7,24 +7,29 @@ import (
 	"time"
 
 	"chaseci/internal/api"
-	"chaseci/internal/metrics"
 	"chaseci/internal/queue"
 	"chaseci/internal/sched"
 )
 
-// Cluster mode: instead of one global pending list drained by an anonymous
-// pool, each fabric node runs its own worker pool over a node-scoped pending
-// list, and the sched.Scheduler decides which list a job lands on by data
-// gravity. Node loss drains the node's pool and requeues its jobs through
-// placement against the surviving replicas.
+// Cluster mode: instead of one global pending queue drained by an anonymous
+// pool, each fabric node runs its own worker pool over a node-scoped
+// weighted-fair queue, and the sched.Scheduler decides which queue a job
+// lands on by data gravity. Node loss drains the node's pool and requeues
+// its jobs through placement against the surviving replicas.
 
-// NodePendingKey is the store list a node's pool drains.
+// NodePendingKey is the store list previous runner generations used as a
+// node's dispatch queue; the current generation dispatches from in-memory
+// fair queues but still drains these lists at startup (orphan semantics,
+// see drainOrphans).
 func NodePendingKey(node string) string { return "jobs:pending:" + node }
 
 // nodePool is one node's worker pool. Its context is a child of the
-// runner's, so Close stops every pool; DrainNode stops just this one.
+// runner's, so Close stops every pool; DrainNode stops just this one. fq is
+// the node's weighted-fair pending queue, so tenant fairness holds per
+// node just as it does on the single-node runner.
 type nodePool struct {
 	node string
+	fq   *fairQueue
 	wake chan struct{}
 	ctx  context.Context
 	stop context.CancelFunc
@@ -35,32 +40,24 @@ type nodePool struct {
 // manager becomes the runner's data plane, so submitted refs and OSD
 // replica placement live in the same store the scheduler scores against.
 func NewClusterRunner(reg *Registry, store *queue.Store, workersPerNode int, fab *sched.Fabric) *Runner {
+	return NewClusterRunnerConfigured(reg, store, fab, RunnerConfig{Workers: workersPerNode})
+}
+
+// NewClusterRunnerConfigured is NewClusterRunner with explicit sharding,
+// admission, and fairness configuration (cfg.Workers is the per-node pool
+// size; cfg.Datasets is ignored — the fabric's data plane always wins).
+func NewClusterRunnerConfigured(reg *Registry, store *queue.Store, fab *sched.Fabric, cfg RunnerConfig) *Runner {
+	workersPerNode := cfg.Workers
 	if workersPerNode <= 0 {
 		workersPerNode = 2
 	}
-	baseCtx, stop := context.WithCancel(context.Background())
-	mclk := newWallClock()
-	r := &Runner{
-		reg:         reg,
-		store:       store,
-		workers:     0, // no global pool; per-node pools below
-		datasets:    fab.Datasets,
-		sched:       sched.New(fab),
-		poolWorkers: workersPerNode,
-		jobs:        make(map[string]*job),
-		cancels:     make(map[string]context.CancelFunc),
-		retries:     newRetryState(),
-		pools:       make(map[string]*nodePool),
-		drains:      make(map[string]bool),
-		retain:      maxRetainedJobs,
-		mclk:        mclk,
-		metrics:     metrics.NewRegistry(mclk.clock),
-		counters:    make(map[string]*metrics.Counter),
-		gauges:      make(map[string]*metrics.Gauge),
-		wake:        make(chan struct{}, 1),
-		baseCtx:     baseCtx,
-		stop:        stop,
-	}
+	r := newRunnerCore(reg, store, fab.Datasets, cfg)
+	r.workers = 0 // no global pool; per-node pools below
+	r.sched = sched.New(fab)
+	r.poolWorkers = workersPerNode
+	r.pools = make(map[string]*nodePool)
+	r.drains = make(map[string]bool)
+	r.wake = make(chan struct{}, 1)
 	r.sched.OnBind(r.onBind)
 	r.sched.OnDrain(r.onDrain)
 	r.sched.OnRestore(r.onRestore)
@@ -97,11 +94,12 @@ func (r *Runner) drainNodeOrphans(node string) {
 }
 
 // startPool launches a node's workers. r.mu may be held by the caller; the
-// workers themselves take it only inside execute.
+// workers themselves never take it outside execute's helpers.
 func (r *Runner) startPool(node string) *nodePool {
 	ctx, stop := context.WithCancel(r.baseCtx)
 	p := &nodePool{
 		node: node,
+		fq:   newFairQueue(r.adm.weight),
 		wake: make(chan struct{}, r.poolWorkers),
 		ctx:  ctx,
 		stop: stop,
@@ -117,7 +115,7 @@ func (r *Runner) poolLoop(p *nodePool) {
 	defer r.wg.Done()
 	for {
 		for {
-			id, ok := r.store.RPop(NodePendingKey(p.node))
+			id, ok := p.fq.Pop()
 			if !ok {
 				break
 			}
@@ -183,17 +181,18 @@ func (r *Runner) jobVoxels(req *api.JobRequest) float64 {
 
 // bindJob publishes a placement decision and hands the job to the chosen
 // node's pool. If the node died between the decision and the enqueue, the
-// job is sent back through placement instead of stranding on a dead list.
+// job is sent back through placement instead of stranding on a dead queue.
 func (r *Runner) bindJob(j *job, pl *api.Placement) {
 	j.placement.Store(pl)
 	r.persist(j)
 	r.mu.Lock()
 	pool := r.pools[pl.Node]
 	if pool != nil {
-		// Push under r.mu: the drain path deletes the pool and empties the
-		// list under the same mutex, so an id pushed here is either popped
-		// by a live pool or reclaimed by the drain's sweep — never stranded.
-		r.store.LPush(NodePendingKey(pl.Node), j.id)
+		// Push under r.mu: the drain path deletes the pool and sweeps its
+		// queue under the same mutex discipline, so an id pushed here is
+		// either popped by a live pool or reclaimed by the drain's sweep —
+		// never stranded.
+		pool.fq.Push(j.owner, j.id)
 	}
 	r.mu.Unlock()
 	if pool == nil {
@@ -235,7 +234,7 @@ func (r *Runner) requeueJob(j *job) {
 	empty := ""
 	j.stage.Store(&empty)
 	r.gaugeAdd("jobs_running", j.kind, -1)
-	r.pendingAdd(j.kind, +1)
+	r.pendingAdd(j, +1)
 	r.count("jobs_requeued", j.kind)
 	r.persist(j)
 	r.rePlace(j)
@@ -266,7 +265,7 @@ func (r *Runner) rePlace(j *job) {
 			j.errMsg.Store(&msg)
 			j.finished.Store(time.Now().UnixNano())
 			r.releaseJobRefs(j)
-			r.pendingAdd(j.kind, -1)
+			r.pendingAdd(j, -1)
 			r.count("jobs_failed", j.kind)
 			r.persist(j)
 			r.sched.Release(j.id)
@@ -281,8 +280,8 @@ func (r *Runner) rePlace(j *job) {
 
 // onBind delivers a parked job's placement (fires outside sched's lock).
 func (r *Runner) onBind(id string, pl *api.Placement) {
+	j := r.lookupJob(id)
 	r.mu.Lock()
-	j := r.jobs[id]
 	closed := r.closed
 	r.mu.Unlock()
 	if j == nil || closed || j.state.Load() != codeQueued {
@@ -294,46 +293,42 @@ func (r *Runner) onBind(id string, pl *api.Placement) {
 
 // onDrain tears down a lost node's pool and requeues everything that was
 // bound there: running jobs via their context cancellation (execute's
-// requeue path), queued jobs via the list sweep below.
+// requeue path), queued jobs via the queue sweep below.
 func (r *Runner) onDrain(node string, ids []string) {
 	r.mu.Lock()
 	pool := r.pools[node]
 	delete(r.pools, node)
-	var cancels []context.CancelFunc
 	for _, id := range ids {
 		r.drains[id] = true
-		if c := r.cancels[id]; c != nil {
-			cancels = append(cancels, c)
-		}
 	}
 	r.mu.Unlock()
+	// Cancel funcs live in the job shards; collect them outside r.mu (the
+	// two mutexes are never held together) and fire them lock-free.
+	var cancels []context.CancelFunc
+	for _, id := range ids {
+		sh := r.shardFor(id)
+		sh.mu.Lock()
+		if c := sh.cancels[id]; c != nil {
+			cancels = append(cancels, c)
+		}
+		sh.mu.Unlock()
+	}
 	for _, c := range cancels {
 		c()
 	}
-	if pool != nil {
-		pool.stop()
-		select {
-		case pool.wake <- struct{}{}:
-		default:
-		}
+	if pool == nil {
+		return
 	}
-	// Sweep the dead node's pending list. Jobs a pool worker popped before
+	pool.stop()
+	select {
+	case pool.wake <- struct{}{}:
+	default:
+	}
+	// Sweep the dead node's pending queue. Jobs a pool worker popped before
 	// the stop requeue themselves through execute's drain check; everything
-	// still on the list is reclaimed here.
-	r.mu.Lock()
-	var sweep []string
-	for {
-		id, ok := r.store.RPop(NodePendingKey(node))
-		if !ok {
-			break
-		}
-		sweep = append(sweep, id)
-	}
-	r.mu.Unlock()
-	for _, id := range sweep {
-		r.mu.Lock()
-		j := r.jobs[id]
-		r.mu.Unlock()
+	// still queued is reclaimed here.
+	for _, id := range pool.fq.PopAll() {
+		j := r.lookupJob(id)
 		if j == nil || j.state.Load() != codeQueued {
 			continue
 		}
@@ -355,15 +350,18 @@ func (r *Runner) onRestore(node string) {
 	}
 }
 
-// closeClusterJobs cancels every still-queued job (on node lists or parked)
-// during Close, after all pools have exited.
+// closeClusterJobs cancels every still-queued job (on node queues or
+// parked) during Close, after all pools have exited.
 func (r *Runner) closeClusterJobs() {
-	r.mu.Lock()
-	snapshot := make([]*job, 0, len(r.jobs))
-	for _, j := range r.jobs {
-		snapshot = append(snapshot, j)
+	var snapshot []*job
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, j := range sh.jobs {
+			snapshot = append(snapshot, j)
+		}
+		sh.mu.Unlock()
 	}
-	r.mu.Unlock()
 	for _, j := range snapshot {
 		if !j.state.CompareAndSwap(codeQueued, codeCancelled) {
 			continue
@@ -372,7 +370,7 @@ func (r *Runner) closeClusterJobs() {
 		j.errMsg.Store(&msg)
 		j.finished.Store(time.Now().UnixNano())
 		r.releaseJobRefs(j)
-		r.pendingAdd(j.kind, -1)
+		r.pendingAdd(j, -1)
 		r.persist(j)
 		r.sched.Release(j.id)
 	}

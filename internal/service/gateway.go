@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,6 +32,14 @@ type GatewayOptions struct {
 	PollInterval time.Duration
 	// TokenSeed seeds the token RNG; 0 derives one from the wall clock.
 	TokenSeed uint64
+	// RateLimit is the per-tenant sustained submit rate (requests/second)
+	// enforced with a token bucket; <= 0 disables gateway rate limiting.
+	// Over-rate submits get 429 with a Retry-After header before the body
+	// is even read.
+	RateLimit float64
+	// RateBurst is the token-bucket depth (<= 0 defaults to ~2s of
+	// RateLimit, minimum 1).
+	RateBurst int
 }
 
 // Gateway is the chased HTTP/JSON front-end: submit, poll, stream
@@ -63,10 +72,11 @@ type GatewayOptions struct {
 // malicious caller who asserts someone else's identity; real deployments
 // would swap the login handler for an actual SSO exchange.
 type Gateway struct {
-	runner *Runner
-	mux    *http.ServeMux
-	poll   time.Duration
-	anon   bool
+	runner  *Runner
+	mux     *http.ServeMux
+	poll    time.Duration
+	anon    bool
+	limiter *rateLimiter // nil when rate limiting is off
 
 	aclk *wallClock
 	fed  *auth.Federation
@@ -100,6 +110,9 @@ func NewGateway(runner *Runner, opts GatewayOptions) *Gateway {
 		anon:   opts.AllowAnonymous,
 		aclk:   aclk,
 		fed:    fed,
+	}
+	if opts.RateLimit > 0 {
+		g.limiter = newRateLimiter(opts.RateLimit, opts.RateBurst)
 	}
 	g.mux.HandleFunc("POST /v1/login", g.handleLogin)
 	g.mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
@@ -145,6 +158,16 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// retryAfterSecs renders a backoff as whole seconds for the Retry-After
+// header (rounded up, minimum 1 — the header has no sub-second form).
+func retryAfterSecs(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // authenticate resolves the request's identity: a Bearer token validated
@@ -194,6 +217,17 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnauthorized, "%v", err)
 		return
 	}
+	// Rate limit before reading the body: an over-rate tenant costs the
+	// gateway a map lookup, not a JSON decode.
+	if g.limiter != nil {
+		if ok, wait := g.limiter.allow(owner, time.Now()); !ok {
+			g.runner.countTenant("submits_rate_limited", owner)
+			w.Header().Set("Retry-After", retryAfterSecs(wait))
+			writeErr(w, http.StatusTooManyRequests,
+				"submit rate limit exceeded for %s; retry after %v", owner, wait)
+			return
+		}
+	}
 	var req api.JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
 	dec.DisallowUnknownFields()
@@ -203,6 +237,15 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := g.runner.Submit(&req, owner)
 	if err != nil {
+		var ov *OverloadError
+		if errors.As(err, &ov) {
+			// Admission shed: explicit backpressure, not an error the client
+			// did anything wrong to earn. Retry-After tells it when the
+			// queue is expected to have drained.
+			w.Header().Set("Retry-After", retryAfterSecs(ov.RetryAfter))
+			writeErr(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
 		code := http.StatusInternalServerError
 		if errors.Is(err, api.ErrInvalid) {
 			code = http.StatusBadRequest
@@ -287,6 +330,11 @@ func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := st.ID
+	// Count the live stream so LeakCheck can assert every one exited; the
+	// decrement is deferred, so a slow or disconnecting consumer can never
+	// leave the count (or the goroutine serving it) behind.
+	g.runner.streamAdd(1)
+	defer g.runner.streamAdd(-1)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-cache")
 	flusher, _ := w.(http.Flusher)

@@ -1,0 +1,195 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"chaseci/internal/api"
+	"chaseci/internal/queue"
+)
+
+// newOverloadFixture wires a gateway over a runner whose single worker is
+// parked inside a "blocker" job, so HTTP submits pile onto the pending
+// queue and trip the configured admission bounds.
+func newOverloadFixture(t *testing.T, cfg RunnerConfig, opts GatewayOptions) (*gwFixture, chan struct{}) {
+	t.Helper()
+	release := make(chan struct{})
+	reg := NewRegistry()
+	started := make(chan struct{}, 1)
+	reg.Register(api.KindWorkflow, func(jc *JobContext) (any, error) {
+		if jc.Request().Name == "blocker" {
+			started <- struct{}{}
+			select {
+			case <-release:
+			case <-jc.Ctx().Done():
+				return nil, jc.Ctx().Err()
+			}
+		}
+		return nil, nil
+	})
+	cfg.Workers = 1
+	runner := NewRunnerConfigured(reg, queue.NewStore(), cfg)
+	t.Cleanup(func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+		runner.Close()
+	})
+	opts.AllowAnonymous = true
+	if opts.PollInterval == 0 {
+		opts.PollInterval = 2 * time.Millisecond
+	}
+	srv := httptest.NewServer(NewGateway(runner, opts))
+	t.Cleanup(srv.Close)
+	f := &gwFixture{t: t, runner: runner, srv: srv}
+
+	blocker := blockingWorkflowRequest()
+	blocker.Name = "blocker"
+	var sub api.SubmitResponse
+	if resp := f.do("POST", "/v1/jobs", blocker, &sub); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker submit: status %d", resp.StatusCode)
+	}
+	<-started
+	return f, release
+}
+
+// TestGatewayShedsWith429 is the backpressure acceptance criterion: under
+// deliberate overload the gateway sheds with 429 + Retry-After and the
+// pending queue stays at its bound instead of growing.
+func TestGatewayShedsWith429(t *testing.T) {
+	f, _ := newOverloadFixture(t, RunnerConfig{MaxPendingPerTenant: 2, MaxPending: 4}, GatewayOptions{})
+
+	for i := 0; i < 2; i++ {
+		var sub api.SubmitResponse
+		if resp := f.do("POST", "/v1/jobs", blockingWorkflowRequest(), &sub); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("fill submit %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	var shed int
+	for i := 0; i < 5; i++ {
+		var apiErr api.ErrorResponse
+		resp := f.do("POST", "/v1/jobs", blockingWorkflowRequest(), &apiErr)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("overload submit %d: status %d, want 429", i, resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+			t.Fatalf("429 without a usable Retry-After header (%q)", ra)
+		}
+		if !strings.Contains(apiErr.Error, "pending queue full") {
+			t.Fatalf("429 body = %+v", apiErr)
+		}
+		shed++
+	}
+
+	if got := f.runner.ShedCount(); got < int64(shed) {
+		t.Fatalf("ShedCount = %d, want >= %d", got, shed)
+	}
+	if got := f.runner.PendingTotal(); got > 4 {
+		t.Fatalf("PendingTotal = %d after overload, want <= 4 (bounded)", got)
+	}
+	if text := f.runner.MetricsText(); !strings.Contains(text, "jobs_shed") {
+		t.Fatalf("metrics missing jobs_shed after shedding:\n%s", text)
+	}
+}
+
+// TestGatewayRateLimit429 covers the token-bucket per-tenant submit rate
+// limit: after the burst is spent the gateway answers 429 with Retry-After
+// before even reading the body, and counts the refusal per tenant.
+func TestGatewayRateLimit429(t *testing.T) {
+	runner := NewRunner(DefaultRegistry(), queue.NewStore(), 2)
+	t.Cleanup(runner.Close)
+	srv := httptest.NewServer(NewGateway(runner, GatewayOptions{
+		AllowAnonymous: true,
+		PollInterval:   2 * time.Millisecond,
+		RateLimit:      1, // 1 submit/s steady state
+		RateBurst:      2,
+	}))
+	t.Cleanup(srv.Close)
+	f := &gwFixture{t: t, runner: runner, srv: srv}
+
+	accepted, limited := 0, 0
+	for i := 0; i < 6; i++ {
+		var sub api.SubmitResponse
+		resp := f.do("POST", "/v1/jobs", tinySegmentRequest(), &sub)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			limited++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("rate-limit 429 without Retry-After")
+			}
+		default:
+			t.Fatalf("submit %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if accepted < 1 || accepted > 2 {
+		t.Fatalf("accepted = %d, want the burst of <= 2", accepted)
+	}
+	if limited < 4 {
+		t.Fatalf("limited = %d, want >= 4", limited)
+	}
+	if text := runner.MetricsText(); !strings.Contains(text, "submits_rate_limited") {
+		t.Fatalf("metrics missing submits_rate_limited:\n%s", text)
+	}
+}
+
+// TestEventsStreamDisconnectReleases pins the NDJSON stream accounting: a
+// consumer that disconnects mid-stream (slow client, dropped connection)
+// must release its stream slot promptly, and LeakCheck counts streams so a
+// leak here fails quiescence.
+func TestEventsStreamDisconnectReleases(t *testing.T) {
+	f, release := newOverloadFixture(t, RunnerConfig{}, GatewayOptions{})
+
+	// The blocker is the only job; find its id.
+	jobs := f.runner.List()
+	if len(jobs) != 1 {
+		t.Fatalf("expected 1 job, got %d", len(jobs))
+	}
+	id := jobs[0].ID
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", f.srv.URL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: status %d", resp.StatusCode)
+	}
+	// Read one status line so the stream is live, then drop the connection
+	// while the job is still running.
+	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+		t.Fatalf("first event line: %v", err)
+	}
+	if got := f.runner.LiveStreams(); got != 1 {
+		t.Fatalf("LiveStreams = %d with one open stream, want 1", got)
+	}
+	cancel()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for f.runner.LiveStreams() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("LiveStreams = %d long after disconnect, want 0", f.runner.LiveStreams())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Let the blocker finish and assert full quiescence, streams included.
+	close(release)
+	waitState(t, f.runner, id, terminal)
+	assertNoLeaks(t, f.runner)
+}

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// maxRateBuckets bounds the rate limiter's per-tenant state: beyond this
+// many tracked identities, fully-refilled (i.e. long-idle) buckets are
+// reaped — a fresh bucket behaves identically to a full one, so the reap
+// is lossless.
+const maxRateBuckets = 4096
+
+// rateLimiter enforces a per-tenant token-bucket submit rate at the
+// gateway: rate tokens/second refill up to a burst cap, one token per
+// submit. Dry buckets report how long until the next token so the 429
+// reply can carry an honest Retry-After.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64 // bucket depth
+	buckets map[string]*rateBucket
+}
+
+type rateBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	b := float64(burst)
+	if b < 1 {
+		// Default depth: ~2 seconds of sustained rate, at least one token,
+		// so honest bursty clients ride through scheduling jitter.
+		b = 2 * rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &rateLimiter{rate: rate, burst: b, buckets: make(map[string]*rateBucket)}
+}
+
+// allow spends one token for tenant, or reports how long the caller must
+// wait for the next one.
+func (l *rateLimiter) allow(tenant string, now time.Time) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &rateBucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+		if len(l.buckets) > maxRateBuckets {
+			l.reapLocked(now, b)
+		}
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return false, wait
+}
+
+// reapLocked deletes buckets idle long enough to have fully refilled
+// (keep is the entry that just went in). l.mu held.
+func (l *rateLimiter) reapLocked(now time.Time, keep *rateBucket) {
+	for k, b := range l.buckets {
+		if b == keep {
+			continue
+		}
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -138,20 +138,23 @@ func (r *Runner) runWithRetry(h Handler, jc *JobContext) (any, error) {
 	return res, err
 }
 
-// LeakCheck verifies the runner's bookkeeping balanced out: no dataset pin
-// and no scheduler resource claim survives once every known job is terminal.
-// It errors if a job is still live (the check would be vacuous) or if a pin
-// or claim leaked. Tests call it after quiescing; scenario invariants call it
-// at the end of every script.
+// LeakCheck verifies the runner's bookkeeping balanced out: no dataset pin,
+// no scheduler resource claim, and no open event stream survives once every
+// known job is terminal. It errors if a job is still live (the check would
+// be vacuous) or if a pin, claim, or stream leaked. Tests call it after
+// quiescing; scenario invariants call it at the end of every script.
 func (r *Runner) LeakCheck() error {
-	r.mu.Lock()
 	var live []string
-	for id, j := range r.jobs {
-		if !stateNames[j.state.Load()].Terminal() {
-			live = append(live, id)
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for id, j := range sh.jobs {
+			if !stateNames[j.state.Load()].Terminal() {
+				live = append(live, id)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	r.mu.Unlock()
 	if len(live) > 0 {
 		sort.Strings(live)
 		return fmt.Errorf("service: leak check before quiescence: %d non-terminal jobs: %s",
@@ -174,6 +177,9 @@ func (r *Runner) LeakCheck() error {
 			sort.Strings(parts)
 			return fmt.Errorf("service: leaked node claims: %s", strings.Join(parts, ", "))
 		}
+	}
+	if n := r.streams.Load(); n != 0 {
+		return fmt.Errorf("service: %d event stream(s) still open after quiescence", n)
 	}
 	return nil
 }

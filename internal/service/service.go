@@ -1,17 +1,27 @@
 // Package service executes Job API requests (internal/api) against the
 // real compute kernels. A Registry maps job kinds to handlers; a Runner
-// owns a pool of worker goroutines that drain a queue.Store-backed pending
-// list, execute each job under a cancellable context.Context with
+// owns a pool of worker goroutines that drain a weighted-fair pending
+// queue, execute each job under a cancellable context.Context with
 // kernel-reported progress, and persist every state transition back into
-// the store — the same simulated-Redis substrate the paper's download step
-// uses, so job records survive in the store whether the Runner is fronted
-// by the chased HTTP gateway, the line-protocol queue.Server, or both.
+// the queue.Store — the same simulated-Redis substrate the paper's
+// download step uses, so job records survive in the store whether the
+// Runner is fronted by the chased HTTP gateway, the line-protocol
+// queue.Server, or both.
+//
+// Scale model: the job registry is lock-striped (see shards.go) so status
+// polls, submits, and terminal transitions on different jobs never contend
+// on one mutex; admission control (admission.go) bounds per-tenant and
+// global pending queues and sheds with ErrOverloaded instead of growing
+// without bound; dispatch order is weighted-fair across tenants
+// (fairqueue.go) so a flooding identity cannot starve a light one.
 //
 // Concurrency model: the Runner is fully concurrent (real goroutines, real
 // wall time), while the reused internal/metrics registry is built for the
 // single-threaded simulation — so the Runner privately drives a sim.Clock
 // pinned to wall-elapsed time and serializes every metrics touch behind
-// its own mutex.
+// its own mutex. Lock ordering: r.mu (cluster control plane) and shard
+// mutexes are never held together; the fair queues' internal mutexes are
+// leaves.
 package service
 
 import (
@@ -35,8 +45,11 @@ import (
 
 // Store keys used for job persistence.
 const (
-	// PendingKey is the store list the worker pool drains (LPush + RPop =
-	// FIFO, as in the paper's download queue).
+	// PendingKey is the store list previous runner generations used as
+	// their dispatch queue. The current generation dispatches from the
+	// in-memory fair queue, but still drains this list at startup so
+	// records orphaned by an older generation (or a crash) are failed
+	// rather than left "queued" forever.
 	PendingKey = "jobs:pending"
 )
 
@@ -154,6 +167,7 @@ var stateNames = [...]api.State{
 // handler.
 type job struct {
 	id    string
+	seq   int64 // submit order, from the store's id counter
 	kind  api.Kind
 	name  string
 	owner string
@@ -215,6 +229,41 @@ func (jc *JobContext) Progress(done, total int64, stage string) {
 	jc.job.stage.Store(&stage)
 }
 
+// RunnerConfig tunes a Runner beyond the defaults the plain constructors
+// use. The zero value of every field means "default"; negative bounds mean
+// unlimited.
+type RunnerConfig struct {
+	// Workers is the worker pool size: the global pool on single-node
+	// runners, per node on cluster runners (<= 0 defaults to 4 / 2).
+	Workers int
+	// Datasets is the content-addressed data plane (nil = a private local
+	// store; cluster runners always use the fabric's).
+	Datasets *dataset.Manager
+	// Shards is the registry stripe count, rounded up to a power of two
+	// (<= 0 defaults to defaultShards). Shards=1 reproduces the old
+	// single-mutex registry — the contention benchmark's baseline.
+	Shards int
+	// MaxPendingPerTenant / MaxPending bound the pending queues; submits
+	// beyond a bound shed with ErrOverloaded (0 = defaults, < 0 =
+	// unlimited).
+	MaxPendingPerTenant int
+	MaxPending          int
+	// TenantWeights sets weighted-fair dispatch shares (unlisted tenants
+	// weigh 1).
+	TenantWeights map[string]int
+}
+
+func (cfg RunnerConfig) bound(v, def int) int {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0 // unlimited in admission terms
+	default:
+		return v
+	}
+}
+
 // Runner executes submitted jobs on a fixed worker pool.
 type Runner struct {
 	reg      *Registry
@@ -231,22 +280,36 @@ type Runner struct {
 	// retries is the transient-error retry loop's policy + jitter stream.
 	retries *retryState
 
-	mu      sync.Mutex
-	jobs    map[string]*job
-	order   []string
-	cancels map[string]context.CancelFunc
-	pools   map[string]*nodePool
-	drains  map[string]bool
-	retain  int      // in-memory cap on job records (maxRetainedJobs)
-	evicted []string // ids evicted from memory whose store records remain
-	closed  bool     // set by Close under mu; Submit refuses afterwards
+	// Sharded job registry (shards.go): jobs and cancel funcs are striped
+	// by job-id hash; njobs tracks the in-memory total, retain the cap.
+	shards    []regShard
+	shardMask uint32
+	njobs     atomic.Int64
+	retain    atomic.Int64
+	pruneMu   sync.Mutex
+	evictMu   sync.Mutex
+	evicted   evictFIFO // ids evicted from memory whose store records remain
+
+	// Admission control + weighted-fair dispatch. pending is the
+	// single-node dispatch queue (cluster pools carry their own).
+	adm     *admission
+	pending *fairQueue
+	streams atomic.Int64 // live NDJSON event streams (gateway-reported)
+
+	// mu guards the cluster control plane only (pools, drains, closed for
+	// restore/bind races); never held together with a shard mutex.
+	mu     sync.Mutex
+	pools  map[string]*nodePool
+	drains map[string]bool
+	closed bool
 
 	// Metrics substrate (see the package comment): the reused
 	// metrics.Registry behind a wall-pinned clock lock.
-	mclk     *wallClock
-	metrics  *metrics.Registry
-	counters map[string]*metrics.Counter
-	gauges   map[string]*metrics.Gauge
+	mclk       *wallClock
+	metrics    *metrics.Registry
+	counters   map[string]*metrics.Counter
+	gauges     map[string]*metrics.Gauge
+	tenantSeen map[string]bool
 
 	wake    chan struct{}
 	baseCtx context.Context
@@ -260,47 +323,72 @@ type Runner struct {
 // The runner gets a private local dataset store; use NewRunnerWithDatasets
 // to share one (e.g. with an ingestion path or across runner generations).
 func NewRunner(reg *Registry, store *queue.Store, workers int) *Runner {
-	return NewRunnerWithDatasets(reg, store, workers, dataset.NewLocal())
+	return NewRunnerConfigured(reg, store, RunnerConfig{Workers: workers})
 }
 
 // NewRunnerWithDatasets is NewRunner over a caller-provided content-
 // addressed dataset manager — the data plane every ref in requests and
 // results resolves against.
 func NewRunnerWithDatasets(reg *Registry, store *queue.Store, workers int, ds *dataset.Manager) *Runner {
+	return NewRunnerConfigured(reg, store, RunnerConfig{Workers: workers, Datasets: ds})
+}
+
+// NewRunnerConfigured builds and starts a single-node Runner with explicit
+// sharding, admission, and fairness configuration.
+func NewRunnerConfigured(reg *Registry, store *queue.Store, cfg RunnerConfig) *Runner {
+	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 4
 	}
+	ds := cfg.Datasets
 	if ds == nil {
 		ds = dataset.NewLocal()
 	}
-	baseCtx, stop := context.WithCancel(context.Background())
-	mclk := newWallClock()
-	r := &Runner{
-		reg:      reg,
-		store:    store,
-		workers:  workers,
-		datasets: ds,
-		jobs:     make(map[string]*job),
-		cancels:  make(map[string]context.CancelFunc),
-		retries:  newRetryState(),
-		retain:   maxRetainedJobs,
-		mclk:     mclk,
-		metrics:  metrics.NewRegistry(mclk.clock),
-		counters: make(map[string]*metrics.Counter),
-		gauges:   make(map[string]*metrics.Gauge),
-		// Buffered to the pool size so a burst of submits wakes a worker
-		// per job instead of collapsing into one token (signals dropped
-		// beyond that are harmless: every worker is already awake and
-		// re-drains the queue before sleeping).
-		wake:    make(chan struct{}, workers),
-		baseCtx: baseCtx,
-		stop:    stop,
-	}
+	r := newRunnerCore(reg, store, ds, cfg)
+	r.workers = workers
+	// Buffered to the pool size so a burst of submits wakes a worker
+	// per job instead of collapsing into one token (signals dropped
+	// beyond that are harmless: every worker is already awake and
+	// re-drains the queue before sleeping).
+	r.wake = make(chan struct{}, workers)
 	r.drainOrphans()
 	r.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go r.workerLoop()
 	}
+	return r
+}
+
+// newRunnerCore builds the fields shared by single-node and cluster
+// runners: the sharded registry, admission control, fair queue, metrics
+// substrate, and lifecycle context.
+func newRunnerCore(reg *Registry, store *queue.Store, ds *dataset.Manager, cfg RunnerConfig) *Runner {
+	baseCtx, stop := context.WithCancel(context.Background())
+	mclk := newWallClock()
+	adm := newAdmission(
+		cfg.bound(cfg.MaxPendingPerTenant, defaultMaxPendingPerTenant),
+		cfg.bound(cfg.MaxPending, defaultMaxPending),
+		cfg.TenantWeights,
+	)
+	shards := newShards(cfg.Shards)
+	r := &Runner{
+		reg:        reg,
+		store:      store,
+		datasets:   ds,
+		retries:    newRetryState(),
+		shards:     shards,
+		shardMask:  uint32(len(shards) - 1),
+		adm:        adm,
+		mclk:       mclk,
+		metrics:    metrics.NewRegistry(mclk.clock),
+		counters:   make(map[string]*metrics.Counter),
+		gauges:     make(map[string]*metrics.Gauge),
+		tenantSeen: make(map[string]bool),
+		baseCtx:    baseCtx,
+		stop:       stop,
+	}
+	r.pending = newFairQueue(adm.weight)
+	r.retain.Store(maxRetainedJobs)
 	return r
 }
 
@@ -338,24 +426,24 @@ func (r *Runner) drainOrphans() {
 // "queued" forever — specs are not persisted, so no later generation
 // could execute them. Close blocks until every worker has exited.
 func (r *Runner) Close() {
-	// Flip the closed flag under the same mutex Submit inserts under:
-	// every Submit either observes closed (and refuses) or completed its
-	// insert+enqueue beforehand, in which case the drain below sees it.
-	// (Flipped before the stop so node pools cannot be recreated by a racing
-	// restore while the wait group is draining.)
+	// Flip the control-plane flag first so node pools cannot be recreated
+	// by a racing restore while the wait group is draining, then every
+	// shard's flag under its own mutex: a Submit holding a shard lock
+	// either observes closed (and refuses) or completed its insert+enqueue
+	// beforehand, in which case the drain below sees it.
 	r.mu.Lock()
 	r.closed = true
 	r.mu.Unlock()
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		sh.closed = true
+		sh.mu.Unlock()
+	}
 	r.stop()
 	r.wg.Wait()
-	for {
-		id, ok := r.store.RPop(PendingKey)
-		if !ok {
-			break
-		}
-		r.mu.Lock()
-		j := r.jobs[id]
-		r.mu.Unlock()
+	for _, id := range r.pending.PopAll() {
+		j := r.lookupJob(id)
 		if j == nil || !j.state.CompareAndSwap(codeQueued, codeCancelled) {
 			continue
 		}
@@ -363,7 +451,7 @@ func (r *Runner) Close() {
 		j.errMsg.Store(&msg)
 		j.finished.Store(time.Now().UnixNano())
 		r.releaseJobRefs(j)
-		r.pendingAdd(j.kind, -1)
+		r.pendingAdd(j, -1)
 		r.persist(j)
 	}
 	if r.sched != nil {
@@ -382,8 +470,10 @@ func (r *Runner) releaseJobRefs(j *job) {
 	j.refs = nil
 }
 
-// Submit validates req, persists it as a queued job, and wakes the worker
-// pool. owner is the authenticated identity recorded on the job.
+// Submit validates req, reserves admission for its tenant, persists it as
+// a queued job, and wakes the worker pool. owner is the authenticated
+// identity recorded on the job; when its pending bound (or the global one)
+// is full the submit sheds with an error unwrapping to ErrOverloaded.
 func (r *Runner) Submit(req *api.JobRequest, owner string) (api.JobStatus, error) {
 	if r.baseCtx.Err() != nil {
 		return api.JobStatus{}, ErrClosed
@@ -393,6 +483,13 @@ func (r *Runner) Submit(req *api.JobRequest, owner string) (api.JobStatus, error
 	}
 	if _, ok := r.reg.Handler(req.Kind); !ok {
 		return api.JobStatus{}, fmt.Errorf("service: no handler registered for kind %q", req.Kind)
+	}
+	// Admission first: the bound check-and-reserve is atomic, so the
+	// pending count can never overshoot the cap no matter how many submits
+	// race. Every refusal below this point must repay the reservation.
+	if err := r.adm.tryReserve(owner); err != nil {
+		r.countTenant("jobs_shed", owner)
+		return api.JobStatus{}, err
 	}
 	// Dangling refs fail fast at submit (same ErrInvalid surface as schema
 	// problems) instead of minutes later on a worker. VisibleTo also
@@ -411,11 +508,14 @@ func (r *Runner) Submit(req *api.JobRequest, owner string) (api.JobStatus, error
 			for _, p := range refs[:i+1] {
 				r.datasets.Unpin(p)
 			}
+			r.adm.add(owner, -1)
 			return api.JobStatus{}, fmt.Errorf("%w: source ref %s is not in the dataset store", api.ErrInvalid, ref)
 		}
 	}
+	seq := r.store.Incr(seqKey, 1)
 	j := &job{
-		id:    fmt.Sprintf("job-%06d", r.store.Incr(seqKey, 1)),
+		id:    fmt.Sprintf("job-%06d", seq),
+		seq:   seq,
 		kind:  req.Kind,
 		name:  req.Name,
 		owner: owner,
@@ -425,50 +525,55 @@ func (r *Runner) Submit(req *api.JobRequest, owner string) (api.JobStatus, error
 	j.state.Store(codeQueued)
 	j.submitted.Store(time.Now().UnixNano())
 
-	// Insert and enqueue under the same mutex Close flips closed under,
-	// so a job is either refused or visible to Close's pending drain —
-	// never stranded queued with no worker left to pop it.
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	// Insert and enqueue under the job's shard mutex — the same one Close
+	// flips the shard's closed flag under — so a job is either refused or
+	// visible to Close's pending drain, never stranded queued with no
+	// worker left to pop it.
+	sh := r.shardFor(j.id)
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
 		// The refusal path owes the same compensation as a visibility
 		// failure — without it the submit-time pins would outlive any job
 		// and make the refs permanently undeletable.
 		for _, ref := range refs {
 			r.datasets.Unpin(ref)
 		}
+		r.adm.add(owner, -1)
 		return api.JobStatus{}, ErrClosed
 	}
-	r.jobs[j.id] = j
-	r.order = append(r.order, j.id)
+	sh.jobs[j.id] = j
+	r.njobs.Add(1)
 	r.persist(j)
 	var pl *api.Placement
 	if r.sched != nil {
-		// Place while holding r.mu: Place never dispatches callbacks on this
-		// path, and the lock serializes against Close's closed flip so a
-		// placed job is always visible to Close's sched-mode drain.
+		// Place while holding the shard lock: Place never dispatches
+		// callbacks on this path, and the lock serializes against Close's
+		// closed flip so a placed job is always visible to Close's
+		// sched-mode drain.
 		j.wl = r.workloadFor(j)
 		var perr error
 		pl, perr = r.sched.Place(j.wl)
 		if perr != nil {
 			// Rejected (unschedulable / over quota): undo the insert so the
 			// job never existed, and repay the submit-time pins.
-			delete(r.jobs, j.id)
-			r.order = r.order[:len(r.order)-1]
+			delete(sh.jobs, j.id)
+			r.njobs.Add(-1)
 			r.store.Del(JobKey(j.id))
-			r.mu.Unlock()
+			sh.mu.Unlock()
 			for _, ref := range refs {
 				r.datasets.Unpin(ref)
 			}
+			r.adm.add(owner, -1)
 			return api.JobStatus{}, perr
 		}
 	} else {
-		r.store.LPush(PendingKey, j.id)
+		r.pending.Push(owner, j.id)
 	}
-	r.mu.Unlock()
+	sh.mu.Unlock()
 
 	r.count("jobs_submitted", j.kind)
-	r.pendingAdd(j.kind, +1)
+	r.pendingGauges(j, +1)
 	if r.sched != nil {
 		if pl != nil {
 			r.bindJob(j, pl)
@@ -484,13 +589,11 @@ func (r *Runner) Submit(req *api.JobRequest, owner string) (api.JobStatus, error
 	return r.statusOf(j), nil
 }
 
-// Status returns a job's poll snapshot. The path is allocation-free: a map
-// lookup plus atomic loads into a flat value struct (BenchmarkStatusPoll
-// locks this in).
+// Status returns a job's poll snapshot. The path is allocation-free: a
+// shard hash, a map lookup, and atomic loads into a flat value struct
+// (BenchmarkStatusPoll locks this in).
 func (r *Runner) Status(id string) (api.JobStatus, bool) {
-	r.mu.Lock()
-	j := r.jobs[id]
-	r.mu.Unlock()
+	j := r.lookupJob(id)
 	if j == nil {
 		return api.JobStatus{}, false
 	}
@@ -521,30 +624,36 @@ func (r *Runner) Lookup(id string) (api.JobStatus, bool) {
 // gateway serves PUT/GET /v1/datasets against it.
 func (r *Runner) Datasets() *dataset.Manager { return r.datasets }
 
-// Count returns the number of jobs this runner knows about.
-func (r *Runner) Count() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.jobs)
-}
+// Count returns the number of jobs this runner holds in memory.
+func (r *Runner) Count() int { return int(r.njobs.Load()) }
 
-// List returns every job's status in submit order.
+// List returns every in-memory job's status in submit order.
 func (r *Runner) List() []api.JobStatus {
-	r.mu.Lock()
-	out := make([]api.JobStatus, 0, len(r.order))
-	for _, id := range r.order {
-		out = append(out, r.statusOf(r.jobs[id]))
+	type ent struct {
+		st  api.JobStatus
+		seq int64
 	}
-	r.mu.Unlock()
+	ents := make([]ent, 0, r.njobs.Load())
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, j := range sh.jobs {
+			ents = append(ents, ent{r.statusOf(j), j.seq})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].seq < ents[j].seq })
+	out := make([]api.JobStatus, len(ents))
+	for i, e := range ents {
+		out[i] = e.st
+	}
 	return out
 }
 
 // Result returns a job's result payload (nil until one is recorded) and
 // its current status, falling back to the store for evicted jobs.
 func (r *Runner) Result(id string) (json.RawMessage, api.JobStatus, bool) {
-	r.mu.Lock()
-	j := r.jobs[id]
-	r.mu.Unlock()
+	j := r.lookupJob(id)
 	if j != nil {
 		j.mu.Lock()
 		raw := j.result
@@ -564,9 +673,7 @@ func (r *Runner) Result(id string) (json.RawMessage, api.JobStatus, bool) {
 // lands when the handler returns). It reports false for unknown or
 // already-terminal jobs.
 func (r *Runner) Cancel(id string) bool {
-	r.mu.Lock()
-	j := r.jobs[id]
-	r.mu.Unlock()
+	j := r.lookupJob(id)
 	if j == nil {
 		return false
 	}
@@ -579,7 +686,7 @@ func (r *Runner) Cancel(id string) bool {
 		j.errMsg.Store(&msg)
 		j.finished.Store(time.Now().UnixNano())
 		r.releaseJobRefs(j)
-		r.pendingAdd(j.kind, -1)
+		r.pendingAdd(j, -1)
 		r.count("jobs_cancelled", j.kind)
 		r.persist(j)
 		if r.sched != nil {
@@ -590,9 +697,10 @@ func (r *Runner) Cancel(id string) bool {
 	// Not queued, so execute() already registered the cancel func (it does
 	// so before flipping the state to running); a nil lookup means the job
 	// is terminal or in its final bookkeeping.
-	r.mu.Lock()
-	cancel := r.cancels[id]
-	r.mu.Unlock()
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	cancel := sh.cancels[id]
+	sh.mu.Unlock()
 	if cancel != nil {
 		cancel()
 		return true
@@ -638,7 +746,7 @@ func (r *Runner) workerLoop() {
 	defer r.wg.Done()
 	for {
 		for {
-			id, ok := r.store.RPop(PendingKey)
+			id, ok := r.pending.Pop()
 			if !ok {
 				break
 			}
@@ -656,24 +764,23 @@ func (r *Runner) workerLoop() {
 }
 
 func (r *Runner) execute(id string) {
-	r.mu.Lock()
-	j := r.jobs[id]
-	r.mu.Unlock()
+	j := r.lookupJob(id)
 	if j == nil {
-		return // foreign id pushed onto the pending list out of band
+		return // foreign id enqueued out of band
 	}
 	// Register the cancel func before flipping to running so Cancel always
 	// finds it for a non-queued, non-terminal job.
 	ctx, cancel := context.WithCancel(r.baseCtx)
-	r.mu.Lock()
-	r.cancels[id] = cancel
-	r.mu.Unlock()
+	sh := r.shardFor(id)
+	sh.mu.Lock()
+	sh.cancels[id] = cancel
+	sh.mu.Unlock()
 	// Cancelled-while-queued jobs are already terminal; skip them.
 	if !j.state.CompareAndSwap(codeQueued, codeRunning) {
 		cancel()
-		r.mu.Lock()
-		delete(r.cancels, id)
-		r.mu.Unlock()
+		sh.mu.Lock()
+		delete(sh.cancels, id)
+		sh.mu.Unlock()
 		if r.sched != nil {
 			r.sched.Release(id) // free any claim a late bind left behind
 		}
@@ -681,17 +788,17 @@ func (r *Runner) execute(id string) {
 	}
 	j.started.Store(time.Now().UnixNano())
 	r.gaugeAdd("jobs_running", j.kind, +1)
-	r.pendingAdd(j.kind, -1)
+	r.pendingAdd(j, -1)
 	r.persist(j)
 
 	// The node may have died between this job's pop and now (the drain
-	// routine empties the node's pending list, but a pool worker can beat it
-	// to an id); send it straight back through placement without running.
+	// routine empties the node's pending queue, but a pool worker can beat
+	// it to an id); send it straight back through placement without running.
 	if r.sched != nil && r.takeDrain(id) {
 		cancel()
-		r.mu.Lock()
-		delete(r.cancels, id)
-		r.mu.Unlock()
+		sh.mu.Lock()
+		delete(sh.cancels, id)
+		sh.mu.Unlock()
 		r.requeueJob(j)
 		return
 	}
@@ -699,9 +806,9 @@ func (r *Runner) execute(id string) {
 	h, _ := r.reg.Handler(j.kind)
 	res, err := r.runWithRetry(h, &JobContext{ctx: ctx, job: j, datasets: r.datasets})
 	cancel()
-	r.mu.Lock()
-	delete(r.cancels, id)
-	r.mu.Unlock()
+	sh.mu.Lock()
+	delete(sh.cancels, id)
+	sh.mu.Unlock()
 
 	// A context cancellation caused by node loss — not by the user, not by
 	// shutdown — requeues the job instead of finishing it: refs stay
@@ -752,41 +859,7 @@ func (r *Runner) execute(id string) {
 	// the job is terminal; only the executor touches req, so the plain
 	// write is safe.
 	j.req = nil
-	r.mu.Lock()
-	r.pruneLocked()
-	r.mu.Unlock()
-}
-
-// pruneLocked evicts the oldest terminal jobs once the in-memory index
-// exceeds the retention cap, and deletes the store records of jobs that
-// age past the store's larger tail — keeping total memory bounded while
-// recently evicted ids stay resolvable. r.mu held.
-func (r *Runner) pruneLocked() {
-	// Amortized: let the index overshoot by 10% before paying the O(n)
-	// sweep, so steady-state job turnover does not walk the whole order
-	// list on every terminal transition.
-	if len(r.jobs) <= r.retain+r.retain/10+1 {
-		return
-	}
-	excess := len(r.jobs) - r.retain
-	kept := r.order[:0]
-	for _, id := range r.order {
-		j := r.jobs[id]
-		if excess > 0 && j != nil && stateNames[j.state.Load()].Terminal() {
-			delete(r.jobs, id)
-			r.evicted = append(r.evicted, id)
-			excess--
-			continue
-		}
-		kept = append(kept, id)
-	}
-	r.order = kept
-	for len(r.evicted) > storeRetainFactor*r.retain {
-		id := r.evicted[0]
-		r.evicted = r.evicted[1:]
-		r.store.Del(JobKey(id))
-		r.store.Del(ResultKey(id))
-	}
+	r.pruneIfNeeded()
 }
 
 // runHandler isolates handler panics: a gateway must not die because one
@@ -802,6 +875,24 @@ func runHandler(h Handler, jc *JobContext) (res any, err error) {
 	return h(jc)
 }
 
+// --- Admission / stream accessors -------------------------------------------
+
+// ShedCount returns how many submits admission control has refused.
+func (r *Runner) ShedCount() int64 { return r.adm.shedCount() }
+
+// PendingTotal returns the global admitted-but-not-running job count.
+func (r *Runner) PendingTotal() int { return r.adm.totalPending() }
+
+// TenantPending returns owner's admitted-but-not-running job count.
+func (r *Runner) TenantPending(owner string) int { return r.adm.tenantPending(owner) }
+
+// streamAdd moves the live event-stream count (the gateway calls it around
+// each NDJSON stream; LeakCheck asserts it returns to zero).
+func (r *Runner) streamAdd(d int64) { r.streams.Add(d) }
+
+// LiveStreams returns the number of event streams currently open.
+func (r *Runner) LiveStreams() int64 { return r.streams.Load() }
+
 // --- Metrics ---------------------------------------------------------------
 
 func (r *Runner) count(name string, kind api.Kind) {
@@ -811,6 +902,21 @@ func (r *Runner) count(name string, kind api.Kind) {
 	c := r.counters[key]
 	if c == nil {
 		c = r.metrics.Counter(name, metrics.Labels{"kind": string(kind)})
+		r.counters[key] = c
+	}
+	c.Inc()
+}
+
+// countTenant increments a per-tenant counter (label cardinality capped by
+// tenantLabelLocked).
+func (r *Runner) countTenant(name, owner string) {
+	r.mclk.Lock()
+	defer r.mclk.Unlock()
+	t := r.tenantLabelLocked(owner)
+	key := name + "//" + t
+	c := r.counters[key]
+	if c == nil {
+		c = r.metrics.Counter(name, metrics.Labels{"tenant": t})
 		r.counters[key] = c
 	}
 	c.Inc()
@@ -860,17 +966,35 @@ func (r *Runner) MetricsText() string {
 	return b.String()
 }
 
-// pendingAdd moves the per-kind pending gauge and the aggregate queue_depth
-// gauge together: +1 on admission, -1 when a job starts running or reaches a
-// terminal state without running.
-func (r *Runner) pendingAdd(kind api.Kind, d float64) {
+// pendingGauges moves the per-kind pending gauge, the aggregate
+// queue_depth gauge, and the per-tenant pending gauge together: +1 on
+// admission, -1 when a job starts running or reaches a terminal state
+// without running.
+func (r *Runner) pendingGauges(j *job, d float64) {
 	r.mclk.Lock()
 	defer r.mclk.Unlock()
-	r.gaugeLocked("jobs_pending", kind).Add(d)
+	r.gaugeLocked("jobs_pending", j.kind).Add(d)
 	g := r.gauges["queue_depth"]
 	if g == nil {
 		g = r.metrics.Gauge("queue_depth", nil)
 		r.gauges["queue_depth"] = g
 	}
 	g.Add(d)
+	t := r.tenantLabelLocked(j.owner)
+	tkey := "tenant_pending//" + t
+	tg := r.gauges[tkey]
+	if tg == nil {
+		tg = r.metrics.Gauge("tenant_pending", metrics.Labels{"tenant": t})
+		r.gauges[tkey] = tg
+	}
+	tg.Add(d)
+}
+
+// pendingAdd moves the admission counts and the pending gauges together
+// for a job leaving (d = -1) or re-entering (d = +1, cluster requeue) the
+// pending queue. Submit increments admission through tryReserve instead,
+// so the bound check stays atomic.
+func (r *Runner) pendingAdd(j *job, d int) {
+	r.adm.add(j.owner, d)
+	r.pendingGauges(j, float64(d))
 }
