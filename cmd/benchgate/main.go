@@ -60,7 +60,8 @@ type Report struct {
 const defaultPinned = "conv3d_into,conv3d_span,conv3d_scalar,conv3d_int8," +
 	"conv3d_batch8_into,conv3d_batch8_relu_into,ffn_train_step," +
 	"segment_batch8,segment_int8,ivt_computation," +
-	"sched_place_64cubed,sched_requeue_nodeloss"
+	"sched_place_64cubed,sched_requeue_nodeloss," +
+	"train_dist_4w,sweep_grid8"
 
 // capability names a CPU feature a series needs before its baseline time is
 // comparable across machines.

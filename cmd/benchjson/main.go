@@ -387,6 +387,8 @@ func benchCases() []benchCase {
 		}},
 		{"sched_place_64cubed", benchSchedPlace},
 		{"sched_requeue_nodeloss", benchSchedRequeue},
+		{"train_dist_4w", benchTrainDist4w},
+		{"sweep_grid8", benchSweepGrid8},
 		{"scenario_nodeloss_pipeline", benchScenarioNodeLoss},
 		{"serve_sustained_200rps", benchServeSustained},
 		{"serve_overload_shed", benchServeOverload},
@@ -754,6 +756,90 @@ func benchSubmit(b *testing.B, byRef bool) {
 		wire += int64(len(env))
 	}
 	b.ReportMetric(float64(wire), "wire-bytes/op")
+}
+
+// benchTrainDist4w runs one 4-worker data-parallel training job end to end
+// per iteration — the EXPERIMENTS scaling row divides this against a
+// 1-worker run of the same spec. loss-tail pins that the measured workload
+// actually learns; comm-mbytes is the modeled ring all-reduce traffic.
+func benchTrainDist4w(b *testing.B) {
+	r := service.NewRunner(service.DefaultRegistry(), queue.NewStore(), 4)
+	defer r.Close()
+	req := &api.JobRequest{
+		Kind: api.KindTrainDist,
+		TrainDist: &api.TrainDistSpec{
+			Source:        api.VolumeSource{Synth: &api.SynthSpec{NLon: 36, NLat: 24, NLev: 4, Steps: 6, Seed: 11}},
+			Threshold:     130,
+			Workers:       4,
+			Rounds:        12,
+			BatchPerRound: 16,
+			Net:           &api.NetConfig{FOV: [3]int{3, 7, 7}, Features: 6, MoveStep: [3]int{1, 2, 2}},
+			NetSeed:       7,
+			SampleSeed:    7,
+		},
+	}
+	var res api.TrainDistResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := r.Submit(req, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		final := waitTerminal(r, st.ID)
+		if final.State != api.StateSucceeded {
+			b.Fatalf("train_dist state %s: %s", final.State, final.Error)
+		}
+		raw, _, _ := r.Result(st.ID)
+		if err := json.Unmarshal(raw, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.LossTail, "loss-tail")
+	b.ReportMetric(res.CommBytes/1e6, "comm-mbytes")
+}
+
+// benchSweepGrid8 fans an 8-candidate hyperparameter grid through the fair
+// queue per iteration (no early stop, so the workload is fixed); the
+// EXPERIMENTS sweep-throughput row is 8 candidates divided by ns/op.
+func benchSweepGrid8(b *testing.B) {
+	r := service.NewRunner(service.DefaultRegistry(), queue.NewStore(), 4)
+	defer r.Close()
+	req := &api.JobRequest{
+		Kind: api.KindSweep,
+		Sweep: &api.SweepSpec{
+			Source:        api.VolumeSource{Synth: &api.SynthSpec{NLon: 36, NLat: 24, NLev: 4, Steps: 6, Seed: 11}},
+			Threshold:     130,
+			TrainFraction: 0.67,
+			LRs:           []float32{0.01, 0.03},
+			Momentums:     []float32{0.9},
+			Features:      []int{4, 6},
+			Modules:       []int{1, 2},
+			TrainSteps:    []int{30},
+			Parallel:      4,
+			Seed:          5,
+		},
+	}
+	var res api.SweepResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := r.Submit(req, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		final := waitTerminal(r, st.ID)
+		if final.State != api.StateSucceeded {
+			b.Fatalf("sweep state %s: %s", final.State, final.Error)
+		}
+		raw, _, _ := r.Result(st.ID)
+		if err := json.Unmarshal(raw, &res); err != nil {
+			b.Fatal(err)
+		}
+		if res.Candidates != 8 {
+			b.Fatalf("sweep expanded %d candidates, want 8", res.Candidates)
+		}
+	}
+	b.ReportMetric(float64(res.Candidates), "candidates")
+	b.ReportMetric(res.Best.F1, "best-f1")
 }
 
 // benchPipeline runs a pipeline job end to end per iteration through an

@@ -216,7 +216,7 @@ func serve(args []string) {
 	}()
 
 	fmt.Printf("chased: Job API v1 on http://%s (workers=%d anon=%v)\n", *addr, *workers, *anon)
-	fmt.Printf("chased: kinds: segment label ivt train workflow pipeline — POST /v1/jobs, PUT/GET /v1/datasets/{id}\n")
+	fmt.Printf("chased: kinds: segment label ivt train train_dist sweep workflow pipeline — POST /v1/jobs, PUT/GET /v1/datasets/{id}\n")
 	if *clusterOn {
 		fmt.Printf("chased: cluster mode — %d fabric nodes, jobs place by data gravity (GET /v1/nodes)\n", len(runner.Nodes()))
 	}
@@ -382,30 +382,91 @@ func datasetLs(args []string) {
 	}
 }
 
+// defaultKindRequest builds a ready-to-run request for the training kinds,
+// so `chased submit -kind train_dist` / `-kind sweep` works without
+// authoring JSON: a ref source when -ref is given, else a small synthetic
+// IVT volume.
+func defaultKindRequest(kind, ref, resume string, workers, rounds int, threshold float64) *api.JobRequest {
+	src := api.VolumeSource{Ref: ref}
+	if ref == "" {
+		src = api.VolumeSource{Synth: &api.SynthSpec{NLon: 32, NLat: 24, NLev: 6, Steps: 8, Seed: 11}}
+	}
+	switch kind {
+	case "train_dist":
+		spec := &api.TrainDistSpec{
+			Source:    src,
+			Threshold: float32(threshold),
+			Workers:   workers,
+			Rounds:    rounds,
+		}
+		if resume != "" {
+			spec.ResumeFrom = resume // the checkpoint carries net, seeds, batch
+		} else {
+			spec.BatchPerRound = 8
+			spec.Net = &api.NetConfig{FOV: [3]int{3, 7, 7}, Features: 6, MoveStep: [3]int{1, 2, 2}}
+			spec.NetSeed = 7
+			spec.SampleSeed = 7
+			spec.CheckpointEvery = 5
+		}
+		return &api.JobRequest{Kind: api.KindTrainDist, TrainDist: spec}
+	case "sweep":
+		return &api.JobRequest{Kind: api.KindSweep, Sweep: &api.SweepSpec{
+			Source:        src,
+			Threshold:     float32(threshold),
+			TrainFraction: 0.75,
+			LRs:           []float32{0.01, 0.03},
+			Momentums:     []float32{0.9},
+			Features:      []int{4, 6},
+			Modules:       []int{1, 2},
+			TrainSteps:    []int{100},
+			Parallel:      workers,
+			EarlyStop:     true,
+			Seed:          7,
+		}}
+	default:
+		fatalf("unknown -kind %q (want train_dist or sweep)", kind)
+		return nil
+	}
+}
+
 // submitCmd posts a JobRequest read from a JSON file (or stdin with "-"),
-// defaulting result_mode to "ref".
+// defaulting result_mode to "ref". With -kind it generates the request
+// instead.
 func submitCmd(args []string) {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	server, token := clientFlags(fs)
 	mode := fs.String("mode", "", "result_mode override: ref or inline (default ref unless the file sets one)")
 	wait := fs.Bool("wait", false, "poll until terminal and print the result envelope")
+	kind := fs.String("kind", "", "generate a default train_dist or sweep request instead of reading FILE")
+	ref := fs.String("ref", "", "with -kind: dataset ref to train on (default: a small synthetic IVT volume)")
+	resume := fs.String("resume", "", "with -kind train_dist: checkpoint ref to resume from")
+	workers := fs.Int("workers", 4, "with -kind: data-parallel width (train_dist) or candidate parallelism (sweep)")
+	rounds := fs.Int("rounds", 20, "with -kind train_dist: total synchronous rounds")
+	threshold := fs.Float64("threshold", 120, "with -kind: label threshold over the raw field")
 	fs.Parse(args)
-	if fs.NArg() != 1 {
-		fatalf("submit needs exactly one FILE argument (or - for stdin)")
-	}
-	var raw []byte
-	var err error
-	if fs.Arg(0) == "-" {
-		raw, err = io.ReadAll(os.Stdin)
-	} else {
-		raw, err = os.ReadFile(fs.Arg(0))
-	}
-	if err != nil {
-		fatalf("%v", err)
-	}
 	var req api.JobRequest
-	if err := json.Unmarshal(raw, &req); err != nil {
-		fatalf("parse job request: %v", err)
+	if *kind != "" {
+		if fs.NArg() != 0 {
+			fatalf("submit -kind generates the request; drop the FILE argument")
+		}
+		req = *defaultKindRequest(*kind, *ref, *resume, *workers, *rounds, *threshold)
+	} else {
+		if fs.NArg() != 1 {
+			fatalf("submit needs exactly one FILE argument (or - for stdin), or -kind")
+		}
+		var raw []byte
+		var err error
+		if fs.Arg(0) == "-" {
+			raw, err = io.ReadAll(os.Stdin)
+		} else {
+			raw, err = os.ReadFile(fs.Arg(0))
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := json.Unmarshal(raw, &req); err != nil {
+			fatalf("parse job request: %v", err)
+		}
 	}
 	switch {
 	case *mode != "":

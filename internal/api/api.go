@@ -33,6 +33,14 @@ const (
 	KindIVT Kind = "ivt"
 	// KindTrain runs FFN SGD training on a labelled volume.
 	KindTrain Kind = "train"
+	// KindTrainDist runs synchronous data-parallel FFN training: N workers
+	// compute gradients on shards of a global per-round batch, ring
+	// all-reduce averages them, and periodic checkpoints land in the dataset
+	// store as content-addressed refs a later job can resume from.
+	KindTrainDist Kind = "train_dist"
+	// KindSweep fans train jobs out over a hyperparameter grid through the
+	// admission-controlled queue and returns a validation leaderboard.
+	KindSweep Kind = "sweep"
 	// KindWorkflow executes a measured virtual-time step DAG (PPoDS).
 	KindWorkflow Kind = "workflow"
 	// KindPipeline streams a multi-timestep volume through the full
@@ -42,7 +50,7 @@ const (
 
 // Kinds lists the built-in job kinds in a fixed order.
 func Kinds() []Kind {
-	return []Kind{KindSegment, KindLabel, KindIVT, KindTrain, KindWorkflow, KindPipeline}
+	return []Kind{KindSegment, KindLabel, KindIVT, KindTrain, KindTrainDist, KindSweep, KindWorkflow, KindPipeline}
 }
 
 // State is a job's lifecycle state.
@@ -125,12 +133,14 @@ type JobRequest struct {
 	// run the job. Single-node runners ignore it.
 	Placement *PlacementSpec `json:"placement,omitempty"`
 
-	Segment  *SegmentSpec  `json:"segment,omitempty"`
-	Label    *LabelSpec    `json:"label,omitempty"`
-	IVT      *IVTSpec      `json:"ivt,omitempty"`
-	Train    *TrainSpec    `json:"train,omitempty"`
-	Workflow *WorkflowSpec `json:"workflow,omitempty"`
-	Pipeline *PipelineSpec `json:"pipeline,omitempty"`
+	Segment   *SegmentSpec   `json:"segment,omitempty"`
+	Label     *LabelSpec     `json:"label,omitempty"`
+	IVT       *IVTSpec       `json:"ivt,omitempty"`
+	Train     *TrainSpec     `json:"train,omitempty"`
+	TrainDist *TrainDistSpec `json:"train_dist,omitempty"`
+	Sweep     *SweepSpec     `json:"sweep,omitempty"`
+	Workflow  *WorkflowSpec  `json:"workflow,omitempty"`
+	Pipeline  *PipelineSpec  `json:"pipeline,omitempty"`
 }
 
 // Validate checks the envelope and the kind's spec. It returns an error
@@ -149,7 +159,7 @@ func (r *JobRequest) Validate() error {
 		return err
 	}
 	specs := 0
-	for _, set := range []bool{r.Segment != nil, r.Label != nil, r.IVT != nil, r.Train != nil, r.Workflow != nil, r.Pipeline != nil} {
+	for _, set := range []bool{r.Segment != nil, r.Label != nil, r.IVT != nil, r.Train != nil, r.TrainDist != nil, r.Sweep != nil, r.Workflow != nil, r.Pipeline != nil} {
 		if set {
 			specs++
 		}
@@ -178,6 +188,16 @@ func (r *JobRequest) Validate() error {
 			return invalidf("kind %q needs a train spec", r.Kind)
 		}
 		return r.Train.validate()
+	case KindTrainDist:
+		if r.TrainDist == nil {
+			return invalidf("kind %q needs a train_dist spec", r.Kind)
+		}
+		return r.TrainDist.validate()
+	case KindSweep:
+		if r.Sweep == nil {
+			return invalidf("kind %q needs a sweep spec", r.Kind)
+		}
+		return r.Sweep.validate()
 	case KindWorkflow:
 		if r.Workflow == nil {
 			return invalidf("kind %q needs a workflow spec", r.Kind)
@@ -213,6 +233,13 @@ func (r *JobRequest) Refs() []string {
 		add(&r.Label.Source)
 	case r.Train != nil:
 		add(&r.Train.Source)
+	case r.TrainDist != nil:
+		add(&r.TrainDist.Source)
+		if r.TrainDist.ResumeFrom != "" {
+			out = append(out, r.TrainDist.ResumeFrom)
+		}
+	case r.Sweep != nil:
+		add(&r.Sweep.Source)
 	}
 	return out
 }
@@ -545,6 +572,13 @@ type TrainSpec struct {
 	Net        *NetConfig `json:"net,omitempty"`
 	NetSeed    uint64     `json:"net_seed,omitempty"`
 	SampleSeed uint64     `json:"sample_seed,omitempty"`
+
+	// HoldoutSteps reserves the trailing time slices of the source as a
+	// held-out validation split: training sees only the leading D-holdout
+	// slices, and the result carries precision/recall/F1/IoU of the trained
+	// model's segmentation of the holdout — the evaluation unit sweep jobs
+	// fan out. Zero trains on the full volume with no validation pass.
+	HoldoutSteps int `json:"holdout_steps,omitempty"`
 }
 
 func (s *TrainSpec) validate() error {
@@ -562,6 +596,201 @@ func (s *TrainSpec) validate() error {
 	}
 	if s.LR < 0 || s.Momentum < 0 || s.Momentum >= 1 {
 		return invalidf("train.lr must be >= 0 and train.momentum in [0,1)")
+	}
+	if s.HoldoutSteps < 0 || s.HoldoutSteps > maxVoxels {
+		return invalidf("train.holdout_steps must be non-negative, got %d", s.HoldoutSteps)
+	}
+	return nil
+}
+
+// Distributed-training and sweep caps.
+const (
+	// maxDistWorkers bounds the data-parallel width of one train_dist job.
+	maxDistWorkers = 64
+	// maxBatchPerRound bounds the global per-round example count.
+	maxBatchPerRound = 4096
+	// maxSweepCandidates bounds the hyperparameter grid one sweep expands.
+	maxSweepCandidates = 64
+)
+
+// ElasticStep schedules a worker-count change at a round boundary: from
+// Round onwards the job runs with Workers data-parallel workers. The
+// sampling scheme is worker-count-invariant, so elastic changes never
+// affect the loss sequence — only throughput and modeled comm traffic.
+type ElasticStep struct {
+	Round   int `json:"round"`
+	Workers int `json:"workers"`
+}
+
+// TrainDistSpec runs synchronous data-parallel FFN training: every round
+// draws one global batch (derived only from sample_seed and the round
+// index), shards it across the workers, averages the gradients in global
+// sample order (the deterministic ring all-reduce), and applies one SGD
+// update — so the per-round loss sequence is bit-identical at any worker
+// count. Labels are the source thresholded at Threshold, as in TrainSpec.
+type TrainDistSpec struct {
+	Source    VolumeSource `json:"source"`
+	Threshold float32      `json:"threshold"`
+	// Workers is the data-parallel width (1..64).
+	Workers int `json:"workers"`
+	// Rounds is the total number of synchronous update rounds the run should
+	// reach — including rounds already completed by a resumed checkpoint.
+	Rounds int `json:"rounds"`
+	// BatchPerRound is the global FOV-example count per round, sharded
+	// across the workers. Required unless resuming (the checkpoint pins it).
+	BatchPerRound int `json:"batch_per_round,omitempty"`
+	// LR defaults to 0.05 and Momentum to 0.9 when zero.
+	LR       float32 `json:"lr,omitempty"`
+	Momentum float32 `json:"momentum,omitempty"`
+
+	Net        *NetConfig `json:"net,omitempty"`
+	NetSeed    uint64     `json:"net_seed,omitempty"`
+	SampleSeed uint64     `json:"sample_seed,omitempty"`
+
+	// CheckpointEvery writes a checkpoint dataset ref every N rounds (0 =
+	// only the final checkpoint).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// ResumeFrom is a checkpoint dataset ref to continue from. The
+	// checkpoint carries the model, optimizer state, sampling seed, batch
+	// geometry, and completed rounds, so net/lr/momentum/batch_per_round/
+	// seed fields must be zero when resuming — the checkpoint wins.
+	ResumeFrom string `json:"resume_from,omitempty"`
+	// Elastic schedules worker-count changes at round boundaries.
+	Elastic []ElasticStep `json:"elastic,omitempty"`
+}
+
+func (s *TrainDistSpec) validate() error {
+	if err := s.Source.validate("train_dist.source"); err != nil {
+		return err
+	}
+	if s.Threshold <= 0 {
+		return invalidf("train_dist.threshold must be > 0")
+	}
+	if s.Workers < 1 || s.Workers > maxDistWorkers {
+		return invalidf("train_dist.workers must be in [1,%d], got %d", maxDistWorkers, s.Workers)
+	}
+	if s.Rounds < 1 || s.Rounds > maxTrainSteps {
+		return invalidf("train_dist.rounds must be in [1,%d], got %d", maxTrainSteps, s.Rounds)
+	}
+	if s.LR < 0 || s.Momentum < 0 || s.Momentum >= 1 {
+		return invalidf("train_dist.lr must be >= 0 and train_dist.momentum in [0,1)")
+	}
+	if s.CheckpointEvery < 0 {
+		return invalidf("train_dist.checkpoint_every must be non-negative, got %d", s.CheckpointEvery)
+	}
+	if s.ResumeFrom != "" {
+		if !ValidRef(s.ResumeFrom) {
+			return invalidf("train_dist.resume_from %q is not a 64-hex content address", s.ResumeFrom)
+		}
+		if s.Net != nil || s.NetSeed != 0 || s.SampleSeed != 0 ||
+			s.LR != 0 || s.Momentum != 0 || s.BatchPerRound != 0 {
+			return invalidf("train_dist.resume_from carries the model, optimizer, and sampling state; net/net_seed/sample_seed/lr/momentum/batch_per_round must be zero")
+		}
+	} else {
+		if err := s.Net.validate("train_dist.net"); err != nil {
+			return err
+		}
+		if s.BatchPerRound < 1 || s.BatchPerRound > maxBatchPerRound {
+			return invalidf("train_dist.batch_per_round must be in [1,%d], got %d", maxBatchPerRound, s.BatchPerRound)
+		}
+	}
+	prev := 0
+	for i, e := range s.Elastic {
+		if e.Round < 1 || e.Round > maxTrainSteps {
+			return invalidf("train_dist.elastic[%d].round must be in [1,%d], got %d", i, maxTrainSteps, e.Round)
+		}
+		if e.Round <= prev {
+			return invalidf("train_dist.elastic rounds must be strictly increasing")
+		}
+		prev = e.Round
+		if e.Workers < 1 || e.Workers > maxDistWorkers {
+			return invalidf("train_dist.elastic[%d].workers must be in [1,%d], got %d", i, maxDistWorkers, e.Workers)
+		}
+	}
+	return nil
+}
+
+// SweepSpec expands the cartesian hyperparameter grid (ffn.Grid) and fans
+// one train job per candidate out through the service's admission-controlled
+// fair queue, each training on the leading split of the source and validated
+// on the trailing holdout. The result is a leaderboard ranked by F1.
+type SweepSpec struct {
+	Source    VolumeSource `json:"source"`
+	Threshold float32      `json:"threshold"`
+	// TrainFraction is the leading fraction of time slices candidates train
+	// on (the rest is the held-out validation split). Zero defaults to 0.5.
+	TrainFraction float64 `json:"train_fraction,omitempty"`
+
+	// The grid axes. Modules may be empty (defaults to depth 2).
+	LRs        []float32 `json:"lrs"`
+	Momentums  []float32 `json:"momentums"`
+	Features   []int     `json:"features"`
+	Modules    []int     `json:"modules,omitempty"`
+	TrainSteps []int     `json:"train_steps"`
+
+	// Parallel bounds how many child jobs the sweep keeps in flight
+	// (0 defaults to 2).
+	Parallel int `json:"parallel,omitempty"`
+	// EarlyStop enables median-based successive halving: every candidate
+	// first runs at half its train steps, candidates whose F1 falls below
+	// the rung median stop there, survivors run the full budget.
+	EarlyStop bool `json:"early_stop,omitempty"`
+	// Seed seeds candidate networks and samplers.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+func (s *SweepSpec) validate() error {
+	if err := s.Source.validate("sweep.source"); err != nil {
+		return err
+	}
+	if s.Threshold <= 0 {
+		return invalidf("sweep.threshold must be > 0")
+	}
+	if s.TrainFraction < 0 || s.TrainFraction >= 1 {
+		return invalidf("sweep.train_fraction must be in [0,1), got %v", s.TrainFraction)
+	}
+	if len(s.LRs) == 0 || len(s.Momentums) == 0 || len(s.Features) == 0 || len(s.TrainSteps) == 0 {
+		return invalidf("sweep grid needs at least one lr, momentum, features, and train_steps value")
+	}
+	for _, lr := range s.LRs {
+		if lr < 0 {
+			return invalidf("sweep.lrs must be >= 0")
+		}
+	}
+	for _, m := range s.Momentums {
+		if m < 0 || m >= 1 {
+			return invalidf("sweep.momentums must be in [0,1)")
+		}
+	}
+	for _, f := range s.Features {
+		if f < 1 || f > maxFeatures {
+			return invalidf("sweep.features must be in [1,%d]", maxFeatures)
+		}
+	}
+	for _, m := range s.Modules {
+		if m < 1 || m > maxModules {
+			return invalidf("sweep.modules must be in [1,%d]", maxModules)
+		}
+	}
+	for _, st := range s.TrainSteps {
+		if st < 1 || st > maxTrainSteps {
+			return invalidf("sweep.train_steps must be in [1,%d]", maxTrainSteps)
+		}
+	}
+	mods := len(s.Modules)
+	if mods == 0 {
+		mods = 1
+	}
+	// Division-checked product against the candidate cap.
+	size := len(s.LRs)
+	for _, n := range []int{len(s.Momentums), len(s.Features), mods, len(s.TrainSteps)} {
+		if size > maxSweepCandidates/n {
+			return invalidf("sweep grid exceeds %d candidates", maxSweepCandidates)
+		}
+		size *= n
+	}
+	if s.Parallel < 0 || s.Parallel > maxDistWorkers {
+		return invalidf("sweep.parallel must be in [0,%d], got %d", maxDistWorkers, s.Parallel)
 	}
 	return nil
 }
@@ -876,6 +1105,87 @@ type TrainResult struct {
 	Steps    int     `json:"steps"`
 	LossHead float64 `json:"loss_head"`
 	LossTail float64 `json:"loss_tail"`
+	// Held-out validation metrics, present when holdout_steps > 0.
+	HoldoutSteps int     `json:"holdout_steps,omitempty"`
+	Precision    float64 `json:"precision,omitempty"`
+	Recall       float64 `json:"recall,omitempty"`
+	F1           float64 `json:"f1,omitempty"`
+	IoU          float64 `json:"iou,omitempty"`
+}
+
+// CheckpointInfo names one checkpoint a train_dist job wrote.
+type CheckpointInfo struct {
+	// Round is the next round index the checkpoint resumes at.
+	Round int `json:"round"`
+	// Ref is the checkpoint's content-addressed dataset id.
+	Ref string `json:"ref"`
+}
+
+// TrainDistResult reports a distributed training job.
+type TrainDistResult struct {
+	// Workers is the final data-parallel width (after elastic steps).
+	Workers int `json:"workers"`
+	// Rounds is the total completed rounds, including resumed history.
+	Rounds int `json:"rounds"`
+	// StartRound is the first round this job executed (non-zero when the
+	// job resumed from a checkpoint); ResumedFrom echoes the checkpoint ref.
+	StartRound  int    `json:"start_round,omitempty"`
+	ResumedFrom string `json:"resumed_from,omitempty"`
+	// Losses is the full per-round mean loss history (resumed history
+	// included), bit-identical at any worker count.
+	Losses   []float64 `json:"losses"`
+	LossHead float64   `json:"loss_head"`
+	LossTail float64   `json:"loss_tail"`
+	// GradBytes is the per-worker-pair gradient payload; CommBytes the
+	// modeled ring all-reduce traffic across the rounds this job executed.
+	GradBytes float64 `json:"grad_bytes"`
+	CommBytes float64 `json:"comm_bytes"`
+	// CheckpointRef is the final checkpoint (always written); Checkpoints
+	// lists every periodic checkpoint including the final one.
+	CheckpointRef string           `json:"checkpoint_ref,omitempty"`
+	Checkpoints   []CheckpointInfo `json:"checkpoints,omitempty"`
+}
+
+// SweepParams is one grid candidate (mirrors ffn.Hyperparams; the api
+// package stays pure schema).
+type SweepParams struct {
+	LR         float32 `json:"lr"`
+	Momentum   float32 `json:"momentum"`
+	Features   int     `json:"features"`
+	Modules    int     `json:"modules"`
+	TrainSteps int     `json:"train_steps"`
+}
+
+// SweepEntry is one leaderboard row of a sweep result.
+type SweepEntry struct {
+	Params SweepParams `json:"params"`
+	// JobID is the child train job that produced the metrics.
+	JobID     string  `json:"job_id,omitempty"`
+	TrainLoss float64 `json:"train_loss"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	IoU       float64 `json:"iou"`
+	// EarlyStopped marks candidates halted at the half-budget rung.
+	EarlyStopped bool `json:"early_stopped,omitempty"`
+}
+
+// Better reports whether e beats o on F1 (ties broken by IoU) — the
+// leaderboard order.
+func (e SweepEntry) Better(o SweepEntry) bool {
+	if e.F1 != o.F1 {
+		return e.F1 > o.F1
+	}
+	return e.IoU > o.IoU
+}
+
+// SweepResult reports a hyperparameter sweep: the full leaderboard sorted
+// best-first and the winning candidate.
+type SweepResult struct {
+	Candidates   int          `json:"candidates"`
+	EarlyStopped int          `json:"early_stopped,omitempty"`
+	Leaderboard  []SweepEntry `json:"leaderboard"`
+	Best         SweepEntry   `json:"best"`
 }
 
 // WorkflowStepResult is one step of a workflow report.

@@ -27,6 +27,13 @@ func validRequests() map[Kind]*JobRequest {
 		KindTrain: {Kind: KindTrain, Train: &TrainSpec{
 			Source: tinyVolume(), Threshold: 0.5, Steps: 3,
 		}},
+		KindTrainDist: {Kind: KindTrainDist, TrainDist: &TrainDistSpec{
+			Source: tinyVolume(), Threshold: 0.5, Workers: 2, Rounds: 4, BatchPerRound: 4,
+		}},
+		KindSweep: {Kind: KindSweep, Sweep: &SweepSpec{
+			Source: tinyVolume(), Threshold: 0.5,
+			LRs: []float32{0.03}, Momentums: []float32{0.9}, Features: []int{4}, TrainSteps: []int{10},
+		}},
 		KindWorkflow: {Kind: KindWorkflow, Workflow: &WorkflowSpec{
 			Name: "wf", Steps: []WorkflowStep{{Name: "a", DurationMS: 5}},
 		}},

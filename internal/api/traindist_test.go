@@ -1,0 +1,146 @@
+package api
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fakeRef is a syntactically valid 64-hex content address.
+const fakeRef = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+
+func TestTrainDistSpecRejections(t *testing.T) {
+	mk := func(mut func(*TrainDistSpec)) *JobRequest {
+		spec := &TrainDistSpec{
+			Source: tinyVolume(), Threshold: 0.5, Workers: 2, Rounds: 4, BatchPerRound: 4,
+		}
+		mut(spec)
+		return &JobRequest{Kind: KindTrainDist, TrainDist: spec}
+	}
+	resume := func(mut func(*TrainDistSpec)) *JobRequest {
+		return mk(func(s *TrainDistSpec) {
+			s.BatchPerRound = 0
+			s.ResumeFrom = fakeRef
+			mut(s)
+		})
+	}
+	cases := []struct {
+		name string
+		req  *JobRequest
+		want string
+	}{
+		{"zero threshold", mk(func(s *TrainDistSpec) { s.Threshold = 0 }), "threshold"},
+		{"zero workers", mk(func(s *TrainDistSpec) { s.Workers = 0 }), "workers"},
+		{"too many workers", mk(func(s *TrainDistSpec) { s.Workers = maxDistWorkers + 1 }), "workers"},
+		{"zero rounds", mk(func(s *TrainDistSpec) { s.Rounds = 0 }), "rounds"},
+		{"zero batch", mk(func(s *TrainDistSpec) { s.BatchPerRound = 0 }), "batch_per_round"},
+		{"momentum one", mk(func(s *TrainDistSpec) { s.Momentum = 1 }), "momentum"},
+		{"negative checkpoint cadence", mk(func(s *TrainDistSpec) { s.CheckpointEvery = -1 }), "checkpoint_every"},
+		{"garbage resume ref", mk(func(s *TrainDistSpec) { s.BatchPerRound = 0; s.ResumeFrom = "ckpt-1" }), "resume_from"},
+		{"resume with batch", resume(func(s *TrainDistSpec) { s.BatchPerRound = 4 }), "must be zero"},
+		{"resume with net", resume(func(s *TrainDistSpec) { s.Net = &NetConfig{Features: 4} }), "must be zero"},
+		{"resume with net seed", resume(func(s *TrainDistSpec) { s.NetSeed = 7 }), "must be zero"},
+		{"resume with sample seed", resume(func(s *TrainDistSpec) { s.SampleSeed = 7 }), "must be zero"},
+		{"resume with lr", resume(func(s *TrainDistSpec) { s.LR = 0.1 }), "must be zero"},
+		{"elastic zero round", mk(func(s *TrainDistSpec) { s.Elastic = []ElasticStep{{Round: 0, Workers: 2}} }), "elastic"},
+		{"elastic not increasing", mk(func(s *TrainDistSpec) {
+			s.Elastic = []ElasticStep{{Round: 3, Workers: 2}, {Round: 3, Workers: 4}}
+		}), "strictly increasing"},
+		{"elastic zero workers", mk(func(s *TrainDistSpec) { s.Elastic = []ElasticStep{{Round: 2, Workers: 0}} }), "elastic"},
+	}
+	for _, c := range cases {
+		err := c.req.Validate()
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", c.name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %q, want substring %q", c.name, err, c.want)
+		}
+	}
+	// A well-formed resume spec passes, and only names the checkpoint.
+	if err := resume(func(s *TrainDistSpec) {}).Validate(); err != nil {
+		t.Fatalf("valid resume spec rejected: %v", err)
+	}
+	// Elastic schedules are accepted when strictly increasing.
+	ok := mk(func(s *TrainDistSpec) {
+		s.Elastic = []ElasticStep{{Round: 2, Workers: 4}, {Round: 3, Workers: 1}}
+	})
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid elastic spec rejected: %v", err)
+	}
+}
+
+func TestTrainDistRefsIncludeResume(t *testing.T) {
+	req := &JobRequest{Kind: KindTrainDist, TrainDist: &TrainDistSpec{
+		Source: tinyVolume(), Threshold: 0.5, Workers: 1, Rounds: 1, ResumeFrom: fakeRef,
+	}}
+	found := false
+	for _, ref := range req.Refs() {
+		if ref == fakeRef {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Refs() = %v does not include resume_from (the checkpoint must be pinned at submit)", req.Refs())
+	}
+}
+
+func TestSweepSpecRejections(t *testing.T) {
+	mk := func(mut func(*SweepSpec)) *JobRequest {
+		spec := &SweepSpec{
+			Source: tinyVolume(), Threshold: 0.5,
+			LRs: []float32{0.03}, Momentums: []float32{0.9}, Features: []int{4}, TrainSteps: []int{10},
+		}
+		mut(spec)
+		return &JobRequest{Kind: KindSweep, Sweep: spec}
+	}
+	cases := []struct {
+		name string
+		req  *JobRequest
+		want string
+	}{
+		{"zero threshold", mk(func(s *SweepSpec) { s.Threshold = 0 }), "threshold"},
+		{"train fraction one", mk(func(s *SweepSpec) { s.TrainFraction = 1 }), "train_fraction"},
+		{"no lrs", mk(func(s *SweepSpec) { s.LRs = nil }), "at least one"},
+		{"no momentums", mk(func(s *SweepSpec) { s.Momentums = nil }), "at least one"},
+		{"no features", mk(func(s *SweepSpec) { s.Features = nil }), "at least one"},
+		{"no train steps", mk(func(s *SweepSpec) { s.TrainSteps = nil }), "at least one"},
+		{"negative lr", mk(func(s *SweepSpec) { s.LRs = []float32{-0.1} }), "lrs"},
+		{"momentum one", mk(func(s *SweepSpec) { s.Momentums = []float32{1} }), "momentums"},
+		{"zero features", mk(func(s *SweepSpec) { s.Features = []int{0} }), "features"},
+		{"zero modules", mk(func(s *SweepSpec) { s.Modules = []int{0} }), "modules"},
+		{"zero steps", mk(func(s *SweepSpec) { s.TrainSteps = []int{0} }), "train_steps"},
+		{"negative parallel", mk(func(s *SweepSpec) { s.Parallel = -1 }), "parallel"},
+		{"grid too large", mk(func(s *SweepSpec) {
+			s.LRs = make([]float32, 9)
+			s.Momentums = make([]float32, 9)
+			for i := range s.LRs {
+				s.LRs[i] = 0.01
+			}
+			// 9*9 = 81 > 64 candidates.
+		}), "exceeds"},
+	}
+	for _, c := range cases {
+		err := c.req.Validate()
+		if !errors.Is(err, ErrInvalid) {
+			t.Errorf("%s: err = %v, want ErrInvalid", c.name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %q, want substring %q", c.name, err, c.want)
+		}
+	}
+	// The cap is on the product, not any one axis: 64 exactly passes.
+	atCap := mk(func(s *SweepSpec) {
+		s.LRs = make([]float32, 8)
+		s.Momentums = make([]float32, 8)
+		for i := range s.LRs {
+			s.LRs[i] = 0.01
+			s.Momentums[i] = float32(i) / 10
+		}
+	})
+	if err := atCap.Validate(); err != nil {
+		t.Fatalf("64-candidate grid rejected: %v", err)
+	}
+}

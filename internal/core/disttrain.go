@@ -1,23 +1,28 @@
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
 
+	"chaseci/internal/api"
 	"chaseci/internal/cluster"
 	"chaseci/internal/ffn"
 	"chaseci/internal/gpusim"
 	"chaseci/internal/merra"
-	"chaseci/internal/sim"
+	"chaseci/internal/queue"
+	"chaseci/internal/service"
 	"chaseci/internal/tensor"
 )
 
 // DistTrainConfig drives the Section III-E2 extension as running code: a
 // Kubernetes ReplicaSet of TensorFlow-style training workers discovered
-// through a Service, doing REAL data-parallel SGD (each worker computes
-// gradients on its own FOV samples; a ring all-reduce averages them) while
-// compute and communication time advance on the virtual clock.
+// through a Service. Since PR 10 the actual data-parallel SGD is the
+// chased/v1 train_dist job kind — this entry point is a thin wrapper that
+// submits one such job to an in-process runner and keeps the virtual-time
+// ecosystem (pod topology, GPU compute time, WAN ring all-reduce traffic)
+// as the surrounding test harness.
 type DistTrainConfig struct {
 	Namespace string
 	Workers   int
@@ -65,9 +70,29 @@ type DistTrainResult struct {
 // FinalLoss returns the mean of the last fifth of the loss curve.
 func (r *DistTrainResult) FinalLoss() float64 { return ffn.MeanTail(r.Losses, 0.2) }
 
-// RunDistributedTraining executes the extension on the ecosystem: it spawns
-// the ReplicaSet and Service, shards the synthetic IVT scene across workers,
-// and runs synchronous data-parallel rounds — real gradients, virtual time.
+// awaitJob polls an in-process runner until the job is terminal, returning
+// its result payload. Failure and cancellation surface as errors.
+func awaitJob(r *service.Runner, id string) (json.RawMessage, error) {
+	for {
+		raw, st, ok := r.Result(id)
+		if !ok {
+			return nil, fmt.Errorf("core: job %s vanished from the runner", id)
+		}
+		if st.State.Terminal() {
+			if st.State != api.StateSucceeded {
+				return nil, fmt.Errorf("core: job %s %s: %s", id, st.State, st.Error)
+			}
+			return raw, nil
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// RunDistributedTraining executes the extension: it spawns the ReplicaSet
+// and Service on the ecosystem, submits the training itself as one
+// train_dist job (real gradients, worker-count-invariant losses), then
+// replays the per-round compute and ring all-reduce cost on the virtual
+// clock.
 func (e *Ecosystem) RunDistributedTraining(cfg DistTrainConfig) (*DistTrainResult, error) {
 	if cfg.Workers <= 0 || cfg.Rounds <= 0 {
 		return nil, errors.New("core: Workers and Rounds must be positive")
@@ -80,33 +105,6 @@ func (e *Ecosystem) RunDistributedTraining(cfg DistTrainConfig) (*DistTrainResul
 	}
 	if _, err := e.Cluster.CreateNamespace(cfg.Namespace, nil); err != nil && err != cluster.ErrDuplicate {
 		return nil, err
-	}
-
-	// The shared model replica (all workers hold identical weights; we
-	// materialize one copy, as the updates are identical by construction).
-	netCfg := ffn.DefaultConfig()
-	netCfg.FOV = [3]int{3, 7, 7}
-	netCfg.Features = 6
-	netCfg.MoveStep = [3]int{1, 2, 2}
-	model, err := ffn.NewNetwork(netCfg, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	opt := tensor.NewSGD(cfg.LR, cfg.Momentum)
-
-	// Build the scene and shard sampling streams per worker.
-	img, lbl := buildScene(cfg.Scene)
-	type sampler struct {
-		rng      *sim.RNG
-		pos, neg [][3]int
-	}
-	pos, neg := trainingCenters(lbl, netCfg.FOV)
-	if len(pos) == 0 && len(neg) == 0 {
-		return nil, ffn.ErrNoExamples
-	}
-	samplers := make([]*sampler, cfg.Workers)
-	for w := range samplers {
-		samplers[w] = &sampler{rng: sim.NewRNG(cfg.Seed ^ uint64(w+1)*0x9e3779b9), pos: pos, neg: neg}
 	}
 
 	// ReplicaSet + Service: the Kubernetes topology §III-E2 describes.
@@ -134,57 +132,51 @@ func (e *Ecosystem) RunDistributedTraining(cfg DistTrainConfig) (*DistTrainResul
 		res.Endpoints = append(res.Endpoints, p.Spec.Name)
 	}
 
-	// Synchronous rounds driven in virtual time.
+	// One training code path: the train_dist job kind does the real SGD.
+	src, th := sceneSource(cfg.Scene)
+	runner := service.NewRunner(service.DefaultRegistry(), queue.NewStore(), 1)
+	defer runner.Close()
+	st, err := runner.Submit(&api.JobRequest{
+		Kind: api.KindTrainDist,
+		Name: "tf-train",
+		TrainDist: &api.TrainDistSpec{
+			Source:        src,
+			Threshold:     th,
+			Workers:       cfg.Workers,
+			Rounds:        cfg.Rounds,
+			BatchPerRound: cfg.Workers * cfg.BatchPerWorker,
+			LR:            cfg.LR,
+			Momentum:      cfg.Momentum,
+			Net: &api.NetConfig{
+				FOV: [3]int{3, 7, 7}, Features: 6, MoveStep: [3]int{1, 2, 2},
+			},
+			NetSeed:    cfg.Seed,
+			SampleSeed: cfg.Seed,
+		},
+	}, "core")
+	if err != nil {
+		rs.Delete()
+		return nil, err
+	}
+	raw, err := awaitJob(runner, st.ID)
+	if err != nil {
+		rs.Delete()
+		return nil, err
+	}
+	var tr api.TrainDistResult
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		rs.Delete()
+		return nil, fmt.Errorf("core: train_dist result: %w", err)
+	}
+	res.Losses = tr.Losses
+
+	// Replay the run on the virtual clock: per round, parallel GPU compute
+	// plus the ring all-reduce over the WAN between the worker pods' sites.
 	start := e.Clock.Now()
-	gradBytes := model.GradBytes()
-	for round := 0; round < cfg.Rounds; round++ {
-		// Real compute: every worker's gradients on its own batch.
-		perWorker := make([]*ffn.ParamGrads, cfg.Workers)
-		lossSum := 0.0
-		for w := 0; w < cfg.Workers; w++ {
-			s := samplers[w]
-			var batch *ffn.ParamGrads
-			for b := 0; b < cfg.BatchPerWorker; b++ {
-				var c [3]int
-				usePos := len(s.pos) > 0 && (len(s.neg) == 0 || s.rng.Float64() < 0.5)
-				if usePos {
-					c = s.pos[s.rng.Intn(len(s.pos))]
-				} else {
-					c = s.neg[s.rng.Intn(len(s.neg))]
-				}
-				fi := extractVolumeFOV(img, netCfg.FOV, c)
-				fl := extractVolumeFOV(lbl, netCfg.FOV, c)
-				loss, g := model.ComputeGrads(fi, fl)
-				lossSum += loss
-				if batch == nil {
-					batch = g
-				} else {
-					merged, err := ffn.AverageGrads([]*ffn.ParamGrads{batch, g})
-					if err != nil {
-						rs.Delete()
-						return nil, err
-					}
-					batch = merged
-				}
-			}
-			perWorker[w] = batch
-		}
-		res.Losses = append(res.Losses, lossSum/float64(cfg.Workers*cfg.BatchPerWorker))
-
-		// All-reduce: average and apply the same update everywhere.
-		avg, err := ffn.AverageGrads(perWorker)
-		if err != nil {
-			rs.Delete()
-			return nil, err
-		}
-		model.ApplyGrads(opt, avg)
-
-		// Virtual time: parallel GPU compute plus the ring all-reduce over
-		// the WAN between the worker pods' sites.
-		computeT := cfg.GPU.TrainTime(cfg.VoxelsPerRound)
-		e.Clock.RunFor(computeT)
+	for round := 0; round < len(tr.Losses); round++ {
+		e.Clock.RunFor(cfg.GPU.TrainTime(cfg.VoxelsPerRound))
 		if cfg.Workers > 1 {
-			res.CommBytes += run2ringAllReduce(e, eps, gradBytes)
+			res.CommBytes += run2ringAllReduce(e, eps, tr.GradBytes)
 		}
 	}
 	res.VirtualTime = e.Clock.Now() - start
@@ -215,6 +207,22 @@ func run2ringAllReduce(e *Ecosystem, eps []*cluster.Pod, gradBytes float64) floa
 	}
 	e.Clock.RunWhile(func() bool { return pending > 0 })
 	return total
+}
+
+// sceneSource renders a RealComputeConfig as an inline chased/v1 volume
+// source plus the quantile threshold that binarizes it — the raw form the
+// training job kinds consume (they threshold and normalize themselves,
+// exactly as buildScene does).
+func sceneSource(rc *RealComputeConfig) (api.VolumeSource, float32) {
+	gen := merra.NewGenerator(rc.Grid, rc.Seed)
+	levels := merra.PressureLevels(rc.Grid.NLev)
+	vol := merra.IVTVolume(gen, levels, 20, rc.TimeSteps)
+	flat := merra.Field2D{NLon: len(vol.Data), NLat: 1, Data: vol.Data}
+	th := flat.Quantile(rc.Quantile)
+	return api.VolumeSource{
+		D: rc.TimeSteps, H: rc.Grid.NLat, W: rc.Grid.NLon,
+		Data: append([]float32(nil), vol.Data...),
+	}, th
 }
 
 // buildScene renders the shared training data for a RealComputeConfig.

@@ -6,17 +6,21 @@ import (
 	"fmt"
 	"time"
 
+	"chaseci/internal/api"
 	"chaseci/internal/cluster"
 	"chaseci/internal/ffn"
 	"chaseci/internal/gpusim"
+	"chaseci/internal/queue"
+	"chaseci/internal/service"
 )
 
 // SweepConfig drives the Section III-E3 extension: a Redis queue of
-// hyperparameter sets consumed by a pool of single-GPU validation pods, each
-// training a real model on the training split and scoring it on the
-// held-out split. Exactly the paper's plan ("a Redis queue is being
-// developed to store model training/testing validation split methodologies
-// and parameter sets to be used in multi-model validation") as running code.
+// hyperparameter sets consumed by a pool of single-GPU validation pods.
+// Since PR 10 each popped candidate is evaluated by the chased/v1 train job
+// kind (train with a held-out slab, score precision/recall/F1/IoU) — the
+// same code path the sweep job kind fans out over — so this entry point
+// keeps only the queue mechanics, pod topology, and virtual GPU time as the
+// surrounding test harness.
 type SweepConfig struct {
 	Namespace string
 	// Candidates is the parameter grid to evaluate.
@@ -31,14 +35,17 @@ type SweepConfig struct {
 	Seed          uint64
 }
 
-// DefaultSweep returns a small grid at experiment scale.
+// DefaultSweep returns a small grid at experiment scale. Module depth is a
+// grid axis alongside the learning rate, so the sweep compares shallow and
+// default-depth networks instead of hardcoding Modules: 2.
 func DefaultSweep() SweepConfig {
 	return SweepConfig{
 		Namespace: "hp-sweep",
 		Candidates: ffn.Grid(
 			[]float32{0.01, 0.03},
 			[]float32{0.9},
-			[]int{4, 6},
+			[]int{6},
+			[]int{1, 2},
 			[]int{200},
 		),
 		Workers:       4,
@@ -66,8 +73,9 @@ type SweepResult struct {
 const sweepQueueKey = "hp-sweep:params"
 
 // RunHyperparameterSweep executes the sweep on the cluster: candidates are
-// queued, worker pods pop and evaluate them (real training + validation) and
-// write JSON results to the object store; the best candidate by F1 wins.
+// queued, worker pods pop them and submit each as a holdout-scored train
+// job on an in-process runner, and write the JSON results to the object
+// store; the best candidate by F1 wins.
 func (e *Ecosystem) RunHyperparameterSweep(cfg SweepConfig) (*SweepResult, error) {
 	if len(cfg.Candidates) == 0 {
 		return nil, errors.New("core: no sweep candidates")
@@ -88,26 +96,72 @@ func (e *Ecosystem) RunHyperparameterSweep(cfg SweepConfig) (*SweepResult, error
 		return nil, err
 	}
 
-	// Build and split the scene once; every pod validates on the same
-	// held-out steps, as §III-E3 requires.
-	img, lbl := buildScene(cfg.Scene)
-	trainSteps := int(float64(img.D) * cfg.TrainFraction)
+	// Build the scene once; every pod validates on the same held-out steps,
+	// as §III-E3 requires (the train job splits off the trailing slab).
+	src, th := sceneSource(cfg.Scene)
+	trainSteps := int(float64(src.D) * cfg.TrainFraction)
 	if trainSteps < 1 {
 		trainSteps = 1
 	}
-	if trainSteps >= img.D {
-		trainSteps = img.D - 1
+	if trainSteps >= src.D {
+		trainSteps = src.D - 1
 	}
-	trImg, trLbl, teImg, teLbl := ffn.Split(img, lbl, trainSteps)
+	holdout := src.D - trainSteps
+	trainVoxels := trainSteps * src.H * src.W
 
 	// Queue the parameter sets.
 	for _, h := range cfg.Candidates {
 		e.Queue.LPush(sweepQueueKey, h.Encode())
 	}
 
+	runner := service.NewRunner(service.DefaultRegistry(), queue.NewStore(), cfg.Workers)
+	defer runner.Close()
+
 	mount := e.Storage.MountBucket("hp-sweep")
 	start := e.Clock.Now()
 	var evalErr error
+
+	evaluate := func(h ffn.Hyperparams) (ffn.ValidationResult, error) {
+		st, err := runner.Submit(&api.JobRequest{
+			Kind: api.KindTrain,
+			Name: "validate",
+			Train: &api.TrainSpec{
+				Source:       src,
+				Threshold:    th,
+				Steps:        h.TrainSteps,
+				LR:           h.LR,
+				Momentum:     h.Momentum,
+				NetSeed:      cfg.Seed,
+				SampleSeed:   cfg.Seed ^ 0xabcd,
+				HoldoutSteps: holdout,
+				Net: &api.NetConfig{
+					FOV:      [3]int{3, 7, 7},
+					Features: h.Features,
+					Modules:  h.Modules,
+					MoveStep: [3]int{1, 2, 2},
+				},
+			},
+		}, "core")
+		if err != nil {
+			return ffn.ValidationResult{}, err
+		}
+		raw, err := awaitJob(runner, st.ID)
+		if err != nil {
+			return ffn.ValidationResult{}, err
+		}
+		var tr api.TrainResult
+		if err := json.Unmarshal(raw, &tr); err != nil {
+			return ffn.ValidationResult{}, fmt.Errorf("core: train result: %w", err)
+		}
+		return ffn.ValidationResult{
+			Params:    h,
+			TrainLoss: tr.LossTail,
+			Precision: tr.Precision,
+			Recall:    tr.Recall,
+			F1:        tr.F1,
+			IoU:       tr.IoU,
+		}, nil
+	}
 
 	job, err := e.Cluster.CreateJob(cluster.JobSpec{
 		Name: "validate", Namespace: cfg.Namespace,
@@ -132,9 +186,9 @@ func (e *Ecosystem) RunHyperparameterSweep(cfg SweepConfig) (*SweepResult, error
 						pc.Fail(err.Error())
 						return
 					}
-					// Real evaluation; GPU time modeled from the training
-					// volume x steps actually run.
-					res, err := ffn.Evaluate(h, trImg, trLbl, teImg, teLbl, cfg.Seed)
+					// Real evaluation through the job kind; GPU time modeled
+					// from the training volume x steps actually run.
+					res, err := evaluate(h)
 					if err != nil {
 						evalErr = err
 						pc.Fail(err.Error())
@@ -152,7 +206,7 @@ func (e *Ecosystem) RunHyperparameterSweep(cfg SweepConfig) (*SweepResult, error
 						pc.Fail(err.Error())
 						return
 					}
-					voxels := float64(trImg.Size()) * float64(h.TrainSteps) / 100
+					voxels := float64(trainVoxels) * float64(h.TrainSteps) / 100
 					pc.After(cfg.GPU.TrainTime(voxels), next)
 				}
 				next()

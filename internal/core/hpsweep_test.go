@@ -83,8 +83,13 @@ func TestHyperparamsRoundTrip(t *testing.T) {
 }
 
 func TestGridCartesianProduct(t *testing.T) {
-	g := ffn.Grid([]float32{0.01, 0.03}, []float32{0.8, 0.9}, []int{4}, []int{100, 200, 300})
-	if len(g) != 12 {
-		t.Fatalf("grid size = %d, want 12", len(g))
+	g := ffn.Grid([]float32{0.01, 0.03}, []float32{0.8, 0.9}, []int{4}, []int{1, 2}, []int{100, 200, 300})
+	if len(g) != 24 {
+		t.Fatalf("grid size = %d, want 24", len(g))
+	}
+	// An empty modules axis sweeps the historical default depth of 2.
+	g = ffn.Grid([]float32{0.01}, []float32{0.9}, []int{4}, nil, []int{100})
+	if len(g) != 1 || g[0].Modules != 2 {
+		t.Fatalf("default modules grid = %+v, want one candidate with Modules 2", g)
 	}
 }

@@ -45,6 +45,9 @@ const (
 	// KindMask is a binary (d, h, w) field packed 1 bit per voxel —
 	// ~32x smaller than the float32 encoding for segmentation masks.
 	KindMask Kind = 2
+	// KindCheckpoint is an opaque training-checkpoint byte string (the FFN
+	// FFNCKPT format). d carries the payload byte length; h and w are 1.
+	KindCheckpoint Kind = 3
 )
 
 // String names the kind for listings.
@@ -54,6 +57,8 @@ func (k Kind) String() string {
 		return "volume"
 	case KindMask:
 		return "mask"
+	case KindCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -163,12 +168,25 @@ func EncodeMask(d, h, w int, data []float32) ([]byte, error) {
 	return append(b, PackBits(data)...), nil
 }
 
-// Blob is a decoded dataset. Data is shared with the manager's resolve
-// cache — treat it as read-only and CloneData before mutating.
+// EncodeCheckpoint encodes an opaque checkpoint byte string. The byte
+// length rides in the d dimension, so the header path's size validation
+// applies unchanged.
+func EncodeCheckpoint(payload []byte) ([]byte, error) {
+	if _, ok := voxels(len(payload), 1, 1); !ok {
+		return nil, fmt.Errorf("%w: checkpoint of %d bytes", ErrBadEncoding, len(payload))
+	}
+	b := encodeHeader(KindCheckpoint, len(payload), 1, 1, len(payload))
+	return append(b, payload...), nil
+}
+
+// Blob is a decoded dataset. Data/Raw are shared with the manager's resolve
+// cache — treat them as read-only and CloneData before mutating.
 type Blob struct {
 	Kind    Kind
 	D, H, W int
 	Data    []float32
+	// Raw holds a checkpoint's opaque payload bytes (nil for volume/mask).
+	Raw []byte
 }
 
 // Voxels returns the element count.
@@ -203,6 +221,11 @@ func DecodeHeader(enc []byte) (kind Kind, d, h, w int, err error) {
 		want = 4 * n
 	case KindMask:
 		want = (n + 7) / 8
+	case KindCheckpoint:
+		if h != 1 || w != 1 {
+			return 0, 0, 0, 0, fmt.Errorf("%w: checkpoint dims %dx%dx%d, want Nx1x1", ErrBadEncoding, d, h, w)
+		}
+		want = n
 	default:
 		return 0, 0, 0, 0, fmt.Errorf("%w: unknown kind %d", ErrBadEncoding, enc[4])
 	}
@@ -242,6 +265,9 @@ func Decode(enc []byte) (*Blob, error) {
 		if err != nil {
 			return nil, err
 		}
+	case KindCheckpoint:
+		// Opaque bytes: no float32 expansion.
+		b.Raw = append([]byte(nil), enc[HeaderSize:]...)
 	}
 	return b, nil
 }
@@ -562,7 +588,7 @@ func (m *Manager) Resolve(id string) (*Blob, error) {
 // cacheLocked inserts a decoded blob and evicts LRU entries past the byte
 // budget. m.mu held.
 func (m *Manager) cacheLocked(id string, blob *Blob) {
-	cost := 4 * len(blob.Data)
+	cost := 4*len(blob.Data) + len(blob.Raw)
 	if cost > m.cacheCapacity {
 		return // larger than the whole cache; don't thrash it
 	}

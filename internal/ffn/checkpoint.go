@@ -1,0 +1,169 @@
+package ffn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"chaseci/internal/tensor"
+)
+
+// Training checkpoints for the train_dist job kind: the full state a
+// data-parallel run needs to continue bit-exactly — model weights (the
+// FFNMODL format), optimizer momentum buffers, the sampling seed and batch
+// geometry, the next round index, and the loss history so far. Sampling is
+// stateless per round (each round derives its RNG from SampleSeed and the
+// round index), so no RNG state needs to survive the round boundary: a run
+// resumed from round R replays rounds R..N exactly as the uninterrupted run
+// would have.
+
+var ckptMagic = [8]byte{'F', 'F', 'N', 'C', 'K', 'P', 'T', 1}
+
+// ErrBadCheckpoint indicates the bytes are not a serialized checkpoint.
+var ErrBadCheckpoint = errors.New("ffn: not a serialized training checkpoint")
+
+// Checkpoint is the resumable state of a distributed training run at a
+// round boundary.
+type Checkpoint struct {
+	Net *Network
+	Opt *tensor.SGD
+	// SampleSeed is the run's sampling seed; each round r draws from
+	// sim.NewRNG(SampleSeed ^ (r+1)*phi) independently of worker count.
+	SampleSeed uint64
+	// BatchPerRound is the global number of FOV examples per round.
+	BatchPerRound int
+	// Round is the next round index to execute (== len(Losses)).
+	Round int
+	// Losses is the per-round mean loss history up to Round.
+	Losses []float64
+}
+
+// walkVelocities visits the optimizer momentum buffer of every parameter in
+// the network's canonical order (wIn, bIn, per-module w1/b1/w2/b2, wOut,
+// bOut) — the same walk applySGD and Save use.
+func walkVelocities(n *Network, opt *tensor.SGD, visit func(data []float32) error) error {
+	if err := visit(opt.VelocityFor(n.wIn).Data); err != nil {
+		return err
+	}
+	if err := visit(opt.VelocityBiasFor(&n.bIn)); err != nil {
+		return err
+	}
+	for _, m := range n.mods {
+		for _, v := range [][]float32{
+			opt.VelocityFor(m.w1).Data, opt.VelocityBiasFor(&m.b1),
+			opt.VelocityFor(m.w2).Data, opt.VelocityBiasFor(&m.b2),
+		} {
+			if err := visit(v); err != nil {
+				return err
+			}
+		}
+	}
+	if err := visit(opt.VelocityFor(n.wOut).Data); err != nil {
+		return err
+	}
+	return visit(opt.VelocityBiasFor(&n.bOut))
+}
+
+// Encode serializes the checkpoint to w.
+func (c *Checkpoint) Encode(w io.Writer) error {
+	if _, err := w.Write(ckptMagic[:]); err != nil {
+		return err
+	}
+	model := c.Net.SaveBytes()
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(model))); err != nil {
+		return err
+	}
+	if _, err := w.Write(model); err != nil {
+		return err
+	}
+	hdr := []any{
+		c.Opt.LR, c.Opt.Momentum,
+		c.SampleSeed,
+		uint32(c.BatchPerRound), uint32(c.Round), uint32(len(c.Losses)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(w, binary.LittleEndian, c.Losses); err != nil {
+		return err
+	}
+	return walkVelocities(c.Net, c.Opt, func(data []float32) error {
+		return binary.Write(w, binary.LittleEndian, data)
+	})
+}
+
+// EncodeBytes returns the serialized checkpoint.
+func (c *Checkpoint) EncodeBytes() []byte {
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		panic(err) // bytes.Buffer cannot fail
+	}
+	return buf.Bytes()
+}
+
+// DecodeCheckpoint reconstructs a checkpoint (network, optimizer with
+// momentum state, loss history) from serialized bytes.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	r := bytes.NewReader(data)
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, ErrBadCheckpoint
+	}
+	if magic != ckptMagic {
+		return nil, ErrBadCheckpoint
+	}
+	var modelLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &modelLen); err != nil {
+		return nil, fmt.Errorf("%w: truncated model length", ErrBadCheckpoint)
+	}
+	if int(modelLen) > r.Len() {
+		return nil, fmt.Errorf("%w: model length %d exceeds payload", ErrBadCheckpoint, modelLen)
+	}
+	model := make([]byte, modelLen)
+	if _, err := io.ReadFull(r, model); err != nil {
+		return nil, err
+	}
+	net, err := LoadBytes(model)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint model: %w", err)
+	}
+	var (
+		lr, momentum float32
+		sampleSeed   uint64
+		batch, round uint32
+		nLosses      uint32
+	)
+	for _, v := range []any{&lr, &momentum, &sampleSeed, &batch, &round, &nLosses} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("%w: truncated header", ErrBadCheckpoint)
+		}
+	}
+	if int(nLosses)*8 > r.Len() {
+		return nil, fmt.Errorf("%w: loss count %d exceeds payload", ErrBadCheckpoint, nLosses)
+	}
+	losses := make([]float64, nLosses)
+	if err := binary.Read(r, binary.LittleEndian, losses); err != nil {
+		return nil, err
+	}
+	opt := tensor.NewSGD(lr, momentum)
+	err = walkVelocities(net, opt, func(dst []float32) error {
+		return binary.Read(r, binary.LittleEndian, dst)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated velocities", ErrBadCheckpoint)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, r.Len())
+	}
+	return &Checkpoint{
+		Net: net, Opt: opt,
+		SampleSeed:    sampleSeed,
+		BatchPerRound: int(batch),
+		Round:         int(round),
+		Losses:        losses,
+	}, nil
+}

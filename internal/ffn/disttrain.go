@@ -1,0 +1,185 @@
+package ffn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"chaseci/internal/sim"
+	"chaseci/internal/tensor"
+)
+
+// DistTrainer runs synchronous data-parallel SGD with a worker-count-
+// invariant sampling scheme. Every round draws one global batch of FOV
+// centers from an RNG derived only from (SampleSeed, round index); the
+// examples are sharded across W worker goroutines that compute gradients
+// concurrently against the shared network (ComputeGrads is read-only), and
+// the all-reduce averages the per-sample gradients in global sample order.
+// The resulting loss sequence is therefore bit-identical at any worker
+// count, under elastic worker changes between rounds, and across a
+// checkpoint/restore boundary.
+type DistTrainer struct {
+	Net *Network
+	Opt *tensor.SGD
+	// PositiveBias matches Trainer's balanced sampling (default 0.5).
+	PositiveBias float64
+
+	img, lbl *Volume
+	pos, neg [][3]int
+
+	sampleSeed uint64
+	batch      int
+	workers    int
+	round      int
+	losses     []float64
+}
+
+// ErrNoWorkers indicates a non-positive worker count.
+var ErrNoWorkers = errors.New("ffn: distributed trainer needs >= 1 worker")
+
+// NewDistTrainer builds a distributed trainer over a labelled volume.
+func NewDistTrainer(net *Network, lr, momentum float32, img, lbl *Volume, sampleSeed uint64, batchPerRound, workers int) (*DistTrainer, error) {
+	return newDistTrainer(net, tensor.NewSGD(lr, momentum), img, lbl, sampleSeed, batchPerRound, workers, 0, nil)
+}
+
+// ResumeDistTrainer continues a checkpointed run on a (bit-identical)
+// labelled volume: the next Round executes exactly the round the
+// interrupted run would have executed.
+func ResumeDistTrainer(ck *Checkpoint, img, lbl *Volume, workers int) (*DistTrainer, error) {
+	return newDistTrainer(ck.Net, ck.Opt, img, lbl, ck.SampleSeed, ck.BatchPerRound, workers,
+		ck.Round, append([]float64(nil), ck.Losses...))
+}
+
+func newDistTrainer(net *Network, opt *tensor.SGD, img, lbl *Volume, sampleSeed uint64, batchPerRound, workers, round int, losses []float64) (*DistTrainer, error) {
+	if workers < 1 {
+		return nil, ErrNoWorkers
+	}
+	if batchPerRound < 1 {
+		return nil, fmt.Errorf("ffn: batch per round %d, want >= 1", batchPerRound)
+	}
+	pos, neg := collectCenters(lbl, net.cfg.FOV)
+	if len(pos) == 0 && len(neg) == 0 {
+		return nil, ErrNoExamples
+	}
+	return &DistTrainer{
+		Net: net, Opt: opt, PositiveBias: 0.5,
+		img: img, lbl: lbl, pos: pos, neg: neg,
+		sampleSeed: sampleSeed, batch: batchPerRound, workers: workers,
+		round: round, losses: losses,
+	}, nil
+}
+
+// Workers returns the current data-parallel width.
+func (t *DistTrainer) Workers() int { return t.workers }
+
+// SetWorkers changes the data-parallel width before the next round — the
+// elastic add/remove path. Results are unaffected by construction.
+func (t *DistTrainer) SetWorkers(n int) error {
+	if n < 1 {
+		return ErrNoWorkers
+	}
+	t.workers = n
+	return nil
+}
+
+// RoundIndex returns the next round to execute (== completed rounds).
+func (t *DistTrainer) RoundIndex() int { return t.round }
+
+// Losses returns the per-round mean loss history (caller must not mutate).
+func (t *DistTrainer) Losses() []float64 { return t.losses }
+
+// CommBytesPerRound models one synchronous ring all-reduce at the current
+// width: each of W workers moves 2*(W-1)/W gradient payloads per round
+// (reduce-scatter + all-gather). A single worker moves nothing.
+func (t *DistTrainer) CommBytesPerRound() float64 {
+	w := float64(t.workers)
+	if w <= 1 {
+		return 0
+	}
+	return w * 2 * (w - 1) / w * t.Net.GradBytes()
+}
+
+// roundRNG derives round r's sampling stream. Independent of worker count
+// and of how many prior rounds ran in this process.
+func (t *DistTrainer) roundRNG(r int) *sim.RNG {
+	return sim.NewRNG(t.sampleSeed ^ (uint64(r)+1)*0x9e3779b97f4a7c15)
+}
+
+// Round executes one synchronous data-parallel round and returns its global
+// mean loss.
+func (t *DistTrainer) Round(ctx context.Context) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	rng := t.roundRNG(t.round)
+	centers := make([][3]int, t.batch)
+	for i := range centers {
+		usePos := len(t.pos) > 0 && (len(t.neg) == 0 || rng.Float64() < t.PositiveBias)
+		if usePos {
+			centers[i] = t.pos[rng.Intn(len(t.pos))]
+		} else {
+			centers[i] = t.neg[rng.Intn(len(t.neg))]
+		}
+	}
+
+	w := t.workers
+	if w > t.batch {
+		w = t.batch
+	}
+	grads := make([]*ParamGrads, t.batch)
+	sampleLoss := make([]float64, t.batch)
+	fov := t.Net.cfg.FOV
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		// Contiguous shard: worker wi takes samples [lo, hi).
+		lo := wi * t.batch / w
+		hi := (wi + 1) * t.batch / w
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			img := tensor.New(1, fov[0], fov[1], fov[2])
+			lab := tensor.New(1, fov[0], fov[1], fov[2])
+			for i := lo; i < hi; i++ {
+				c := centers[i]
+				extractFOVInto(img, t.img, fov, c[0], c[1], c[2])
+				extractFOVInto(lab, t.lbl, fov, c[0], c[1], c[2])
+				sampleLoss[i], grads[i] = t.Net.ComputeGrads(img, lab)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+
+	// The all-reduce: average in global sample order, so the result does not
+	// depend on which worker produced which gradient.
+	avg, err := AverageGrads(grads)
+	if err != nil {
+		return 0, err
+	}
+	t.Net.ApplyGrads(t.Opt, avg)
+	t.Net.qn = nil // weights changed; quantized cache is stale
+	loss := 0.0
+	for _, l := range sampleLoss {
+		loss += l
+	}
+	loss /= float64(t.batch)
+	t.losses = append(t.losses, loss)
+	t.round++
+	return loss, nil
+}
+
+// CheckpointBytes serializes the run's state at the current round boundary.
+// The bytes are a full snapshot — the trainer can keep running afterwards.
+func (t *DistTrainer) CheckpointBytes() []byte {
+	ck := &Checkpoint{
+		Net: t.Net, Opt: t.Opt,
+		SampleSeed:    t.sampleSeed,
+		BatchPerRound: t.batch,
+		Round:         t.round,
+		Losses:        t.losses,
+	}
+	return ck.EncodeBytes()
+}

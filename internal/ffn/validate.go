@@ -1,6 +1,7 @@
 package ffn
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 )
@@ -55,16 +56,22 @@ func DecodeHyperparams(s string) (Hyperparams, error) {
 	return h, nil
 }
 
-// Grid expands the cartesian product of candidate values.
-func Grid(lrs []float32, moms []float32, features []int, steps []int) []Hyperparams {
+// Grid expands the cartesian product of candidate values. An empty modules
+// list sweeps the historical default depth of 2.
+func Grid(lrs []float32, moms []float32, features []int, modules []int, steps []int) []Hyperparams {
+	if len(modules) == 0 {
+		modules = []int{2}
+	}
 	var out []Hyperparams
 	for _, lr := range lrs {
 		for _, m := range moms {
 			for _, f := range features {
-				for _, s := range steps {
-					out = append(out, Hyperparams{
-						LR: lr, Momentum: m, Features: f, Modules: 2, TrainSteps: s,
-					})
+				for _, mod := range modules {
+					for _, s := range steps {
+						out = append(out, Hyperparams{
+							LR: lr, Momentum: m, Features: f, Modules: mod, TrainSteps: s,
+						})
+					}
 				}
 			}
 		}
@@ -93,6 +100,13 @@ func (r ValidationResult) Better(o ValidationResult) bool {
 // Evaluate trains a fresh model with h on the training split and scores it
 // on the held-out split: the unit of work each sweep pod executes.
 func Evaluate(h Hyperparams, trainImg, trainLbl, testImg, testLbl *Volume, seed uint64) (ValidationResult, error) {
+	return EvaluateCtx(context.Background(), h, trainImg, trainLbl, testImg, testLbl, seed)
+}
+
+// EvaluateCtx is Evaluate with cancellation. A failed or cancelled held-out
+// segmentation fails the candidate: an all-zero mask from an aborted flood
+// must never score as a legitimate (if terrible) model.
+func EvaluateCtx(ctx context.Context, h Hyperparams, trainImg, trainLbl, testImg, testLbl *Volume, seed uint64) (ValidationResult, error) {
 	cfg := DefaultConfig()
 	cfg.FOV = [3]int{3, 7, 7}
 	cfg.Features = h.Features
@@ -105,12 +119,15 @@ func Evaluate(h Hyperparams, trainImg, trainLbl, testImg, testLbl *Volume, seed 
 		return ValidationResult{}, err
 	}
 	tr := NewTrainer(net, h.LR, h.Momentum, seed^0xabcd)
-	losses, err := tr.TrainOnVolume(trainImg, trainLbl, h.TrainSteps)
+	losses, err := tr.TrainOnVolumeCtx(ctx, trainImg, trainLbl, h.TrainSteps, nil)
 	if err != nil {
 		return ValidationResult{}, err
 	}
 	seeds := GridSeeds(testImg, cfg.FOV, [3]int{1, 4, 4}, 1.0)
-	mask, _ := net.Segment(testImg, seeds, 0)
+	mask, _, err := net.SegmentCtx(ctx, testImg, seeds, 0, nil)
+	if err != nil {
+		return ValidationResult{}, fmt.Errorf("ffn: held-out segmentation: %w", err)
+	}
 	prec, rec := PrecisionRecall(mask, testLbl)
 	f1 := 0.0
 	if prec+rec > 0 {

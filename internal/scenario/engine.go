@@ -265,6 +265,24 @@ func (w *world) request(spec JobSpec) (*api.JobRequest, error) {
 				MinVoxels:  2,
 			},
 		}
+	case "train_dist":
+		td := &api.TrainDistSpec{
+			Source:    api.VolumeSource{Ref: w.segRef},
+			Threshold: 0.5,
+			Workers:   2,
+			Rounds:    8,
+		}
+		if spec.ResumePrev {
+			// The checkpoint wins: no net/seed/batch fields, more rounds.
+			td.Rounds = 12
+		} else {
+			td.BatchPerRound = 4
+			td.Net = &api.NetConfig{FOV: [3]int{3, 7, 7}, Features: 4, MoveStep: [3]int{1, 2, 2}}
+			td.NetSeed = 11
+			td.SampleSeed = 13
+			td.CheckpointEvery = 2
+		}
+		req = &api.JobRequest{Kind: api.KindTrainDist, TrainDist: td}
 	default:
 		return nil, fmt.Errorf("scenario: unknown job kind %q", spec.Kind)
 	}
@@ -274,6 +292,42 @@ func (w *world) request(spec JobSpec) (*api.JobRequest, error) {
 	return req, nil
 }
 
+// awaitCheckpoint waits for job i to succeed and returns the checkpoint ref
+// its result names — the resume_prev handoff.
+func (w *world) awaitCheckpoint(i int) (string, error) {
+	if i < 0 || w.ids[i] == "" {
+		return "", fmt.Errorf("scenario: resume_prev: job %d not submitted", i)
+	}
+	limit := time.Now().Add(defaultDeadline)
+	for {
+		st, err := w.status(i)
+		if err != nil {
+			return "", err
+		}
+		if st.State.Terminal() {
+			if st.State != api.StateSucceeded {
+				return "", fmt.Errorf("scenario: resume_prev: job %d ended %s: %s", i, st.State, st.Error)
+			}
+			raw, err := w.result(i)
+			if err != nil {
+				return "", err
+			}
+			var tr api.TrainDistResult
+			if err := json.Unmarshal(raw, &tr); err != nil {
+				return "", err
+			}
+			if tr.CheckpointRef == "" {
+				return "", fmt.Errorf("scenario: job %d produced no checkpoint ref", i)
+			}
+			return tr.CheckpointRef, nil
+		}
+		if time.Now().After(limit) {
+			return "", fmt.Errorf("scenario: resume_prev: job %d not terminal within %v", i, defaultDeadline)
+		}
+		time.Sleep(awaitTick)
+	}
+}
+
 func (w *world) submit(i int) error {
 	if w.ids[i] != "" {
 		return fmt.Errorf("scenario: job %d already submitted", i)
@@ -281,6 +335,13 @@ func (w *world) submit(i int) error {
 	req, err := w.request(w.specs[i])
 	if err != nil {
 		return err
+	}
+	if w.specs[i].ResumePrev {
+		ref, err := w.awaitCheckpoint(i - 1)
+		if err != nil {
+			return err
+		}
+		req.TrainDist.ResumeFrom = ref
 	}
 	body, _ := json.Marshal(req)
 	resp, err := http.Post(w.srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
@@ -637,6 +698,10 @@ func (e *engine) apply(i int, ev Action, rng *sim.RNG) error {
 	case ActAwaitBound:
 		return e.await(ev.Job, "bound", func(st api.JobStatus) bool {
 			return s.BoundNode(e.w.ids[ev.Job]) != "" || st.State.Terminal()
+		})
+	case ActAwaitDone:
+		return e.await(ev.Job, "done", func(st api.JobStatus) bool {
+			return st.State.Terminal()
 		})
 	case ActSubmit:
 		return e.w.submit(ev.Job)

@@ -21,8 +21,9 @@ import (
 // against the in-world gateway.
 type JobSpec struct {
 	// Kind is "segment" (ref-mode segmentation over a seeded volume the
-	// engine uploads) or "pipeline" (synth-driven slab pipeline exercising
-	// intermediate pin/unpin traffic).
+	// engine uploads), "pipeline" (synth-driven slab pipeline exercising
+	// intermediate pin/unpin traffic), or "train_dist" (checkpointing
+	// data-parallel training over the same seeded volume).
 	Kind string `json:"kind"`
 	// Site pins placement to one fabric site ("" = anywhere).
 	Site string `json:"site,omitempty"`
@@ -30,6 +31,11 @@ type JobSpec struct {
 	// "submit" event injects them mid-script (e.g. into a partitioned
 	// fabric). The undisturbed baseline run submits them normally.
 	Deferred bool `json:"deferred,omitempty"`
+	// ResumePrev (train_dist only) makes the submit wait for the previous
+	// job to succeed and resume from its final checkpoint ref — in the
+	// disturbed and baseline worlds alike, so the continued loss curves can
+	// be compared bit-for-bit.
+	ResumePrev bool `json:"resume_prev,omitempty"`
 }
 
 // Action kinds understood by the event interpreter.
@@ -52,6 +58,7 @@ const (
 	ActAwaitHold   = "await_hold"   // wait until a held execution is parked
 	ActAwaitParked = "await_parked" // wait until job Job is queued & unbound
 	ActAwaitBound  = "await_bound"  // wait until job Job is bound to a node
+	ActAwaitDone   = "await_done"   // wait until job Job is terminal
 	ActSubmit      = "submit"       // submit deferred job Job now
 
 	// Measurement: drive a bulk transfer through the fluid-flow model in
@@ -110,10 +117,10 @@ func (p TracePoint) netsim() netsim.TracePoint {
 // end with all jobs succeeded, results bit-identical to an undisturbed run
 // of the same workload, zero leaked pins/claims, and no stuck goroutines.
 type Script struct {
-	Name        string        `json:"name"`
-	Description string        `json:"description"`
-	Jobs        []JobSpec     `json:"jobs"`
-	Events      []Action      `json:"events"`
+	Name        string    `json:"name"`
+	Description string    `json:"description"`
+	Jobs        []JobSpec `json:"jobs"`
+	Events      []Action  `json:"events"`
 	// Deadline bounds the wall time from last event to quiescence (0 =
 	// 60s). Virtual-time components (netsim transfers) are bounded by
 	// their own event budgets inside RunTransfer.
@@ -198,6 +205,28 @@ func Builtin() []Script {
 				{Kind: ActPanicNext, Count: 2},
 				{Kind: ActSubmit, Job: 0},
 				{Kind: ActSubmit, Job: 1},
+			},
+		},
+		{
+			Name:        "traindist_ckpt_resume",
+			Description: "a training worker's node dies mid-epoch; the requeued run and a checkpoint-resumed follow-on stay bit-exact under OSD loss",
+			Jobs: []JobSpec{
+				{Kind: "train_dist", Deferred: true},
+				{Kind: "train_dist", Deferred: true, ResumePrev: true},
+			},
+			Events: []Action{
+				{Kind: ActHoldNext, Count: 1},
+				{Kind: ActSubmit, Job: 0},
+				{Kind: ActAwaitHold},
+				{Kind: ActKillNode, Job: 0}, // kill the node training job 0
+				{Kind: ActRestoreNode},
+				{Kind: ActAwaitDone, Job: 0}, // requeued run writes the final checkpoint
+				{Kind: ActHoldNext, Count: 1},
+				{Kind: ActSubmit, Job: 1}, // resumes from job 0's checkpoint ref
+				{Kind: ActAwaitHold},
+				{Kind: ActFailOSD, OSD: "osd-ucsd"},
+				{Kind: ActRelease}, // resume must read the checkpoint degraded
+				{Kind: ActRecoverOSD, OSD: "osd-ucsd"},
 			},
 		},
 		{

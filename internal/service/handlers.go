@@ -23,6 +23,8 @@ func DefaultRegistry() *Registry {
 	r.Register(api.KindLabel, LabelHandler)
 	r.Register(api.KindIVT, IVTHandler)
 	r.Register(api.KindTrain, TrainHandler)
+	r.Register(api.KindTrainDist, TrainDistHandler)
+	r.Register(api.KindSweep, SweepHandler)
 	r.Register(api.KindWorkflow, WorkflowHandler)
 	r.Register(api.KindPipeline, PipelineHandler)
 	return r
@@ -273,7 +275,10 @@ func IVTHandler(jc *JobContext) (any, error) {
 }
 
 // TrainHandler runs FFN SGD training against the thresholded source. A
-// cancelled run reports the losses of the steps actually taken.
+// cancelled run reports the losses of the steps actually taken. With
+// HoldoutSteps > 0 the trailing time slices are withheld from training and
+// the trained model is scored on them (precision/recall/F1/IoU) — the
+// evaluation unit sweep jobs fan out over.
 func TrainHandler(jc *JobContext) (any, error) {
 	spec := jc.Request().Train
 	raw, err := sourceVolume(jc.Ctx(), jc, &spec.Source)
@@ -281,8 +286,28 @@ func TrainHandler(jc *JobContext) (any, error) {
 		return nil, err
 	}
 	labels := thresholdVolume(raw, spec.Threshold)
+	cfg := netConfig(spec.Net)
+
+	holdout := spec.HoldoutSteps
+	var testSeeds [][3]int
+	if holdout > 0 {
+		if holdout >= raw.D {
+			return nil, fmt.Errorf("%w: holdout of %d steps leaves no training data in a %d-step volume",
+				api.ErrInvalid, holdout, raw.D)
+		}
+		// Seeds come from the raw held-out slab, before normalization (the
+		// same convention SegmentHandler uses for its seed threshold).
+		_, _, testRaw, _ := ffn.Split(raw, labels, raw.D-holdout)
+		testSeeds = ffn.GridSeeds(testRaw, cfg.FOV, [3]int{1, 4, 4}, spec.Threshold)
+	}
 	image := raw.Normalize()
-	net, err := ffn.NewNetwork(netConfig(spec.Net), spec.NetSeed)
+	trainImg, trainLbl := image, labels
+	var testImg, testLbl *ffn.Volume
+	if holdout > 0 {
+		trainImg, trainLbl, testImg, testLbl = ffn.Split(image, labels, raw.D-holdout)
+	}
+
+	net, err := ffn.NewNetwork(cfg, spec.NetSeed)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +320,7 @@ func TrainHandler(jc *JobContext) (any, error) {
 	}
 	tr := ffn.NewTrainer(net, lr, momentum, spec.SampleSeed)
 	jc.Progress(0, int64(spec.Steps), "train")
-	losses, trainErr := tr.TrainOnVolumeCtx(jc.Ctx(), image, labels, spec.Steps,
+	losses, trainErr := tr.TrainOnVolumeCtx(jc.Ctx(), trainImg, trainLbl, spec.Steps,
 		func(step int) { jc.Progress(int64(step), int64(spec.Steps), "train") })
 	if len(losses) == 0 {
 		return nil, trainErr
@@ -305,7 +330,25 @@ func TrainHandler(jc *JobContext) (any, error) {
 		LossHead: ffn.MeanTail(losses[:(len(losses)+4)/5], 1),
 		LossTail: ffn.MeanTail(losses, 0.2),
 	}
-	return res, trainErr
+	if trainErr != nil || holdout == 0 {
+		return res, trainErr
+	}
+
+	jc.Progress(0, 0, "validate")
+	mask, _, segErr := net.SegmentCtx(jc.Ctx(), testImg, testSeeds, 0, nil)
+	if segErr != nil {
+		// An aborted flood must never score as a legitimate (if terrible)
+		// model — fail the candidate instead of reporting a zero mask.
+		return res, fmt.Errorf("held-out segmentation: %w", segErr)
+	}
+	prec, rec := ffn.PrecisionRecall(mask, testLbl)
+	res.HoldoutSteps = holdout
+	res.Precision, res.Recall = prec, rec
+	if prec+rec > 0 {
+		res.F1 = 2 * prec * rec / (prec + rec)
+	}
+	res.IoU = ffn.IoU(mask, testLbl)
+	return res, nil
 }
 
 // WorkflowHandler executes a measured virtual-time DAG on a private clock.

@@ -200,6 +200,7 @@ type JobContext struct {
 	ctx      context.Context
 	job      *job
 	datasets *dataset.Manager
+	runner   *Runner
 }
 
 // Ctx returns the job's cancellation context. Handlers must pass it to the
@@ -804,7 +805,7 @@ func (r *Runner) execute(id string) {
 	}
 
 	h, _ := r.reg.Handler(j.kind)
-	res, err := r.runWithRetry(h, &JobContext{ctx: ctx, job: j, datasets: r.datasets})
+	res, err := r.runWithRetry(h, &JobContext{ctx: ctx, job: j, datasets: r.datasets, runner: r})
 	cancel()
 	sh.mu.Lock()
 	delete(sh.cancels, id)

@@ -1,0 +1,281 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"chaseci/internal/api"
+	"chaseci/internal/ffn"
+)
+
+// The sweep job: hyperparameter search as a job that submits jobs. Each
+// candidate in the ffn.Grid cartesian product becomes a train job with a
+// held-out validation slab, submitted through the same admission-controlled
+// fair queue as everything else — a sweep enjoys no back door around tenant
+// bounds. While its children run, the sweep worker "helps": it drains the
+// pending queue like any pool worker, so a single-worker runner cannot
+// deadlock on a job that is waiting for jobs.
+
+// errNoRunner marks a JobContext built without a runner (test harnesses);
+// job kinds that submit child jobs cannot run there.
+var errNoRunner = errors.New("service: job context has no runner to submit child jobs")
+
+// submitChild submits a child job under the parent's identity, helping the
+// pool when admission sheds the submit instead of failing the parent.
+func (jc *JobContext) submitChild(req *api.JobRequest) (api.JobStatus, error) {
+	if jc.runner == nil {
+		return api.JobStatus{}, errNoRunner
+	}
+	for {
+		st, err := jc.runner.Submit(req, jc.Owner())
+		if err == nil || !errors.Is(err, ErrOverloaded) {
+			return st, err
+		}
+		if !jc.helpOnce() {
+			select {
+			case <-jc.ctx.Done():
+				return api.JobStatus{}, jc.ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+}
+
+// helpOnce pops one pending job and executes it inline on the calling
+// worker's goroutine. False when the pending queue is empty (or this is a
+// cluster runner, whose node pools carry their own queues).
+func (jc *JobContext) helpOnce() bool {
+	if jc.runner == nil {
+		return false
+	}
+	id, ok := jc.runner.pending.Pop()
+	if !ok {
+		return false
+	}
+	jc.runner.execute(id)
+	return true
+}
+
+// sweepDepth reports the time depth of the sweep's source volume without
+// materializing it.
+func sweepDepth(jc *JobContext, src *api.VolumeSource) (int, error) {
+	switch {
+	case src.Ref != "":
+		info, ok := jc.Datasets().Stat(src.Ref)
+		if !ok {
+			return 0, fmt.Errorf("%w: source ref %s is not in the dataset store", api.ErrInvalid, src.Ref)
+		}
+		return info.D, nil
+	case src.Synth != nil:
+		return src.Synth.Steps, nil
+	default:
+		return src.D, nil
+	}
+}
+
+// sweepChild builds candidate i's train job. The network seed is shared
+// across candidates (so architectures differ only where the grid says they
+// do) and the sampling seed is derived the same way ffn.Evaluate derives it.
+func sweepChild(spec *api.SweepSpec, name string, i int, h ffn.Hyperparams, steps, holdout int) *api.JobRequest {
+	return &api.JobRequest{
+		Kind: api.KindTrain,
+		Name: fmt.Sprintf("%s/cand-%02d", name, i),
+		Train: &api.TrainSpec{
+			Source:       spec.Source,
+			Threshold:    spec.Threshold,
+			Steps:        steps,
+			LR:           h.LR,
+			Momentum:     h.Momentum,
+			NetSeed:      spec.Seed,
+			SampleSeed:   spec.Seed ^ 0xabcd,
+			HoldoutSteps: holdout,
+			Net: &api.NetConfig{
+				FOV:      [3]int{3, 7, 7},
+				Features: h.Features,
+				Modules:  h.Modules,
+				MoveStep: [3]int{1, 2, 2},
+			},
+		},
+	}
+}
+
+// runCandidates executes one rung: every candidate trains for its given
+// step count and is scored on the holdout slab. Parallelism is bounded by
+// spec.Parallel (0 defaults to 2, matching the api doc); the sweep worker
+// helps drain the pool while it waits.
+func runCandidates(jc *JobContext, spec *api.SweepSpec, name string, cands []ffn.Hyperparams, steps []int, holdout int, stage string, entries []api.SweepEntry) error {
+	limit := spec.Parallel
+	if limit <= 0 {
+		limit = 2
+	}
+	ids := make([]string, len(cands))
+	inflight := make(map[string]int)
+	next, done := 0, 0
+	cancelInflight := func() {
+		for id := range inflight {
+			jc.runner.Cancel(id)
+		}
+	}
+	for done < len(cands) {
+		for next < len(cands) && len(inflight) < limit {
+			st, err := jc.submitChild(sweepChild(spec, name, next, cands[next], steps[next], holdout))
+			if err != nil {
+				cancelInflight()
+				return err
+			}
+			ids[next] = st.ID
+			inflight[st.ID] = next
+			next++
+		}
+		progressed := false
+		for id, idx := range inflight {
+			raw, st, ok := jc.runner.Result(id)
+			if !ok {
+				cancelInflight()
+				return fmt.Errorf("service: sweep candidate %s vanished", id)
+			}
+			if !st.State.Terminal() {
+				continue
+			}
+			delete(inflight, id)
+			done++
+			progressed = true
+			if st.State != api.StateSucceeded {
+				cancelInflight()
+				return fmt.Errorf("service: sweep candidate %s (%s): %s", id, st.Name, st.Error)
+			}
+			var tr api.TrainResult
+			if err := json.Unmarshal(raw, &tr); err != nil {
+				cancelInflight()
+				return fmt.Errorf("service: sweep candidate %s result: %w", id, err)
+			}
+			h := cands[idx]
+			entries[idx] = api.SweepEntry{
+				Params: api.SweepParams{
+					LR: h.LR, Momentum: h.Momentum,
+					Features: h.Features, Modules: h.Modules, TrainSteps: steps[idx],
+				},
+				JobID:     id,
+				TrainLoss: tr.LossTail,
+				Precision: tr.Precision,
+				Recall:    tr.Recall,
+				F1:        tr.F1,
+				IoU:       tr.IoU,
+			}
+			jc.Progress(int64(done), int64(len(cands)), fmt.Sprintf("%s %d/%d", stage, done, len(cands)))
+		}
+		if done == len(cands) {
+			break
+		}
+		if !progressed && !jc.helpOnce() {
+			select {
+			case <-jc.Ctx().Done():
+				cancelInflight()
+				return jc.Ctx().Err()
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	return nil
+}
+
+// SweepHandler fans a hyperparameter grid out over train jobs and returns
+// the leaderboard. With EarlyStop, candidates first train a half-step rung;
+// those at or below the median F1 stop there (their rung-1 scores stand,
+// flagged EarlyStopped) and only the survivors train the full budget — the
+// successive-halving economics without a scheduler in the client.
+func SweepHandler(jc *JobContext) (any, error) {
+	if jc.runner == nil {
+		return nil, errNoRunner
+	}
+	spec := jc.Request().Sweep
+	name := jc.Request().Name
+	if name == "" {
+		name = "sweep"
+	}
+	cands := ffn.Grid(spec.LRs, spec.Momentums, spec.Features, spec.Modules, spec.TrainSteps)
+
+	depth, err := sweepDepth(jc, &spec.Source)
+	if err != nil {
+		return nil, err
+	}
+	frac := spec.TrainFraction
+	if frac == 0 {
+		frac = 0.5
+	}
+	trainSteps := int(frac * float64(depth))
+	if trainSteps < 1 {
+		trainSteps = 1
+	}
+	holdout := depth - trainSteps
+	if holdout < 1 {
+		return nil, fmt.Errorf("%w: train fraction %g leaves no holdout in a %d-step volume",
+			api.ErrInvalid, frac, depth)
+	}
+
+	res := api.SweepResult{Candidates: len(cands)}
+	entries := make([]api.SweepEntry, len(cands))
+	full := make([]int, len(cands))
+	for i, h := range cands {
+		full[i] = h.TrainSteps
+	}
+
+	survivors := cands
+	steps := full
+	if spec.EarlyStop && len(cands) > 1 {
+		rung := make([]int, len(cands))
+		for i, s := range full {
+			rung[i] = (s + 1) / 2
+		}
+		if err := runCandidates(jc, spec, name+"/rung1", cands, rung, holdout, "rung1", entries); err != nil {
+			return nil, err
+		}
+		f1s := make([]float64, len(entries))
+		for i, e := range entries {
+			f1s[i] = e.F1
+		}
+		sort.Float64s(f1s)
+		median := f1s[(len(f1s)-1)/2]
+		survivors, steps = nil, nil
+		idxs := make([]int, 0, len(cands))
+		for i, e := range entries {
+			if e.F1 > median {
+				survivors = append(survivors, cands[i])
+				steps = append(steps, full[i])
+				idxs = append(idxs, i)
+			} else {
+				entries[i].EarlyStopped = true
+				res.EarlyStopped++
+			}
+		}
+		if len(survivors) == 0 {
+			// A flat rung (every candidate at the median) promotes everyone:
+			// stopping all of them would leave the sweep with no full run.
+			survivors, steps, idxs = cands, full, idxs[:0]
+			for i := range cands {
+				idxs = append(idxs, i)
+				entries[i].EarlyStopped = false
+			}
+			res.EarlyStopped = 0
+		}
+		sub := make([]api.SweepEntry, len(survivors))
+		if err := runCandidates(jc, spec, name+"/final", survivors, steps, holdout, "final", sub); err != nil {
+			return nil, err
+		}
+		for k, i := range idxs {
+			entries[i] = sub[k]
+		}
+	} else {
+		if err := runCandidates(jc, spec, name, survivors, steps, holdout, "train", entries); err != nil {
+			return nil, err
+		}
+	}
+
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Better(entries[j]) })
+	res.Leaderboard = entries
+	res.Best = entries[0]
+	return res, nil
+}

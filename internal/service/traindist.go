@@ -1,0 +1,153 @@
+package service
+
+import (
+	"fmt"
+
+	"chaseci/internal/api"
+	"chaseci/internal/dataset"
+	"chaseci/internal/ffn"
+)
+
+// The train_dist job: synchronous data-parallel FFN training under the
+// service Runner. The kernel (ffn.DistTrainer) is worker-count invariant by
+// construction — every round draws one global batch from a round-derived RNG
+// and averages gradients in global sample order — so the loss sequence is
+// bit-identical at any width, under elastic add/remove between rounds, and
+// across a checkpoint/restore boundary. Checkpoints are content-addressed
+// CDS1 datasets: a resumed job names one by ref, and two runs that reach the
+// same round with the same state collide into the same id.
+
+// putCheckpoint stores the trainer's current state as a checkpoint dataset,
+// pinned atomically against a concurrent delete; the tracker's release
+// matches the pin and sweeps orphans if the job never completes.
+func putCheckpoint(jc *JobContext, refs *pipeRefs, t *ffn.DistTrainer) (string, error) {
+	enc, err := dataset.EncodeCheckpoint(t.CheckpointBytes())
+	if err != nil {
+		return "", err
+	}
+	info, created, err := jc.Datasets().PutPinned(enc, jc.Owner())
+	if err != nil {
+		return "", err
+	}
+	refs.track(refs.masks, info.ID, created)
+	return info.ID, nil
+}
+
+// TrainDistHandler runs a data-parallel training job: fresh from a spec, or
+// resumed from a checkpoint ref (the checkpoint carries model, optimizer
+// momentum, sampling seed, batch geometry, and loss history — Rounds means
+// total rounds including the resumed history). A cancelled run reports the
+// rounds actually completed; its periodic checkpoints are released, but an
+// identical re-run re-creates the same content-addressed refs.
+func TrainDistHandler(jc *JobContext) (any, error) {
+	spec := jc.Request().TrainDist
+	raw, err := sourceVolume(jc.Ctx(), jc, &spec.Source)
+	if err != nil {
+		return nil, err
+	}
+	labels := thresholdVolume(raw, spec.Threshold)
+	image := raw.Normalize()
+
+	var t *ffn.DistTrainer
+	res := api.TrainDistResult{}
+	if spec.ResumeFrom != "" {
+		jc.Progress(0, 1, "resume")
+		blob, err := jc.Datasets().Resolve(spec.ResumeFrom)
+		if err != nil {
+			return nil, err
+		}
+		if blob.Kind != dataset.KindCheckpoint {
+			return nil, fmt.Errorf("%w: resume ref %s is a %s dataset, want checkpoint",
+				api.ErrInvalid, spec.ResumeFrom, blob.Kind)
+		}
+		ck, err := ffn.DecodeCheckpoint(blob.Raw)
+		if err != nil {
+			return nil, err
+		}
+		t, err = ffn.ResumeDistTrainer(ck, image, labels, spec.Workers)
+		if err != nil {
+			return nil, err
+		}
+		res.ResumedFrom = spec.ResumeFrom
+	} else {
+		lr, momentum := spec.LR, spec.Momentum
+		if lr == 0 {
+			lr = 0.05
+		}
+		if momentum == 0 {
+			momentum = 0.9
+		}
+		net, err := ffn.NewNetwork(netConfig(spec.Net), spec.NetSeed)
+		if err != nil {
+			return nil, err
+		}
+		t, err = ffn.NewDistTrainer(net, lr, momentum, image, labels,
+			spec.SampleSeed, spec.BatchPerRound, spec.Workers)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.StartRound = t.RoundIndex()
+	res.GradBytes = t.Net.GradBytes()
+
+	refs := &pipeRefs{ds: jc.Datasets(), masks: make(map[string]*refEntry)}
+	defer refs.release()
+
+	elastic := spec.Elastic
+	for t.RoundIndex() < spec.Rounds {
+		round := t.RoundIndex()
+		for len(elastic) > 0 && elastic[0].Round <= round {
+			if err := t.SetWorkers(elastic[0].Workers); err != nil {
+				return res, err
+			}
+			elastic = elastic[1:]
+		}
+		res.CommBytes += t.CommBytesPerRound()
+		jc.Progress(int64(round), int64(spec.Rounds), fmt.Sprintf("round %d/%d (%dw)", round, spec.Rounds, t.Workers()))
+		if _, err := t.Round(jc.Ctx()); err != nil {
+			fillLosses(&res, t)
+			return res, err
+		}
+		done := t.RoundIndex()
+		if spec.CheckpointEvery > 0 && done < spec.Rounds && done%spec.CheckpointEvery == 0 {
+			ref, err := putCheckpoint(jc, refs, t)
+			if err != nil {
+				fillLosses(&res, t)
+				return res, err
+			}
+			res.Checkpoints = append(res.Checkpoints, api.CheckpointInfo{Round: done, Ref: ref})
+		}
+	}
+	jc.Progress(int64(spec.Rounds), int64(spec.Rounds), "checkpoint")
+
+	// The final checkpoint is always written: it is what a follow-on job's
+	// resume_from names.
+	ref, err := putCheckpoint(jc, refs, t)
+	if err != nil {
+		fillLosses(&res, t)
+		return res, err
+	}
+	res.CheckpointRef = ref
+	fillLosses(&res, t)
+
+	// Success: promote every checkpoint this run reported before release
+	// unpins them — Delete no-ops on kept ids, so they survive the sweep.
+	for _, ck := range res.Checkpoints {
+		jc.Datasets().Keep(ck.Ref)
+	}
+	jc.Datasets().Keep(res.CheckpointRef)
+	return res, nil
+}
+
+// fillLosses copies the trainer's state into the result — shared by the
+// success and cancelled-partial paths.
+func fillLosses(res *api.TrainDistResult, t *ffn.DistTrainer) {
+	res.Workers = t.Workers()
+	res.Rounds = t.RoundIndex()
+	losses := t.Losses()
+	res.Losses = append([]float64(nil), losses...)
+	if len(losses) > 0 {
+		res.LossHead = ffn.MeanTail(losses[:(len(losses)+4)/5], 1)
+		res.LossTail = ffn.MeanTail(losses, 0.2)
+	}
+}

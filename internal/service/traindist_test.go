@@ -1,0 +1,350 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"chaseci/internal/api"
+	"chaseci/internal/dataset"
+	"chaseci/internal/queue"
+)
+
+// distRequest builds a small but real train_dist job over a seeded synthetic
+// IVT volume — every test that wants comparable loss curves must use the
+// same source seed and training seeds.
+func distRequest(workers, rounds int) *api.JobRequest {
+	return &api.JobRequest{
+		Kind: api.KindTrainDist,
+		Name: "dist",
+		TrainDist: &api.TrainDistSpec{
+			Source:        api.VolumeSource{Synth: &api.SynthSpec{NLon: 36, NLat: 24, NLev: 4, Steps: 6, Seed: 11}},
+			Threshold:     130,
+			Workers:       workers,
+			Rounds:        rounds,
+			BatchPerRound: 8,
+			Net:           &api.NetConfig{FOV: [3]int{3, 7, 7}, Features: 4, MoveStep: [3]int{1, 2, 2}},
+			NetSeed:       7,
+			SampleSeed:    7,
+		},
+	}
+}
+
+func distResult(t *testing.T, f *gwFixture, req *api.JobRequest) api.TrainDistResult {
+	t.Helper()
+	st, env := f.submitAndWait(req)
+	if st.State != api.StateSucceeded {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	var res api.TrainDistResult
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestGatewayTrainDistWorkerInvariance is the acceptance check for the
+// tentpole: end to end through the HTTP gateway, the loss sequence is
+// bit-identical at 1, 2, and 4 workers, and only the modeled all-reduce
+// traffic changes.
+func TestGatewayTrainDistWorkerInvariance(t *testing.T) {
+	f := newGWFixture(t, true)
+	base := distResult(t, f, distRequest(1, 8))
+	if len(base.Losses) != 8 || base.Workers != 1 || base.Rounds != 8 {
+		t.Fatalf("baseline result = %+v", base)
+	}
+	if base.CommBytes != 0 {
+		t.Fatalf("single worker modeled %v comm bytes, want 0", base.CommBytes)
+	}
+	for _, w := range []int{2, 4} {
+		res := distResult(t, f, distRequest(w, 8))
+		if len(res.Losses) != len(base.Losses) {
+			t.Fatalf("workers=%d: %d losses, want %d", w, len(res.Losses), len(base.Losses))
+		}
+		for r := range res.Losses {
+			if res.Losses[r] != base.Losses[r] {
+				t.Fatalf("workers=%d round %d: loss %v != single-worker %v", w, r, res.Losses[r], base.Losses[r])
+			}
+		}
+		want := float64(8*2*(w-1)) * res.GradBytes
+		if res.CommBytes != want {
+			t.Fatalf("workers=%d: comm bytes %v, want %v", w, res.CommBytes, want)
+		}
+		// Identical final state -> identical content-addressed checkpoint.
+		if res.CheckpointRef != base.CheckpointRef {
+			t.Fatalf("workers=%d checkpoint %s != baseline %s", w, res.CheckpointRef, base.CheckpointRef)
+		}
+	}
+	blob, err := f.runner.Datasets().Resolve(base.CheckpointRef)
+	if err != nil {
+		t.Fatalf("final checkpoint unresolvable: %v", err)
+	}
+	if blob.Kind != dataset.KindCheckpoint {
+		t.Fatalf("checkpoint ref resolves to a %s dataset", blob.Kind)
+	}
+	if err := f.runner.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewayTrainDistElastic: an elastic schedule that grows and shrinks
+// the worker pool mid-run leaves the losses untouched.
+func TestGatewayTrainDistElastic(t *testing.T) {
+	f := newGWFixture(t, true)
+	base := distResult(t, f, distRequest(2, 9))
+
+	req := distRequest(1, 9)
+	req.TrainDist.Elastic = []api.ElasticStep{{Round: 3, Workers: 4}, {Round: 6, Workers: 2}}
+	res := distResult(t, f, req)
+	if res.Workers != 2 {
+		t.Fatalf("final width = %d, want 2 after the last elastic step", res.Workers)
+	}
+	for r := range res.Losses {
+		if res.Losses[r] != base.Losses[r] {
+			t.Fatalf("elastic round %d: loss %v != steady %v", r, res.Losses[r], base.Losses[r])
+		}
+	}
+}
+
+// TestGatewayTrainDistCheckpointResume drives the full recovery story over
+// HTTP: run with periodic checkpoints, then start a second job from the
+// round-6 checkpoint and require the continued curve — and even the final
+// checkpoint ref — to match the undisturbed run bit for bit.
+func TestGatewayTrainDistCheckpointResume(t *testing.T) {
+	f := newGWFixture(t, true)
+	req := distRequest(2, 10)
+	req.TrainDist.CheckpointEvery = 3
+	full := distResult(t, f, req)
+	if len(full.Checkpoints) != 3 {
+		t.Fatalf("checkpoints = %+v, want rounds 3, 6, 9", full.Checkpoints)
+	}
+	for i, want := range []int{3, 6, 9} {
+		if full.Checkpoints[i].Round != want || full.Checkpoints[i].Ref == "" {
+			t.Fatalf("checkpoint[%d] = %+v, want round %d", i, full.Checkpoints[i], want)
+		}
+	}
+
+	resume := &api.JobRequest{
+		Kind: api.KindTrainDist,
+		Name: "dist-resume",
+		TrainDist: &api.TrainDistSpec{
+			Source:     api.VolumeSource{Synth: &api.SynthSpec{NLon: 36, NLat: 24, NLev: 4, Steps: 6, Seed: 11}},
+			Threshold:  130,
+			Workers:    4,
+			Rounds:     10,
+			ResumeFrom: full.Checkpoints[1].Ref,
+		},
+	}
+	res := distResult(t, f, resume)
+	if res.StartRound != 6 || res.ResumedFrom != full.Checkpoints[1].Ref {
+		t.Fatalf("resume started at %d from %q", res.StartRound, res.ResumedFrom)
+	}
+	if len(res.Losses) != len(full.Losses) {
+		t.Fatalf("resumed history has %d losses, want %d", len(res.Losses), len(full.Losses))
+	}
+	for r := range res.Losses {
+		if res.Losses[r] != full.Losses[r] {
+			t.Fatalf("resumed round %d: loss %v != undisturbed %v", r, res.Losses[r], full.Losses[r])
+		}
+	}
+	if res.CheckpointRef != full.CheckpointRef {
+		t.Fatalf("resumed final checkpoint %s != undisturbed %s", res.CheckpointRef, full.CheckpointRef)
+	}
+	if err := f.runner.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewayTrainDistResumeRejections: a dangling resume ref dies at
+// submit with a 400, and a ref of the wrong dataset kind fails the job.
+func TestGatewayTrainDistResumeRejections(t *testing.T) {
+	f := newGWFixture(t, true)
+	req := &api.JobRequest{
+		Kind: api.KindTrainDist,
+		TrainDist: &api.TrainDistSpec{
+			Source:     api.VolumeSource{Synth: &api.SynthSpec{NLon: 36, NLat: 24, NLev: 4, Steps: 6, Seed: 11}},
+			Threshold:  130,
+			Workers:    1,
+			Rounds:     2,
+			ResumeFrom: strings.Repeat("ab", 32),
+		},
+	}
+	var apiErr api.ErrorResponse
+	resp := f.do("POST", "/v1/jobs", req, &apiErr)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(apiErr.Error, "dataset store") {
+		t.Fatalf("dangling resume ref: status %d, err %q", resp.StatusCode, apiErr.Error)
+	}
+
+	// A real ref of the wrong kind: a segment mask.
+	seg := tinySegmentRequest()
+	seg.ResultMode = api.ResultModeRef
+	seg.Segment.ReturnMask = true
+	st, env := f.submitAndWait(seg)
+	if st.State != api.StateSucceeded {
+		t.Fatalf("segment: %s (%s)", st.State, st.Error)
+	}
+	var segRes api.SegmentResult
+	if err := json.Unmarshal(env.Result, &segRes); err != nil {
+		t.Fatal(err)
+	}
+	if segRes.MaskRef == "" {
+		t.Fatal("segment in ref mode returned no mask ref")
+	}
+	req.TrainDist.ResumeFrom = segRes.MaskRef
+	var sub api.SubmitResponse
+	if resp := f.do("POST", "/v1/jobs", req, &sub); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("wrong-kind resume submit: status %d", resp.StatusCode)
+	}
+	var stat api.JobStatus
+	for !stat.State.Terminal() {
+		f.do("GET", "/v1/jobs/"+sub.ID, nil, &stat)
+	}
+	if stat.State != api.StateFailed || !strings.Contains(stat.Error, "want checkpoint") {
+		t.Fatalf("wrong-kind resume: %s (%s)", stat.State, stat.Error)
+	}
+}
+
+// TestGatewaySweepLeaderboard runs a 4-candidate sweep through the gateway
+// and checks leaderboard shape, ordering, and early-stop accounting.
+func TestGatewaySweepLeaderboard(t *testing.T) {
+	f := newGWFixture(t, true)
+	req := &api.JobRequest{
+		Kind: api.KindSweep,
+		Name: "hp",
+		Sweep: &api.SweepSpec{
+			Source:        api.VolumeSource{Synth: &api.SynthSpec{NLon: 36, NLat: 24, NLev: 4, Steps: 6, Seed: 11}},
+			Threshold:     130,
+			TrainFraction: 0.67,
+			LRs:           []float32{0.01, 0.03},
+			Momentums:     []float32{0.9},
+			Features:      []int{4, 6},
+			TrainSteps:    []int{40},
+			Seed:          5,
+		},
+	}
+	st, env := f.submitAndWait(req)
+	if st.State != api.StateSucceeded {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	var res api.SweepResult
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates != 4 || len(res.Leaderboard) != 4 {
+		t.Fatalf("candidates = %d, leaderboard = %d, want 4/4", res.Candidates, len(res.Leaderboard))
+	}
+	if res.EarlyStopped != 0 {
+		t.Fatalf("early stopped %d candidates without early_stop", res.EarlyStopped)
+	}
+	for i, e := range res.Leaderboard {
+		if e.JobID == "" || e.Params.TrainSteps != 40 {
+			t.Fatalf("leaderboard[%d] = %+v", i, e)
+		}
+		if i > 0 && e.Better(res.Leaderboard[i-1]) {
+			t.Fatalf("leaderboard out of order at %d", i)
+		}
+	}
+	if res.Best != res.Leaderboard[0] {
+		t.Fatalf("best %+v != leaderboard head %+v", res.Best, res.Leaderboard[0])
+	}
+	if err := f.runner.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepEarlyStopHalvesBudgets: with early_stop, losers keep their
+// half-budget rung metrics and only survivors post full-budget entries.
+func TestSweepEarlyStopHalvesBudgets(t *testing.T) {
+	f := newGWFixture(t, true)
+	req := &api.JobRequest{
+		Kind: api.KindSweep,
+		Sweep: &api.SweepSpec{
+			Source:        api.VolumeSource{Synth: &api.SynthSpec{NLon: 36, NLat: 24, NLev: 4, Steps: 6, Seed: 11}},
+			Threshold:     130,
+			TrainFraction: 0.67,
+			LRs:           []float32{0.001, 0.01, 0.03, 0.05},
+			Momentums:     []float32{0.9},
+			Features:      []int{4},
+			TrainSteps:    []int{40},
+			EarlyStop:     true,
+			Seed:          5,
+		},
+	}
+	st, env := f.submitAndWait(req)
+	if st.State != api.StateSucceeded {
+		t.Fatalf("state = %s (%s)", st.State, st.Error)
+	}
+	var res api.SweepResult
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	stopped := 0
+	for _, e := range res.Leaderboard {
+		if e.EarlyStopped {
+			stopped++
+			if e.Params.TrainSteps != 20 {
+				t.Fatalf("early-stopped candidate ran %d steps, want the 20-step rung", e.Params.TrainSteps)
+			}
+		} else if e.Params.TrainSteps != 40 {
+			t.Fatalf("survivor ran %d steps, want the full 40", e.Params.TrainSteps)
+		}
+	}
+	if stopped != res.EarlyStopped {
+		t.Fatalf("flags count %d, result says %d", stopped, res.EarlyStopped)
+	}
+	if res.Leaderboard[0].EarlyStopped {
+		t.Fatal("the winner was early-stopped")
+	}
+}
+
+// TestSweepSingleWorkerNoDeadlock: a sweep occupying the only pool worker
+// must help-drain its own children instead of deadlocking on them.
+func TestSweepSingleWorkerNoDeadlock(t *testing.T) {
+	runner := NewRunner(DefaultRegistry(), queue.NewStore(), 1)
+	defer runner.Close()
+	st, err := runner.Submit(&api.JobRequest{
+		Kind: api.KindSweep,
+		Sweep: &api.SweepSpec{
+			Source:        api.VolumeSource{Synth: &api.SynthSpec{NLon: 36, NLat: 24, NLev: 4, Steps: 6, Seed: 11}},
+			Threshold:     130,
+			TrainFraction: 0.67,
+			LRs:           []float32{0.01, 0.03},
+			Momentums:     []float32{0.9},
+			Features:      []int{4},
+			TrainSteps:    []int{20},
+			Seed:          5,
+		},
+	}, "solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, status, err := awaitTestJob(runner, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.State != api.StateSucceeded {
+		t.Fatalf("state = %s (%s)", status.State, status.Error)
+	}
+	var res api.SweepResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates != 2 || len(res.Leaderboard) != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+// awaitTestJob polls a runner until the job is terminal.
+func awaitTestJob(r *Runner, id string) (json.RawMessage, api.JobStatus, error) {
+	for {
+		raw, st, ok := r.Result(id)
+		if !ok {
+			return nil, st, fmt.Errorf("job %s vanished", id)
+		}
+		if st.State.Terminal() {
+			return raw, st, nil
+		}
+	}
+}

@@ -255,3 +255,26 @@ func (o *SGD) StepBias(param *[]float32, grad []float32) {
 		p[i] += v[i]
 	}
 }
+
+// VelocityFor returns param's momentum buffer, creating a zero one on first
+// use — the hook checkpoint serialization uses to walk optimizer state in
+// the network's canonical parameter order.
+func (o *SGD) VelocityFor(param *Tensor) *Tensor {
+	v, ok := o.velocity[param]
+	if !ok {
+		v = New(param.Shape...)
+		o.velocity[param] = v
+	}
+	return v
+}
+
+// VelocityBiasFor returns a bias vector's momentum buffer, creating a zero
+// one on first use.
+func (o *SGD) VelocityBiasFor(param *[]float32) []float32 {
+	v, ok := o.velBias[param]
+	if !ok {
+		v = make([]float32, len(*param))
+		o.velBias[param] = v
+	}
+	return v
+}
